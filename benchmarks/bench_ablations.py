@@ -1,0 +1,139 @@
+"""Ablations of Mycelium's design choices.
+
+Three decisions the paper makes implicitly or explicitly, quantified:
+
+1. **Ciphertext-modulus size** — how many homomorphic multiplications a
+   given q supports, and where the Q1-feasibility crossover lies (the
+   §6.2 observation that "recent HE libraries are close to supporting
+   this number").
+2. **Deferred vs. eager relinearization** (§5) — the device-side cost
+   the paper avoids by relinearizing once at the aggregator, measured on
+   our actual BGV.
+3. **Forwarder fraction f** (§3.2) — the batch-size/anonymity vs.
+   per-forwarder-bandwidth trade-off behind "we restrict the choice of
+   hops to a random fraction f of the nodes".
+"""
+
+import random
+import time
+
+from benchmarks.conftest import format_table
+from repro.analysis.bandwidth import expected_user_mb, forwarder_mb
+from repro.crypto import bgv, noise
+from repro.params import BGVProfile, SystemParameters, TEST
+
+
+def test_ablation_modulus_vs_budget(benchmark, report):
+    """Sweep q_bits: supported multiplications and Q1/Q2 feasibility."""
+
+    def sweep():
+        rows = []
+        for q_bits in (300, 550, 1500, 3000, 7000):
+            profile = BGVProfile(
+                name=f"q{q_bits}", n=32768, t=2**30, q_bits=q_bits,
+                error_bound=8,
+            )
+            supported = profile.max_multiplications
+            one_hop = noise.check_budget(profile, 1, 10).feasible
+            two_hop = noise.check_budget(profile, 2, 10).feasible
+            rows.append([q_bits, supported, one_hop, two_hop])
+        return rows
+
+    rows = benchmark(sweep)
+    report(
+        *format_table(
+            "Ablation 1: ciphertext modulus vs multiplication budget "
+            "(derived single-modulus noise model, d=10)",
+            ["q bits", "multiplications", "1-hop feasible", "Q1 (2-hop) feasible"],
+            rows,
+        ),
+        "the Q1 crossover: a larger modulus (or modulus-switching HE) "
+        "unlocks two-hop queries, as §6.2 anticipates",
+    )
+    by_bits = {r[0]: r for r in rows}
+    assert by_bits[300][2] is False or by_bits[300][1] < by_bits[550][1]
+    assert not by_bits[550][3]  # paper setting: Q1 infeasible
+    assert by_bits[7000][3]  # big-enough modulus: Q1 becomes feasible
+
+
+def test_ablation_deferred_relinearization(benchmark, report):
+    """Measure device-side multiplication chains with and without
+    eager relinearization (the §5 optimization)."""
+    rng = random.Random(41)
+    secret, public = bgv.keygen(TEST, rng)
+    relin = bgv.make_relin_keys(secret, 8, rng)
+    fresh = [bgv.encrypt_monomial(public, 1, rng) for _ in range(5)]
+
+    def deferred():
+        acc = fresh[0]
+        for ct in fresh[1:]:
+            acc = bgv.multiply(acc, ct)
+        return acc  # degree 5; the aggregator relinearizes later
+
+    def eager():
+        acc = fresh[0]
+        for ct in fresh[1:]:
+            acc = bgv.relinearize(bgv.multiply(acc, ct), relin)
+        return acc
+
+    start = time.perf_counter()
+    deferred_ct = deferred()
+    deferred_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    eager_ct = eager()
+    eager_seconds = time.perf_counter() - start
+    benchmark.pedantic(deferred, rounds=2, iterations=1)
+
+    assert bgv.decrypt(secret, deferred_ct).coeffs == bgv.decrypt(
+        secret, eager_ct
+    ).coeffs
+    report(
+        *format_table(
+            "Ablation 2: deferred vs eager relinearization "
+            "(chain of 4 multiplications, TEST ring)",
+            ["strategy", "device seconds", "output degree", "output bytes"],
+            [
+                ["deferred (§5)", deferred_seconds, deferred_ct.degree,
+                 deferred_ct.size_bytes],
+                ["eager", eager_seconds, eager_ct.degree, eager_ct.size_bytes],
+            ],
+        ),
+        "deferred relinearization trades device compute for ciphertext "
+        "size — the paper's choice, since the aggregator has the cores",
+    )
+    assert deferred_seconds < eager_seconds
+    assert deferred_ct.size_bytes > eager_ct.size_bytes
+
+
+def test_ablation_forwarder_fraction(benchmark, report):
+    """Sweep f: anonymity-relevant batch size vs per-forwarder load."""
+
+    def sweep():
+        rows = []
+        for f in (0.02, 0.05, 0.1, 0.2, 0.5):
+            params = SystemParameters(forwarder_fraction=f)
+            rows.append(
+                [
+                    f,
+                    params.batch_size,
+                    forwarder_mb(params),
+                    expected_user_mb(params),
+                ]
+            )
+        return rows
+
+    rows = benchmark(sweep)
+    report(
+        *format_table(
+            "Ablation 3: forwarder fraction f (k=3, r=2, d=10)",
+            ["f", "mix batch b=rd/f", "forwarder MB", "expected MB/device"],
+            rows,
+        ),
+        "smaller f -> bigger batches (better mixing) but heavier "
+        "forwarders; expected per-device cost is invariant (load "
+        "concentrates on fewer devices) until k*f saturates",
+    )
+    batches = [r[1] for r in rows]
+    forwarder_costs = [r[2] for r in rows]
+    assert batches == sorted(batches, reverse=True)
+    assert forwarder_costs == sorted(forwarder_costs, reverse=True)

@@ -1,0 +1,78 @@
+"""Figure 5(d): protocol duration in C-rounds.
+
+Telescoping costs k^2 + 2k rounds; forwarding a query and its response
+costs 2k + 2.  The formula is validated against the number of C-rounds
+the actual simulation consumes.
+"""
+
+import random
+
+from benchmarks.conftest import format_table
+from repro.analysis.duration import (
+    figure_5d_series,
+    forwarding_crounds,
+    hours,
+    telescoping_crounds,
+)
+from repro.mixnet.network import MixnetWorld
+from repro.mixnet.telescope import TelescopeDriver
+from repro.params import SystemParameters
+
+
+def test_fig5d_series(benchmark, report):
+    series = benchmark(figure_5d_series)
+    rows = []
+    for k, rounds in series["telescoping"]:
+        rows.append([k, rounds, dict(series["forwarding"])[k]])
+    report(
+        *format_table(
+            "Figure 5(d): C-rounds by phase",
+            ["hops k", "telescoping (k^2+2k)", "forwarding (2k+2)"],
+            rows,
+        ),
+        "paper anchor: k=3 with one-hour C-rounds -> setup "
+        f"{hours(telescoping_crounds(3)):.0f} h (about half a day), "
+        f"one-hop query {hours(forwarding_crounds(3)):.0f} h",
+    )
+    assert telescoping_crounds(3) == 15
+    assert forwarding_crounds(3) == 8
+
+
+def test_fig5d_simulation_matches_formula(benchmark, report):
+    """The driver consumes k^2 + 2k C-rounds (plus bounded slack)."""
+
+    def simulate() -> dict[int, int]:
+        consumed = {}
+        for k in (1, 2):
+            params = SystemParameters(
+                num_devices=20,
+                hops=k,
+                replicas=1,
+                forwarder_fraction=0.45,
+                degree_bound=2,
+                pseudonyms_per_device=2,
+            )
+            world = MixnetWorld(
+                params, num_devices=20, rng=random.Random(7), rsa_bits=512,
+                pseudonyms_per_device=2,
+            )
+            driver = TelescopeDriver(world)
+            dest = world.devices[9].identity.primary().handle
+            paths = driver.setup_paths([(0, 0, 0, dest)], extra_rounds=0)
+            assert paths[(0, 0, 0)].established
+            consumed[k] = world.current_round
+        return consumed
+
+    consumed = benchmark.pedantic(simulate, rounds=1, iterations=1)
+    rows = [
+        [k, telescoping_crounds(k), used] for k, used in sorted(consumed.items())
+    ]
+    report(
+        *format_table(
+            "Figure 5(d) validation: simulated telescoping rounds",
+            ["hops k", "formula", "simulated"],
+            rows,
+        )
+    )
+    for k, used in consumed.items():
+        assert telescoping_crounds(k) <= used <= telescoping_crounds(k) + 1

@@ -1,0 +1,35 @@
+"""Figure 6: number of ciphertexts sent for each catalog query.
+
+The compiler's ciphertext layout must reproduce the paper's table
+exactly: Q1, Q2, Q4, Q5, Q8 -> 1; Q3, Q6, Q7, Q10 -> 14; Q9 -> 10.
+"""
+
+from benchmarks.conftest import format_table
+from repro.params import SystemParameters
+from repro.query.catalog import all_queries
+
+
+def test_fig6_ciphertext_counts(benchmark, report):
+    params = SystemParameters()
+
+    def compile_all():
+        return {
+            entry.qid: entry.plan(params).ciphertexts_per_contribution
+            for entry in all_queries()
+        }
+
+    counts = benchmark(compile_all)
+    rows = [
+        [entry.qid, counts[entry.qid], entry.paper_ciphertexts,
+         "ok" if counts[entry.qid] == entry.paper_ciphertexts else "MISMATCH"]
+        for entry in all_queries()
+    ]
+    report(
+        *format_table(
+            "Figure 6: ciphertexts per contribution",
+            ["query", "ours", "paper", "status"],
+            rows,
+        )
+    )
+    for entry in all_queries():
+        assert counts[entry.qid] == entry.paper_ciphertexts

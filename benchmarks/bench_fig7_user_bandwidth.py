@@ -1,0 +1,68 @@
+"""Figure 7: average bandwidth required of each participant per query.
+
+Two column families (forwarder / non-forwarder), varying hops k and
+replicas r, at 4.3 MB per ciphertext and C_q = 1.  Paper anchors:
+~1030 MB forwarder, ~170 MB non-forwarder, ~430 MB expected.
+"""
+
+from benchmarks.conftest import format_table
+from repro.analysis.bandwidth import (
+    expected_user_mb,
+    figure_7_series,
+    forwarder_mb,
+    non_forwarder_mb,
+)
+from repro.params import SystemParameters
+from repro.query.catalog import all_queries
+
+DEFAULTS = SystemParameters()
+
+
+def test_fig7_bandwidth_series(benchmark, report):
+    series = benchmark(figure_7_series, DEFAULTS)
+    rows = []
+    for (k, r), mb in sorted(series["forwarder"].items()):
+        rows.append(
+            [k, r, mb, series["non_forwarder"][(k, r)]]
+        )
+    report(
+        *format_table(
+            "Figure 7: per-user bandwidth (MB, C_q = 1)",
+            ["hops k", "replicas r", "forwarder", "non-forwarder"],
+            rows,
+        ),
+        f"paper anchors at (k=3, r=2): forwarder "
+        f"{forwarder_mb(DEFAULTS):.0f} MB (~1030), non-forwarder "
+        f"{non_forwarder_mb(DEFAULTS):.0f} MB (~170), expected "
+        f"{expected_user_mb(DEFAULTS):.0f} MB (~430)",
+    )
+    assert 1000 < forwarder_mb(DEFAULTS) < 1100
+    assert 150 < non_forwarder_mb(DEFAULTS) < 200
+    assert 400 < expected_user_mb(DEFAULTS) < 460
+
+
+def test_fig7_per_query_costs(report, benchmark):
+    """Combine Figures 6 and 7: expected MB per device for each catalog
+    query (complex queries multiply by their ciphertext count)."""
+
+    def per_query():
+        return {
+            entry.qid: expected_user_mb(
+                DEFAULTS,
+                ciphertexts_per_query=entry.plan(
+                    DEFAULTS
+                ).ciphertexts_per_contribution,
+            )
+            for entry in all_queries()
+        }
+
+    costs = benchmark(per_query)
+    rows = [[qid, mb] for qid, mb in costs.items()]
+    report(
+        *format_table(
+            "Per-query expected device bandwidth (MB)",
+            ["query", "expected MB"],
+            rows,
+        )
+    )
+    assert costs["Q5"] < costs["Q9"] < costs["Q3"]

@@ -1,0 +1,69 @@
+"""Figure 8: committee-size trade-offs.
+
+(a) probability that enough committee members are malicious to
+reconstruct the key (privacy failure); (b) probability that enough are
+online to decrypt (liveness).  Larger committees are safer but cost
+more bandwidth — the §6.5 cost model quantifies the other side.
+"""
+
+from benchmarks.conftest import format_table
+from repro.analysis.committee_model import (
+    figure_8a_series,
+    figure_8b_series,
+    liveness_probability,
+    mpc_gb_per_member,
+    mpc_minutes,
+    privacy_failure_probability,
+)
+
+
+def test_fig8a_privacy_failure(benchmark, report):
+    series = benchmark(figure_8a_series)
+    rows = []
+    for size, points in sorted(series.items()):
+        for malice, probability in points:
+            rows.append([size, f"{malice:.1%}", f"{probability:.3e}"])
+    report(
+        *format_table(
+            "Figure 8(a): probability of privacy failure",
+            ["committee size", "malicious users", "P[failure]"],
+            rows,
+        )
+    )
+    # Bigger committees are exponentially safer.
+    assert privacy_failure_probability(40, 0.04) < (
+        privacy_failure_probability(10, 0.04) ** 2
+    )
+
+
+def test_fig8b_liveness(benchmark, report):
+    series = benchmark(figure_8b_series)
+    rows = []
+    for size, points in sorted(series.items()):
+        for churn, probability in points:
+            rows.append([size, f"{churn:.0%}", probability])
+    report(
+        *format_table(
+            "Figure 8(b): probability of liveness",
+            ["committee size", "malice + churn", "P[liveness]"],
+            rows,
+        )
+    )
+    assert liveness_probability(10, 0.02) > 0.999
+
+
+def test_fig8_cost_side(benchmark, report):
+    """§6.5: the bandwidth/compute price of bigger committees."""
+    sizes = (10, 20, 40)
+    costs = benchmark(
+        lambda: [(c, mpc_minutes(c), mpc_gb_per_member(c)) for c in sizes]
+    )
+    report(
+        *format_table(
+            "Committee cost model (§6.5 anchors at C=10)",
+            ["committee size", "MPC minutes", "GB per member"],
+            [list(row) for row in costs],
+        )
+    )
+    assert costs[0][1] == 3.0
+    assert costs[0][2] == 4.5

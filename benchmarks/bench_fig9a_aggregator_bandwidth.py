@@ -1,0 +1,44 @@
+"""Figure 9(a): per-user bandwidth required of the aggregator.
+
+All traffic relays through the aggregator's mailboxes; at (k=3, r=2) it
+serves each device ~350 MB per C_q = 1 query.
+"""
+
+from benchmarks.conftest import format_table
+from repro.analysis.bandwidth import aggregator_per_user_mb, figure_9a_series
+from repro.params import SystemParameters
+
+DEFAULTS = SystemParameters()
+
+
+def test_fig9a_series(benchmark, report):
+    series = benchmark(figure_9a_series, DEFAULTS)
+    rows = [[k, r, mb] for (k, r), mb in sorted(series.items())]
+    report(
+        *format_table(
+            "Figure 9(a): aggregator-to-device bandwidth (MB per query)",
+            ["hops k", "replicas r", "MB per device"],
+            rows,
+        ),
+        f"paper anchor at (k=3, r=2): "
+        f"{aggregator_per_user_mb(DEFAULTS):.0f} MB (~350)",
+    )
+    anchor = aggregator_per_user_mb(DEFAULTS)
+    assert 300 < anchor < 400
+    # More replicas cost the aggregator proportionally more.
+    assert series[(3, 3)] > series[(3, 2)] > series[(3, 1)]
+
+
+def test_fig9a_total_aggregator_volume(benchmark, report):
+    """Headline scale: total aggregator egress at N = 1.1M devices."""
+
+    def total_pb() -> float:
+        per_user = aggregator_per_user_mb(DEFAULTS)
+        return per_user * DEFAULTS.num_devices / 1e9  # MB -> PB
+
+    volume = benchmark(total_pb)
+    report(
+        f"Total aggregator egress for one C_q=1 query at N=1.1e6: "
+        f"{volume:.2f} PB ({aggregator_per_user_mb(DEFAULTS):.0f} MB/device)"
+    )
+    assert volume > 0.1  # data-center scale, as §2 assumes

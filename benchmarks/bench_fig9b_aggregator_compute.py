@@ -1,0 +1,99 @@
+"""Figure 9(b): aggregator cores needed to finish a query in 10 hours.
+
+ZKP verification dominates (Groth16 verification is linear in the public
+I/O, which includes the 4.3 MB ciphertexts); the aggregation bars are
+tiny.  Scaling is linear in the number of participants.
+"""
+
+import random
+
+from benchmarks.conftest import format_table
+from repro.analysis.aggregator_model import (
+    cores_required,
+    figure_9b_series,
+    zkp_seconds_per_device,
+)
+from repro.core.aggregator import QueryAggregator
+from repro.crypto import bgv, zksnark
+from repro.engine.encrypted import EncryptedExecutor
+from repro.engine.zkcircuits import build_circuits
+from repro.params import SystemParameters, TEST
+from repro.query.compiler import compile_query
+from repro.query.parser import parse
+from repro.query.schema import scaled_schema
+from repro.workloads.epidemic import run_epidemic
+from repro.workloads.graphgen import generate_household_graph
+
+DEFAULTS = SystemParameters()
+
+
+def test_fig9b_cores_series(benchmark, report):
+    rows = benchmark(figure_9b_series, DEFAULTS)
+    report(
+        *format_table(
+            "Figure 9(b): cores to finish within 10 hours",
+            ["participants", "ZKP verification", "global aggregation"],
+            [[f"{n:.0e}", zkp, agg] for n, zkp, agg in rows],
+        ),
+        f"per-device ZKP verification: "
+        f"{zkp_seconds_per_device(DEFAULTS):.2f} s",
+    )
+    # ZKP dominates at every scale; growth is linear.
+    for n, zkp, agg in rows:
+        assert zkp > 5 * agg
+    assert rows[-1][1] / rows[0][1] == 1000
+
+
+def test_fig9b_spot_checking(benchmark, report):
+    """§6.6: spot-checking a fraction of proofs scales the cost down."""
+    fractions = (1.0, 0.5, 0.1)
+    results = benchmark(
+        lambda: [
+            (
+                f,
+                cores_required(10**9, DEFAULTS, spot_check_fraction=f)[
+                    "total_cores"
+                ],
+            )
+            for f in fractions
+        ]
+    )
+    report(
+        *format_table(
+            "Figure 9(b) mitigation: spot-checking ZKPs (N = 1e9)",
+            ["checked fraction", "total cores"],
+            [list(r) for r in results],
+        )
+    )
+    assert results[0][1] > results[2][1]
+
+
+def test_fig9b_measured_verification(benchmark, report):
+    """Measure actual verification work on a real small run: the
+    simulated Groth16 verification plus relinearization/summation."""
+    rng = random.Random(31)
+    graph = generate_household_graph(10, degree_bound=3, rng=rng)
+    run_epidemic(graph, rng)
+    secret, public = bgv.keygen(TEST, rng)
+    relin = bgv.make_relin_keys(secret, 8, rng)
+    zk = zksnark.Groth16System.setup(build_circuits(), rng)
+    params = SystemParameters(degree_bound=3)
+    plan = compile_query(
+        parse("SELECT HISTO(COUNT(*)) FROM neigh(1) WHERE dest.inf"),
+        params,
+        scaled_schema(),
+    )
+    executor = EncryptedExecutor(plan, public, zk, rng)
+    submissions = executor.run(graph)
+
+    def aggregate():
+        aggregator = QueryAggregator(zk=zk, relin_keys=relin)
+        return aggregator.aggregate(submissions)
+
+    result = benchmark.pedantic(aggregate, rounds=2, iterations=1)
+    report(
+        f"measured aggregation of {len(submissions)} submissions: "
+        f"{result.proofs_verified} proofs verified, modeled "
+        f"{result.verification_seconds:.1f} s at paper ciphertext sizes"
+    )
+    assert result.proofs_verified > len(submissions)

@@ -1,0 +1,90 @@
+"""Micro-benchmarks of the BGV substrate.
+
+Not a paper figure by itself, but the constants every §6.4/§6.6
+extrapolation builds on: encryption, addition, multiplication,
+relinearization, decryption, serialization at the TEST and SMALL rings.
+"""
+
+import random
+
+import pytest
+
+from repro.crypto import bgv
+from repro.params import SMALL, TEST
+
+
+@pytest.fixture(scope="module")
+def test_material():
+    rng = random.Random(23)
+    secret, public = bgv.keygen(TEST, rng)
+    relin = bgv.make_relin_keys(secret, 4, rng)
+    a = bgv.encrypt_monomial(public, 1, rng)
+    b = bgv.encrypt_monomial(public, 2, rng)
+    prod = bgv.multiply(bgv.multiply(a, b), a)
+    return rng, secret, public, relin, a, b, prod
+
+
+@pytest.fixture(scope="module")
+def small_material():
+    rng = random.Random(29)
+    secret, public = bgv.keygen(SMALL, rng)
+    a = bgv.encrypt_monomial(public, 1, rng)
+    b = bgv.encrypt_monomial(public, 2, rng)
+    return rng, secret, public, a, b
+
+
+class TestTestRing:
+    def test_encrypt(self, benchmark, test_material):
+        rng, _, public, _, _, _, _ = test_material
+        ct = benchmark(lambda: bgv.encrypt_monomial(public, 3, rng))
+        assert ct.degree == 1
+
+    def test_add(self, benchmark, test_material):
+        _, _, _, _, a, b, _ = test_material
+        benchmark(lambda: bgv.add(a, b))
+
+    def test_multiply(self, benchmark, test_material):
+        _, _, _, _, a, b, _ = test_material
+        ct = benchmark(lambda: bgv.multiply(a, b))
+        assert ct.degree == 2
+
+    def test_relinearize(self, benchmark, test_material):
+        _, _, _, relin, _, _, prod = test_material
+        ct = benchmark(lambda: bgv.relinearize(prod, relin))
+        assert ct.degree == 1
+
+    def test_decrypt(self, benchmark, test_material):
+        _, secret, _, _, a, _, _ = test_material
+        plain = benchmark(lambda: bgv.decrypt(secret, a))
+        assert plain.coeffs[1] == 1
+
+    def test_serialize_roundtrip(self, benchmark, test_material):
+        _, _, _, _, a, _, _ = test_material
+
+        def roundtrip():
+            return bgv.Ciphertext.deserialize(a.serialize(), TEST)
+
+        back = benchmark(roundtrip)
+        assert back.components == a.components
+
+
+class TestSmallRing:
+    def test_encrypt(self, benchmark, small_material):
+        rng, _, public, _, _ = small_material
+        benchmark.pedantic(
+            lambda: bgv.encrypt_monomial(public, 3, rng), rounds=3, iterations=1
+        )
+
+    def test_multiply(self, benchmark, small_material):
+        _, _, _, a, b = small_material
+        ct = benchmark.pedantic(
+            lambda: bgv.multiply(a, b), rounds=3, iterations=1
+        )
+        assert ct.degree == 2
+
+    def test_decrypt(self, benchmark, small_material):
+        _, secret, _, a, _ = small_material
+        plain = benchmark.pedantic(
+            lambda: bgv.decrypt(secret, a), rounds=3, iterations=1
+        )
+        assert plain.coeffs[1] == 1

@@ -1,0 +1,87 @@
+"""§6.4: computation cost for normal user devices.
+
+The paper reports ~14 minutes of ciphertext operations plus ~1 minute of
+ZKP generation per device per query (unoptimized Python BGV at
+N = 32768).  We measure our own per-operation latencies at the SMALL
+ring, extrapolate to the PAPER ring, and assemble the same per-device
+budget; the shape to match is "minutes, not hours, dominated by HE".
+"""
+
+import random
+import time
+
+from benchmarks.conftest import format_table
+from repro.analysis.extrapolate import (
+    device_compute,
+    paper_anchored_device_minutes,
+    ring_op_scale,
+    scale_measurement,
+)
+from repro.crypto import bgv
+from repro.params import PAPER, SMALL, SystemParameters
+
+DEFAULTS = SystemParameters()
+
+
+def _measure(fn, repeat: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_device_compute_budget(benchmark, report):
+    rng = random.Random(13)
+    secret, public = bgv.keygen(SMALL, rng)
+    ct_a = bgv.encrypt_monomial(public, 1, rng)
+    ct_b = bgv.encrypt_monomial(public, 2, rng)
+
+    encrypt_small = benchmark.pedantic(
+        lambda: bgv.encrypt_monomial(public, 1, rng), rounds=3, iterations=1
+    )
+    encrypt_seconds = _measure(lambda: bgv.encrypt_monomial(public, 1, rng))
+    multiply_seconds = _measure(lambda: bgv.multiply(ct_a, ct_b))
+
+    scale = ring_op_scale(SMALL, PAPER)
+    encrypt_paper = scale_measurement(encrypt_seconds, SMALL, PAPER)
+    multiply_paper = scale_measurement(multiply_seconds, SMALL, PAPER)
+    model = device_compute(
+        DEFAULTS,
+        ciphertexts_per_query=1,
+        encrypt_seconds=encrypt_paper,
+        multiply_seconds=multiply_paper,
+    )
+    paper_he, paper_zkp = paper_anchored_device_minutes()
+    report(
+        *format_table(
+            "§6.4 per-device compute (C_q = 1 query)",
+            ["quantity", "ours", "paper"],
+            [
+                ["encrypt (SMALL ring, s)", encrypt_seconds, "-"],
+                ["multiply (SMALL ring, s)", multiply_seconds, "-"],
+                ["ring-op scale SMALL->PAPER", scale, "-"],
+                ["HE minutes (PAPER ring)", model.he_seconds / 60, paper_he],
+                ["ZKP minutes", model.zkp_seconds / 60, paper_zkp],
+                ["total minutes", model.total_minutes, paper_he + paper_zkp],
+            ],
+        ),
+        f"ops per device: {model.encryptions} encryptions, "
+        f"{model.multiplications} multiplications, {model.proofs} proofs",
+    )
+    # Shape: minutes (not seconds, not hours); HE ops and proving both
+    # land within the paper's per-device budget ballpark.
+    assert 0.5 < model.total_minutes < 180
+    assert 0.2 < model.zkp_seconds / 60 < 5  # ~1 minute of proving
+    assert encrypt_small is not None
+
+
+def test_ciphertext_size_anchor(benchmark, report):
+    """§6.4: each ciphertext is ~4.3 MB at the paper parameters."""
+    size_mb = benchmark(lambda: PAPER.ciphertext_bytes / 1e6)
+    report(
+        f"PAPER-profile ciphertext: {size_mb:.2f} MB "
+        "(paper reports ~4.3 MB)"
+    )
+    assert 4.0 < size_mb < 5.0

@@ -1,0 +1,48 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one table or figure from the paper's
+evaluation and prints the rows/series it produces (bypassing pytest's
+capture so the tables land in ``bench_output.txt``).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+
+@pytest.fixture
+def report(capsys):
+    """A print function that is visible in captured benchmark runs."""
+
+    def _report(*lines: str) -> None:
+        with capsys.disabled():
+            print()
+            for line in lines:
+                print(line)
+
+    return _report
+
+
+def format_table(title: str, headers: list[str], rows: list[list]) -> list[str]:
+    """Render a small fixed-width table."""
+    widths = [len(h) for h in headers]
+    rendered_rows = []
+    for row in rows:
+        rendered = [
+            f"{cell:.4g}" if isinstance(cell, float) else str(cell)
+            for cell in row
+        ]
+        rendered_rows.append(rendered)
+        widths = [max(w, len(c)) for w, c in zip(widths, rendered)]
+    lines = [f"=== {title} ==="]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    for rendered in rendered_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(rendered, widths)))
+    return lines
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(0xBE7C4)

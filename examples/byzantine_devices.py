@@ -1,0 +1,92 @@
+"""Byzantine participants and the §4.6 defences.
+
+The MC assumption tolerates 1-2% malicious devices.  This demo injects
+every attack the paper discusses and shows what the zero-knowledge
+proofs catch, what they provably cannot, and how bounded the residual
+damage is.
+
+Run:  python examples/byzantine_devices.py
+"""
+
+import random
+
+from repro.core.system import MyceliumSystem
+from repro.engine.malicious import DETECTED_BY_ZKP, UNDETECTABLE, Behavior
+from repro.params import SystemParameters
+from repro.query.schema import scaled_schema
+from repro.workloads.epidemic import run_epidemic
+from repro.workloads.graphgen import generate_household_graph
+
+QUERY = "SELECT HISTO(COUNT(*)) FROM neigh(1) WHERE dest.inf"
+
+
+def build():
+    rng = random.Random(13)
+    graph = generate_household_graph(
+        16, degree_bound=3, rng=rng, external_contacts=1
+    )
+    run_epidemic(graph, rng)
+    params = SystemParameters(
+        num_devices=graph.num_vertices, degree_bound=3, hops=2,
+        committee_size=3, replicas=2, forwarder_fraction=0.3,
+    )
+    system = MyceliumSystem.setup(
+        num_devices=graph.num_vertices, rng=rng, params=params,
+        schema=scaled_schema(), committee_size=3, committee_threshold=2,
+        total_epsilon=100.0,
+    )
+    return system, graph
+
+
+def l1(a, b) -> float:
+    return sum(abs(x - y) for x, y in zip(a, b))
+
+
+def main() -> None:
+    system, graph = build()
+    honest = system.run_query(QUERY, graph, epsilon=1.0, noiseless=True)
+    baseline = honest.groups[0].counts
+    print(f"honest run: histogram {tuple(int(c) for c in baseline)}")
+    print(
+        f"  (counts of infected contacts across "
+        f"{honest.metadata.contributing_origins} origins)\n"
+    )
+
+    attacks = [
+        Behavior.OVERSIZED_EXPONENT,
+        Behavior.MULTI_COEFFICIENT,
+        Behavior.LARGE_COEFFICIENT,
+        Behavior.FORGED_PROOF,
+        Behavior.BAD_AGGREGATION,
+        Behavior.LIE_IN_RANGE,
+        Behavior.DROP_MESSAGE,
+    ]
+    attacker = 0
+    for behavior in attacks:
+        result = system.run_query(
+            QUERY, graph, epsilon=1.0, noiseless=True,
+            behaviors={attacker: behavior},
+        )
+        shift = l1(result.groups[0].counts, baseline)
+        if behavior in DETECTED_BY_ZKP:
+            expectation = "ZKP layer filters/rejects it"
+        elif behavior in UNDETECTABLE:
+            expectation = "undetectable by design; impact bounded"
+        else:
+            expectation = "honest"
+        print(
+            f"{behavior.value:>20}: rejected origins = "
+            f"{result.metadata.rejected_origins}, L1 shift vs honest = "
+            f"{shift:.0f}  ({expectation})"
+        )
+
+    print(
+        "\nper §4.7: a malicious device can at most move its own bounded "
+        "contribution — it can never inflate a bin by more than the "
+        "ZKP-enforced per-contribution limit, and invalid ciphertexts "
+        "are discarded entirely."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+"""Inside the mix network (§3): telescoping, forwarding, anonymity.
+
+Establishes onion paths through the aggregator's mailboxes, delivers a
+message, then puts on the adversary's hat: given everything the
+aggregator observed (who deposited into which mailbox, each round), how
+large is the set of devices that could have sent the message?  Then
+repeats with the whole path colluding — the one case where the sender is
+pinned exactly (Figure 5b's failure event).
+
+Run:  python examples/mixnet_anonymity_demo.py
+"""
+
+import random
+
+from repro.analysis.anonymity import expected_anonymity_set
+from repro.mixnet.adversary import AdversaryView
+from repro.mixnet.forwarding import ForwardingDriver, SendRequest, strip_padding
+from repro.mixnet.network import MixnetWorld
+from repro.mixnet.telescope import TelescopeDriver
+from repro.params import SystemParameters
+
+
+def main() -> None:
+    params = SystemParameters(
+        num_devices=30,
+        hops=2,
+        replicas=1,
+        forwarder_fraction=0.4,
+        degree_bound=2,
+        pseudonyms_per_device=2,
+    )
+    world = MixnetWorld(
+        params,
+        num_devices=30,
+        rng=random.Random(21),
+        rsa_bits=512,
+        pseudonyms_per_device=2,
+    )
+    print(
+        f"world: {len(world.devices)} devices, "
+        f"{world.directory.num_slots} pseudonyms in the verifiable map M1"
+    )
+    print(f"directory audits pass: {world.run_audits()}")
+
+    # Several senders establish 2-hop paths concurrently so that
+    # forwarder batches actually mix traffic.
+    driver = TelescopeDriver(world)
+    senders = [0, 1, 2, 3, 4]
+    dests = {s: world.devices[s + 10].identity.primary().handle for s in senders}
+    requests = [(s, 0, 0, dests[s]) for s in senders]
+    paths = driver.setup_paths(requests)
+    established = sum(p.established for p in paths.values())
+    print(
+        f"telescoping: {established}/{len(paths)} paths established in "
+        f"{world.current_round} C-rounds (formula: "
+        f"{params.telescoping_crounds})"
+    )
+
+    delivery_round = world.current_round + params.hops + 1
+    fw = ForwardingDriver(world)
+    fw.send_batch(
+        [SendRequest(s, (0, 0), b"hello #%d" % s) for s in senders],
+        payload_bytes=16,
+    )
+    got = [
+        strip_padding(r.plaintext)
+        for r in world.devices[10].received
+    ]
+    print(f"device 10 received: {got}")
+
+    # -- the adversary's view ---------------------------------------------------
+    adversary = AdversaryView(world)
+    candidates = adversary.anonymity_set_for_delivery(
+        dests[0], delivery_round - 1
+    )
+    model = expected_anonymity_set(
+        hops=2,
+        replicas=1,
+        forwarder_fraction=0.4,
+        malicious_fraction=0.0,
+        num_devices=30,
+    )
+    print(
+        f"\nhonest forwarders: the aggregator's candidate-sender set has "
+        f"{len(candidates)} devices (analytic model at this scale: "
+        f"~{model:.0f}, capped by concurrent traffic)"
+    )
+    print(f"  true sender 0 hidden inside: {0 in candidates}")
+
+    # -- full collusion ----------------------------------------------------------
+    path = paths[(0, 0, 0)]
+    hop_owners = {world.handle_owner[h] for h in path.hop_handles} - {0}
+    adversary.mark_malicious(hop_owners)
+    identified = adversary.identified_exactly(dests[0], delivery_round - 1)
+    print(
+        f"\nwith the whole path colluding ({sorted(hop_owners)}): "
+        f"sender identified exactly: {identified}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Mycelium: large-scale distributed graph queries with differential
+privacy — a from-scratch reproduction of the SOSP 2021 paper.
+
+The top-level public API lives in :mod:`repro.core.system`
+(:class:`~repro.core.system.MyceliumSystem`); see README.md for a
+quickstart.
+"""
+
+__version__ = "1.0.0"

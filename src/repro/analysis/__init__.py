@@ -1,0 +1,5 @@
+"""Closed-form models behind the paper's evaluation figures, validated
+against both the paper's anchors and the simulator: anonymity (Fig 5a/b),
+goodput (5c), duration (5d), bandwidth (7, 9a), committee trade-offs (8),
+aggregator compute (9b), and measurement extrapolation (§6.1/§6.4).
+"""

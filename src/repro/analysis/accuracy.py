@@ -1,0 +1,78 @@
+"""Accuracy vs. privacy analysis (an extension the paper leaves to the
+analyst).
+
+Given a query's static sensitivity, how accurate is a release at a given
+epsilon and population size?  Useful in two directions: choosing epsilon
+for a target relative error, and understanding how Mycelium's accuracy
+*improves* with scale — the Laplace noise is constant in N while the
+signal grows, which is exactly why the system targets millions of
+devices.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ParameterError
+from repro.query.plans import ExecutionPlan
+from repro.query.sensitivity import analyze
+
+
+@dataclass(frozen=True)
+class AccuracyEstimate:
+    """Error bounds for one released value."""
+
+    epsilon: float
+    noise_scale: float
+    expected_absolute_error: float
+    error_bound_95: float
+
+    def relative_error(self, true_magnitude: float) -> float:
+        if true_magnitude <= 0:
+            return math.inf
+        return self.expected_absolute_error / true_magnitude
+
+
+def estimate(plan: ExecutionPlan, epsilon: float) -> AccuracyEstimate:
+    """Error statistics of the Laplace mechanism for this plan.
+
+    For Laplace(b): E|X| = b and P[|X| > b*ln(1/0.05)] = 5%.
+    """
+    if epsilon <= 0:
+        raise ParameterError("epsilon must be positive")
+    scale = analyze(plan).sensitivity / epsilon
+    return AccuracyEstimate(
+        epsilon=epsilon,
+        noise_scale=scale,
+        expected_absolute_error=scale,
+        error_bound_95=scale * math.log(1 / 0.05),
+    )
+
+
+def epsilon_for_relative_error(
+    plan: ExecutionPlan,
+    target_relative_error: float,
+    expected_magnitude: float,
+) -> float:
+    """Smallest epsilon achieving the target expected relative error for
+    a release of the given magnitude."""
+    if target_relative_error <= 0 or expected_magnitude <= 0:
+        raise ParameterError("targets must be positive")
+    sensitivity = analyze(plan).sensitivity
+    return sensitivity / (target_relative_error * expected_magnitude)
+
+
+def signal_to_noise_by_population(
+    plan: ExecutionPlan,
+    epsilon: float,
+    populations: tuple[int, ...],
+    signal_fraction: float = 0.1,
+) -> list[tuple[int, float]]:
+    """(N, SNR) rows: the released bin's expected magnitude is
+    ``signal_fraction * N`` while the noise scale is constant — accuracy
+    grows linearly with deployment size."""
+    if not 0 < signal_fraction <= 1:
+        raise ParameterError("signal fraction must be in (0, 1]")
+    scale = estimate(plan, epsilon).noise_scale
+    return [(n, signal_fraction * n / scale) for n in populations]

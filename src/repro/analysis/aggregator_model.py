@@ -1,0 +1,89 @@
+"""Aggregator compute model: Figure 9(b).
+
+The aggregator verifies every device's Groth16 proofs and performs the
+global ciphertext aggregation.  Groth16 verification is linear in the
+public I/O, which here contains the 4.3 MB ciphertexts — so proof
+verification dominates and total work scales linearly with the number of
+participants.  Figure 9(b) asks: how many cores finish within 10 hours?
+"""
+
+from __future__ import annotations
+
+from repro.analysis.costmodel import PAPER_CIPHERTEXT_MB
+from repro.crypto.zksnark import (
+    VERIFY_SECONDS_BASE,
+    VERIFY_SECONDS_PER_PUBLIC_BYTE,
+)
+from repro.errors import ParameterError
+from repro.params import SystemParameters
+
+#: Homomorphic addition of one 4.3 MB ciphertext into the running sum.
+AGGREGATION_SECONDS_PER_DEVICE = 0.05
+
+DEADLINE_HOURS = 10.0
+
+
+def proofs_per_device(
+    params: SystemParameters, ciphertexts_per_query: int = 1
+) -> int:
+    """Each device submits d * C_q leaf proofs (its contributions to its
+    neighbors' aggregations) plus one aggregation proof."""
+    return params.degree_bound * ciphertexts_per_query + 1
+
+
+def verification_seconds_per_proof(
+    ciphertext_mb: float = PAPER_CIPHERTEXT_MB,
+) -> float:
+    return VERIFY_SECONDS_BASE + ciphertext_mb * 1e6 * (
+        VERIFY_SECONDS_PER_PUBLIC_BYTE
+    )
+
+
+def zkp_seconds_per_device(
+    params: SystemParameters, ciphertexts_per_query: int = 1
+) -> float:
+    return proofs_per_device(params, ciphertexts_per_query) * (
+        verification_seconds_per_proof()
+    )
+
+
+def cores_required(
+    num_devices: int,
+    params: SystemParameters,
+    ciphertexts_per_query: int = 1,
+    deadline_hours: float = DEADLINE_HOURS,
+    spot_check_fraction: float = 1.0,
+) -> dict[str, float]:
+    """Figure 9(b): cores needed for ZKP verification and aggregation.
+
+    ``spot_check_fraction`` models the §6.6 mitigation of verifying only
+    a sample of the proofs.
+    """
+    if deadline_hours <= 0:
+        raise ParameterError("deadline must be positive")
+    if not 0 < spot_check_fraction <= 1:
+        raise ParameterError("spot-check fraction must be in (0, 1]")
+    budget_seconds = deadline_hours * 3600
+    zkp_seconds = (
+        num_devices
+        * zkp_seconds_per_device(params, ciphertexts_per_query)
+        * spot_check_fraction
+    )
+    aggregation_seconds = num_devices * AGGREGATION_SECONDS_PER_DEVICE
+    return {
+        "zkp_cores": zkp_seconds / budget_seconds,
+        "aggregation_cores": aggregation_seconds / budget_seconds,
+        "total_cores": (zkp_seconds + aggregation_seconds) / budget_seconds,
+    }
+
+
+def figure_9b_series(
+    params: SystemParameters,
+    populations: tuple[int, ...] = (10**6, 10**7, 10**8, 10**9),
+) -> list[tuple[int, float, float]]:
+    """(N, zkp cores, aggregation cores) rows."""
+    rows = []
+    for n in populations:
+        cores = cores_required(n, params)
+        rows.append((n, cores["zkp_cores"], cores["aggregation_cores"]))
+    return rows

@@ -1,0 +1,88 @@
+"""Topology-privacy models: Figures 5(a) and 5(b).
+
+From §6.3: each *honest* forwarder multiplies the set of possible
+senders of a delivered message by r/f (every message it uploaded could
+have continued any of the messages it downloaded, and only a fraction f
+of devices are eligible per hop while each sends r replicas).  A
+*colluding* forwarder contributes nothing — the adversary traces the
+message straight through it.  With k hops of which a Binomial(k, mal)
+number collude:
+
+    E[set size] = sum_m P[m colluders] * min(N, (r/f)^(k-m))
+
+The identification event of Figure 5(b) is a replica whose path is
+*entirely* malicious: probability 1 - (1 - mal^k)^r per message.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.costmodel import binomial_pmf
+from repro.errors import ParameterError
+
+
+def expected_anonymity_set(
+    hops: int,
+    replicas: int,
+    forwarder_fraction: float,
+    malicious_fraction: float,
+    num_devices: int,
+) -> float:
+    """Figure 5(a): expected sender anonymity-set size."""
+    if not 0 <= malicious_fraction < 1:
+        raise ParameterError("malicious fraction must be in [0, 1)")
+    growth = replicas / forwarder_fraction
+    expected = 0.0
+    for colluders in range(hops + 1):
+        p = binomial_pmf(hops, malicious_fraction, colluders)
+        size = min(float(num_devices), growth ** (hops - colluders))
+        expected += p * size
+    return expected
+
+
+def identification_probability(
+    hops: int, replicas: int, malicious_fraction: float
+) -> float:
+    """Figure 5(b): probability the adversary identifies a sender
+    exactly — some replica traversed only colluding hops."""
+    if not 0 <= malicious_fraction < 1:
+        raise ParameterError("malicious fraction must be in [0, 1)")
+    per_path = malicious_fraction**hops
+    return 1 - (1 - per_path) ** replicas
+
+
+def figure_5a_series(
+    num_devices: int = 1_100_000,
+    forwarder_fraction: float = 0.1,
+    malicious_fraction: float = 0.02,
+    hops_range: tuple[int, ...] = (1, 2, 3, 4),
+    replicas_range: tuple[int, ...] = (1, 2, 3),
+) -> dict[int, list[tuple[int, float]]]:
+    """The Figure 5(a) series: anonymity set vs hops, one line per r."""
+    return {
+        r: [
+            (
+                k,
+                expected_anonymity_set(
+                    k, r, forwarder_fraction, malicious_fraction, num_devices
+                ),
+            )
+            for k in hops_range
+        ]
+        for r in replicas_range
+    }
+
+
+def figure_5b_series(
+    replicas: int = 3,
+    hops_range: tuple[int, ...] = (2, 3, 4),
+    malice_range: tuple[float, ...] = (0.005, 0.01, 0.02, 0.04),
+) -> dict[int, list[tuple[float, float]]]:
+    """The Figure 5(b) series: identification probability vs malice
+    rate, one line per path length."""
+    return {
+        k: [
+            (mal, identification_probability(k, replicas, mal))
+            for mal in malice_range
+        ]
+        for k in hops_range
+    }

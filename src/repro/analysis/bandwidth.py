@@ -1,0 +1,124 @@
+"""Bandwidth models: Figures 7 and 9(a).
+
+From §6.4: each device originates r * C_q * d large FHE ciphertexts per
+direction (query out, response back), and a device chosen as a forwarder
+additionally relays a batch of (r * C_q * d) / f ciphertexts.  With the
+Figure 4 defaults and C_q = 1 this gives ~170 MB for non-forwarders,
+~1030 MB for forwarders, and ~430 MB in expectation (a k*f fraction of
+devices forward).
+
+Figure 9(a) is the aggregator's *send* side: what it serves to each
+device's downloads, plus Merkle/receipt overhead — ~350 MB per device
+at (k=3, r=2).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.costmodel import (
+    PAPER_CIPHERTEXT_MB,
+    PROOF_OVERHEAD_FRACTION,
+    forwarder_probability,
+)
+from repro.params import SystemParameters
+
+
+def non_forwarder_mb(
+    params: SystemParameters,
+    ciphertexts_per_query: int = 1,
+    ciphertext_mb: float = PAPER_CIPHERTEXT_MB,
+) -> float:
+    """Figure 7, right family: r*C_q*d ciphertexts out + the same back."""
+    own = params.replicas * ciphertexts_per_query * params.degree_bound
+    return 2 * own * ciphertext_mb
+
+
+def forwarder_mb(
+    params: SystemParameters,
+    ciphertexts_per_query: int = 1,
+    ciphertext_mb: float = PAPER_CIPHERTEXT_MB,
+) -> float:
+    """Figure 7, left family: own traffic plus the relayed batch."""
+    batch = (
+        params.replicas * ciphertexts_per_query * params.degree_bound
+    ) / params.forwarder_fraction
+    return non_forwarder_mb(params, ciphertexts_per_query, ciphertext_mb) + (
+        batch * ciphertext_mb
+    )
+
+
+def expected_user_mb(
+    params: SystemParameters,
+    ciphertexts_per_query: int = 1,
+    ciphertext_mb: float = PAPER_CIPHERTEXT_MB,
+) -> float:
+    """§6.4's headline: ~430 MB per device for a C_q = 1 query."""
+    p_forward = forwarder_probability(params)
+    return p_forward * forwarder_mb(
+        params, ciphertexts_per_query, ciphertext_mb
+    ) + (1 - p_forward) * non_forwarder_mb(
+        params, ciphertexts_per_query, ciphertext_mb
+    )
+
+
+def aggregator_per_user_mb(
+    params: SystemParameters,
+    ciphertexts_per_query: int = 1,
+    ciphertext_mb: float = PAPER_CIPHERTEXT_MB,
+) -> float:
+    """Figure 9(a): traffic the aggregator sends each device.
+
+    Downloads: a forwarder fetches its relay batch; every device fetches
+    its own responses.  Receipts and mailbox-tree proofs add
+    PROOF_OVERHEAD_FRACTION on top.
+    """
+    own_download = (
+        params.replicas * ciphertexts_per_query * params.degree_bound
+    ) * ciphertext_mb
+    batch_download = own_download / params.forwarder_fraction
+    p_forward = forwarder_probability(params)
+    expected = p_forward * batch_download + (1 - p_forward) * own_download
+    return expected * (1 + PROOF_OVERHEAD_FRACTION)
+
+
+def figure_7_series(
+    base: SystemParameters,
+    hops_range: tuple[int, ...] = (2, 3, 4),
+    replicas_range: tuple[int, ...] = (1, 2, 3),
+) -> dict[str, dict[tuple[int, int], float]]:
+    """Per-user MB for every (k, r) cell, forwarder and non-forwarder."""
+    forwarders = {}
+    non_forwarders = {}
+    for k in hops_range:
+        for r in replicas_range:
+            params = SystemParameters(
+                num_devices=base.num_devices,
+                hops=k,
+                replicas=r,
+                forwarder_fraction=base.forwarder_fraction,
+                committee_size=base.committee_size,
+                degree_bound=base.degree_bound,
+            )
+            forwarders[(k, r)] = forwarder_mb(params)
+            non_forwarders[(k, r)] = non_forwarder_mb(params)
+    return {"forwarder": forwarders, "non_forwarder": non_forwarders}
+
+
+def figure_9a_series(
+    base: SystemParameters,
+    hops_range: tuple[int, ...] = (2, 3, 4),
+    replicas_range: tuple[int, ...] = (1, 2, 3),
+) -> dict[tuple[int, int], float]:
+    """Aggregator-to-device MB for every (k, r) cell."""
+    series = {}
+    for k in hops_range:
+        for r in replicas_range:
+            params = SystemParameters(
+                num_devices=base.num_devices,
+                hops=k,
+                replicas=r,
+                forwarder_fraction=base.forwarder_fraction,
+                committee_size=base.committee_size,
+                degree_bound=base.degree_bound,
+            )
+            series[(k, r)] = aggregator_per_user_mb(params)
+    return series

@@ -1,0 +1,102 @@
+"""Committee trade-off models: Figure 8 and the §6.5 costs.
+
+Figure 8 reasons about committee size C (the paper built these graphs
+"using equations obtained from the Honeycrisp authors"):
+
+* **Privacy failure** (8a): the sampled committee contains enough
+  malicious members to reconstruct the key — at least ceil(C/2), since
+  Shamir reconstruction needs a majority with the SCALE-MAMBA threshold
+  t < C/2.
+
+* **Liveness** (8b): enough members are online to decrypt — at least
+  floor(C/2) + 1 present.
+
+§6.5's measured costs (3 minutes of MPC, ~4.5 GB per member at C = 10)
+anchor the cost model; both scale with committee size and ciphertext
+size.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.costmodel import PAPER_CIPHERTEXT_MB, binomial_tail
+from repro.errors import ParameterError
+
+#: §6.5 anchors at C = 10.
+MPC_MINUTES_AT_10 = 3.0
+MPC_GB_PER_MEMBER_AT_10 = 4.5
+
+
+def reconstruction_threshold(committee_size: int) -> int:
+    """Members needed to reconstruct the key: a majority."""
+    return committee_size // 2 + 1
+
+
+def privacy_failure_probability(
+    committee_size: int, malicious_fraction: float
+) -> float:
+    """Figure 8(a): P[>= majority of the committee is malicious]."""
+    if not 0 <= malicious_fraction < 1:
+        raise ParameterError("malicious fraction must be in [0, 1)")
+    return binomial_tail(
+        committee_size,
+        malicious_fraction,
+        reconstruction_threshold(committee_size),
+    )
+
+
+def liveness_probability(
+    committee_size: int, unavailable_fraction: float
+) -> float:
+    """Figure 8(b): P[enough members online to decrypt]."""
+    if not 0 <= unavailable_fraction <= 1:
+        raise ParameterError("unavailable fraction must be in [0, 1]")
+    return binomial_tail(
+        committee_size,
+        1 - unavailable_fraction,
+        reconstruction_threshold(committee_size),
+    )
+
+
+def figure_8a_series(
+    sizes: tuple[int, ...] = (10, 20, 30, 40),
+    malice_range: tuple[float, ...] = (0.005, 0.01, 0.02, 0.04),
+) -> dict[int, list[tuple[float, float]]]:
+    return {
+        c: [(m, privacy_failure_probability(c, m)) for m in malice_range]
+        for c in sizes
+    }
+
+
+def figure_8b_series(
+    sizes: tuple[int, ...] = (10, 20, 30, 40),
+    churn_range: tuple[float, ...] = (
+        0.01, 0.02, 0.03, 0.04, 0.05, 0.06, 0.07,
+    ),
+) -> dict[int, list[tuple[float, float]]]:
+    return {
+        c: [(f, liveness_probability(c, f)) for f in churn_range]
+        for c in sizes
+    }
+
+
+# ---------------------------------------------------------------------------
+# §6.5 cost model
+# ---------------------------------------------------------------------------
+
+
+def mpc_minutes(committee_size: int) -> float:
+    """Decryption-MPC wall time.  Pairwise communication dominates, so
+    time grows with committee size relative to the C = 10 anchor."""
+    return MPC_MINUTES_AT_10 * (committee_size / 10)
+
+
+def mpc_gb_per_member(
+    committee_size: int, ciphertext_mb: float = PAPER_CIPHERTEXT_MB
+) -> float:
+    """Per-member MPC bandwidth: shares of the (large) ciphertext are
+    exchanged pairwise, so it scales with both C and the ciphertext."""
+    return (
+        MPC_GB_PER_MEMBER_AT_10
+        * (committee_size / 10)
+        * (ciphertext_mb / PAPER_CIPHERTEXT_MB)
+    )

@@ -1,0 +1,46 @@
+"""Protocol-duration model: Figure 5(d).
+
+Telescoping path setup costs k^2 + 2k C-rounds (§3.4: extensions of
+2+4+...+2(k-1) rounds plus 3k for the final DST/ACK/key exchange);
+forwarding one query costs 2k + 2 C-rounds (k+1 out for the query, k+1
+back for the response, §6.3).  With one-hour C-rounds and k = 3, both
+phases of a one-hop query finish within a day.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.costmodel import CROUND_HOURS
+from repro.errors import ParameterError
+
+
+def telescoping_crounds(hops: int) -> int:
+    if hops < 1:
+        raise ParameterError("need at least one hop")
+    return hops * hops + 2 * hops
+
+
+def forwarding_crounds(hops: int) -> int:
+    """One vertex-program communication round (query + response)."""
+    if hops < 1:
+        raise ParameterError("need at least one hop")
+    return 2 * hops + 2
+
+
+def query_crounds(hops: int, vertex_rounds: int) -> int:
+    """A vertex program with 2k' message waves (k'-hop query) over a
+    k-hop mixnet costs vertex_rounds * (k + 1) C-rounds plus setup."""
+    return telescoping_crounds(hops) + vertex_rounds * (hops + 1)
+
+
+def hours(crounds: int, cround_hours: float = CROUND_HOURS) -> float:
+    return crounds * cround_hours
+
+
+def figure_5d_series(
+    hops_range: tuple[int, ...] = (2, 3, 4)
+) -> dict[str, list[tuple[int, int]]]:
+    """C-round counts for telescoping and forwarding vs path length."""
+    return {
+        "telescoping": [(k, telescoping_crounds(k)) for k in hops_range],
+        "forwarding": [(k, forwarding_crounds(k)) for k in hops_range],
+    }

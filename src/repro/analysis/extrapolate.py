@@ -1,0 +1,105 @@
+"""Scaling measured micro-benchmarks to deployment parameters (§6.1).
+
+The paper could not deploy millions of devices; it benchmarks components
+and extrapolates, and so do we.  This module (a) scales measured
+ring-operation times between BGV profiles, and (b) assembles the §6.4
+per-device compute budget (~14 minutes of ciphertext operations plus
+~1 minute of proof generation) from per-operation costs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.crypto.zksnark import PROVING_SECONDS_PER_CONSTRAINT
+from repro.engine.zkcircuits import AGGREGATE_CONSTRAINTS, LEAF_CONSTRAINTS
+from repro.params import BGVProfile, SystemParameters
+
+#: §6.4 anchors (MacBook Pro, unoptimized Python BGV).
+PAPER_HE_MINUTES = 14.0
+PAPER_ZKP_MINUTES = 1.0
+
+
+def ring_op_scale(from_profile: BGVProfile, to_profile: BGVProfile) -> float:
+    """Cost ratio of one NTT-based ring multiplication between profiles.
+
+    O(n log n) butterflies, each a multiplication of q-bit integers; for
+    big-int arithmetic the per-multiplication cost grows roughly
+    quadratically in the limb count.
+    """
+
+    def cost(profile: BGVProfile) -> float:
+        limbs = max(1.0, profile.q_bits / 64)
+        return profile.n * math.log2(profile.n) * limbs * limbs
+
+    return cost(to_profile) / cost(from_profile)
+
+
+@dataclass(frozen=True)
+class DeviceComputeModel:
+    """Per-device compute for one query (§6.4)."""
+
+    encryptions: int
+    multiplications: int
+    proofs: int
+    encrypt_seconds: float
+    multiply_seconds: float
+    he_seconds: float
+    zkp_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.he_seconds + self.zkp_seconds
+
+    @property
+    def total_minutes(self) -> float:
+        return self.total_seconds / 60
+
+
+def device_compute(
+    params: SystemParameters,
+    ciphertexts_per_query: int,
+    encrypt_seconds: float,
+    multiply_seconds: float,
+) -> DeviceComputeModel:
+    """Assemble the per-device budget from measured per-op times.
+
+    A device encrypts d * C_q contributions (one set per neighbor that
+    queries it), performs d multiplications for its own local
+    aggregation, and generates d * C_q leaf proofs plus one aggregation
+    proof.
+    """
+    d = params.degree_bound
+    encryptions = d * ciphertexts_per_query
+    multiplications = d
+    proofs = encryptions + 1
+    he_seconds = (
+        encryptions * encrypt_seconds + multiplications * multiply_seconds
+    )
+    zkp_seconds = (
+        encryptions * LEAF_CONSTRAINTS + AGGREGATE_CONSTRAINTS
+    ) * PROVING_SECONDS_PER_CONSTRAINT
+    return DeviceComputeModel(
+        encryptions=encryptions,
+        multiplications=multiplications,
+        proofs=proofs,
+        encrypt_seconds=encrypt_seconds,
+        multiply_seconds=multiply_seconds,
+        he_seconds=he_seconds,
+        zkp_seconds=zkp_seconds,
+    )
+
+
+def paper_anchored_device_minutes() -> tuple[float, float]:
+    """The paper's reported split: (HE minutes, ZKP minutes)."""
+    return PAPER_HE_MINUTES, PAPER_ZKP_MINUTES
+
+
+def scale_measurement(
+    measured_seconds: float,
+    from_profile: BGVProfile,
+    to_profile: BGVProfile,
+) -> float:
+    """Extrapolate one measured ring-op latency to another profile."""
+    return measured_seconds * ring_op_scale(from_profile, to_profile)

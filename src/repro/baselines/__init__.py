@@ -1,0 +1,3 @@
+"""Non-private baselines: the Pregel/GraphX-style plaintext engine the
+paper compares against in §7 (:mod:`repro.baselines.graphx`).
+"""

@@ -1,0 +1,243 @@
+"""Command-line interface.
+
+    python -m repro catalog
+    python -m repro run Q5 --people 16 --epsilon 1.0
+    python -m repro run "SELECT HISTO(COUNT(*)) FROM neigh(1)" --noiseless
+    python -m repro figures
+    python -m repro demo
+
+``run`` generates a synthetic epidemic workload, stands up a deployment
+at the TEST ring, and executes the query end to end; ``figures`` prints
+the analytic series behind the paper's evaluation plots; ``demo`` runs a
+query over the real mix network.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+
+from repro.params import PAPER, SystemParameters
+from repro.query.catalog import CATALOG, all_queries
+
+
+def _build_workload(people: int, degree: int, seed: int):
+    from repro.workloads.epidemic import run_epidemic
+    from repro.workloads.graphgen import generate_household_graph
+
+    rng = random.Random(seed)
+    graph = generate_household_graph(
+        people, degree_bound=degree, rng=rng, external_contacts=1
+    )
+    run_epidemic(graph, rng)
+    for u in range(graph.num_vertices):
+        for v in graph.neighbors(u):
+            edge = graph.edge(u, v)
+            edge["duration"] = min(edge["duration"], 20)
+            edge["contacts"] = min(edge["contacts"], 8)
+    return graph, rng
+
+
+def cmd_catalog(_args: argparse.Namespace) -> int:
+    params = SystemParameters()
+    print(f"{'id':<4} {'cts':>3} {'mults':>5} {'paper-feasible':>14}  description")
+    for entry in all_queries():
+        plan = entry.plan(params)
+        budget = plan.budget_report(PAPER)
+        print(
+            f"{entry.qid:<4} {plan.ciphertexts_per_contribution:>3} "
+            f"{budget.multiplications_required:>5} "
+            f"{str(budget.feasible):>14}  {entry.description}"
+        )
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    from repro.core.system import MyceliumSystem
+    from repro.query.ast import OutputKind
+    from repro.query.schema import scaled_schema
+
+    query = CATALOG[args.query] if args.query in CATALOG else args.query
+    graph, rng = _build_workload(args.people, args.degree, args.seed)
+    params = SystemParameters(
+        num_devices=graph.num_vertices,
+        degree_bound=args.degree,
+        hops=2,
+        committee_size=3,
+        replicas=2,
+        forwarder_fraction=0.3,
+    )
+    system = MyceliumSystem.setup(
+        num_devices=graph.num_vertices,
+        rng=rng,
+        params=params,
+        schema=scaled_schema(),
+        committee_size=3,
+        committee_threshold=2,
+        total_epsilon=max(10.0, args.epsilon),
+    )
+    result = system.run_query(
+        query, graph, epsilon=args.epsilon, noiseless=args.noiseless
+    )
+    md = result.metadata
+    print(f"query: {md.query_text}")
+    print(
+        f"epsilon={md.epsilon} sensitivity={md.sensitivity:.0f} "
+        f"scale={md.noise_scale:.2f} origins={md.contributing_origins} "
+        f"rejected={md.rejected_origins}"
+    )
+    if result.kind is OutputKind.HISTO:
+        for group in result.groups:
+            nonzero = [
+                (value, count)
+                for value, count in enumerate(group.counts)
+                if abs(count) > 0.5
+            ]
+            if nonzero:
+                print(f"group {group.group}: {nonzero}")
+    else:
+        for group, value in enumerate(result.values):
+            print(f"group {group}: {value:+.3f}")
+    return 0
+
+
+def cmd_figures(_args: argparse.Namespace) -> int:
+    from repro.analysis import anonymity, bandwidth, committee_model, duration, goodput
+
+    defaults = SystemParameters()
+    print("Figure 5(a) — anonymity set vs hops (r=2, mal=2%):")
+    for k, size in anonymity.figure_5a_series()[2]:
+        print(f"  k={k}: {size:,.0f}")
+    print("Figure 5(c) — goodput at r=2:")
+    for failure, success in goodput.figure_5c_series()[2]:
+        print(f"  {failure:.0%} failure: {success:.4f}")
+    print("Figure 5(d) — C-rounds:")
+    for k, rounds in duration.figure_5d_series()["telescoping"]:
+        print(f"  k={k}: setup {rounds}, query {duration.forwarding_crounds(k)}")
+    print("Figure 7 — per-device MB at (k=3, r=2):")
+    print(f"  forwarder {bandwidth.forwarder_mb(defaults):.0f}")
+    print(f"  non-forwarder {bandwidth.non_forwarder_mb(defaults):.0f}")
+    print(f"  expected {bandwidth.expected_user_mb(defaults):.0f}")
+    print("Figure 8(a) — committee privacy failure at 4% malice:")
+    for size in (10, 20, 40):
+        p = committee_model.privacy_failure_probability(size, 0.04)
+        print(f"  C={size}: {p:.2e}")
+    return 0
+
+
+def cmd_schedule(args: argparse.Namespace) -> int:
+    from repro.core.rounds import build_schedule, queries_per_path_epoch
+    from repro.query.compiler import compile_query
+    from repro.query.parser import parse
+
+    text = CATALOG[args.query].text if args.query in CATALOG else args.query
+    params = SystemParameters(hops=args.hops)
+    plan = compile_query(parse(text), params)
+    schedule = build_schedule(plan, params, reuse_paths=args.reuse_paths)
+    print(f"query: {text}")
+    print(f"mixnet hops k={args.hops}; one C-round = 1 hour\n")
+    for name, crounds, description in schedule.table():
+        print(f"  {name:<26} {crounds:>3} C-rounds  ({description})")
+    print(
+        f"\ntotal: {schedule.total_crounds} C-rounds "
+        f"(~{schedule.total_hours():.0f} hours)"
+    )
+    print(
+        f"queries per 7-day path epoch: "
+        f"{queries_per_path_epoch(plan, params)}"
+    )
+    return 0
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    from repro.core.aggregator import QueryAggregator
+    from repro.core.transport import MixnetTransport
+    from repro.crypto import bgv
+    from repro.crypto.zksnark import Groth16System
+    from repro.engine.plaintext import aggregate_coefficients
+    from repro.engine.zkcircuits import build_circuits
+    from repro.mixnet.network import MixnetWorld
+    from repro.params import TEST
+    from repro.query.compiler import compile_query
+    from repro.query.parser import parse
+    from repro.query.schema import scaled_schema
+
+    graph, rng = _build_workload(args.people, 2, args.seed)
+    params = SystemParameters(
+        num_devices=graph.num_vertices, hops=2, replicas=1,
+        forwarder_fraction=0.45, degree_bound=2, pseudonyms_per_device=2,
+    )
+    world = MixnetWorld(
+        params, num_devices=graph.num_vertices, rng=rng, rsa_bits=512,
+        pseudonyms_per_device=2,
+    )
+    secret, public = bgv.keygen(TEST, rng)
+    relin = bgv.make_relin_keys(secret, 6, rng)
+    zk = Groth16System.setup(build_circuits(), rng)
+    plan = compile_query(
+        parse("SELECT HISTO(COUNT(*)) FROM neigh(1) WHERE dest.inf"),
+        SystemParameters(degree_bound=2),
+        scaled_schema(),
+    )
+    transport = MixnetTransport(
+        world=world, graph=graph, plan=plan, public_key=public, zk=zk, rng=rng
+    )
+    submissions = transport.run()
+    aggregation = QueryAggregator(zk=zk, relin_keys=relin).aggregate(submissions)
+    plaintext = bgv.decrypt(secret, aggregation.ciphertext)
+    coeffs = list(plaintext.coeffs[: plan.layout.total_coefficients])
+    expected, _ = aggregate_coefficients(plan, graph)
+    print(f"C-rounds: {transport.crounds_used}")
+    print(f"proofs verified: {aggregation.proofs_verified}")
+    print(f"decrypted == plaintext oracle: {coeffs == expected}")
+    print(f"histogram: {coeffs}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Mycelium reproduction: private distributed graph queries",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("catalog", help="list the Figure 2 query catalog").set_defaults(
+        fn=cmd_catalog
+    )
+
+    run = sub.add_parser("run", help="run a query over a synthetic workload")
+    run.add_argument("query", help="catalog id (Q1..Q10) or query text")
+    run.add_argument("--people", type=int, default=14)
+    run.add_argument("--degree", type=int, default=3)
+    run.add_argument("--epsilon", type=float, default=1.0)
+    run.add_argument("--seed", type=int, default=7)
+    run.add_argument("--noiseless", action="store_true")
+    run.set_defaults(fn=cmd_run)
+
+    sub.add_parser(
+        "figures", help="print the evaluation-figure series"
+    ).set_defaults(fn=cmd_figures)
+
+    schedule = sub.add_parser(
+        "schedule", help="show a query's C-round timeline"
+    )
+    schedule.add_argument("query", help="catalog id (Q1..Q10) or query text")
+    schedule.add_argument("--hops", type=int, default=3)
+    schedule.add_argument("--reuse-paths", action="store_true")
+    schedule.set_defaults(fn=cmd_schedule)
+
+    demo = sub.add_parser("demo", help="full-stack query over the mixnet")
+    demo.add_argument("--people", type=int, default=10)
+    demo.add_argument("--seed", type=int, default=91)
+    demo.set_defaults(fn=cmd_demo)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,5 @@
+"""System orchestration: :class:`repro.core.system.MyceliumSystem` ties
+keys, committees, budget, engines, and aggregation together;
+:mod:`repro.core.analyst` adds budget-aware sessions and
+:mod:`repro.core.transport` runs queries over the real mix network.
+"""

@@ -1,0 +1,176 @@
+"""The aggregator's query-processing duties (§4.4, §4.6, §5).
+
+The aggregator never holds a decryption key.  Per query it:
+
+1. verifies every submitted zero-knowledge proof and discards
+   contributions from origins whose proof stack does not check out;
+2. relinearizes the (deferred-relinearization) device outputs back to
+   degree-1 ciphertexts — the "one-time operation to reduce ciphertext
+   size before the decryption step" of §5;
+3. sums the accepted ciphertexts homomorphically;
+4. builds an Orchard-style summation tree over the accepted
+   contributions so every device can verify its data was included
+   exactly once (§4.2).
+
+ZKP verification dominates the aggregator's compute (Figure 9b); the
+cost model tallies the simulated Groth16 verification seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto import bgv, zksnark
+from repro.crypto.merkle import InclusionProof, MerkleTree, verify_inclusion
+from repro.engine.encrypted import OriginSubmission
+from repro.errors import ProtocolError
+
+
+@dataclass
+class AggregationResult:
+    """Outcome of verification + global aggregation."""
+
+    ciphertext: bgv.Ciphertext | None
+    accepted: list[int]
+    rejected: list[int]
+    summation_root: bytes
+    verification_seconds: float
+    proofs_verified: int
+
+    @property
+    def num_accepted(self) -> int:
+        return len(self.accepted)
+
+
+@dataclass
+class QueryAggregator:
+    """Aggregator state for one query.
+
+    ``spot_check_fraction`` implements the §6.6 cost mitigation: verify
+    only a random sample of each submission's *leaf* proofs (a cheating
+    device is still caught with probability ~fraction per bad leaf, and
+    the aggregation proof is always checked).  ``spot_check_rng`` makes
+    the sampling reproducible in tests.
+    """
+
+    zk: zksnark.Groth16System
+    relin_keys: bgv.RelinKeySet
+    spot_check_fraction: float = 1.0
+    spot_check_rng: object | None = None
+    _tree: MerkleTree | None = field(default=None, init=False)
+    _accepted_digests: list[bytes] = field(default_factory=list, init=False)
+
+    def __post_init__(self) -> None:
+        if not 0 < self.spot_check_fraction <= 1:
+            raise ProtocolError("spot-check fraction must be in (0, 1]")
+
+    def _should_check(self) -> bool:
+        if self.spot_check_fraction >= 1.0:
+            return True
+        rng = self.spot_check_rng
+        if rng is None:
+            import random
+
+            rng = self.spot_check_rng = random.Random(0x5B07)
+        return rng.random() < self.spot_check_fraction
+
+    def verify_submission(self, submission: OriginSubmission) -> tuple[bool, float, int]:
+        """Check the full proof stack of one origin's submission.
+
+        Returns (accepted, verification seconds, proofs verified).
+        """
+        seconds = 0.0
+        proofs = 0
+        verified_digests: set[bytes] = set()
+        for leaf in submission.leaves:
+            if not self._should_check():
+                # Trusted-on-sample: the digest still participates in
+                # coverage so the aggregation statement remains bound.
+                verified_digests.add(leaf.ciphertext.digest())
+                continue
+            seconds += self.zk.verification_seconds(leaf.statement)
+            proofs += 1
+            if not self.zk.verify(leaf.statement, leaf.proof):
+                return False, seconds, proofs
+            verified_digests.add(leaf.ciphertext.digest())
+        # Intermediate aggregations (multi-hop) are appended in
+        # post-order, so children are verified before their parents.
+        for ciphertext, statement, proof in submission.intermediates:
+            seconds += self.zk.verification_seconds(statement)
+            proofs += 1
+            if not self.zk.verify(statement, proof):
+                return False, seconds, proofs
+            if not self._inputs_covered(statement, verified_digests):
+                return False, seconds, proofs
+            verified_digests.add(ciphertext.digest())
+        seconds += self.zk.verification_seconds(submission.aggregate_statement)
+        proofs += 1
+        if not self.zk.verify(
+            submission.aggregate_statement, submission.aggregate_proof
+        ):
+            return False, seconds, proofs
+        if not self._inputs_covered(
+            submission.aggregate_statement, verified_digests
+        ):
+            return False, seconds, proofs
+        output_bytes = submission.aggregate_statement.public_inputs[0]
+        if output_bytes != submission.ciphertext.serialize():
+            return False, seconds, proofs
+        return True, seconds, proofs
+
+    @staticmethod
+    def _inputs_covered(
+        statement: zksnark.Statement, verified: set[bytes]
+    ) -> bool:
+        """Every input digest the statement claims must belong to a
+        ciphertext whose own proof already verified."""
+        input_digests = statement.public_inputs[1]
+        return all(digest in verified for digest in input_digests)
+
+    def aggregate(
+        self, submissions: list[OriginSubmission]
+    ) -> AggregationResult:
+        """Verify, relinearize, and sum all submissions."""
+        accepted: list[int] = []
+        rejected: list[int] = []
+        total_seconds = 0.0
+        total_proofs = 0
+        global_ct: bgv.Ciphertext | None = None
+        self._accepted_digests = []
+        for submission in submissions:
+            ok, seconds, proofs = self.verify_submission(submission)
+            total_seconds += seconds
+            total_proofs += proofs
+            if not ok:
+                rejected.append(submission.origin)
+                continue
+            accepted.append(submission.origin)
+            relinearized = bgv.relinearize(submission.ciphertext, self.relin_keys)
+            self._accepted_digests.append(relinearized.digest())
+            if global_ct is None:
+                global_ct = relinearized
+            else:
+                global_ct = bgv.add(global_ct, relinearized)
+        self._tree = MerkleTree(self._accepted_digests or [b"empty"])
+        return AggregationResult(
+            ciphertext=global_ct,
+            accepted=accepted,
+            rejected=rejected,
+            summation_root=self._tree.root,
+            verification_seconds=total_seconds,
+            proofs_verified=total_proofs,
+        )
+
+    def inclusion_proof(self, position: int) -> InclusionProof:
+        """Summation-tree inclusion proof for an accepted contribution
+        (Orchard's include-exactly-once check, §4.2)."""
+        if self._tree is None:
+            raise ProtocolError("no aggregation has run")
+        return self._tree.prove(position)
+
+    def verify_inclusion(
+        self, position: int, digest: bytes, proof: InclusionProof
+    ) -> bool:
+        if self._tree is None:
+            raise ProtocolError("no aggregation has run")
+        return verify_inclusion(self._tree.root, digest, proof)

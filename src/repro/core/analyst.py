@@ -1,0 +1,112 @@
+"""The analyst's session API (§2: "the aggregator works with at least
+one analyst, who formulates the queries to be run").
+
+:class:`Analyst` wraps a :class:`~repro.core.system.MyceliumSystem` with
+the workflow a study actually follows: plan queries against the budget
+before spending it, run them, and keep a structured record of what was
+asked and released.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.results import QueryResult
+from repro.core.system import MyceliumSystem
+from repro.dp.budget import queries_supported
+from repro.engine.malicious import Behavior
+from repro.errors import PrivacyBudgetExceeded
+from repro.query import sensitivity
+from repro.query.catalog import CatalogEntry
+from repro.query.plans import ExecutionPlan
+from repro.workloads.graphgen import ContactGraph
+
+
+@dataclass(frozen=True)
+class QueryPreview:
+    """What a query will cost, before committing budget to it."""
+
+    query_text: str
+    epsilon: float
+    sensitivity: float
+    noise_scale: float
+    ciphertexts_per_contribution: int
+    multiplications: int
+    affordable: bool
+
+
+@dataclass
+class Analyst:
+    """A budget-aware query session."""
+
+    system: MyceliumSystem
+    name: str = "analyst"
+    released: list[tuple[QueryPreview, QueryResult]] = field(
+        default_factory=list
+    )
+
+    def preview(self, query: str | CatalogEntry, epsilon: float) -> QueryPreview:
+        """Plan a query without running it: sensitivity, noise scale,
+        message cost, and whether the remaining budget affords it."""
+        plan = self.system.compile(query)
+        report = sensitivity.analyze(plan)
+        return QueryPreview(
+            query_text=str(plan.query),
+            epsilon=epsilon,
+            sensitivity=report.sensitivity,
+            noise_scale=report.sensitivity / epsilon,
+            ciphertexts_per_contribution=plan.ciphertexts_per_contribution,
+            multiplications=plan.multiplications,
+            affordable=self.system.budget.can_afford(epsilon),
+        )
+
+    def ask(
+        self,
+        query: str | CatalogEntry,
+        graph: ContactGraph,
+        epsilon: float,
+        behaviors: dict[int, Behavior] | None = None,
+        offline: set[int] | None = None,
+        rotate: bool = False,
+    ) -> QueryResult:
+        """Run a query and record the release."""
+        preview = self.preview(query, epsilon)
+        if not preview.affordable:
+            raise PrivacyBudgetExceeded(
+                f"{self.name}: epsilon={epsilon} exceeds the remaining "
+                f"budget of {self.system.budget.remaining:.3f}"
+            )
+        result = self.system.run_query(
+            query,
+            graph,
+            epsilon,
+            behaviors=behaviors,
+            offline=offline,
+            rotate=rotate,
+        )
+        self.released.append((preview, result))
+        return result
+
+    @property
+    def remaining_budget(self) -> float:
+        return self.system.budget.remaining
+
+    def queries_left(self, per_query_epsilon: float) -> int:
+        """How many more queries of this epsilon the budget supports
+        under sequential composition."""
+        if per_query_epsilon <= 0:
+            return 0
+        return queries_supported(self.remaining_budget, per_query_epsilon)
+
+    def study_summary(self) -> list[dict]:
+        """A structured log of the session, suitable for reporting."""
+        return [
+            {
+                "query": preview.query_text,
+                "epsilon": preview.epsilon,
+                "sensitivity": preview.sensitivity,
+                "contributing": result.metadata.contributing_origins,
+                "rejected": result.metadata.rejected_origins,
+            }
+            for preview, result in self.released
+        ]

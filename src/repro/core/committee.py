@@ -1,0 +1,391 @@
+"""Committees: threshold decryption, in-MPC noise, and VSR rotation
+(§4.2, §5).
+
+The BGV decryption key never exists in one place after genesis: each
+committee holds Shamir shares of the secret ring element s (one sharing
+per coefficient, over the prime field Z_q).  Because decryption of a
+degree-1 ciphertext is *linear* in s —
+
+    m = ((c0 + c1 * s) mod q centered) mod t
+
+— each member computes a partial decryption c1 * s_i locally and any
+``threshold`` of them recombine with Lagrange coefficients, which is
+exactly the arithmetic the paper's SCALE-MAMBA MPC performs.  Members
+add t-multiples of small smudging noise to their partials so the
+recombination transcript hides s.
+
+Laplace noise for differential privacy is sampled *inside* the MPC: each
+member contributes a secret seed share, the XOR of all shares drives the
+sampler, and only the noised aggregate leaves the committee.
+
+Between queries the committee hands the key to its successor with
+extended VSR (:mod:`repro.crypto.vsr`) — key generation happens once,
+at genesis, no matter how many queries run.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.crypto import bgv, feldman, shamir, vsr
+from repro.crypto.polyring import RingElement
+from repro.dp.laplace import sample_laplace
+from repro.errors import ProtocolError, SecretSharingError
+from repro.params import BGVProfile
+
+
+@dataclass
+class CommitteeMember:
+    """One member's private state."""
+
+    device_id: int
+    share_index: int
+    key_share: shamir.VectorShare
+
+
+@dataclass
+class Committee:
+    """A committee epoch: members plus the verifiable sharing state."""
+
+    profile: BGVProfile
+    members: list[CommitteeMember]
+    threshold: int
+    commitments: list[feldman.PolynomialCommitment]
+    epoch: int = 0
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+    @property
+    def group(self) -> feldman.CommitmentGroup:
+        return self.commitments[0].group
+
+    def verify_member_shares(self, member: CommitteeMember) -> bool:
+        """Feldman verification of every coefficient share."""
+        for coeff_index, commitment in enumerate(self.commitments):
+            share = shamir.Share(
+                member.share_index, member.key_share.values[coeff_index]
+            )
+            if not commitment.verify_share(share):
+                return False
+        return True
+
+
+def elect_committee(
+    population: list[int], size: int, rng: random.Random
+) -> list[int]:
+    """Randomly elect committee devices from the population (§4.2)."""
+    if size > len(population):
+        raise ProtocolError("population smaller than the committee size")
+    return sorted(rng.sample(population, size))
+
+
+def genesis_share_key(
+    secret: bgv.SecretKey,
+    member_ids: list[int],
+    threshold: int,
+    rng: random.Random,
+) -> Committee:
+    """The genesis committee's one-time deal: share every coefficient of
+    s to the first committee with Feldman commitments."""
+    profile = secret.profile
+    q = profile.q
+    group = feldman.group_for_field(q)
+    coefficients = list(secret.s.coeffs)
+    per_member_values: list[list[int]] = [[] for _ in member_ids]
+    commitments = []
+    for value in coefficients:
+        dealt = vsr.deal_initial(value, threshold, len(member_ids), group, rng)
+        commitments.append(dealt.commitment)
+        for i, share in enumerate(dealt.shares):
+            per_member_values[i].append(share.value)
+    members = [
+        CommitteeMember(
+            device_id=device,
+            share_index=i + 1,
+            key_share=shamir.VectorShare(i + 1, tuple(per_member_values[i])),
+        )
+        for i, device in enumerate(member_ids)
+    ]
+    return Committee(
+        profile=profile,
+        members=members,
+        threshold=threshold,
+        commitments=commitments,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Threshold decryption
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PartialDecryption:
+    """One member's lambda_i * c1 * s_i + t * e_i, a ring element.
+
+    The Lagrange coefficient is applied by the member itself (the
+    participating set, hence lambda_i, is public) so the smudging term
+    t * e_i stays *small* in the combined phase — scaling the smudge by
+    lambda afterwards would blow it past the noise bound.
+    """
+
+    share_index: int
+    value: RingElement
+
+
+def partial_decrypt(
+    member: CommitteeMember,
+    ciphertext: bgv.Ciphertext,
+    profile: BGVProfile,
+    lagrange_coefficient: int,
+    rng: random.Random,
+) -> PartialDecryption:
+    """Local computation on a member's share — no interaction needed
+    because decryption is linear in the key."""
+    if ciphertext.degree != 1:
+        raise ProtocolError(
+            "threshold decryption needs a relinearized (degree-1) ciphertext"
+        )
+    ring = profile.ring
+    share_poly = RingElement.from_coeffs(ring, list(member.key_share.values))
+    smudge = RingElement.random_bounded(ring, profile.error_bound, rng)
+    value = (ciphertext.components[1] * share_poly).scale(
+        lagrange_coefficient
+    ) + smudge.scale(profile.t)
+    return PartialDecryption(share_index=member.share_index, value=value)
+
+
+def combine_partials(
+    ciphertext: bgv.Ciphertext,
+    partials: list[PartialDecryption],
+    profile: BGVProfile,
+) -> RingElement:
+    """Sum the (already lambda-scaled) partials and reduce to the
+    plaintext."""
+    if len(partials) < 1:
+        raise SecretSharingError("no partial decryptions")
+    acc = ciphertext.components[0]
+    for partial in partials:
+        acc = acc + partial.value
+    plain = acc.lift_mod(profile.t)
+    return RingElement.from_coeffs(profile.plaintext_ring, plain)
+
+
+def threshold_decrypt(
+    committee: Committee,
+    ciphertext: bgv.Ciphertext,
+    rng: random.Random,
+    participating: list[int] | None = None,
+) -> RingElement:
+    """Full decryption flow with any ``threshold`` members online."""
+    members = committee.members
+    if participating is not None:
+        members = [m for m in members if m.device_id in participating]
+    if len(members) < committee.threshold:
+        raise ProtocolError(
+            f"only {len(members)} members available, need "
+            f"{committee.threshold} for liveness"
+        )
+    chosen = members[: committee.threshold]
+    lagrange = shamir.lagrange_coefficients_at_zero(
+        [m.share_index for m in chosen], committee.profile.q
+    )
+    partials = [
+        partial_decrypt(
+            member,
+            ciphertext,
+            committee.profile,
+            lagrange[member.share_index],
+            rng,
+        )
+        for member in chosen
+    ]
+    return combine_partials(ciphertext, partials, committee.profile)
+
+
+def decrypt_with_liveness_retry(
+    committee: Committee,
+    ciphertext: bgv.Ciphertext,
+    rng: random.Random,
+    availability_schedule: list[list[int]],
+) -> tuple[RingElement, int]:
+    """§6.5: "If there aren't enough members for liveness, we simply
+    have to wait for some amount of time before enough members are back,
+    and retry the computation."
+
+    ``availability_schedule[i]`` lists the member device ids online in
+    attempt i.  Returns (plaintext, attempts used); raises if the
+    schedule ends without a quorum.
+    """
+    for attempt, online in enumerate(availability_schedule, start=1):
+        try:
+            plaintext = threshold_decrypt(
+                committee, ciphertext, rng, participating=online
+            )
+        except ProtocolError:
+            continue
+        return plaintext, attempt
+    raise ProtocolError(
+        "no attempt reached the liveness quorum of "
+        f"{committee.threshold} members"
+    )
+
+
+def robust_threshold_decrypt(
+    committee: Committee,
+    ciphertext: bgv.Ciphertext,
+    rng: random.Random,
+    corrupt_members: set[int] | None = None,
+) -> tuple[RingElement, set[int]]:
+    """Actively-secure decryption: detect and exclude wrong partials.
+
+    §5: with Shamir sharing at threshold t < C/2, "c + 1 honest nodes
+    can detect any errors introduced by dishonest nodes" — the secret is
+    over-determined, so decryptions from different member subsets must
+    agree.  We decrypt with every threshold-sized subset of the
+    participating members and take the majority plaintext; members that
+    only ever appear in minority subsets are flagged as corrupt.
+
+    ``corrupt_members`` injects the fault: those members return partials
+    computed from a perturbed share.  Returns (plaintext, flagged set).
+    """
+    from itertools import combinations
+
+    corrupt = corrupt_members or set()
+    members = committee.members
+    if len(members) < committee.threshold + 1:
+        raise ProtocolError(
+            "error detection needs more members than the threshold"
+        )
+
+    def partial_for(member: CommitteeMember, coefficient: int) -> PartialDecryption:
+        if member.device_id in corrupt:
+            bad_values = tuple(
+                (v + 1) % committee.profile.q for v in member.key_share.values
+            )
+            member = CommitteeMember(
+                device_id=member.device_id,
+                share_index=member.share_index,
+                key_share=shamir.VectorShare(member.share_index, bad_values),
+            )
+        return partial_decrypt(
+            member, ciphertext, committee.profile, coefficient, rng
+        )
+
+    outcomes: dict[tuple[int, ...], tuple[int, ...]] = {}
+    votes: dict[tuple[int, ...], list[frozenset[int]]] = {}
+    for subset in combinations(members, committee.threshold):
+        indices = [m.share_index for m in subset]
+        lagrange = shamir.lagrange_coefficients_at_zero(
+            indices, committee.profile.q
+        )
+        partials = [
+            partial_for(member, lagrange[member.share_index])
+            for member in subset
+        ]
+        plaintext = combine_partials(ciphertext, partials, committee.profile)
+        key = plaintext.coeffs
+        outcomes[key] = key
+        votes.setdefault(key, []).append(
+            frozenset(m.device_id for m in subset)
+        )
+    majority_key = max(votes, key=lambda k: len(votes[k]))
+    agreeing: set[int] = set()
+    for subset_members in votes[majority_key]:
+        agreeing |= subset_members
+    flagged = {m.device_id for m in members} - agreeing
+    ring = committee.profile.plaintext_ring
+    return RingElement(ring, majority_key), flagged
+
+
+# ---------------------------------------------------------------------------
+# In-MPC noise generation
+# ---------------------------------------------------------------------------
+
+
+def committee_noise(
+    committee: Committee,
+    num_values: int,
+    scale: float,
+    member_seeds: dict[int, int] | None = None,
+) -> list[float]:
+    """Laplace draws agreed inside the MPC.
+
+    Each member contributes a seed share; the XOR of shares seeds the
+    sampler, so no single member (or the aggregator) controls or
+    predicts the noise.
+    """
+    seeds = member_seeds or {
+        m.device_id: random.Random(m.device_id ^ committee.epoch).getrandbits(64)
+        for m in committee.members
+    }
+    combined = 0
+    for seed in seeds.values():
+        combined ^= seed
+    rng = random.Random(combined)
+    return [sample_laplace(scale, rng) for _ in range(num_values)]
+
+
+# ---------------------------------------------------------------------------
+# VSR rotation
+# ---------------------------------------------------------------------------
+
+
+def rotate_committee(
+    committee: Committee,
+    new_member_ids: list[int],
+    new_threshold: int,
+    rng: random.Random,
+    corrupt_dealers: set[int] | None = None,
+) -> Committee:
+    """Hand the key to the next committee with extended VSR (§4.2).
+
+    Every coefficient sharing is redistributed; cheating old members are
+    detected by the Feldman checks inside :func:`repro.crypto.vsr.redistribute`
+    and excluded.
+    """
+    group = committee.group
+    new_size = len(new_member_ids)
+    per_member_values: list[list[int]] = [[] for _ in new_member_ids]
+    new_commitments = []
+    for coeff_index, commitment in enumerate(committee.commitments):
+        old_shares = [
+            shamir.Share(m.share_index, m.key_share.values[coeff_index])
+            for m in committee.members
+        ]
+        corrupt_indices = {
+            m.share_index
+            for m in committee.members
+            if corrupt_dealers and m.device_id in corrupt_dealers
+        }
+        new_shares, new_commitment = vsr.redistribute(
+            old_shares,
+            commitment,
+            old_threshold=committee.threshold,
+            new_threshold=new_threshold,
+            new_size=new_size,
+            group=group,
+            rng=rng,
+            corrupt_dealers=corrupt_indices or None,
+        )
+        new_commitments.append(new_commitment)
+        for i, share in enumerate(new_shares):
+            per_member_values[i].append(share.value)
+    members = [
+        CommitteeMember(
+            device_id=device,
+            share_index=i + 1,
+            key_share=shamir.VectorShare(i + 1, tuple(per_member_values[i])),
+        )
+        for i, device in enumerate(new_member_ids)
+    ]
+    return Committee(
+        profile=committee.profile,
+        members=members,
+        threshold=new_threshold,
+        commitments=new_commitments,
+        epoch=committee.epoch + 1,
+    )

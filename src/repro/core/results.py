@@ -1,0 +1,58 @@
+"""Query result types returned to the analyst."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.histogram import GroupHistogram
+from repro.query.ast import OutputKind
+
+
+@dataclass(frozen=True)
+class QueryMetadata:
+    """Privacy and robustness bookkeeping attached to every answer."""
+
+    query_text: str
+    epsilon: float
+    sensitivity: float
+    noise_scale: float
+    contributing_origins: int
+    rejected_origins: int
+    committee_epoch: int
+    verification_seconds: float = 0.0
+
+
+@dataclass(frozen=True)
+class HistogramResult:
+    """A released HISTO answer: per-group noisy histograms."""
+
+    groups: tuple[GroupHistogram, ...]
+    metadata: QueryMetadata
+
+    @property
+    def kind(self) -> OutputKind:
+        return OutputKind.HISTO
+
+    def group(self, index: int) -> GroupHistogram:
+        return self.groups[index]
+
+    def total_mass(self) -> float:
+        return sum(sum(g.counts) for g in self.groups)
+
+
+@dataclass(frozen=True)
+class GsumResult:
+    """A released GSUM answer: one noisy clipped sum per group."""
+
+    values: tuple[float, ...]
+    metadata: QueryMetadata
+
+    @property
+    def kind(self) -> OutputKind:
+        return OutputKind.GSUM
+
+    def group(self, index: int) -> float:
+        return self.values[index]
+
+
+QueryResult = HistogramResult | GsumResult

@@ -1,0 +1,259 @@
+"""MyceliumSystem: the end-to-end orchestration and public API.
+
+Lifecycle (§4.2, §5):
+
+1. **Genesis** — a genesis committee generates the BGV key pair, the
+   relinearization keys, and the Groth16 trusted setup *once*; the
+   secret key is Shamir-shared (with Feldman commitments) to the first
+   randomly elected user committee.  No per-query key generation ever
+   happens again.
+2. **Queries** — the analyst submits query text; the system parses,
+   compiles, checks the privacy budget and HE feasibility, executes the
+   vertex program over the (encrypted) graph, verifies proofs and
+   aggregates at the aggregator, threshold-decrypts at the committee,
+   adds in-MPC Laplace noise, and releases the result.
+3. **Rotation** — after each query the committee redistributes the key
+   shares to a freshly elected committee via extended VSR.
+
+Typical use::
+
+    system = MyceliumSystem.setup(num_devices=30, rng=random.Random(7))
+    result = system.run_query(
+        "SELECT HISTO(COUNT(*)) FROM neigh(1) WHERE dest.inf AND self.inf",
+        graph=my_graph, epsilon=1.0,
+    )
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core import committee as committee_mod
+from repro.core.aggregator import QueryAggregator
+from repro.core.results import (
+    GsumResult,
+    HistogramResult,
+    QueryMetadata,
+    QueryResult,
+)
+from repro.crypto import bgv, zksnark
+from repro.dp.budget import PrivacyBudget
+from repro.engine import histogram as histogram_mod
+from repro.engine.encrypted import EncryptedExecutor, OriginSubmission
+from repro.engine.malicious import Behavior
+from repro.engine.plaintext import run_plaintext
+from repro.engine.zkcircuits import build_circuits
+from repro.errors import ProtocolError, QueryError
+from repro.params import BGVProfile, SystemParameters, TEST
+from repro.query import sensitivity as sensitivity_mod
+from repro.query.ast import OutputKind
+from repro.query.catalog import CatalogEntry
+from repro.query.compiler import compile_query
+from repro.query.parser import parse
+from repro.query.plans import ExecutionPlan
+from repro.query.schema import DEFAULT_SCHEMA, Schema
+from repro.workloads.graphgen import ContactGraph
+
+
+@dataclass
+class MyceliumSystem:
+    """A running deployment: keys, committee, budget, and parameters."""
+
+    profile: BGVProfile
+    params: SystemParameters
+    schema: Schema
+    public_key: bgv.PublicKey
+    relin_keys: bgv.RelinKeySet
+    zk: zksnark.Groth16System
+    committee: committee_mod.Committee
+    budget: PrivacyBudget
+    rng: random.Random
+    num_devices: int
+    #: Kept only for test oracles; the deployed system never holds this
+    #: outside the genesis ceremony.
+    _genesis_secret: bgv.SecretKey | None = field(default=None, repr=False)
+    query_log: list[QueryMetadata] = field(default_factory=list)
+
+    # -- setup -----------------------------------------------------------------
+
+    @classmethod
+    def setup(
+        cls,
+        num_devices: int,
+        rng: random.Random,
+        profile: BGVProfile = TEST,
+        params: SystemParameters | None = None,
+        schema: Schema = DEFAULT_SCHEMA,
+        committee_size: int = 3,
+        committee_threshold: int = 2,
+        total_epsilon: float = 10.0,
+        max_relin_power: int | None = None,
+        keep_genesis_secret: bool = True,
+    ) -> MyceliumSystem:
+        """Run the genesis ceremony and elect the first committee."""
+        if params is None:
+            params = SystemParameters(
+                num_devices=num_devices,
+                committee_size=committee_size,
+                degree_bound=4,
+                hops=2,
+                replicas=2,
+                forwarder_fraction=0.3,
+            )
+        secret, public = bgv.keygen(profile, rng)
+        # Deferred relinearization means device outputs reach degree
+        # ~|k-hop neighborhood|; cover it with margin.
+        if max_relin_power is None:
+            neighborhood = 1 + sum(
+                params.degree_bound**i for i in range(1, params.hops + 1)
+            )
+            max_relin_power = max(2, neighborhood + 2)
+        relin = bgv.make_relin_keys(secret, max_relin_power, rng)
+        zk = zksnark.Groth16System.setup(build_circuits(), rng)
+        member_ids = committee_mod.elect_committee(
+            list(range(num_devices)), committee_size, rng
+        )
+        first_committee = committee_mod.genesis_share_key(
+            secret, member_ids, committee_threshold, rng
+        )
+        return cls(
+            profile=profile,
+            params=params,
+            schema=schema,
+            public_key=public,
+            relin_keys=relin,
+            zk=zk,
+            committee=first_committee,
+            budget=PrivacyBudget(total_epsilon),
+            rng=rng,
+            num_devices=num_devices,
+            _genesis_secret=secret if keep_genesis_secret else None,
+        )
+
+    # -- compilation ---------------------------------------------------------
+
+    def compile(self, query: str | CatalogEntry) -> ExecutionPlan:
+        if isinstance(query, CatalogEntry):
+            parsed = query.parsed()
+        else:
+            parsed = parse(query)
+        plan = compile_query(parsed, self.params, self.schema)
+        plan.validate_feasible(self.profile)
+        return plan
+
+    # -- query execution --------------------------------------------------------
+
+    def run_query(
+        self,
+        query: str | CatalogEntry,
+        graph: ContactGraph,
+        epsilon: float,
+        behaviors: dict[int, Behavior] | None = None,
+        offline: set[int] | None = None,
+        rotate: bool = False,
+        noiseless: bool = False,
+    ) -> QueryResult:
+        """Execute one query end to end and release the noisy answer.
+
+        ``noiseless=True`` skips the Laplace noise — a testing facility
+        for comparing against the plaintext oracle; it does *not* charge
+        less budget.
+        """
+        plan = self.compile(query)
+        label = str(plan.query)
+        self.budget.charge(epsilon, label)
+
+        executor = EncryptedExecutor(plan, self.public_key, self.zk, self.rng)
+        submissions = executor.run(graph, behaviors=behaviors, offline=offline)
+        aggregator = QueryAggregator(zk=self.zk, relin_keys=self.relin_keys)
+        aggregation = aggregator.aggregate(submissions)
+        if aggregation.ciphertext is None:
+            raise ProtocolError("no valid contributions to aggregate")
+
+        plaintext = committee_mod.threshold_decrypt(
+            self.committee, aggregation.ciphertext, self.rng
+        )
+        coefficients = [
+            plaintext.coeffs[i] for i in range(plan.layout.total_coefficients)
+        ]
+
+        report = sensitivity_mod.analyze(plan)
+        scale = 0.0 if noiseless else report.sensitivity / epsilon
+        metadata = QueryMetadata(
+            query_text=label,
+            epsilon=epsilon,
+            sensitivity=report.sensitivity,
+            noise_scale=scale,
+            contributing_origins=aggregation.num_accepted,
+            rejected_origins=len(aggregation.rejected),
+            committee_epoch=self.committee.epoch,
+            verification_seconds=aggregation.verification_seconds,
+        )
+        result = self._release(plan, coefficients, scale, metadata)
+        self.query_log.append(metadata)
+        if rotate:
+            self.rotate_committee()
+        return result
+
+    def _release(
+        self,
+        plan: ExecutionPlan,
+        coefficients: list[int],
+        scale: float,
+        metadata: QueryMetadata,
+    ) -> QueryResult:
+        """Committee-side final processing: decode, noise, release."""
+        if plan.output is OutputKind.HISTO:
+            groups = histogram_mod.decode_histogram(coefficients, plan)
+            noised = []
+            for group in groups:
+                noise = committee_mod.committee_noise(
+                    self.committee, len(group.counts), scale
+                ) if scale else [0.0] * len(group.counts)
+                noised.append(
+                    histogram_mod.GroupHistogram(
+                        group=group.group,
+                        counts=tuple(
+                            c + n for c, n in zip(group.counts, noise)
+                        ),
+                        bin_edges=group.bin_edges,
+                    )
+                )
+            return HistogramResult(groups=tuple(noised), metadata=metadata)
+        values = histogram_mod.decode_gsum(coefficients, plan)
+        noise = (
+            committee_mod.committee_noise(self.committee, len(values), scale)
+            if scale
+            else [0.0] * len(values)
+        )
+        return GsumResult(
+            values=tuple(v + n for v, n in zip(values, noise)),
+            metadata=metadata,
+        )
+
+    # -- committee lifecycle -----------------------------------------------------
+
+    def rotate_committee(
+        self, corrupt_dealers: set[int] | None = None
+    ) -> None:
+        """VSR handoff to a freshly elected committee (§4.2)."""
+        new_members = committee_mod.elect_committee(
+            list(range(self.num_devices)), self.committee.size, self.rng
+        )
+        self.committee = committee_mod.rotate_committee(
+            self.committee,
+            new_members,
+            self.committee.threshold,
+            self.rng,
+            corrupt_dealers=corrupt_dealers,
+        )
+
+    # -- oracles ------------------------------------------------------------------
+
+    def plaintext_answer(
+        self, query: str | CatalogEntry, graph: ContactGraph
+    ):
+        """The noise-free reference answer (testing / evaluation only)."""
+        plan = self.compile(query)
+        return run_plaintext(plan, graph)

@@ -1,0 +1,14 @@
+"""Cryptographic substrate for the Mycelium reproduction.
+
+Submodules:
+
+* :mod:`repro.crypto.bgv` -- BGV leveled homomorphic encryption.
+* :mod:`repro.crypto.shamir`, :mod:`repro.crypto.feldman`,
+  :mod:`repro.crypto.vsr` -- verifiable secret sharing + redistribution.
+* :mod:`repro.crypto.chacha20`, :mod:`repro.crypto.poly1305`,
+  :mod:`repro.crypto.aead`, :mod:`repro.crypto.rsa` -- the mixnet's
+  symmetric and public-key primitives.
+* :mod:`repro.crypto.merkle` -- Merkle trees / verifiable maps.
+* :mod:`repro.crypto.zksnark` -- simulated Groth16 (see module docstring
+  for the substitution rationale).
+"""

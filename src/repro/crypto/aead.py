@@ -1,0 +1,87 @@
+"""Authenticated and unauthenticated symmetric encryption.
+
+Section 3.5 of the paper distinguishes two symmetric modes:
+
+* **AE** (authenticated encryption) — ChaCha20-Poly1305, used between a
+  source and each hop during path setup and for the *innermost* onion
+  layer.  The nonce is the (monotonically increasing) C-round number and
+  is *not* transmitted with the ciphertext, avoiding the nonce-privacy
+  pitfalls of Bellare-Ng-Tackmann.
+
+* **SEnc** (stream encryption, no MAC) — bare ChaCha20, used for all
+  *outer* onion layers.  Because SEnc ciphertexts are indistinguishable
+  from random strings, a forwarder that is missing an input can substitute
+  a random dummy that downstream colluders cannot detect as invalid.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+
+from repro.crypto.chacha20 import KEY_BYTES, NONCE_BYTES, chacha20_block, chacha20_xor
+from repro.crypto.hashes import constant_time_equal
+from repro.crypto.poly1305 import TAG_BYTES, poly1305_mac
+from repro.errors import AuthenticationError, CryptoError
+
+
+def nonce_from_round(round_number: int) -> bytes:
+    """Derive the 12-byte nonce from a C-round number (§3.5)."""
+    if round_number < 0:
+        raise CryptoError("round numbers are non-negative")
+    return round_number.to_bytes(NONCE_BYTES, "big")
+
+
+def _poly1305_key(key: bytes, nonce: bytes) -> bytes:
+    return chacha20_block(key, 0, nonce)[:32]
+
+
+def _auth_input(aad: bytes, ciphertext: bytes) -> bytes:
+    def pad16(data: bytes) -> bytes:
+        remainder = len(data) % 16
+        return data + b"\x00" * ((16 - remainder) % 16)
+
+    return (
+        pad16(aad)
+        + pad16(ciphertext)
+        + struct.pack("<QQ", len(aad), len(ciphertext))
+    )
+
+
+def ae_seal(key: bytes, round_number: int, plaintext: bytes, aad: bytes = b"") -> bytes:
+    """ChaCha20-Poly1305 encrypt; returns ciphertext || 16-byte tag."""
+    if len(key) != KEY_BYTES:
+        raise CryptoError("AE keys are 32 bytes")
+    nonce = nonce_from_round(round_number)
+    ciphertext = chacha20_xor(key, nonce, plaintext)
+    tag = poly1305_mac(_poly1305_key(key, nonce), _auth_input(aad, ciphertext))
+    return ciphertext + tag
+
+
+def ae_open(key: bytes, round_number: int, sealed: bytes, aad: bytes = b"") -> bytes:
+    """ChaCha20-Poly1305 decrypt; raises on tag mismatch.
+
+    The existential unforgeability this provides is exactly why dummies
+    *cannot* be injected at the AE layer — see §3.5.
+    """
+    if len(sealed) < TAG_BYTES:
+        raise AuthenticationError("sealed message shorter than a tag")
+    nonce = nonce_from_round(round_number)
+    ciphertext, tag = sealed[:-TAG_BYTES], sealed[-TAG_BYTES:]
+    expected = poly1305_mac(_poly1305_key(key, nonce), _auth_input(aad, ciphertext))
+    if not constant_time_equal(tag, expected):
+        raise AuthenticationError("AE tag verification failed")
+    return chacha20_xor(key, nonce, ciphertext)
+
+
+def senc(key: bytes, round_number: int, data: bytes) -> bytes:
+    """MAC-less stream encryption for outer onion layers; its own inverse."""
+    if len(key) != KEY_BYTES:
+        raise CryptoError("SEnc keys are 32 bytes")
+    return chacha20_xor(key, nonce_from_round(round_number), data)
+
+
+def random_dummy(length: int) -> bytes:
+    """A random string of the right length, indistinguishable from an
+    SEnc ciphertext (§3.5 dummy generation)."""
+    return os.urandom(length)

@@ -1,0 +1,58 @@
+"""Hashing and key-derivation helpers used across the system.
+
+``H`` is the protocol's cryptographic hash (pseudonym derivation,
+hop-selection buckets, Merkle trees).  ``prf`` is a keyed PRF used for MAC
+tokens and deterministic per-round values.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+HASH_BYTES = 32
+#: Maximum value of the protocol hash, H_max in §3.4.
+HASH_MAX = (1 << (8 * HASH_BYTES)) - 1
+
+
+def protocol_hash(*parts: bytes) -> bytes:
+    """The protocol hash H: SHA-256 over length-prefixed parts.
+
+    Length prefixes make the encoding injective, so H(a, b) never collides
+    with H(a || b) for a different split.
+    """
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(len(part).to_bytes(8, "big"))
+        digest.update(part)
+    return digest.digest()
+
+
+def hash_to_int(*parts: bytes) -> int:
+    """H(...) interpreted as an integer in [0, HASH_MAX]."""
+    return int.from_bytes(protocol_hash(*parts), "big")
+
+
+def hash_fraction(*parts: bytes) -> float:
+    """H(...) / H_max — the uniform [0, 1) value used by hop selection."""
+    return hash_to_int(*parts) / (HASH_MAX + 1)
+
+
+def prf(key: bytes, *parts: bytes) -> bytes:
+    """HMAC-SHA256 keyed PRF."""
+    message = b"".join(len(p).to_bytes(8, "big") + p for p in parts)
+    return hmac.new(key, message, hashlib.sha256).digest()
+
+
+def constant_time_equal(a: bytes, b: bytes) -> bool:
+    return hmac.compare_digest(a, b)
+
+
+def derive_key(master: bytes, label: bytes, length: int = 32) -> bytes:
+    """Simple HKDF-like expansion from a master secret."""
+    out = b""
+    counter = 0
+    while len(out) < length:
+        out += prf(master, label, counter.to_bytes(4, "big"))
+        counter += 1
+    return out[:length]

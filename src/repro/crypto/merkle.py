@@ -1,0 +1,121 @@
+"""Binary Merkle hash trees with positional inclusion proofs.
+
+Mycelium uses MHTs in three places:
+
+* the verifiable maps M1 (pseudonym number -> pseudonym/key/device) and
+  M2 (device number -> pseudonym hashes) of §3.3;
+* per-mailbox and per-C-round trees that stop the aggregator from
+  dropping messages undetected (§3.4);
+* the summation tree the aggregator uses to prove inclusion of each
+  device's ciphertext in the global sum (§4.2, inherited from Orchard).
+
+Proofs are *positional*: verification recomputes the root from the leaf
+index's binary representation, so the aggregator cannot serve leaf n from
+a different position (the §3.3 audit relies on this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.hashes import protocol_hash
+from repro.errors import MerkleError
+
+_EMPTY_LEAF = b"\x00mycelium-empty-leaf"
+
+
+def _leaf_hash(data: bytes) -> bytes:
+    return protocol_hash(b"leaf", data)
+
+
+def _node_hash(left: bytes, right: bytes) -> bytes:
+    return protocol_hash(b"node", left, right)
+
+
+@dataclass(frozen=True)
+class InclusionProof:
+    """Siblings along the path from a leaf to the root."""
+
+    index: int
+    siblings: tuple[bytes, ...]
+
+    @property
+    def tree_depth(self) -> int:
+        return len(self.siblings)
+
+
+class MerkleTree:
+    """An immutable Merkle tree over a list of byte-string leaves.
+
+    The leaf count is padded up to a power of two with a distinguished
+    empty-leaf marker so that proof shapes are uniform.
+    """
+
+    def __init__(self, leaves: list[bytes]):
+        if not leaves:
+            leaves = [_EMPTY_LEAF]
+        self.num_leaves = len(leaves)
+        size = 1
+        while size < len(leaves):
+            size *= 2
+        padded = list(leaves) + [_EMPTY_LEAF] * (size - len(leaves))
+        levels = [[_leaf_hash(leaf) for leaf in padded]]
+        while len(levels[-1]) > 1:
+            prev = levels[-1]
+            levels.append(
+                [_node_hash(prev[i], prev[i + 1]) for i in range(0, len(prev), 2)]
+            )
+        self._levels = levels
+        self._leaves = padded
+
+    @property
+    def root(self) -> bytes:
+        return self._levels[-1][0]
+
+    @property
+    def depth(self) -> int:
+        return len(self._levels) - 1
+
+    def leaf(self, index: int) -> bytes:
+        if not 0 <= index < self.num_leaves:
+            raise MerkleError(f"leaf index {index} out of range")
+        return self._leaves[index]
+
+    def prove(self, index: int) -> InclusionProof:
+        """Build the inclusion proof for leaf ``index``."""
+        if not 0 <= index < len(self._leaves):
+            raise MerkleError(f"leaf index {index} out of range")
+        siblings = []
+        position = index
+        for level in self._levels[:-1]:
+            sibling = position ^ 1
+            siblings.append(level[sibling])
+            position //= 2
+        return InclusionProof(index=index, siblings=tuple(siblings))
+
+
+def verify_inclusion(
+    root: bytes, leaf_data: bytes, proof: InclusionProof
+) -> bool:
+    """Check that ``leaf_data`` sits at ``proof.index`` under ``root``.
+
+    Walks up the tree taking left/right according to the index bits — the
+    "walk down M1's MHT taking a left on level i if the i-th bit of n is
+    zero" check from §3.3, done bottom-up.
+    """
+    current = _leaf_hash(leaf_data)
+    position = proof.index
+    for sibling in proof.siblings:
+        if position % 2 == 0:
+            current = _node_hash(current, sibling)
+        else:
+            current = _node_hash(sibling, current)
+        position //= 2
+    return current == root
+
+
+def verify_inclusion_or_raise(
+    root: bytes, leaf_data: bytes, proof: InclusionProof
+) -> None:
+    if not verify_inclusion(root, leaf_data, proof):
+        raise MerkleError(f"inclusion proof for index {proof.index} failed")

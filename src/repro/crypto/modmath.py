@@ -1,0 +1,168 @@
+"""Modular arithmetic and prime-number utilities.
+
+These are the number-theoretic building blocks shared by the BGV
+cryptosystem (:mod:`repro.crypto.bgv`), the NTT (:mod:`repro.crypto.ntt`),
+Shamir secret sharing, and RSA key generation.  Everything here operates on
+Python integers, so moduli of arbitrary size (the paper uses a 550-bit
+ciphertext modulus) are supported.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import ParameterError
+
+# Deterministic Miller-Rabin witness sets. For n < 3.3e24 the first set is a
+# *proof* of primality; for larger n we add random witnesses.
+_SMALL_PRIMES = (
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139,
+    149, 151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199,
+)
+_DETERMINISTIC_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41)
+_DETERMINISTIC_BOUND = 3_317_044_064_679_887_385_961_981
+
+
+def invmod(a: int, m: int) -> int:
+    """Return the inverse of ``a`` modulo ``m``.
+
+    Raises :class:`ParameterError` if the inverse does not exist.
+    """
+    try:
+        return pow(a, -1, m)
+    except ValueError as exc:
+        raise ParameterError(f"{a} has no inverse modulo {m}") from exc
+
+
+def _miller_rabin_round(n: int, a: int, d: int, r: int) -> bool:
+    """One Miller-Rabin round; returns True if ``n`` passes for base ``a``."""
+    x = pow(a, d, n)
+    if x in (1, n - 1):
+        return True
+    for _ in range(r - 1):
+        x = (x * x) % n
+        if x == n - 1:
+            return True
+    return False
+
+
+def is_prime(n: int, rounds: int = 24, rng: random.Random | None = None) -> bool:
+    """Miller-Rabin primality test.
+
+    Deterministic (a proof) for n below ~3.3e24; probabilistic with
+    ``rounds`` random witnesses above that.
+    """
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    if n < _DETERMINISTIC_BOUND:
+        witnesses: tuple[int, ...] | list[int] = _DETERMINISTIC_WITNESSES
+    else:
+        rng = rng or random.Random(n & 0xFFFFFFFF)
+        witnesses = [rng.randrange(2, n - 1) for _ in range(rounds)]
+    return all(_miller_rabin_round(n, a % n, d, r) for a in witnesses if a % n > 1)
+
+
+def next_prime(n: int) -> int:
+    """Return the smallest prime >= n."""
+    if n <= 2:
+        return 2
+    candidate = n | 1
+    while not is_prime(candidate):
+        candidate += 2
+    return candidate
+
+
+def random_prime(bits: int, rng: random.Random) -> int:
+    """Return a random prime with exactly ``bits`` bits."""
+    if bits < 2:
+        raise ParameterError("primes need at least 2 bits")
+    while True:
+        candidate = rng.getrandbits(bits) | (1 << (bits - 1)) | 1
+        if is_prime(candidate):
+            return candidate
+
+
+def ntt_prime(bits: int, two_n: int) -> int:
+    """Return the smallest prime with >= ``bits`` bits satisfying
+    ``p ≡ 1 (mod two_n)``.
+
+    Such primes admit a primitive ``two_n``-th root of unity, which the
+    negacyclic NTT requires.
+    """
+    if two_n & (two_n - 1):
+        raise ParameterError("two_n must be a power of two")
+    p = ((1 << bits) // two_n) * two_n + 1
+    while not is_prime(p):
+        p += two_n
+    return p
+
+
+def primitive_root_of_unity(order: int, modulus: int) -> int:
+    """Return a primitive ``order``-th root of unity modulo a prime."""
+    if (modulus - 1) % order != 0:
+        raise ParameterError(f"no {order}-th root of unity mod {modulus}")
+    cofactor = (modulus - 1) // order
+    for g in range(2, modulus):
+        candidate = pow(g, cofactor, modulus)
+        if candidate == 1:
+            continue
+        # candidate has order dividing `order`; check it is exactly `order`
+        # by testing all maximal proper divisors order/p for prime p|order.
+        if _has_exact_order(candidate, order, modulus):
+            return candidate
+    raise ParameterError(f"failed to find {order}-th root of unity mod {modulus}")
+
+
+def _prime_factors(n: int) -> list[int]:
+    factors = []
+    d = 2
+    while d * d <= n:
+        if n % d == 0:
+            factors.append(d)
+            while n % d == 0:
+                n //= d
+        d += 1
+    if n > 1:
+        factors.append(n)
+    return factors
+
+
+def _has_exact_order(x: int, order: int, modulus: int) -> bool:
+    return all(pow(x, order // p, modulus) != 1 for p in _prime_factors(order))
+
+
+def centered_mod(x: int, q: int) -> int:
+    """Reduce ``x`` into the centered interval (-q/2, q/2]."""
+    r = x % q
+    if r > q // 2:
+        r -= q
+    return r
+
+
+def crt_combine(residues: list[int], moduli: list[int]) -> int:
+    """Combine residues via the Chinese Remainder Theorem.
+
+    Moduli must be pairwise coprime; the result is reduced modulo their
+    product.
+    """
+    if len(residues) != len(moduli):
+        raise ParameterError("residues and moduli must have equal length")
+    total = 0
+    product = 1
+    for m in moduli:
+        product *= m
+    for r, m in zip(residues, moduli):
+        partial = product // m
+        total += r * partial * invmod(partial % m, m)
+    return total % product

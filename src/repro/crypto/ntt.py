@@ -1,0 +1,140 @@
+"""Negacyclic number-theoretic transform over Z_q.
+
+BGV ciphertext polynomials live in R_q = Z_q[x] / (x^N + 1) with N a power
+of two.  Multiplication in that ring is a *negacyclic* convolution, computed
+here with the standard trick: pre-multiply coefficient i by psi^i (psi a
+primitive 2N-th root of unity), run a length-N NTT with omega = psi^2,
+pointwise-multiply, invert, and post-multiply by psi^{-i}.
+
+All arithmetic uses Python integers so the modulus can be arbitrarily large
+(the paper's profile uses a 550-bit prime).  The transform tables for a
+given (N, q) pair are cached because building them costs more than a single
+transform.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.crypto.modmath import invmod, primitive_root_of_unity
+from repro.errors import ParameterError
+
+
+class NttContext:
+    """Precomputed tables for negacyclic NTTs of length ``n`` modulo ``q``.
+
+    ``q`` must be a prime with ``q ≡ 1 (mod 2n)`` so that a primitive
+    2n-th root of unity exists.
+    """
+
+    def __init__(self, n: int, q: int):
+        if n < 2 or n & (n - 1):
+            raise ParameterError("NTT length must be a power of two >= 2")
+        if (q - 1) % (2 * n) != 0:
+            raise ParameterError(f"q={q} does not support length-{n} negacyclic NTT")
+        self.n = n
+        self.q = q
+        self.psi = primitive_root_of_unity(2 * n, q)
+        self.psi_inv = invmod(self.psi, q)
+        self.n_inv = invmod(n, q)
+        # Powers of psi in bit-reversed order drive the Cooley-Tukey /
+        # Gentleman-Sande butterflies (Longa-Naehrig layout), which fuses the
+        # psi twisting into the transform itself.
+        self._psi_rev = self._bit_reversed_powers(self.psi)
+        self._psi_inv_rev = self._bit_reversed_powers(self.psi_inv)
+
+    def _bit_reversed_powers(self, base: int) -> list[int]:
+        n, q = self.n, self.q
+        bits = n.bit_length() - 1
+        powers = [1] * n
+        acc = 1
+        plain = [1] * n
+        for i in range(1, n):
+            acc = (acc * base) % q
+            plain[i] = acc
+        for i in range(n):
+            rev = int(format(i, f"0{bits}b")[::-1], 2) if bits else 0
+            powers[rev] = plain[i]
+        return powers
+
+    def forward(self, coeffs: list[int]) -> list[int]:
+        """In-place-style forward negacyclic NTT; returns a new list."""
+        a = [c % self.q for c in coeffs]
+        n, q = self.n, self.q
+        psi = self._psi_rev
+        t = n
+        m = 1
+        while m < n:
+            t //= 2
+            for i in range(m):
+                j1 = 2 * i * t
+                j2 = j1 + t
+                s = psi[m + i]
+                for j in range(j1, j2):
+                    u = a[j]
+                    v = (a[j + t] * s) % q
+                    a[j] = (u + v) % q
+                    a[j + t] = (u - v) % q
+            m *= 2
+        return a
+
+    def inverse(self, values: list[int]) -> list[int]:
+        """Inverse negacyclic NTT; returns coefficient representation."""
+        a = list(values)
+        n, q = self.n, self.q
+        psi_inv = self._psi_inv_rev
+        t = 1
+        m = n
+        while m > 1:
+            j1 = 0
+            h = m // 2
+            for i in range(h):
+                j2 = j1 + t
+                s = psi_inv[h + i]
+                for j in range(j1, j2):
+                    u = a[j]
+                    v = a[j + t]
+                    a[j] = (u + v) % q
+                    a[j + t] = ((u - v) * s) % q
+                j1 += 2 * t
+            t *= 2
+            m = h
+        n_inv = self.n_inv
+        return [(x * n_inv) % q for x in a]
+
+    def multiply(self, a: list[int], b: list[int]) -> list[int]:
+        """Negacyclic product of two coefficient vectors of length n."""
+        if len(a) != self.n or len(b) != self.n:
+            raise ParameterError("operands must have length n")
+        fa = self.forward(a)
+        fb = self.forward(b)
+        q = self.q
+        prod = [(x * y) % q for x, y in zip(fa, fb)]
+        return self.inverse(prod)
+
+
+@lru_cache(maxsize=32)
+def get_context(n: int, q: int) -> NttContext:
+    """Return a cached :class:`NttContext` for ``(n, q)``."""
+    return NttContext(n, q)
+
+
+def negacyclic_multiply_schoolbook(a: list[int], b: list[int], q: int) -> list[int]:
+    """Reference O(n^2) negacyclic multiply used to validate the NTT."""
+    n = len(a)
+    if len(b) != n:
+        raise ParameterError("operands must have equal length")
+    out = [0] * n
+    for i, ai in enumerate(a):
+        if ai == 0:
+            continue
+        for j, bj in enumerate(b):
+            if bj == 0:
+                continue
+            k = i + j
+            term = ai * bj
+            if k >= n:
+                out[k - n] = (out[k - n] - term) % q
+            else:
+                out[k] = (out[k] + term) % q
+    return [x % q for x in out]

@@ -1,0 +1,30 @@
+"""Poly1305 one-time authenticator (RFC 8439).
+
+Combined with ChaCha20 in :mod:`repro.crypto.aead` to build the AE scheme
+the paper uses for the innermost onion layer and for path-setup messages.
+Validated against the RFC 8439 test vector in the test suite.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CryptoError
+
+TAG_BYTES = 16
+_P = (1 << 130) - 5
+_R_CLAMP = 0x0FFFFFFC0FFFFFFC0FFFFFFC0FFFFFFF
+
+
+def poly1305_mac(key: bytes, message: bytes) -> bytes:
+    """Compute the 16-byte Poly1305 tag of ``message`` under a 32-byte
+    one-time key."""
+    if len(key) != 32:
+        raise CryptoError("Poly1305 keys are 32 bytes")
+    r = int.from_bytes(key[:16], "little") & _R_CLAMP
+    s = int.from_bytes(key[16:], "little")
+    accumulator = 0
+    for start in range(0, len(message), 16):
+        block = message[start : start + 16]
+        value = int.from_bytes(block + b"\x01", "little")
+        accumulator = ((accumulator + value) * r) % _P
+    tag = (accumulator + s) % (1 << 128)
+    return tag.to_bytes(16, "little")

@@ -1,0 +1,144 @@
+"""Shamir secret sharing over a prime field.
+
+The committee holds the BGV decryption key as Shamir shares: each
+coefficient of the secret ring element is shared independently over Z_q
+(the BGV ciphertext modulus is prime, so it doubles as the sharing field).
+Because BGV decryption is *linear* in the key, committee members can
+produce partial decryptions from their shares locally and any
+``threshold`` of them recombine via Lagrange interpolation — this is the
+arithmetic the SCALE-MAMBA MPC performs in the paper (§5).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.crypto.modmath import invmod
+from repro.errors import SecretSharingError
+
+
+@dataclass(frozen=True)
+class Share:
+    """One party's share: the polynomial evaluated at ``x = index``."""
+
+    index: int
+    value: int
+
+    def __post_init__(self) -> None:
+        if self.index < 1:
+            raise SecretSharingError("share indices must be >= 1")
+
+
+@dataclass(frozen=True)
+class VectorShare:
+    """A share of a vector secret (e.g. a ring element's coefficients)."""
+
+    index: int
+    values: tuple[int, ...]
+
+    def component(self, i: int) -> Share:
+        return Share(self.index, self.values[i])
+
+
+def _random_polynomial(
+    secret: int, degree: int, field: int, rng: random.Random
+) -> list[int]:
+    """Coefficients [secret, a1, ..., a_degree] of a random polynomial."""
+    return [secret % field] + [rng.randrange(field) for _ in range(degree)]
+
+
+def _evaluate(coeffs: list[int], x: int, field: int) -> int:
+    acc = 0
+    for c in reversed(coeffs):
+        acc = (acc * x + c) % field
+    return acc
+
+
+def share_secret(
+    secret: int,
+    threshold: int,
+    num_shares: int,
+    field: int,
+    rng: random.Random,
+    return_polynomial: bool = False,
+) -> list[Share] | tuple[list[Share], list[int]]:
+    """Split ``secret`` into ``num_shares`` shares, any ``threshold`` of
+    which reconstruct it.
+
+    ``return_polynomial`` exposes the sharing polynomial for callers that
+    need to commit to it (Feldman VSS / VSR).
+    """
+    if not 1 <= threshold <= num_shares:
+        raise SecretSharingError(
+            f"invalid threshold {threshold} for {num_shares} shares"
+        )
+    if num_shares >= field:
+        raise SecretSharingError("field too small for that many shares")
+    poly = _random_polynomial(secret, threshold - 1, field, rng)
+    shares = [Share(i, _evaluate(poly, i, field)) for i in range(1, num_shares + 1)]
+    if return_polynomial:
+        return shares, poly
+    return shares
+
+
+def lagrange_coefficients_at_zero(indices: list[int], field: int) -> dict[int, int]:
+    """Lagrange basis coefficients lambda_i such that
+    f(0) = sum_i lambda_i * f(i) for any polynomial of degree < len(indices)."""
+    if len(set(indices)) != len(indices):
+        raise SecretSharingError("duplicate share indices")
+    coeffs = {}
+    for i in indices:
+        numerator = 1
+        denominator = 1
+        for j in indices:
+            if j == i:
+                continue
+            numerator = (numerator * (-j)) % field
+            denominator = (denominator * (i - j)) % field
+        coeffs[i] = (numerator * invmod(denominator, field)) % field
+    return coeffs
+
+
+def reconstruct_secret(shares: list[Share], field: int) -> int:
+    """Recombine shares via Lagrange interpolation at zero."""
+    if not shares:
+        raise SecretSharingError("no shares given")
+    indices = [s.index for s in shares]
+    lagrange = lagrange_coefficients_at_zero(indices, field)
+    return sum(lagrange[s.index] * s.value for s in shares) % field
+
+
+def share_vector(
+    values: list[int],
+    threshold: int,
+    num_shares: int,
+    field: int,
+    rng: random.Random,
+) -> list[VectorShare]:
+    """Share each component of a vector independently."""
+    per_component = [
+        share_secret(v, threshold, num_shares, field, rng) for v in values
+    ]
+    return [
+        VectorShare(
+            index=i + 1,
+            values=tuple(per_component[c][i].value for c in range(len(values))),
+        )
+        for i in range(num_shares)
+    ]
+
+
+def reconstruct_vector(shares: list[VectorShare], field: int) -> list[int]:
+    """Recombine a vector secret from vector shares."""
+    if not shares:
+        raise SecretSharingError("no shares given")
+    length = len(shares[0].values)
+    if any(len(s.values) != length for s in shares):
+        raise SecretSharingError("vector shares have inconsistent lengths")
+    indices = [s.index for s in shares]
+    lagrange = lagrange_coefficients_at_zero(indices, field)
+    return [
+        sum(lagrange[s.index] * s.values[c] for s in shares) % field
+        for c in range(length)
+    ]

@@ -1,0 +1,4 @@
+"""Differential privacy: the Laplace mechanism
+(:mod:`repro.dp.laplace`) and budget accounting with sequential or
+advanced composition (:mod:`repro.dp.budget`).
+"""

@@ -1,0 +1,148 @@
+"""Privacy-budget accounting (§4.4 "Privacy budget").
+
+The committee maintains a budget from which each query's epsilon is
+deducted.  The prototype's policy — like the paper's — is basic
+(sequential) composition: subtract the full epsilon of every query.
+Advanced composition (Dwork-Roth Thm 3.20) is provided as the optional
+stretch the paper mentions; it bounds the *total* privacy loss of a
+sequence of epsilon_i-DP queries by a smaller epsilon at the cost of a
+small delta.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import ParameterError, PrivacyBudgetExceeded
+
+
+@dataclass
+class PrivacyBudget:
+    """A sequential-composition budget accountant."""
+
+    total_epsilon: float
+    spent: float = 0.0
+    history: list[tuple[str, float]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.total_epsilon <= 0:
+            raise ParameterError("budget must be positive")
+
+    @property
+    def remaining(self) -> float:
+        return max(0.0, self.total_epsilon - self.spent)
+
+    def can_afford(self, epsilon: float) -> bool:
+        return epsilon <= self.remaining + 1e-12
+
+    def charge(self, epsilon: float, label: str = "") -> None:
+        """Deduct a query's epsilon; raises if the budget is exhausted."""
+        if epsilon <= 0:
+            raise ParameterError("query epsilon must be positive")
+        if not self.can_afford(epsilon):
+            raise PrivacyBudgetExceeded(
+                f"query needs epsilon={epsilon} but only "
+                f"{self.remaining:.4f} of {self.total_epsilon} remains"
+            )
+        self.spent += epsilon
+        self.history.append((label, epsilon))
+
+
+@dataclass
+class AdvancedCompositionBudget:
+    """An accountant using advanced composition (Dwork-Roth Thm 3.20).
+
+    All queries must share one per-query epsilon; the accountant admits
+    a new query while the *composed* total epsilon (which grows ~sqrt(k))
+    stays within the budget, at the cost of a fixed delta.  For long
+    studies of small queries this stretches the budget well past
+    sequential composition — the §4.4 "more sophisticated techniques"
+    extension.
+    """
+
+    total_epsilon: float
+    per_query_epsilon: float
+    delta: float
+    queries_run: int = 0
+
+    def __post_init__(self) -> None:
+        if self.total_epsilon <= 0 or self.per_query_epsilon <= 0:
+            raise ParameterError("budgets and epsilons must be positive")
+        if not 0 < self.delta < 1:
+            raise ParameterError("delta must be in (0, 1)")
+
+    def composed_epsilon(self, num_queries: int) -> float:
+        if num_queries == 0:
+            return 0.0
+        if num_queries == 1:
+            return self.per_query_epsilon
+        return advanced_composition_epsilon(
+            self.per_query_epsilon, num_queries, self.delta
+        )
+
+    @property
+    def spent(self) -> float:
+        return self.composed_epsilon(self.queries_run)
+
+    def can_afford_next(self) -> bool:
+        return self.composed_epsilon(self.queries_run + 1) <= (
+            self.total_epsilon + 1e-12
+        )
+
+    def charge(self, label: str = "") -> None:
+        if not self.can_afford_next():
+            raise PrivacyBudgetExceeded(
+                f"query {self.queries_run + 1} would push the composed "
+                f"epsilon past {self.total_epsilon}"
+            )
+        self.queries_run += 1
+
+    @property
+    def remaining_queries(self) -> int:
+        count = 0
+        while self.composed_epsilon(self.queries_run + count + 1) <= (
+            self.total_epsilon + 1e-12
+        ):
+            count += 1
+            if count > 10_000_000:
+                break
+        return count
+
+
+def advanced_composition_epsilon(
+    per_query_epsilon: float, num_queries: int, delta: float
+) -> float:
+    """Total epsilon for ``num_queries`` eps-DP queries under advanced
+    composition (Dwork-Roth, Theorem 3.20):
+
+        eps_total = eps * sqrt(2 k ln(1/delta)) + k * eps * (e^eps - 1)
+
+    For small per-query epsilon this grows ~sqrt(k) instead of k.
+    """
+    if per_query_epsilon <= 0 or num_queries < 1:
+        raise ParameterError("need positive epsilon and at least one query")
+    if not 0 < delta < 1:
+        raise ParameterError("delta must be in (0, 1)")
+    eps = per_query_epsilon
+    k = num_queries
+    return eps * math.sqrt(2 * k * math.log(1 / delta)) + k * eps * (
+        math.exp(eps) - 1
+    )
+
+
+def queries_supported(
+    total_epsilon: float, per_query_epsilon: float, delta: float | None = None
+) -> int:
+    """How many queries a budget supports — sequentially, or under
+    advanced composition when a delta is given."""
+    if delta is None:
+        return int(total_epsilon / per_query_epsilon)
+    k = 1
+    while advanced_composition_epsilon(per_query_epsilon, k + 1, delta) <= (
+        total_epsilon
+    ):
+        k += 1
+        if k > 10_000_000:
+            break
+    return k

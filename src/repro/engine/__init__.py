@@ -1,0 +1,10 @@
+"""Query execution engines.
+
+:mod:`repro.engine.semantics` defines the exact per-party computations;
+:mod:`repro.engine.plaintext` runs them directly (the correctness
+oracle) and :mod:`repro.engine.encrypted` runs them homomorphically with
+the §4.6 zero-knowledge proofs (:mod:`repro.engine.zkcircuits`).
+:mod:`repro.engine.histogram` decodes the aggregated plaintext into the
+released statistics; :mod:`repro.engine.malicious` enumerates Byzantine
+behaviours.
+"""

@@ -1,0 +1,658 @@
+"""The encrypted distributed executor (§4.3-§4.5).
+
+Runs a compiled plan the way the deployed system would: destinations
+encrypt monomial contributions under the system BGV key, origins combine
+them homomorphically (bucket selection, products, group shifts) without
+ever seeing plaintext neighbor data, and every party attaches the §4.6
+zero-knowledge proofs.
+
+The origin combination is a *pure deterministic function* of the
+origin's private decisions, the input ciphertexts, and a replay seed for
+its fresh encryptions — the same function serves as the body of the
+``wf-aggregation`` circuit, so proofs are literally "re-run the
+aggregation and compare digests".
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.crypto import bgv, zksnark
+from repro.crypto.polyring import RingElement
+from repro.engine import semantics, zkcircuits
+from repro.engine.malicious import Behavior
+from repro.errors import ProofError, ProtocolError
+from repro.query import ast
+from repro.query.plans import ExecutionPlan
+from repro.workloads.graphgen import ContactGraph
+
+
+@dataclass(frozen=True)
+class LeafMessage:
+    """One proved contribution ciphertext from a destination."""
+
+    sender: int
+    ciphertext: bgv.Ciphertext
+    statement: zksnark.Statement
+    proof: zksnark.Proof
+
+
+@dataclass(frozen=True)
+class DestResponse:
+    """Everything a destination sends for one (origin, neighbor) slot:
+    one message normally, ``num_buckets`` for §4.5 sequences."""
+
+    messages: tuple[LeafMessage, ...]
+
+    @property
+    def ciphertexts(self) -> tuple[bgv.Ciphertext, ...]:
+        return tuple(m.ciphertext for m in self.messages)
+
+
+@dataclass(frozen=True)
+class OriginSubmission:
+    """What the aggregator receives from one origin vertex."""
+
+    origin: int
+    ciphertext: bgv.Ciphertext
+    aggregate_statement: zksnark.Statement
+    aggregate_proof: zksnark.Proof
+    leaves: tuple[LeafMessage, ...]
+    #: Multi-hop only: intermediate nodes' (output, statement, proof).
+    intermediates: tuple[
+        tuple[bgv.Ciphertext, zksnark.Statement, zksnark.Proof], ...
+    ] = ()
+
+
+@dataclass
+class RunStats:
+    """Bookkeeping for tests and benchmarks."""
+
+    leaf_ciphertexts: int = 0
+    multiplications: int = 0
+    origin_filtered_leaves: int = 0
+    behaviors_applied: dict[str, int] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class MultihopDecisions:
+    """Origin/intermediate decisions for k-hop tree aggregation."""
+
+    contributes: bool
+
+
+def leaf_max_exponent(plan: ExecutionPlan) -> int:
+    """Upper bound on one contribution's exponent (the ZKP range)."""
+    if plan.is_ratio:
+        assert plan.layout.pair_base is not None
+        return plan.layout.pair_base + plan.layout.max_value
+    return plan.layout.max_value
+
+
+# ---------------------------------------------------------------------------
+# Destination side
+# ---------------------------------------------------------------------------
+
+
+def _prove_leaf(
+    zk: zksnark.Groth16System,
+    pk: bgv.PublicKey,
+    sender: int,
+    ciphertext: bgv.Ciphertext,
+    exponent: int,
+    randomness: bgv.EncryptionRandomness,
+    max_exponent: int,
+    forge: bool,
+    rng: random.Random,
+) -> LeafMessage:
+    statement = zkcircuits.leaf_statement(ciphertext, pk, max_exponent)
+    if forge:
+        proof = zksnark.forge_proof(statement, rng)
+    else:
+        proof = zk.prove(
+            statement,
+            zkcircuits.LeafWitness(
+                exponent=exponent, randomness=randomness, public_key=pk
+            ),
+        )
+    return LeafMessage(
+        sender=sender, ciphertext=ciphertext, statement=statement, proof=proof
+    )
+
+
+def _encrypt_leaf(
+    pk: bgv.PublicKey,
+    exponent: int,
+    rng: random.Random,
+    behavior: Behavior,
+    max_exponent: int,
+) -> tuple[bgv.Ciphertext, int, bgv.EncryptionRandomness, bool]:
+    """Encrypt one contribution, applying a Byzantine behaviour.
+
+    Returns (ciphertext, claimed exponent, randomness, needs_forgery):
+    behaviours that break well-formedness cannot produce honest proofs.
+    """
+    randomness = bgv.EncryptionRandomness.generate(pk.profile, rng)
+    if behavior is Behavior.OVERSIZED_EXPONENT:
+        bad = min(pk.profile.n - 1, max_exponent + 5)
+        ct = bgv.encrypt_monomial(pk, bad, rng, randomness=randomness)
+        return ct, bad, randomness, True
+    if behavior is Behavior.MULTI_COEFFICIENT:
+        poly = RingElement.from_coeffs(pk.profile.plaintext_ring, [1, 1, 1])
+        ct = bgv.encrypt(pk, poly, rng, randomness=randomness)
+        return ct, exponent, randomness, True
+    if behavior is Behavior.LARGE_COEFFICIENT:
+        ct = bgv.encrypt_monomial(
+            pk, exponent, rng, coeff=5, randomness=randomness
+        )
+        return ct, exponent, randomness, True
+    if behavior is Behavior.LIE_IN_RANGE:
+        lied = (exponent + 1) % (max_exponent + 1)
+        ct = bgv.encrypt_monomial(pk, lied, rng, randomness=randomness)
+        return ct, lied, randomness, False
+    ct = bgv.encrypt_monomial(pk, exponent, rng, randomness=randomness)
+    forge = behavior is Behavior.FORGED_PROOF
+    return ct, exponent, randomness, forge
+
+
+def dest_compute(
+    plan: ExecutionPlan,
+    pk: bgv.PublicKey,
+    zk: zksnark.Groth16System,
+    graph: ContactGraph,
+    origin: int,
+    neighbor: int,
+    rng: random.Random,
+    behavior: Behavior = Behavior.HONEST,
+) -> DestResponse | None:
+    """The destination's answer for one neighbor slot (§4.3, §4.5).
+
+    Returns None for :attr:`Behavior.DROP_MESSAGE` (and for offline
+    devices, which callers model the same way).
+    """
+    if behavior is Behavior.DROP_MESSAGE:
+        return None
+    contribution = semantics.neighbor_contribution(plan, graph, origin, neighbor)
+    max_exponent = leaf_max_exponent(plan)
+    messages = []
+    if plan.cross is None:
+        exponents = [contribution.exponent]
+    else:
+        exponents = [
+            contribution.exponent if bucket == contribution.bucket else 0
+            for bucket in range(plan.cross.num_buckets)
+        ]
+    for exponent in exponents:
+        ct, claimed, randomness, forge = _encrypt_leaf(
+            pk, exponent, rng, behavior, max_exponent
+        )
+        messages.append(
+            _prove_leaf(
+                zk, pk, neighbor, ct, claimed, randomness, max_exponent, forge, rng
+            )
+        )
+    return DestResponse(messages=tuple(messages))
+
+
+# ---------------------------------------------------------------------------
+# Origin side (also the body of the wf-aggregation circuit)
+# ---------------------------------------------------------------------------
+
+
+def _origin_combine(
+    plan: ExecutionPlan,
+    pk: bgv.PublicKey,
+    decisions,
+    inputs: dict[int, tuple[bgv.Ciphertext, ...]],
+    rng: random.Random,
+    stats: RunStats | None = None,
+) -> bgv.Ciphertext:
+    """Deterministically combine neighbor ciphertexts per the plan.
+
+    ``inputs`` maps members to their ciphertexts; members absent from it
+    defaulted (offline / dropped / filtered) and are replaced with fresh
+    Enc(x^0), which is neutral in the product (§4.4).
+    """
+    if isinstance(decisions, MultihopDecisions):
+        if not decisions.contributes:
+            return bgv.encrypt_zero_like(pk, rng)
+        product = None
+        for member in sorted(inputs):
+            for ct in inputs[member]:
+                if product is None:
+                    product = ct
+                else:
+                    product = bgv.multiply(product, ct)
+                    if stats is not None:
+                        stats.multiplications += 1
+        if product is None:
+            product = bgv.encrypt_monomial(pk, 0, rng)
+        return product
+
+    if not decisions.contributes:
+        return bgv.encrypt_zero_like(pk, rng)
+    _validate_decisions(plan, decisions)
+    num_buckets = plan.cross.num_buckets if plan.cross is not None else 1
+    for member, cts in inputs.items():
+        if len(cts) != num_buckets:
+            raise ProtocolError(
+                f"member {member} supplied {len(cts)} ciphertexts, "
+                f"expected {num_buckets}"
+            )
+
+    group_terms: dict[int, bgv.Ciphertext | None] = {}
+    for group in semantics.origin_groups(plan, decisions):
+        if plan.group_site is ast.ColumnGroup.EDGE:
+            members = [
+                n
+                for n in decisions.selected_neighbors
+                if decisions.group_of_neighbor.get(n) == group
+            ]
+        else:
+            members = list(decisions.selected_neighbors)
+        product: bgv.Ciphertext | None = None
+        for member in members:
+            term = _member_term(plan, pk, decisions, inputs, member, group, rng)
+            if product is None:
+                product = term
+            else:
+                product = bgv.multiply(product, term)
+                if stats is not None:
+                    stats.multiplications += 1
+        if product is None:
+            product = bgv.encrypt_monomial(pk, 0, rng)
+        group_terms[group] = product
+
+    if not group_terms:
+        # Edge-site GROUP BY with no neighbors: no group exists for this
+        # origin to report into, so it submits the additive identity
+        # (matching the plaintext semantics of "no contribution").
+        return bgv.encrypt_zero_like(pk, rng)
+    total: bgv.Ciphertext | None = None
+    for group in sorted(group_terms):
+        shifted = bgv.shift(group_terms[group], group * plan.layout.block_size)
+        total = shifted if total is None else bgv.add(total, shifted)
+    return total
+
+
+def _member_term(
+    plan: ExecutionPlan,
+    pk: bgv.PublicKey,
+    decisions,
+    inputs: dict[int, tuple[bgv.Ciphertext, ...]],
+    member: int,
+    group: int,
+    rng: random.Random,
+) -> bgv.Ciphertext:
+    """One neighbor's factor in a group's product."""
+    cts = inputs.get(member)
+    if cts is None:
+        return bgv.encrypt_monomial(pk, 0, rng)
+    if plan.cross is None:
+        return cts[0]
+    allowed = decisions.buckets_per_group.get(group, ())
+    if not allowed:
+        return bgv.encrypt_monomial(pk, 0, rng)
+    total = None
+    for bucket in allowed:
+        total = cts[bucket] if total is None else bgv.add(total, cts[bucket])
+    if len(allowed) > 1:
+        constant = bgv.encrypt(
+            pk,
+            RingElement.constant(pk.profile.plaintext_ring, len(allowed) - 1),
+            rng,
+        )
+        total = bgv.subtract(total, constant)
+    return total
+
+
+def _validate_decisions(plan: ExecutionPlan, decisions) -> None:
+    """Structural constraints the aggregation circuit enforces: no
+    double-counting, degree bound, in-range groups and buckets."""
+    selected = decisions.selected_neighbors
+    if len(set(selected)) != len(selected):
+        raise ProtocolError("duplicate members in aggregation")
+    if len(selected) > plan.degree_bound:
+        raise ProtocolError("aggregation exceeds the degree bound")
+    if not 0 <= decisions.self_group < plan.layout.num_groups:
+        raise ProtocolError("group index out of range")
+    for group in decisions.group_of_neighbor.values():
+        if not 0 <= group < plan.layout.num_groups:
+            raise ProtocolError("group index out of range")
+    if plan.cross is not None:
+        for group, buckets in decisions.buckets_per_group.items():
+            if not 0 <= group < plan.layout.num_groups:
+                raise ProtocolError("group index out of range")
+            if len(set(buckets)) != len(buckets):
+                raise ProtocolError("duplicate buckets in selection")
+            for bucket in buckets:
+                if not 0 <= bucket < plan.cross.num_buckets:
+                    raise ProtocolError("bucket index out of range")
+
+
+def replay_origin_compute(
+    plan: ExecutionPlan,
+    pk: bgv.PublicKey,
+    decisions,
+    inputs: dict[int, tuple[bgv.Ciphertext, ...]],
+    seed: int,
+) -> bgv.Ciphertext:
+    """Re-run the origin combination from a witness (circuit body)."""
+    return _origin_combine(plan, pk, decisions, inputs, random.Random(seed))
+
+
+def _prove_aggregate(
+    plan: ExecutionPlan,
+    pk: bgv.PublicKey,
+    zk: zksnark.Groth16System,
+    output: bgv.Ciphertext,
+    decisions,
+    inputs: dict[int, tuple[bgv.Ciphertext, ...]],
+    seed: int,
+    forge: bool,
+    rng: random.Random,
+) -> tuple[zksnark.Statement, zksnark.Proof]:
+    flat_inputs = [ct for member in sorted(inputs) for ct in inputs[member]]
+    statement = zkcircuits.aggregate_statement(output, flat_inputs, pk, plan)
+    if forge:
+        return statement, zksnark.forge_proof(statement, rng)
+    witness = zkcircuits.AggregateWitness(
+        plan=plan,
+        decisions=decisions,
+        seed=seed,
+        inputs={m: inputs[m] for m in sorted(inputs)},
+        public_key=pk,
+    )
+    return statement, zk.prove(statement, witness)
+
+
+# ---------------------------------------------------------------------------
+# Executor
+# ---------------------------------------------------------------------------
+
+
+class EncryptedExecutor:
+    """Run a plan over a graph with per-device Byzantine behaviours."""
+
+    def __init__(
+        self,
+        plan: ExecutionPlan,
+        pk: bgv.PublicKey,
+        zk: zksnark.Groth16System,
+        rng: random.Random,
+    ):
+        self.plan = plan
+        self.pk = pk
+        self.zk = zk
+        self.rng = rng
+        self.stats = RunStats()
+
+    def _behavior(self, behaviors, device: int) -> Behavior:
+        return behaviors.get(device, Behavior.HONEST)
+
+    def run(
+        self,
+        graph: ContactGraph,
+        behaviors: dict[int, Behavior] | None = None,
+        offline: set[int] | None = None,
+    ) -> list[OriginSubmission]:
+        """Produce every origin's submission (one per online vertex)."""
+        behaviors = behaviors or {}
+        offline = offline or set()
+        submissions = []
+        for origin in range(graph.num_vertices):
+            if origin in offline:
+                continue
+            if self.plan.hops == 1:
+                submissions.append(
+                    self._run_one_hop(graph, origin, behaviors, offline)
+                )
+            else:
+                submissions.append(
+                    self._run_multi_hop(graph, origin, behaviors, offline)
+                )
+        return submissions
+
+    def _collect_leaf(
+        self,
+        graph: ContactGraph,
+        origin: int,
+        neighbor: int,
+        behaviors: dict[int, Behavior],
+        offline: set[int],
+    ) -> DestResponse | None:
+        if neighbor in offline:
+            return None
+        behavior = self._behavior(behaviors, neighbor)
+        if behavior is not Behavior.HONEST:
+            name = behavior.value
+            self.stats.behaviors_applied[name] = (
+                self.stats.behaviors_applied.get(name, 0) + 1
+            )
+        return dest_compute(
+            self.plan, self.pk, self.zk, graph, origin, neighbor, self.rng, behavior
+        )
+
+    def _filter_leaves(
+        self, response: DestResponse | None
+    ) -> tuple[bgv.Ciphertext, ...] | None:
+        """Origin-side proof check: a response with any invalid proof is
+        treated as missing (replaced by the neutral element), bounding a
+        Byzantine neighbor's influence (§4.6)."""
+        if response is None:
+            return None
+        for message in response.messages:
+            if not self.zk.verify(message.statement, message.proof):
+                self.stats.origin_filtered_leaves += 1
+                return None
+        return response.ciphertexts
+
+    def _run_one_hop(
+        self,
+        graph: ContactGraph,
+        origin: int,
+        behaviors: dict[int, Behavior],
+        offline: set[int],
+    ) -> OriginSubmission:
+        decisions = semantics.origin_decisions(self.plan, graph, origin)
+        inputs: dict[int, tuple[bgv.Ciphertext, ...]] = {}
+        leaves: list[LeafMessage] = []
+        for neighbor in decisions.selected_neighbors:
+            response = self._collect_leaf(graph, origin, neighbor, behaviors, offline)
+            cts = self._filter_leaves(response)
+            if cts is None:
+                continue
+            inputs[neighbor] = cts
+            leaves.extend(response.messages)
+            self.stats.leaf_ciphertexts += len(cts)
+        return self.build_origin_submission(
+            graph, origin, decisions, inputs, leaves, behaviors
+        )
+
+    def build_origin_submission(
+        self,
+        graph: ContactGraph,
+        origin: int,
+        decisions,
+        inputs: dict[int, tuple[bgv.Ciphertext, ...]],
+        leaves: list[LeafMessage],
+        behaviors: dict[int, Behavior] | None = None,
+    ) -> OriginSubmission:
+        """Combine already-collected (and proof-checked) neighbor
+        ciphertexts into this origin's proved submission.
+
+        Used both by :meth:`run` (in-process transport) and by the
+        mixnet transport, where the inputs arrived as onion-routed
+        mailbox payloads.
+        """
+        plan = self.plan
+        behaviors = behaviors or {}
+        seed = self.rng.getrandbits(64)
+        output = _origin_combine(
+            plan, self.pk, decisions, inputs, random.Random(seed), self.stats
+        )
+        origin_behavior = self._behavior(behaviors, origin)
+        forge = origin_behavior in (
+            Behavior.BAD_AGGREGATION,
+            Behavior.FORGED_PROOF,
+        )
+        if origin_behavior is Behavior.BAD_AGGREGATION:
+            # Submit a ciphertext that is *not* the declared combination.
+            output = bgv.encrypt_monomial(
+                self.pk, min(self.pk.profile.n - 1, 3), self.rng
+            )
+        statement, proof = _prove_aggregate(
+            plan, self.pk, self.zk, output, decisions, inputs, seed, forge, self.rng
+        )
+        ordered_leaves = tuple(
+            message
+            for member in sorted(inputs)
+            for message in leaves
+            if message.sender == member
+        )
+        return OriginSubmission(
+            origin=origin,
+            ciphertext=output,
+            aggregate_statement=statement,
+            aggregate_proof=proof,
+            leaves=ordered_leaves,
+        )
+
+    def _run_multi_hop(
+        self,
+        graph: ContactGraph,
+        origin: int,
+        behaviors: dict[int, Behavior],
+        offline: set[int],
+    ) -> OriginSubmission:
+        """§4.4 flooding/aggregation over the BFS spanning tree."""
+        plan = self.plan
+        tree = graph.spanning_tree(origin, plan.hops)
+        leaves: list[LeafMessage] = []
+        intermediates: list[
+            tuple[bgv.Ciphertext, zksnark.Statement, zksnark.Proof]
+        ] = []
+        max_exponent = leaf_max_exponent(plan)
+
+        def node_indicator(node: int) -> bgv.Ciphertext | None:
+            if node in offline and node != origin:
+                return None
+            behavior = self._behavior(behaviors, node)
+            if behavior is Behavior.DROP_MESSAGE and node != origin:
+                return None
+            bindings = semantics.dest_vertex_bindings(graph, node)
+            from repro.query.compiler import evaluate_all, evaluate_expression
+
+            if evaluate_all(plan.dest_clauses, bindings):
+                if plan.sum_expr is None:
+                    exponent = 1
+                else:
+                    exponent = min(
+                        max(0, evaluate_expression(plan.sum_expr, bindings)),
+                        plan.layout.max_value,
+                    )
+            else:
+                exponent = 0
+            ct, claimed, randomness, forge = _encrypt_leaf(
+                self.pk, exponent, self.rng, behavior, max_exponent
+            )
+            message = _prove_leaf(
+                self.zk,
+                self.pk,
+                node,
+                ct,
+                claimed,
+                randomness,
+                max_exponent,
+                forge,
+                self.rng,
+            )
+            if not self.zk.verify(message.statement, message.proof):
+                self.stats.origin_filtered_leaves += 1
+                return None
+            leaves.append(message)
+            self.stats.leaf_ciphertexts += 1
+            return ct
+
+        def subtree(node: int) -> bgv.Ciphertext | None:
+            own = node_indicator(node)
+            child_outputs: dict[int, tuple[bgv.Ciphertext, ...]] = {}
+            for child in tree.get(node, []):
+                result = subtree(child)
+                if result is not None:
+                    child_outputs[child] = (result,)
+            if own is None and not child_outputs:
+                return None
+            inputs = dict(child_outputs)
+            if own is not None:
+                inputs[node] = (own,)
+            if node != origin and own is not None and not child_outputs:
+                # A pure leaf forwards its indicator unchanged; its leaf
+                # proof already covers it.
+                return own
+            seed = self.rng.getrandbits(64)
+            output = _origin_combine(
+                self.plan,
+                self.pk,
+                MultihopDecisions(contributes=True),
+                inputs,
+                random.Random(seed),
+                self.stats,
+            )
+            flat = [ct for m in sorted(inputs) for ct in inputs[m]]
+            statement = zkcircuits.aggregate_statement(
+                output, flat, self.pk, self.plan
+            )
+            witness = zkcircuits.AggregateWitness(
+                plan=self.plan,
+                decisions=MultihopDecisions(contributes=True),
+                seed=seed,
+                inputs={m: inputs[m] for m in sorted(inputs)},
+                public_key=self.pk,
+            )
+            proof = self.zk.prove(statement, witness)
+            intermediates.append((output, statement, proof))
+            return output
+
+        bindings = semantics.origin_bindings(graph, origin)
+        from repro.query.compiler import evaluate_all
+
+        contributes = evaluate_all(plan.self_clauses, bindings)
+        result = subtree(origin) if contributes else None
+        if not contributes or result is None:
+            seed = self.rng.getrandbits(64)
+            output = _origin_combine(
+                plan,
+                self.pk,
+                MultihopDecisions(contributes=False),
+                {},
+                random.Random(seed),
+            )
+            statement, proof = _prove_aggregate(
+                plan,
+                self.pk,
+                self.zk,
+                output,
+                MultihopDecisions(contributes=False),
+                {},
+                seed,
+                False,
+                self.rng,
+            )
+            return OriginSubmission(
+                origin=origin,
+                ciphertext=output,
+                aggregate_statement=statement,
+                aggregate_proof=proof,
+                leaves=(),
+            )
+        final_ct, final_statement, final_proof = intermediates.pop()
+        return OriginSubmission(
+            origin=origin,
+            ciphertext=final_ct,
+            aggregate_statement=final_statement,
+            aggregate_proof=final_proof,
+            leaves=tuple(leaves),
+            intermediates=tuple(intermediates),
+        )

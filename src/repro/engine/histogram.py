@@ -1,0 +1,118 @@
+"""Decoding the aggregated plaintext polynomial (§4.1, §4.4).
+
+After global aggregation and threshold decryption, the committee holds a
+plaintext polynomial whose coefficient p_e counts the origin vertices
+whose local result encoded to exponent e.  This module turns those
+coefficients into the released statistics:
+
+* **HISTO** — per-group histograms, optionally coarsened into the
+  analyst's bins ("we can also compute the values in a coarser bin by
+  adding up the coefficients");
+* **GSUM** — per-group clipped sums, using the paper's clipping formula
+  sum(i * p_i for a < i < b) + a * sum(p_i, i <= a) + b * sum(p_i, i >= b),
+  generalized to ratio encodings where an exponent packs (count, sum).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import QueryError
+from repro.query.plans import ExecutionPlan, ExponentLayout
+
+
+@dataclass(frozen=True)
+class GroupHistogram:
+    """One group's histogram: either raw per-value counts or binned."""
+
+    group: int
+    counts: tuple[float, ...]
+    bin_edges: tuple[int, ...] | None
+
+
+def _group_coefficients(
+    coeffs: list[int], layout: ExponentLayout, group: int
+) -> list[int]:
+    start = group * layout.block_size
+    block = coeffs[start : start + layout.block_size]
+    return list(block) + [0] * (layout.block_size - len(block))
+
+
+def bin_counts(
+    values: list[int], bin_edges: tuple[int, ...]
+) -> list[float]:
+    """Coarsen per-value counts into bins.
+
+    ``bin_edges = (e0, e1, ..., em)`` yields bins [e0,e1), [e1,e2), ...,
+    [em, end-of-block].
+    """
+    if list(bin_edges) != sorted(bin_edges):
+        raise QueryError("bin edges must be sorted")
+    totals = []
+    for i, low in enumerate(bin_edges):
+        high = bin_edges[i + 1] if i + 1 < len(bin_edges) else len(values)
+        totals.append(float(sum(values[low:high])))
+    return totals
+
+
+def decode_histogram(
+    coeffs: list[int], plan: ExecutionPlan
+) -> list[GroupHistogram]:
+    """Per-group histograms from the decrypted coefficient vector."""
+    layout = plan.layout
+    results = []
+    for group in range(layout.num_groups):
+        block = _group_coefficients(coeffs, layout, group)
+        if plan.bins is not None:
+            counts = tuple(bin_counts(block, plan.bins))
+        else:
+            counts = tuple(float(c) for c in block)
+        results.append(
+            GroupHistogram(group=group, counts=counts, bin_edges=plan.bins)
+        )
+    return results
+
+
+def decode_gsum(coeffs: list[int], plan: ExecutionPlan) -> list[float]:
+    """Per-group clipped sums (§4.4 "Final processing" at the committee).
+
+    For plain encodings, exponent e inside a block is the local value;
+    for ratio encodings it packs (count, sum) and the released value is
+    the clipped rate sum/count (origins with count 0 contributed nothing
+    and are skipped).
+    """
+    if plan.clip is None:
+        raise QueryError("GSUM decoding requires a clip range")
+    low, high = plan.clip
+    layout = plan.layout
+    results = []
+    for group in range(layout.num_groups):
+        block = _group_coefficients(coeffs, layout, group)
+        total = 0.0
+        for exponent, count in enumerate(block):
+            if count == 0:
+                continue
+            _, pair_count, pair_sum = layout.decode(
+                group * layout.block_size + exponent
+            )
+            if layout.pair_base is None:
+                value = float(pair_sum)
+            else:
+                if pair_count == 0:
+                    continue  # no qualifying neighbors: no rate to report
+                value = pair_sum / pair_count
+            clipped = min(max(value, float(low)), float(high))
+            total += count * clipped
+        results.append(total)
+    return results
+
+
+def clipping_formula_reference(
+    block: list[int], low: int, high: int
+) -> float:
+    """The paper's clipping expression, verbatim, for cross-checking
+    :func:`decode_gsum` on plain encodings."""
+    middle = sum(i * p for i, p in enumerate(block) if low < i < high)
+    below = low * sum(p for i, p in enumerate(block) if i <= low)
+    above = high * sum(p for i, p in enumerate(block) if i >= high)
+    return float(middle + below + above)

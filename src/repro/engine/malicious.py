@@ -1,0 +1,57 @@
+"""Byzantine device behaviours (§4.6, §4.7).
+
+The MC assumption says 1-2% of devices may be Byzantine.  The attacks
+the paper enumerates — and the outcomes the ZKP layer must produce:
+
+* ciphertexts with a coefficient larger than 1, with more than one
+  non-zero coefficient, or with an exponent above the allowed bound:
+  the prover cannot produce a valid proof, so the forged proof is
+  rejected and the data discarded;
+* refusing to send a message: the contribution defaults to Enc(x^0)
+  (neutral) and nothing leaks;
+* encrypting a *plausible but wrong* value: undetectable by design —
+  "there is no way to tell what the correct input of a malicious client
+  would have been" — so its impact is bounded by the per-device
+  contribution limit.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class Behavior(Enum):
+    """What a Byzantine device does with one contribution."""
+
+    HONEST = "honest"
+    #: Encrypt x^b with b beyond the allowed per-contribution bound.
+    OVERSIZED_EXPONENT = "oversized-exponent"
+    #: Encrypt a polynomial with several non-zero coefficients.
+    MULTI_COEFFICIENT = "multi-coefficient"
+    #: Encrypt c * x^b with c > 1 (inflating one bin's count).
+    LARGE_COEFFICIENT = "large-coefficient"
+    #: Send a valid-looking ciphertext with a forged (random) proof.
+    FORGED_PROOF = "forged-proof"
+    #: Send nothing at all.
+    DROP_MESSAGE = "drop-message"
+    #: Encrypt a wrong-but-legal value with an honest proof (§4.7:
+    #: cannot be detected; impact bounded).
+    LIE_IN_RANGE = "lie-in-range"
+    #: As origin: submit a ciphertext that is not the product of the
+    #: declared inputs.
+    BAD_AGGREGATION = "bad-aggregation"
+
+
+#: Behaviours the ZKP layer must catch (contribution discarded).
+DETECTED_BY_ZKP = frozenset(
+    {
+        Behavior.OVERSIZED_EXPONENT,
+        Behavior.MULTI_COEFFICIENT,
+        Behavior.LARGE_COEFFICIENT,
+        Behavior.FORGED_PROOF,
+        Behavior.BAD_AGGREGATION,
+    }
+)
+
+#: Behaviours that are tolerated with bounded impact.
+UNDETECTABLE = frozenset({Behavior.LIE_IN_RANGE, Behavior.DROP_MESSAGE})

@@ -1,0 +1,65 @@
+"""Plaintext reference executor.
+
+Runs a compiled plan directly over the contact graph, producing exactly
+the coefficient vector the encrypted pipeline would decrypt (before
+noise).  Serves three purposes: the correctness oracle for the encrypted
+engine, the noise-free "ground truth" in examples, and the §7 baseline
+(alongside :mod:`repro.baselines.graphx`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine import histogram, semantics
+from repro.engine.histogram import GroupHistogram
+from repro.query.ast import OutputKind
+from repro.query.plans import ExecutionPlan
+from repro.workloads.graphgen import ContactGraph
+
+
+@dataclass(frozen=True)
+class PlaintextRun:
+    """The un-noised outcome of a query."""
+
+    plan: ExecutionPlan
+    coefficients: tuple[int, ...]
+    contributing_origins: int
+
+    @property
+    def histograms(self) -> list[GroupHistogram]:
+        if self.plan.output is not OutputKind.HISTO:
+            raise ValueError("not a HISTO query")
+        return histogram.decode_histogram(list(self.coefficients), self.plan)
+
+    @property
+    def gsums(self) -> list[float]:
+        if self.plan.output is not OutputKind.GSUM:
+            raise ValueError("not a GSUM query")
+        return histogram.decode_gsum(list(self.coefficients), self.plan)
+
+
+def aggregate_coefficients(
+    plan: ExecutionPlan, graph: ContactGraph
+) -> tuple[list[int], int]:
+    """Sum every origin's local exponents into the global coefficient
+    vector (what homomorphic addition computes)."""
+    coefficients = [0] * plan.layout.total_coefficients
+    contributing = 0
+    for origin in range(graph.num_vertices):
+        exponents = semantics.local_exponents(plan, graph, origin)
+        if exponents:
+            contributing += 1
+        for exponent in exponents:
+            coefficients[exponent] += 1
+    return coefficients, contributing
+
+
+def run_plaintext(plan: ExecutionPlan, graph: ContactGraph) -> PlaintextRun:
+    """Execute the plan without any cryptography or noise."""
+    coefficients, contributing = aggregate_coefficients(plan, graph)
+    return PlaintextRun(
+        plan=plan,
+        coefficients=tuple(coefficients),
+        contributing_origins=contributing,
+    )

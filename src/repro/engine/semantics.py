@@ -1,0 +1,234 @@
+"""Shared execution semantics for the plaintext and encrypted engines.
+
+Both engines must agree *exactly* on what each party computes from its
+own plaintext data: the destination-side predicate and SUM evaluation,
+the origin-side neighbor selection, and the grouping decisions.  Keeping
+that logic here guarantees the encrypted path (which manipulates the
+same quantities as exponents of x) matches the reference executor
+bit for bit — the property the integration tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import UnsupportedQueryError
+from repro.query import ast
+from repro.query.compiler import (
+    Bindings,
+    bucket_group,
+    evaluate_all,
+    evaluate_expression,
+    qualifying_buckets,
+)
+from repro.query.plans import ExecutionPlan
+from repro.workloads.graphgen import ContactGraph
+
+
+def origin_bindings(graph: ContactGraph, origin: int) -> Bindings:
+    return {
+        (ast.ColumnGroup.SELF, name): value
+        for name, value in graph.vertex_attrs[origin].items()
+    }
+
+
+def dest_vertex_bindings(graph: ContactGraph, vertex: int) -> Bindings:
+    return {
+        (ast.ColumnGroup.DEST, name): value
+        for name, value in graph.vertex_attrs[vertex].items()
+    }
+
+
+def edge_bindings(graph: ContactGraph, u: int, v: int) -> Bindings:
+    return {
+        (ast.ColumnGroup.EDGE, name): value
+        for name, value in graph.edge(u, v).items()
+    }
+
+
+@dataclass(frozen=True)
+class NeighborContribution:
+    """What one destination reports for one (origin, neighbor) pair —
+    the plaintext the destination's ciphertext(s) encode (§4.3-§4.5).
+
+    ``exponent`` is 0 when the destination-side predicate fails (the
+    neutral element of the product).  ``bucket`` is the destination's
+    position in the §4.5 sequence, or None when no cross clause exists.
+    """
+
+    exponent: int
+    bucket: int | None
+
+
+def neighbor_contribution(
+    plan: ExecutionPlan, graph: ContactGraph, origin: int, neighbor: int
+) -> NeighborContribution:
+    """Destination-side computation: evaluated only over data the
+    destination legitimately holds (its own vertex attributes plus the
+    shared edge record)."""
+    bindings: Bindings = {}
+    bindings.update(dest_vertex_bindings(graph, neighbor))
+    bindings.update(edge_bindings(graph, origin, neighbor))
+    predicate_ok = evaluate_all(plan.dest_clauses, bindings)
+    if plan.sum_expr is not None:
+        value = max(0, evaluate_expression(plan.sum_expr, bindings))
+        value = min(value, plan.layout.max_value)
+    else:
+        value = 1
+    if plan.is_ratio:
+        assert plan.layout.pair_base is not None
+        inner = plan.layout.pair_base + value  # (count=1, sum=value)
+    else:
+        inner = value
+    exponent = inner if predicate_ok else 0
+    bucket = None
+    if plan.cross is not None:
+        dest_value = bindings[
+            (ast.ColumnGroup.DEST, plan.cross.dest_column.name)
+        ]
+        bucket = plan.cross.spec.bucket_of(dest_value)
+    return NeighborContribution(exponent=exponent, bucket=bucket)
+
+
+@dataclass(frozen=True)
+class OriginDecisions:
+    """Everything the origin decides from its own plaintext (§4.4-§4.5):
+    these choices parameterize both the plaintext result and the
+    homomorphic aggregation circuit.
+
+    ``contributes`` is False when a self clause fails (the origin
+    submits Enc(0)).  ``selected_neighbors`` survive the per-edge
+    filter.  ``group_of_neighbor`` maps neighbors to groups for
+    edge-site GROUP BY; ``buckets_per_group`` maps each group to the
+    sequence buckets the origin selects for it (cross queries).
+    """
+
+    contributes: bool
+    selected_neighbors: tuple[int, ...]
+    self_group: int
+    group_of_neighbor: dict[int, int]
+    buckets_per_group: dict[int, tuple[int, ...]]
+
+
+def origin_decisions(
+    plan: ExecutionPlan, graph: ContactGraph, origin: int
+) -> OriginDecisions:
+    bindings = origin_bindings(graph, origin)
+    if not evaluate_all(plan.self_clauses, bindings):
+        return OriginDecisions(False, (), 0, {}, {})
+
+    selected = []
+    for neighbor in graph.neighbors(origin):
+        if plan.per_edge_clauses:
+            edge_view = dict(bindings)
+            edge_view.update(edge_bindings(graph, origin, neighbor))
+            if not evaluate_all(plan.per_edge_clauses, edge_view):
+                continue
+        selected.append(neighbor)
+
+    self_group = 0
+    group_of_neighbor: dict[int, int] = {}
+    if plan.group_site is ast.ColumnGroup.SELF:
+        self_group = evaluate_expression(plan.group_by, bindings)
+    elif plan.group_site is ast.ColumnGroup.EDGE:
+        for neighbor in selected:
+            group_of_neighbor[neighbor] = evaluate_expression(
+                plan.group_by, edge_bindings(graph, origin, neighbor)
+            )
+
+    buckets_per_group: dict[int, tuple[int, ...]] = {}
+    if plan.cross is not None:
+        qualifying = qualifying_buckets(plan.cross, bindings)
+        if plan.group_site is ast.ColumnGroup.DEST:
+            for group in range(plan.layout.num_groups):
+                buckets_per_group[group] = tuple(
+                    b
+                    for b in qualifying
+                    if bucket_group(plan.group_by, plan.cross, b, bindings)
+                    == group
+                )
+        else:
+            buckets_per_group[self_group] = tuple(qualifying)
+    return OriginDecisions(
+        contributes=True,
+        selected_neighbors=tuple(selected),
+        self_group=self_group,
+        group_of_neighbor=group_of_neighbor,
+        buckets_per_group=buckets_per_group,
+    )
+
+
+def origin_groups(plan: ExecutionPlan, decisions: OriginDecisions) -> list[int]:
+    """Which coefficient blocks this origin's ciphertext touches."""
+    if plan.group_site is ast.ColumnGroup.EDGE:
+        return sorted(set(decisions.group_of_neighbor.values()))
+    if plan.group_site is ast.ColumnGroup.DEST:
+        # The origin cannot tell which groups are non-empty (bucket
+        # membership is encrypted), so it reports every group.
+        return list(range(plan.layout.num_groups))
+    return [decisions.self_group]
+
+
+def local_exponents(
+    plan: ExecutionPlan, graph: ContactGraph, origin: int
+) -> list[int]:
+    """The exponents of the origin's submitted ciphertext — the ground
+    truth the encrypted engine must reproduce.
+
+    Returns [] when the origin submits Enc(0).
+    """
+    if plan.hops > 1:
+        return _local_exponents_multihop(plan, graph, origin)
+    decisions = origin_decisions(plan, graph, origin)
+    if not decisions.contributes:
+        return []
+    contributions = {
+        neighbor: neighbor_contribution(plan, graph, origin, neighbor)
+        for neighbor in decisions.selected_neighbors
+    }
+    exponents = []
+    for group in origin_groups(plan, decisions):
+        if plan.group_site is ast.ColumnGroup.EDGE:
+            members = [
+                n
+                for n in decisions.selected_neighbors
+                if decisions.group_of_neighbor.get(n) == group
+            ]
+        else:
+            members = list(decisions.selected_neighbors)
+        total = 0
+        for neighbor in members:
+            contribution = contributions[neighbor]
+            if plan.cross is not None:
+                allowed = decisions.buckets_per_group.get(group, ())
+                if contribution.bucket in allowed:
+                    total += contribution.exponent
+            else:
+                total += contribution.exponent
+        exponents.append(plan.layout.block_size * group + total)
+    return exponents
+
+
+def _local_exponents_multihop(
+    plan: ExecutionPlan, graph: ContactGraph, origin: int
+) -> list[int]:
+    """k-hop COUNT queries (§4.4): the flooding protocol induces a BFS
+    spanning tree; every member (including the origin) contributes its
+    indicator once."""
+    if plan.cross is not None or plan.group_by is not None or plan.is_ratio:
+        raise UnsupportedQueryError("multi-hop supports plain COUNT only")
+    bindings = origin_bindings(graph, origin)
+    if not evaluate_all(plan.self_clauses, bindings):
+        return []
+    total = 0
+    for member in graph.k_hop_members(origin, plan.hops):
+        member_bindings = dest_vertex_bindings(graph, member)
+        if evaluate_all(plan.dest_clauses, member_bindings):
+            if plan.sum_expr is None:
+                total += 1
+            else:
+                value = max(
+                    0, evaluate_expression(plan.sum_expr, member_bindings)
+                )
+                total += min(value, plan.layout.max_value)
+    return [total]

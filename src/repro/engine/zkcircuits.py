@@ -1,0 +1,145 @@
+"""The two zkSNARK circuits of §4.6.
+
+* ``wf-encryption`` — a submitted ciphertext is *well-formed*: it
+  encrypts a monomial x^b with coefficient 1 and b inside the allowed
+  range.  This is what stops a Byzantine device from reporting a vector
+  with several non-zero coefficients or a coefficient larger than 1.
+
+* ``wf-aggregation`` — an origin's submitted ciphertext really is the
+  prescribed homomorphic combination (bucket selection, products,
+  group shifts) of the declared input ciphertexts.  The witness contains
+  the origin's private decisions and the replay seed for its fresh
+  encryptions; the circuit re-executes the public aggregation function
+  and compares digests.
+
+Statements carry ciphertext digests and the public-key fingerprint; the
+Groth16 cost model therefore scales verification time with ciphertext
+size, reproducing the aggregator-cost behaviour of Figure 9(b).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.crypto import bgv, zksnark
+from repro.crypto.hashes import protocol_hash
+from repro.query.plans import ExecutionPlan
+
+LEAF_CIRCUIT = "wf-encryption"
+AGGREGATE_CIRCUIT = "wf-aggregation"
+
+#: Constraint-count estimates for the cost model: the encryption circuit
+#: is dominated by the ring multiplications of one BGV encryption; the
+#: aggregation circuit by d ciphertext products.
+LEAF_CONSTRAINTS = 500_000
+AGGREGATE_CONSTRAINTS = 100_000
+
+
+@dataclass(frozen=True)
+class LeafWitness:
+    """Private inputs of a well-formedness proof."""
+
+    exponent: int
+    randomness: bgv.EncryptionRandomness
+    public_key: bgv.PublicKey
+
+
+@dataclass(frozen=True)
+class AggregateWitness:
+    """Private inputs of an aggregation proof."""
+
+    plan: ExecutionPlan
+    decisions: object  # semantics.OriginDecisions
+    seed: int
+    inputs: dict  # neighbor -> tuple[Ciphertext, ...]
+    public_key: bgv.PublicKey
+
+
+def plan_digest(plan: ExecutionPlan) -> bytes:
+    """A public identifier binding proofs to one query plan."""
+    return protocol_hash(b"plan", str(plan.query).encode())
+
+
+def leaf_statement(
+    ciphertext: bgv.Ciphertext, pk: bgv.PublicKey, max_exponent: int
+) -> zksnark.Statement:
+    return zksnark.Statement(
+        circuit=LEAF_CIRCUIT,
+        public_inputs=(
+            ciphertext.serialize(),
+            pk.fingerprint(),
+            max_exponent,
+        ),
+    )
+
+
+def aggregate_statement(
+    output: bgv.Ciphertext,
+    inputs: list[bgv.Ciphertext],
+    pk: bgv.PublicKey,
+    plan: ExecutionPlan,
+) -> zksnark.Statement:
+    return zksnark.Statement(
+        circuit=AGGREGATE_CIRCUIT,
+        public_inputs=(
+            output.serialize(),
+            tuple(ct.digest() for ct in inputs),
+            pk.fingerprint(),
+            plan_digest(plan),
+        ),
+    )
+
+
+def _check_leaf(public_inputs: tuple, witness: object) -> bool:
+    if not isinstance(witness, LeafWitness):
+        return False
+    ct_bytes, pk_fp, max_exponent = public_inputs
+    if witness.public_key.fingerprint() != pk_fp:
+        return False
+    if not 0 <= witness.exponent <= max_exponent:
+        return False
+    rebuilt = bgv.encrypt_monomial(
+        witness.public_key,
+        witness.exponent,
+        random.Random(0),
+        randomness=witness.randomness,
+    )
+    return rebuilt.serialize() == ct_bytes
+
+
+def _check_aggregate(public_inputs: tuple, witness: object) -> bool:
+    # Imported here: engine.encrypted depends on this module for the
+    # statement builders.
+    from repro.engine.encrypted import replay_origin_compute
+
+    if not isinstance(witness, AggregateWitness):
+        return False
+    out_bytes, input_digests, pk_fp, plan_id = public_inputs
+    if witness.public_key.fingerprint() != pk_fp:
+        return False
+    if plan_digest(witness.plan) != plan_id:
+        return False
+    provided = tuple(
+        ct.digest()
+        for cts in witness.inputs.values()
+        for ct in cts
+    )
+    if tuple(input_digests) != provided:
+        return False
+    rebuilt = replay_origin_compute(
+        witness.plan,
+        witness.public_key,
+        witness.decisions,
+        witness.inputs,
+        witness.seed,
+    )
+    return rebuilt.serialize() == out_bytes
+
+
+def build_circuits() -> list[zksnark.Circuit]:
+    """The circuit set the genesis committee performs trusted setup for."""
+    return [
+        zksnark.Circuit(LEAF_CIRCUIT, _check_leaf, LEAF_CONSTRAINTS),
+        zksnark.Circuit(AGGREGATE_CIRCUIT, _check_aggregate, AGGREGATE_CONSTRAINTS),
+    ]

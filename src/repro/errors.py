@@ -1,0 +1,72 @@
+"""Exception hierarchy for the Mycelium reproduction.
+
+Every subsystem raises a subclass of :class:`MyceliumError` so callers can
+catch library failures without swallowing unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class MyceliumError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ParameterError(MyceliumError):
+    """A configuration or cryptographic parameter is invalid."""
+
+
+class CryptoError(MyceliumError):
+    """A cryptographic operation failed (bad key, tag mismatch, ...)."""
+
+
+class AuthenticationError(CryptoError):
+    """An authenticated-encryption tag or signature did not verify."""
+
+
+class NoiseBudgetExceeded(CryptoError):
+    """A homomorphic operation would push the ciphertext noise past the
+    point where decryption is still correct."""
+
+
+class ProofError(CryptoError):
+    """A zero-knowledge proof failed to verify, or a prover submitted a
+    witness that does not satisfy the statement."""
+
+
+class SecretSharingError(CryptoError):
+    """Secret-sharing reconstruction or verification failed."""
+
+
+class MerkleError(CryptoError):
+    """A Merkle inclusion proof is malformed or inconsistent."""
+
+
+class ProtocolError(MyceliumError):
+    """A participant observed a violation of the Mycelium protocol."""
+
+
+class EquivocationError(ProtocolError):
+    """The aggregator presented inconsistent views to different devices."""
+
+
+class MessageDroppedError(ProtocolError):
+    """The aggregator (or a forwarder) dropped a message it had accepted."""
+
+
+class QueryError(MyceliumError):
+    """A query could not be parsed, compiled, or executed."""
+
+
+class QuerySyntaxError(QueryError):
+    """The query text is not valid Mycelium SQL."""
+
+
+class UnsupportedQueryError(QueryError):
+    """The query is syntactically valid but outside the supported subset
+    (e.g. it exceeds the HE multiplication budget, as Q1 does under the
+    paper's parameters)."""
+
+
+class PrivacyBudgetExceeded(MyceliumError):
+    """Running the query would exceed the remaining differential-privacy
+    budget."""

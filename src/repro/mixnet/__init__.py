@@ -1,0 +1,12 @@
+"""The §3 communication layer: a mix network over an untrusted
+aggregator.
+
+Devices reach graph neighbors known only by pseudonym through
+telescoping onion circuits (:mod:`repro.mixnet.telescope`) relayed via
+per-pseudonym mailboxes (:mod:`repro.mixnet.mailbox`) whose per-C-round
+Merkle commitments, together with the bulletin board
+(:mod:`repro.mixnet.bulletin`) and the verifiable directory
+(:mod:`repro.mixnet.maps`), keep the aggregator honest.
+:mod:`repro.mixnet.adversary` reconstructs what the aggregator plus
+colluding forwarders can infer.
+"""

@@ -1,0 +1,142 @@
+"""Collectively chosen randomness (§3.4).
+
+Hop selection hashes pseudonym numbers against "a random bitstring B
+that is chosen collectively as, e.g., in Honeycrisp" — the aggregator
+must not be able to bias B toward its confederates after committing the
+directory.  This module implements the standard commit-reveal protocol
+on the bulletin board:
+
+1. **Commit**: each participating device posts H(device || seed || salt).
+2. **Reveal**: after every commitment is on the board, devices post
+   (seed, salt); reveals that do not match their commitment — or that
+   never arrive — are excluded.
+3. **Derive**: B = H(sorted valid seeds).
+
+Because commitments bind before any seed is revealed, no party (device
+or aggregator) can steer the output; as long as one honest participant's
+seed is unpredictable, so is B.  A withholding participant can bias at
+most one bit of choice ("reveal or not"), the standard commit-reveal
+caveat, which Honeycrisp tolerates for parameter selection.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.crypto.hashes import protocol_hash
+from repro.errors import ProtocolError
+from repro.mixnet.bulletin import BulletinBoard
+
+_COMMIT_TAG = "beacon-commit"
+_REVEAL_TAG = "beacon-reveal"
+
+
+@dataclass(frozen=True)
+class BeaconShare:
+    """One device's private contribution."""
+
+    device_id: int
+    seed: bytes
+    salt: bytes
+
+    def commitment(self) -> bytes:
+        return protocol_hash(
+            b"beacon-commit",
+            self.device_id.to_bytes(8, "big"),
+            self.seed,
+            self.salt,
+        )
+
+    def reveal_payload(self) -> bytes:
+        return self.seed + self.salt
+
+
+def make_share(device_id: int, rng: random.Random) -> BeaconShare:
+    return BeaconShare(
+        device_id=device_id,
+        seed=bytes(rng.randrange(256) for _ in range(32)),
+        salt=bytes(rng.randrange(256) for _ in range(16)),
+    )
+
+
+def post_commitment(
+    board: BulletinBoard, epoch: str, share: BeaconShare
+) -> None:
+    board.post(
+        f"device-{share.device_id}",
+        f"{_COMMIT_TAG}/{epoch}/{share.device_id}",
+        share.commitment(),
+    )
+
+
+def post_reveal(board: BulletinBoard, epoch: str, share: BeaconShare) -> None:
+    board.post(
+        f"device-{share.device_id}",
+        f"{_REVEAL_TAG}/{epoch}/{share.device_id}",
+        share.reveal_payload(),
+    )
+
+
+def derive_collective_beacon(
+    board: BulletinBoard, epoch: str, participants: list[int]
+) -> bytes:
+    """Derive B from the board: valid (commit, reveal) pairs only.
+
+    Raises if *no* participant revealed validly — the protocol restarts
+    in that case (it means every participant withheld).
+    """
+    valid_seeds = []
+    for device_id in sorted(participants):
+        commit_tag = f"{_COMMIT_TAG}/{epoch}/{device_id}"
+        reveal_tag = f"{_REVEAL_TAG}/{epoch}/{device_id}"
+        commits = board.find(commit_tag)
+        reveals = board.find(reveal_tag)
+        if not commits or not reveals:
+            continue
+        commitment = board.require_unique(commit_tag).payload
+        payload = reveals[0].payload
+        if len(payload) != 48:
+            continue
+        share = BeaconShare(
+            device_id=device_id, seed=payload[:32], salt=payload[32:]
+        )
+        if share.commitment() != commitment:
+            continue  # lied at reveal time: excluded
+        valid_seeds.append(share.seed)
+    if not valid_seeds:
+        raise ProtocolError("no valid beacon reveals; protocol must restart")
+    return protocol_hash(b"beacon-output", epoch.encode(), *valid_seeds)
+
+
+def run_beacon_protocol(
+    board: BulletinBoard,
+    epoch: str,
+    participants: list[int],
+    rng: random.Random,
+    withholders: set[int] | None = None,
+    equivocators: set[int] | None = None,
+) -> bytes:
+    """Drive the full commit-reveal exchange for a participant set.
+
+    ``withholders`` commit but never reveal; ``equivocators`` reveal a
+    different seed than they committed to.  Both are excluded from the
+    output.
+    """
+    withholders = withholders or set()
+    equivocators = equivocators or set()
+    shares = {d: make_share(d, rng) for d in participants}
+    for device_id in sorted(participants):
+        post_commitment(board, epoch, shares[device_id])
+    for device_id in sorted(participants):
+        if device_id in withholders:
+            continue
+        share = shares[device_id]
+        if device_id in equivocators:
+            share = BeaconShare(
+                device_id=device_id,
+                seed=bytes(32),
+                salt=share.salt,
+            )
+        post_reveal(board, epoch, share)
+    return derive_collective_beacon(board, epoch, participants)

@@ -1,0 +1,88 @@
+"""Public bulletin board.
+
+Assumption 5 of §3.1: a public bulletin board (a blockchain in
+deployment) prevents the aggregator from equivocating.  The board is an
+append-only log; every participant reads the same entries, so a root
+posted here is a commitment the aggregator cannot later change.
+
+The board also hosts the collectively chosen random bitstring B used to
+seed hop selection (§3.4, "chosen collectively as, e.g., in Honeycrisp")
+and the challenge/response protocol for dropped messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.hashes import protocol_hash
+from repro.errors import EquivocationError, ProtocolError
+
+
+@dataclass(frozen=True)
+class BulletinEntry:
+    """One immutable log entry."""
+
+    sequence: int
+    author: str
+    tag: str
+    payload: bytes
+
+
+@dataclass
+class BulletinBoard:
+    """Append-only, globally consistent log."""
+
+    entries: list[BulletinEntry] = field(default_factory=list)
+
+    def post(self, author: str, tag: str, payload: bytes) -> BulletinEntry:
+        entry = BulletinEntry(
+            sequence=len(self.entries), author=author, tag=tag, payload=payload
+        )
+        self.entries.append(entry)
+        return entry
+
+    def find(self, tag: str) -> list[BulletinEntry]:
+        return [e for e in self.entries if e.tag == tag]
+
+    def latest(self, tag: str) -> BulletinEntry:
+        matches = self.find(tag)
+        if not matches:
+            raise ProtocolError(f"no bulletin entry tagged '{tag}'")
+        return matches[-1]
+
+    def require_unique(self, tag: str) -> BulletinEntry:
+        """Fetch a tag that must have been posted exactly once.
+
+        Two different payloads under the same unique tag is equivocation —
+        exactly what the board exists to expose.
+        """
+        matches = self.find(tag)
+        if not matches:
+            raise ProtocolError(f"no bulletin entry tagged '{tag}'")
+        payloads = {m.payload for m in matches}
+        if len(payloads) > 1:
+            raise EquivocationError(f"conflicting bulletin entries for '{tag}'")
+        return matches[0]
+
+    def head_digest(self) -> bytes:
+        """Digest of the whole log — a cheap consistency fingerprint."""
+        digest = b""
+        for entry in self.entries:
+            digest = protocol_hash(
+                digest,
+                entry.author.encode(),
+                entry.tag.encode(),
+                entry.payload,
+            )
+        return digest
+
+
+def derive_beacon(board: BulletinBoard, label: str) -> bytes:
+    """The shared random bitstring B (§3.4).
+
+    In deployment B is chosen collectively (Honeycrisp-style) so the
+    aggregator cannot bias it; here it is derived from the board state at
+    the moment the directory roots were committed, which the aggregator
+    equally cannot control after the fact.
+    """
+    return protocol_hash(b"beacon", label.encode(), board.head_digest())

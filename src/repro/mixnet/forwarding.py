@@ -1,0 +1,134 @@
+"""Message forwarding over established telescoping paths (§3.5).
+
+One communication round of the vertex program costs k+1 C-rounds: the
+source deposits its onion in C-round F, hop j forwards in C-round F+j,
+and the destination picks the payload up in C-round F+k+1 (the fetch of
+round F+k's deposits).
+
+Payload envelope (end-to-end protected, independent of the hops):
+
+    "P" || len(PEnc) || PEnc(pk_dst, session_key) || AE(session_key, m)
+
+The AE nonce is the destination's delivery round, which both ends derive
+from the globally known phase schedule.  Forwarders only ever see SEnc
+layers, so a hop that lost an input substitutes a random dummy that
+downstream colluders cannot flag (dummy injection lives in
+:meth:`repro.mixnet.network.MixDevice.emit_dummies`).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.crypto import aead
+from repro.errors import ProtocolError
+from repro.mixnet.network import (
+    MixnetWorld,
+    SourcePathState,
+    TAG_FORWARD,
+    TAG_PAYLOAD,
+    link_keys,
+)
+
+
+@dataclass(frozen=True)
+class SendRequest:
+    """One message to deliver: which device sends what over which path."""
+
+    device_id: int
+    path_key: tuple[int, int]
+    payload: bytes
+
+
+def build_envelope(
+    path: SourcePathState, payload: bytes, delivery_round: int, rng
+) -> bytes:
+    """The end-to-end protected payload the destination will open."""
+    from repro.crypto import rsa
+
+    if path.dest_pk is None:
+        raise ProtocolError("path has no destination key")
+    session_key = bytes(rng.randrange(256) for _ in range(32))
+    penc = rsa.encrypt(path.dest_pk, session_key, rng)
+    sealed = aead.ae_seal(session_key, delivery_round, payload)
+    return TAG_PAYLOAD + struct.pack(">H", len(penc)) + penc + sealed
+
+
+def wrap_for_path(path: SourcePathState, envelope: bytes, base_round: int) -> bytes:
+    """Onion-wrap an envelope: every hop sees TAG_FORWARD after its peel.
+
+    Hop j peels its layer with nonce ``base_round + j`` (its processing
+    round); the innermost peel at hop k reveals the envelope, which hop k
+    deposits into the destination's mailbox.
+    """
+    body = TAG_FORWARD + envelope
+    for j in range(len(path.hop_keys), 0, -1):
+        k_fwd, _, _ = link_keys(path.hop_keys[j - 1])
+        body = aead.senc(k_fwd, base_round + j, body)
+        if j > 1:
+            body = TAG_FORWARD + body
+    return body
+
+
+class ForwardingDriver:
+    """Run one vertex-program communication round for a batch of sends."""
+
+    def __init__(self, world: MixnetWorld):
+        self.world = world
+
+    def send_batch(
+        self, sends: list[SendRequest], payload_bytes: int
+    ) -> dict[tuple[int, tuple[int, int]], bool]:
+        """Deposit every send, run k+1 C-rounds, and report which paths
+        were exercised.
+
+        ``payload_bytes`` is the protocol-fixed payload size for this
+        phase; callers pad shorter payloads so every message (and every
+        dummy) has identical shape.
+        """
+        world = self.world
+        k = world.params.hops
+        base_round = world.current_round
+        delivery_round = base_round + k + 1
+        sent: dict[tuple[int, tuple[int, int]], bool] = {}
+        envelope_bytes = None
+        for request in sends:
+            device = world.devices[request.device_id]
+            path = device.paths.get(request.path_key)
+            key = (request.device_id, request.path_key)
+            if (
+                path is None
+                or not path.established
+                or not device.online
+            ):
+                sent[key] = False
+                continue
+            if len(request.payload) > payload_bytes:
+                raise ProtocolError("payload exceeds the phase's fixed size")
+            padded = request.payload.ljust(payload_bytes, b"\x00")
+            envelope = build_envelope(path, padded, delivery_round, device.rng)
+            envelope_bytes = len(envelope)
+            body = wrap_for_path(path, envelope, base_round)
+            device.queue_deposit(path.hop_handles[0], path.first_path_id, body)
+            sent[key] = True
+        # Arm dummy injection: a hop at position p that sees no message on
+        # an expecting link in round base+p emits a dummy of matching size.
+        if envelope_bytes is not None:
+            world.forwarding_phase_start = base_round
+            # A hop at position p deposits bodies of exactly
+            # envelope + (k - p) bytes (one TAG_FORWARD byte per layer
+            # still to peel); emit_dummies matches that shape.
+            world.forwarding_body_bytes = envelope_bytes
+        # Deposits land in C-round `base`, hop j forwards in base+j, and
+        # the destination opens its mailbox in base+k+1 — k+1 C-rounds of
+        # latency (§3.5), spanning k+2 round boundaries of the simulator.
+        for _ in range(k + 2):
+            world.run_round()
+        world.forwarding_phase_start = None
+        return sent
+
+
+def strip_padding(payload: bytes) -> bytes:
+    """Inverse of the ljust padding used by :meth:`send_batch`."""
+    return payload.rstrip(b"\x00")

@@ -1,0 +1,93 @@
+"""Hop selection for telescoping paths (§3.4).
+
+Devices select hop i of a path by drawing pseudonym numbers x uniformly
+from [0, Np*P) until
+
+    (i-1) * f  <=  H(x || B) / H_max  <  i * f,
+
+where B is the collectively chosen beacon.  Because the directory M1 is
+committed *before* B is revealed, the aggregator cannot bias hop
+positions toward colluding devices.  Buckets for different hop positions
+are disjoint, so a k*f fraction of devices serve as forwarders overall
+(this is the "k*f proportion of participants will serve as forwarders"
+used by the Figure 7 bandwidth analysis).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.crypto.hashes import hash_fraction
+from repro.errors import ParameterError
+
+
+def bucket_value(index: int, beacon: bytes) -> float:
+    """H(x || B) / H_max in [0, 1)."""
+    return hash_fraction(index.to_bytes(8, "big"), beacon)
+
+
+def is_eligible(
+    index: int, beacon: bytes, hop_position: int, fraction: float
+) -> bool:
+    """Whether pseudonym number ``index`` may serve as hop ``hop_position``
+    (1-based)."""
+    if hop_position < 1:
+        raise ParameterError("hop positions are 1-based")
+    value = bucket_value(index, beacon)
+    return (hop_position - 1) * fraction <= value < hop_position * fraction
+
+
+def hop_position_for(
+    index: int, beacon: bytes, num_hops: int, fraction: float
+) -> int | None:
+    """Which hop position (1-based) this pseudonym serves, or None."""
+    value = bucket_value(index, beacon)
+    if value >= num_hops * fraction:
+        return None
+    return int(value // fraction) + 1
+
+
+def sample_hop(
+    rng: random.Random,
+    beacon: bytes,
+    hop_position: int,
+    fraction: float,
+    num_slots: int,
+    exclude: set[int] | None = None,
+) -> int:
+    """Rejection-sample a pseudonym number eligible for ``hop_position``.
+
+    ``exclude`` avoids picking the same pseudonym twice on one path (or
+    picking the sender itself).
+    """
+    if num_slots < 1:
+        raise ParameterError("empty directory")
+    excluded = exclude or set()
+    # Expected tries: 1/fraction; cap generously to surface configuration
+    # errors instead of spinning forever.
+    max_tries = max(1000, int(50 / fraction))
+    for _ in range(max_tries):
+        candidate = rng.randrange(num_slots)
+        if candidate in excluded:
+            continue
+        if is_eligible(candidate, beacon, hop_position, fraction):
+            return candidate
+    raise ParameterError(
+        f"could not sample an eligible hop for position {hop_position}; "
+        f"directory too small for f={fraction}"
+    )
+
+
+def forwarder_slots(
+    beacon: bytes, num_hops: int, fraction: float, num_slots: int
+) -> dict[int, int]:
+    """Map every forwarder-eligible pseudonym number to its hop position.
+
+    Used by simulations to enumerate who will carry traffic.
+    """
+    positions = {}
+    for index in range(num_slots):
+        position = hop_position_for(index, beacon, num_hops, fraction)
+        if position is not None:
+            positions[index] = position
+    return positions

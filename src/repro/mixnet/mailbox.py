@@ -1,0 +1,225 @@
+"""Per-pseudonym mailboxes with C-round Merkle commitments (§3.2-§3.4).
+
+All device-to-device traffic is relayed through the aggregator, which
+keeps one mailbox per pseudonym.  At the end of each C-round the
+aggregator builds a Merkle tree over every mailbox ("mailbox MHT"), a
+tree over those trees ("C-round MHT"), posts the outer root to the
+bulletin board, and proves to each depositor that its message was
+included.  A recipient later demands the whole mailbox tree, so the
+aggregator cannot drop messages without detection; undelivered
+inclusion proofs are challenged on the bulletin board.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.hashes import protocol_hash
+from repro.crypto.merkle import InclusionProof, MerkleTree, verify_inclusion
+from repro.errors import MessageDroppedError, ProtocolError
+from repro.mixnet.bulletin import BulletinBoard
+
+
+@dataclass(frozen=True)
+class Deposit:
+    """One message deposited into a mailbox during a C-round."""
+
+    mailbox: bytes  # pseudonym handle
+    payload: bytes
+    depositor: int  # simulation device id, for bookkeeping/receipts
+
+
+@dataclass(frozen=True)
+class DepositReceipt:
+    """Proof that a deposit was included in the C-round commitment."""
+
+    round_number: int
+    mailbox: bytes
+    payload_digest: bytes
+    mailbox_proof: InclusionProof
+    mailbox_root: bytes
+    round_proof: InclusionProof
+    round_root: bytes
+
+
+@dataclass(frozen=True)
+class MailboxBatch:
+    """What a device fetches from its mailbox: all payloads plus the
+    mailbox tree data needed to verify completeness."""
+
+    round_number: int
+    mailbox: bytes
+    payloads: tuple[bytes, ...]
+    mailbox_root: bytes
+    round_proof: InclusionProof
+    round_root: bytes
+
+
+def _mailbox_leaf(payload: bytes) -> bytes:
+    return protocol_hash(b"mailbox-msg", payload)
+
+
+def _round_leaf(mailbox: bytes, mailbox_root: bytes) -> bytes:
+    return protocol_hash(b"mailbox", mailbox, mailbox_root)
+
+
+class MailboxServer:
+    """The aggregator's mailbox subsystem.
+
+    ``drop`` hooks simulate a briefly-Byzantine aggregator: dropped
+    deposits are silently discarded before commitment, which the sender
+    detects when its receipt never arrives (§3.4 challenges).
+    """
+
+    def __init__(self, board: BulletinBoard):
+        self._board = board
+        self._round = 0
+        self._pending: list[Deposit] = []
+        self._committed: dict[int, dict[bytes, list[Deposit]]] = {}
+        self._round_trees: dict[int, MerkleTree] = {}
+        self._mailbox_trees: dict[int, dict[bytes, MerkleTree]] = {}
+        self._mailbox_order: dict[int, list[bytes]] = {}
+        self.dropped: list[Deposit] = []
+
+    @property
+    def current_round(self) -> int:
+        return self._round
+
+    def deposit(self, mailbox: bytes, payload: bytes, depositor: int) -> Deposit:
+        """Accept a message for ``mailbox`` in the current C-round."""
+        deposit = Deposit(mailbox=mailbox, payload=payload, depositor=depositor)
+        self._pending.append(deposit)
+        return deposit
+
+    def drop_pending(self, predicate) -> int:
+        """Byzantine behaviour: discard pending deposits matching
+        ``predicate``; returns how many were dropped."""
+        kept, dropped = [], []
+        for deposit in self._pending:
+            (dropped if predicate(deposit) else kept).append(deposit)
+        self._pending = kept
+        self.dropped.extend(dropped)
+        return len(dropped)
+
+    def end_round(self) -> int:
+        """Close the C-round: build mailbox MHTs and the C-round MHT,
+        post the root to the bulletin board.  Returns the closed round
+        number."""
+        round_number = self._round
+        by_mailbox: dict[bytes, list[Deposit]] = {}
+        for deposit in self._pending:
+            by_mailbox.setdefault(deposit.mailbox, []).append(deposit)
+        self._pending = []
+
+        mailbox_trees = {
+            mailbox: MerkleTree([_mailbox_leaf(d.payload) for d in deposits])
+            for mailbox, deposits in by_mailbox.items()
+        }
+        order = sorted(by_mailbox)
+        round_tree = MerkleTree(
+            [_round_leaf(mailbox, mailbox_trees[mailbox].root) for mailbox in order]
+        )
+        self._committed[round_number] = by_mailbox
+        self._mailbox_trees[round_number] = mailbox_trees
+        self._mailbox_order[round_number] = order
+        self._round_trees[round_number] = round_tree
+        self._board.post(
+            "aggregator", f"cround-root/{round_number}", round_tree.root
+        )
+        self._round += 1
+        return round_number
+
+    # -- aggregator serving proofs ------------------------------------------
+
+    def receipt(self, round_number: int, deposit: Deposit) -> DepositReceipt:
+        """Prove to the depositor that its message was committed."""
+        by_mailbox = self._committed.get(round_number, {})
+        deposits = by_mailbox.get(deposit.mailbox, [])
+        try:
+            position = deposits.index(deposit)
+        except ValueError as exc:
+            raise MessageDroppedError(
+                "deposit was not included in the round commitment"
+            ) from exc
+        mailbox_tree = self._mailbox_trees[round_number][deposit.mailbox]
+        order = self._mailbox_order[round_number]
+        round_tree = self._round_trees[round_number]
+        mailbox_position = order.index(deposit.mailbox)
+        return DepositReceipt(
+            round_number=round_number,
+            mailbox=deposit.mailbox,
+            payload_digest=_mailbox_leaf(deposit.payload),
+            mailbox_proof=mailbox_tree.prove(position),
+            mailbox_root=mailbox_tree.root,
+            round_proof=round_tree.prove(mailbox_position),
+            round_root=round_tree.root,
+        )
+
+    def fetch(self, round_number: int, mailbox: bytes) -> MailboxBatch:
+        """Serve a mailbox's full contents for a closed round, with the
+        commitment data the recipient uses to verify nothing was
+        withheld."""
+        if round_number not in self._committed:
+            raise ProtocolError(f"C-round {round_number} not closed yet")
+        deposits = self._committed[round_number].get(mailbox, [])
+        round_tree = self._round_trees[round_number]
+        order = self._mailbox_order[round_number]
+        if mailbox in order:
+            mailbox_root = self._mailbox_trees[round_number][mailbox].root
+            round_proof = round_tree.prove(order.index(mailbox))
+        else:
+            # Empty mailbox: serve an empty batch under the round root.
+            mailbox_root = MerkleTree([]).root
+            round_proof = round_tree.prove(0)
+        return MailboxBatch(
+            round_number=round_number,
+            mailbox=mailbox,
+            payloads=tuple(d.payload for d in deposits),
+            mailbox_root=mailbox_root,
+            round_proof=round_proof,
+            round_root=round_tree.root,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Device-side verification
+# ---------------------------------------------------------------------------
+
+
+def verify_receipt(
+    board: BulletinBoard, payload: bytes, receipt: DepositReceipt
+) -> bool:
+    """The depositor's check: its message is in the mailbox tree, the
+    mailbox tree is in the C-round tree, and the C-round root matches the
+    bulletin board."""
+    if receipt.payload_digest != _mailbox_leaf(payload):
+        return False
+    if not verify_inclusion(
+        receipt.mailbox_root, _mailbox_leaf(payload), receipt.mailbox_proof
+    ):
+        return False
+    if not verify_inclusion(
+        receipt.round_root,
+        _round_leaf(receipt.mailbox, receipt.mailbox_root),
+        receipt.round_proof,
+    ):
+        return False
+    posted = board.latest(f"cround-root/{receipt.round_number}")
+    return posted.payload == receipt.round_root
+
+
+def verify_batch(board: BulletinBoard, batch: MailboxBatch) -> bool:
+    """The recipient's check: the served payload set reconstructs the
+    committed mailbox root, which is bound to the posted C-round root.
+    A withheld or altered message changes the reconstructed root."""
+    reconstructed = MerkleTree([_mailbox_leaf(p) for p in batch.payloads])
+    if reconstructed.root != batch.mailbox_root:
+        return False
+    if batch.payloads and not verify_inclusion(
+        batch.round_root,
+        _round_leaf(batch.mailbox, batch.mailbox_root),
+        batch.round_proof,
+    ):
+        return False
+    posted = board.latest(f"cround-root/{batch.round_number}")
+    return posted.payload == batch.round_root

@@ -1,0 +1,281 @@
+"""The verifiable maps M1 and M2 (§3.3).
+
+When a query is issued, the aggregator compiles the P most recent
+pseudonyms of each device and builds two Merkle hash trees:
+
+* **M1** maps each pseudonym number in [0, Np*P) to a leaf
+  (h_i, pk_i, d_i): the pseudonym, its public key, and the number of the
+  owning device.  Devices look up hop pseudonyms here, with positional
+  inclusion proofs.
+
+* **M2** maps each device number to a leaf listing the hashes of that
+  device's P pseudonyms and public keys.  It exists so devices can audit
+  M1: a device that registered many more than P pseudonyms cannot fit
+  them in its M2 leaf, and an aggregator minting Sybil devices runs out
+  of M2's Np leaves.
+
+Both roots go to the bulletin board before any lookups are served, so
+the aggregator is committed.  Devices then run two audits: each device
+checks its *own* pseudonyms are present in M1 (omission detection), and
+each device cross-audits x random M1 entries against M2.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+from dataclasses import dataclass
+
+from repro.crypto import rsa
+from repro.crypto.hashes import protocol_hash
+from repro.crypto.merkle import InclusionProof, MerkleTree, verify_inclusion
+from repro.errors import ProtocolError
+from repro.mixnet.pseudonym import Pseudonym
+
+
+@dataclass(frozen=True)
+class M1Leaf:
+    """(h_i, pk_i, d_i): pseudonym handle, public key, owning device."""
+
+    handle: bytes
+    public_key: rsa.RsaPublicKey
+    device_number: int
+
+    def encode(self) -> bytes:
+        key_bytes = self.public_key.serialize()
+        return (
+            struct.pack(">Q", self.device_number)
+            + struct.pack(">H", len(self.handle))
+            + self.handle
+            + key_bytes
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> M1Leaf:
+        device_number = struct.unpack(">Q", data[:8])[0]
+        handle_len = struct.unpack(">H", data[8:10])[0]
+        handle = data[10 : 10 + handle_len]
+        public_key = rsa.RsaPublicKey.deserialize(data[10 + handle_len :])
+        return cls(handle=handle, public_key=public_key, device_number=device_number)
+
+    def pseudonym(self) -> Pseudonym:
+        return Pseudonym(handle=self.handle, public_key=self.public_key)
+
+
+@dataclass(frozen=True)
+class M2Leaf:
+    """Hashes of one device's pseudonyms and public keys."""
+
+    handle_hashes: tuple[bytes, ...]
+    key_hashes: tuple[bytes, ...]
+
+    def encode(self) -> bytes:
+        return (
+            struct.pack(">H", len(self.handle_hashes))
+            + b"".join(self.handle_hashes)
+            + b"".join(self.key_hashes)
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> M2Leaf:
+        count = struct.unpack(">H", data[:2])[0]
+        body = data[2:]
+        hashes = [body[i * 32 : (i + 1) * 32] for i in range(2 * count)]
+        return cls(
+            handle_hashes=tuple(hashes[:count]), key_hashes=tuple(hashes[count:])
+        )
+
+    def contains(self, pseudonym: Pseudonym) -> bool:
+        return (
+            protocol_hash(b"m2-handle", pseudonym.handle) in self.handle_hashes
+            and protocol_hash(b"m2-key", pseudonym.public_key.serialize())
+            in self.key_hashes
+        )
+
+
+@dataclass(frozen=True)
+class M1Lookup:
+    """A served M1 entry: leaf plus positional inclusion proof."""
+
+    index: int
+    leaf: M1Leaf
+    proof: InclusionProof
+
+
+@dataclass(frozen=True)
+class M2Lookup:
+    device_number: int
+    leaf: M2Leaf
+    proof: InclusionProof
+
+
+class Directory:
+    """The aggregator's built maps, ready to serve verifiable lookups."""
+
+    def __init__(
+        self,
+        m1_leaves: list[M1Leaf],
+        m2_leaves: list[M2Leaf],
+        pseudonyms_per_device: int,
+    ):
+        self.m1_leaves = m1_leaves
+        self.m2_leaves = m2_leaves
+        self.pseudonyms_per_device = pseudonyms_per_device
+        self._m1 = MerkleTree([leaf.encode() for leaf in m1_leaves])
+        self._m2 = MerkleTree([leaf.encode() for leaf in m2_leaves])
+        self._by_handle = {leaf.handle: i for i, leaf in enumerate(m1_leaves)}
+
+    @property
+    def num_slots(self) -> int:
+        """Np * P, the size of the pseudonym number space."""
+        return len(self.m1_leaves)
+
+    @property
+    def num_devices(self) -> int:
+        return len(self.m2_leaves)
+
+    @property
+    def m1_root(self) -> bytes:
+        return self._m1.root
+
+    @property
+    def m2_root(self) -> bytes:
+        return self._m2.root
+
+    def lookup(self, index: int) -> M1Lookup:
+        """Serve pseudonym number ``index`` with its inclusion proof."""
+        if not 0 <= index < len(self.m1_leaves):
+            raise ProtocolError(f"pseudonym number {index} out of range")
+        return M1Lookup(
+            index=index, leaf=self.m1_leaves[index], proof=self._m1.prove(index)
+        )
+
+    def lookup_device(self, device_number: int) -> M2Lookup:
+        index = device_number - 1
+        if not 0 <= index < len(self.m2_leaves):
+            raise ProtocolError(f"device number {device_number} out of range")
+        return M2Lookup(
+            device_number=device_number,
+            leaf=self.m2_leaves[index],
+            proof=self._m2.prove(index),
+        )
+
+    def index_of_handle(self, handle: bytes) -> int:
+        try:
+            return self._by_handle[handle]
+        except KeyError as exc:
+            raise ProtocolError("pseudonym not present in M1") from exc
+
+
+def build_directory(
+    registrations: dict[int, list[Pseudonym]],
+    rng: random.Random,
+) -> Directory:
+    """Honest directory construction.
+
+    ``registrations`` maps simulation device ids to that device's
+    pseudonym list; every device must register the same number P of
+    pseudonyms.  Device numbers in [1, Np] and pseudonym numbers in
+    [0, Np*P) are assigned at random, as §3.3 prescribes.
+    """
+    if not registrations:
+        raise ProtocolError("no devices registered")
+    pseudonym_counts = {len(ps) for ps in registrations.values()}
+    if len(pseudonym_counts) != 1:
+        raise ProtocolError("all devices must register exactly P pseudonyms")
+    per_device = pseudonym_counts.pop()
+    device_ids = list(registrations)
+    rng.shuffle(device_ids)
+    device_numbers = {dev: i + 1 for i, dev in enumerate(device_ids)}
+
+    entries: list[M1Leaf] = []
+    m2_leaves: list[M2Leaf | None] = [None] * len(device_ids)
+    for dev, pseudonyms in registrations.items():
+        number = device_numbers[dev]
+        for p in pseudonyms:
+            entries.append(
+                M1Leaf(handle=p.handle, public_key=p.public_key, device_number=number)
+            )
+        m2_leaves[number - 1] = M2Leaf(
+            handle_hashes=tuple(
+                protocol_hash(b"m2-handle", p.handle) for p in pseudonyms
+            ),
+            key_hashes=tuple(
+                protocol_hash(b"m2-key", p.public_key.serialize())
+                for p in pseudonyms
+            ),
+        )
+    rng.shuffle(entries)
+    return Directory(
+        m1_leaves=entries,
+        m2_leaves=[leaf for leaf in m2_leaves if leaf is not None],
+        pseudonyms_per_device=per_device,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Device-side verification (§3.3 audits)
+# ---------------------------------------------------------------------------
+
+
+def verify_m1_lookup(m1_root: bytes, lookup: M1Lookup) -> bool:
+    """Check (a) the inclusion proof at the claimed position and (b) that
+    the pseudonym handle matches the public key."""
+    if lookup.proof.index != lookup.index:
+        return False
+    if not verify_inclusion(m1_root, lookup.leaf.encode(), lookup.proof):
+        return False
+    return lookup.leaf.pseudonym().verify_binding()
+
+
+def verify_m2_lookup(m2_root: bytes, lookup: M2Lookup) -> bool:
+    if lookup.proof.index != lookup.device_number - 1:
+        return False
+    return verify_inclusion(m2_root, lookup.leaf.encode(), lookup.proof)
+
+
+def audit_own_pseudonyms(
+    m1_root: bytes,
+    own_pseudonyms: list[Pseudonym],
+    served: list[M1Lookup],
+) -> bool:
+    """First audit: the device checks every one of its own pseudonyms is
+    present (at some position) with a valid proof.  Detects omission."""
+    if len(served) != len(own_pseudonyms):
+        return False
+    served_by_handle = {lookup.leaf.handle: lookup for lookup in served}
+    for pseudonym in own_pseudonyms:
+        lookup = served_by_handle.get(pseudonym.handle)
+        if lookup is None:
+            return False
+        if lookup.leaf.public_key != pseudonym.public_key:
+            return False
+        if not verify_m1_lookup(m1_root, lookup):
+            return False
+    return True
+
+
+def cross_audit(
+    m1_root: bytes,
+    m2_root: bytes,
+    directory: Directory,
+    rng: random.Random,
+    samples: int,
+) -> bool:
+    """Second audit: sample random pseudonym numbers, fetch the M1 leaf,
+    then demand the matching M2 leaf and check the pseudonym's hashes
+    appear there.  An over-registered device or fabricated M1 entry fails
+    because its M2 leaf only holds P slots."""
+    for _ in range(samples):
+        index = rng.randrange(directory.num_slots)
+        m1_lookup = directory.lookup(index)
+        if not verify_m1_lookup(m1_root, m1_lookup):
+            return False
+        m2_lookup = directory.lookup_device(m1_lookup.leaf.device_number)
+        if not verify_m2_lookup(m2_root, m2_lookup):
+            return False
+        if len(m2_lookup.leaf.handle_hashes) > directory.pseudonyms_per_device:
+            return False
+        if not m2_lookup.leaf.contains(m1_lookup.leaf.pseudonym()):
+            return False
+    return True

@@ -1,0 +1,87 @@
+"""Onion encryption helpers (§3.2, §3.5).
+
+A source s holding symmetric keys sk_1..sk_k (one per hop, established by
+telescoping) wraps a payload as
+
+    SEnc(sk_1, rho,   SEnc(sk_2, rho+1, ... SEnc(sk_k, rho+k-1, payload)))
+
+where rho is the C-round in which hop 1 processes the message.  Each hop
+strips one layer (ChaCha20 is its own inverse) and forwards under the
+next link's path id.  Outer layers are deliberately MAC-less so a hop
+that is missing an expected input can substitute a random dummy that
+colluding downstream hops cannot distinguish from real traffic; only the
+innermost payload (source to destination) carries authentication.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.crypto import aead
+from repro.errors import ProtocolError
+
+PATH_ID_BYTES = 16
+
+
+def new_path_id(rng=None) -> bytes:
+    """A fresh random path id."""
+    if rng is None:
+        return os.urandom(PATH_ID_BYTES)
+    return bytes(rng.randrange(256) for _ in range(PATH_ID_BYTES))
+
+
+@dataclass(frozen=True)
+class WireMessage:
+    """What actually sits in a mailbox: path id plus opaque body."""
+
+    path_id: bytes
+    body: bytes
+
+    def encode(self) -> bytes:
+        if len(self.path_id) != PATH_ID_BYTES:
+            raise ProtocolError("path ids are 16 bytes")
+        return self.path_id + self.body
+
+    @classmethod
+    def decode(cls, data: bytes) -> WireMessage:
+        if len(data) < PATH_ID_BYTES:
+            raise ProtocolError("wire message shorter than a path id")
+        return cls(path_id=data[:PATH_ID_BYTES], body=data[PATH_ID_BYTES:])
+
+
+def wrap(payload: bytes, hop_keys: list[bytes], base_round: int) -> bytes:
+    """Build the onion body handed to hop 1.
+
+    ``hop_keys[i]`` is the key shared with hop i+1; layer i is encrypted
+    under the round number at which that hop will peel it.
+    """
+    body = payload
+    for offset in reversed(range(len(hop_keys))):
+        body = aead.senc(hop_keys[offset], base_round + offset, body)
+    return body
+
+
+def peel(hop_key: bytes, round_number: int, body: bytes) -> bytes:
+    """Strip one onion layer (what a forwarder does each C-round)."""
+    return aead.senc(hop_key, round_number, body)
+
+
+def unwrap_reverse(payload: bytes, hop_keys: list[bytes], base_round: int) -> bytes:
+    """Peel a *reverse-path* onion at the source.
+
+    On the way back, hop i (closest to the source last) adds a layer
+    under its shared key and the round it forwarded in; the source knows
+    every key and removes them all.  ``hop_keys`` is ordered from the hop
+    nearest the source outward, and ``base_round`` is the round in which
+    the nearest hop deposited to the source.
+    """
+    body = payload
+    for offset, key in enumerate(hop_keys):
+        body = aead.senc(key, base_round - offset, body)
+    return body
+
+
+def dummy_body(length: int) -> bytes:
+    """A random body indistinguishable from an SEnc ciphertext (§3.5)."""
+    return aead.random_dummy(length)

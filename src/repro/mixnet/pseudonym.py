@@ -1,0 +1,102 @@
+"""Pseudonyms and device identities.
+
+Each participant is identified by one or more pseudonyms (§2): in a
+GAEN-like deployment these are Rolling Proximity Identifiers.  Every
+pseudonym h is bound to an RSA key pair by h = H(pk) (§3.1, assumption 3),
+so anyone holding a public key can check it matches a pseudonym.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.crypto import rsa
+from repro.crypto.hashes import protocol_hash
+from repro.errors import ProtocolError
+
+#: RSA modulus size for pseudonym keys.  The prototype uses RSA-PKCS1
+#: (§5); tests shrink this for speed.
+DEFAULT_RSA_BITS = 512
+
+HANDLE_BYTES = 32
+
+
+def handle_for_key(public_key: rsa.RsaPublicKey) -> bytes:
+    """h = H(pk)."""
+    return protocol_hash(b"pseudonym", public_key.serialize())
+
+
+@dataclass(frozen=True)
+class Pseudonym:
+    """The public view of a pseudonym: handle plus bound public key."""
+
+    handle: bytes
+    public_key: rsa.RsaPublicKey
+
+    def verify_binding(self) -> bool:
+        return handle_for_key(self.public_key) == self.handle
+
+
+@dataclass(frozen=True)
+class PseudonymIdentity:
+    """A device's private view: the pseudonym plus its private key."""
+
+    pseudonym: Pseudonym
+    private_key: rsa.RsaPrivateKey
+
+    @property
+    def handle(self) -> bytes:
+        return self.pseudonym.handle
+
+
+def mint_pseudonym(
+    rng: random.Random, rsa_bits: int = DEFAULT_RSA_BITS
+) -> PseudonymIdentity:
+    """Generate a fresh pseudonym with its key pair."""
+    private, public = rsa.generate_keypair(rsa_bits, rng)
+    return PseudonymIdentity(
+        pseudonym=Pseudonym(handle=handle_for_key(public), public_key=public),
+        private_key=private,
+    )
+
+
+@dataclass
+class DeviceIdentity:
+    """A device's full identity: device id plus its pseudonym set.
+
+    ``device_id`` is a simulation-level label (the aggregator's device
+    number is assigned separately during directory construction).
+    """
+
+    device_id: int
+    pseudonyms: list[PseudonymIdentity] = field(default_factory=list)
+
+    def primary(self) -> PseudonymIdentity:
+        if not self.pseudonyms:
+            raise ProtocolError(f"device {self.device_id} has no pseudonyms")
+        return self.pseudonyms[0]
+
+    def identity_for_handle(self, handle: bytes) -> PseudonymIdentity:
+        for identity in self.pseudonyms:
+            if identity.handle == handle:
+                return identity
+        raise ProtocolError(
+            f"device {self.device_id} does not own pseudonym {handle.hex()[:12]}"
+        )
+
+    def owns_handle(self, handle: bytes) -> bool:
+        return any(p.handle == handle for p in self.pseudonyms)
+
+
+def mint_device(
+    device_id: int,
+    num_pseudonyms: int,
+    rng: random.Random,
+    rsa_bits: int = DEFAULT_RSA_BITS,
+) -> DeviceIdentity:
+    """Create a device with ``num_pseudonyms`` fresh pseudonyms."""
+    return DeviceIdentity(
+        device_id=device_id,
+        pseudonyms=[mint_pseudonym(rng, rsa_bits) for _ in range(num_pseudonyms)],
+    )

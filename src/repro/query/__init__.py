@@ -1,0 +1,9 @@
+"""The §4 query language: parser, compiler, sensitivity analysis, and
+the Figure 2 catalog.
+
+``parse`` (:mod:`repro.query.parser`) accepts the paper's SQL dialect;
+``compile_query`` (:mod:`repro.query.compiler`) partitions WHERE clauses
+across evaluation sites and derives the exponent layout that reproduces
+the Figure 6 ciphertext counts; :mod:`repro.query.sensitivity` is the
+static analysis of §4.7.
+"""

@@ -1,0 +1,239 @@
+"""Abstract syntax tree for Mycelium's SQL dialect (§4).
+
+The language is the paper's subset of SQL with two extensions: the outer
+aggregator must be HISTO or GSUM, and GSUM queries carry a CLIP range.
+We additionally accept an optional BINS clause for HISTO (the paper says
+"CLIP commands and histogram bins have been omitted" from Figure 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class ColumnGroup(Enum):
+    """The three column groups visible to a local query (§4)."""
+
+    SELF = "self"
+    DEST = "dest"
+    EDGE = "edge"
+
+
+# -- expressions --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Column:
+    """A reference like ``dest.tInf``."""
+
+    group: ColumnGroup
+    name: str
+
+    def __str__(self) -> str:
+        return f"{self.group.value}.{self.name}"
+
+
+@dataclass(frozen=True)
+class Literal:
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class BinaryOp:
+    """Arithmetic: +, -, *."""
+
+    op: str
+    left: "Expression"
+    right: "Expression"
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class FuncCall:
+    """A built-in predicate/bucketing function like onSubway(...)."""
+
+    name: str
+    args: tuple["Expression", ...]
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(str(a) for a in self.args)})"
+
+
+Expression = Column | Literal | BinaryOp | FuncCall
+
+
+# -- predicates ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Compare:
+    """A relational test: <, <=, >, >=, =, !=."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class InRange:
+    """value IN [lo, hi] — the BETWEEN-style range test of Q2/Q9."""
+
+    value: Expression
+    low: Expression
+    high: Expression
+
+    def __str__(self) -> str:
+        return f"{self.value} IN [{self.low}, {self.high}]"
+
+
+@dataclass(frozen=True)
+class Truthy:
+    """A bare column/function used as a predicate (e.g. ``self.inf``)."""
+
+    expr: Expression
+
+    def __str__(self) -> str:
+        return str(self.expr)
+
+
+@dataclass(frozen=True)
+class Not:
+    operand: "Predicate"
+
+    def __str__(self) -> str:
+        return f"NOT ({self.operand})"
+
+
+@dataclass(frozen=True)
+class And:
+    operands: tuple["Predicate", ...]
+
+    def __str__(self) -> str:
+        return " AND ".join(f"({o})" for o in self.operands)
+
+
+@dataclass(frozen=True)
+class Or:
+    operands: tuple["Predicate", ...]
+
+    def __str__(self) -> str:
+        return " OR ".join(f"({o})" for o in self.operands)
+
+
+Predicate = Compare | InRange | Truthy | Not | And | Or
+
+
+# -- aggregates ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CountStar:
+    def __str__(self) -> str:
+        return "COUNT(*)"
+
+
+@dataclass(frozen=True)
+class SumExpr:
+    expr: Expression
+
+    def __str__(self) -> str:
+        return f"SUM({self.expr})"
+
+
+InnerAggregate = CountStar | SumExpr
+
+
+class OutputKind(Enum):
+    HISTO = "HISTO"
+    GSUM = "GSUM"
+
+
+@dataclass(frozen=True)
+class Query:
+    """A parsed query."""
+
+    output: OutputKind
+    numerator: InnerAggregate
+    #: For GSUM ratio queries (secondary attack rates), the denominator
+    #: COUNT(*); None for plain aggregates.
+    denominator: InnerAggregate | None
+    hops: int
+    where: Predicate | None
+    group_by: Expression | None
+    clip: tuple[int, int] | None = None
+    bins: tuple[int, ...] | None = None
+
+    def __str__(self) -> str:
+        inner = str(self.numerator)
+        if self.denominator is not None:
+            inner = f"{inner}/{self.denominator}"
+        text = f"SELECT {self.output.value}({inner}) FROM neigh({self.hops})"
+        if self.where is not None:
+            text += f" WHERE {self.where}"
+        if self.group_by is not None:
+            text += f" GROUP BY {self.group_by}"
+        if self.clip is not None:
+            text += f" CLIP [{self.clip[0]}, {self.clip[1]}]"
+        if self.bins is not None:
+            text += f" BINS [{', '.join(str(b) for b in self.bins)}]"
+        return text
+
+
+def conjuncts(predicate: Predicate | None) -> list[Predicate]:
+    """Flatten a predicate into its top-level AND factors (the compiler
+    assumes conjunctive normal form at the top level, §4.4)."""
+    if predicate is None:
+        return []
+    if isinstance(predicate, And):
+        result = []
+        for operand in predicate.operands:
+            result.extend(conjuncts(operand))
+        return result
+    return [predicate]
+
+
+def columns_in(node) -> set[Column]:
+    """All column references inside an expression or predicate."""
+    if isinstance(node, Column):
+        return {node}
+    if isinstance(node, Literal) or node is None:
+        return set()
+    if isinstance(node, BinaryOp):
+        return columns_in(node.left) | columns_in(node.right)
+    if isinstance(node, FuncCall):
+        out: set[Column] = set()
+        for arg in node.args:
+            out |= columns_in(arg)
+        return out
+    if isinstance(node, Compare):
+        return columns_in(node.left) | columns_in(node.right)
+    if isinstance(node, InRange):
+        return columns_in(node.value) | columns_in(node.low) | columns_in(node.high)
+    if isinstance(node, Truthy):
+        return columns_in(node.expr)
+    if isinstance(node, Not):
+        return columns_in(node.operand)
+    if isinstance(node, (And, Or)):
+        out = set()
+        for operand in node.operands:
+            out |= columns_in(operand)
+        return out
+    if isinstance(node, CountStar):
+        return set()
+    if isinstance(node, SumExpr):
+        return columns_in(node.expr)
+    raise TypeError(f"unknown AST node {type(node).__name__}")
+
+
+def groups_in(node) -> set[ColumnGroup]:
+    """Column groups referenced by an AST node."""
+    return {column.group for column in columns_in(node)}

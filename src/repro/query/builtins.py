@@ -1,0 +1,78 @@
+"""Built-in functions usable in queries (§2.1's onSubway, isHousehold,
+stage).
+
+Each builtin maps bounded integer inputs to a bounded integer output, so
+it composes with the static sensitivity analysis.  Predicate builtins
+return 0/1; bucketing builtins return a small category index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import QueryError
+from repro.query import schema as schema_mod
+
+#: stage() buckets for Q10: incubation (<=4 days after the index case's
+#: diagnosis) vs illness period.
+STAGE_NAMES = ("incubation", "illness")
+
+
+@dataclass(frozen=True)
+class Builtin:
+    """A registered query function."""
+
+    name: str
+    arity: int
+    output_low: int
+    output_high: int
+    fn: Callable[..., int]
+
+    @property
+    def output_domain_size(self) -> int:
+        return self.output_high - self.output_low + 1
+
+    def __call__(self, *args: int) -> int:
+        if len(args) != self.arity:
+            raise QueryError(
+                f"{self.name} expects {self.arity} argument(s), got {len(args)}"
+            )
+        value = int(self.fn(*args))
+        return min(max(value, self.output_low), self.output_high)
+
+
+def _on_subway(location: int) -> int:
+    return 1 if location in schema_mod.SUBWAY_LOCATIONS else 0
+
+
+def _is_household(location: int) -> int:
+    return 1 if location == schema_mod.HOUSEHOLD_LOCATION else 0
+
+
+def _stage(day_offset: int) -> int:
+    """Q10: classify a transmission by how long after the index case's
+    diagnosis it happened — incubation period (0) vs illness period (1)."""
+    return 0 if day_offset <= 4 else 1
+
+
+def _decade(age: int) -> int:
+    return min(max(age, 0), 99) // 10
+
+
+BUILTINS: dict[str, Builtin] = {
+    b.name: b
+    for b in (
+        Builtin("onSubway", 1, 0, 1, _on_subway),
+        Builtin("isHousehold", 1, 0, 1, _is_household),
+        Builtin("stage", 1, 0, len(STAGE_NAMES) - 1, _stage),
+        Builtin("decade", 1, 0, 9, _decade),
+    )
+}
+
+
+def get_builtin(name: str) -> Builtin:
+    builtin = BUILTINS.get(name)
+    if builtin is None:
+        raise QueryError(f"unknown function {name}()")
+    return builtin

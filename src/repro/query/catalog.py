@@ -1,0 +1,176 @@
+"""The paper's query catalog (Figure 2), with the CLIP ranges and
+histogram bins the paper says it omitted.
+
+Every entry records the query text, the motivating description, and the
+ciphertext count the paper reports in Figure 6 (which the test suite
+checks against the compiler's output).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.params import SystemParameters
+from repro.query import ast
+from repro.query.compiler import compile_query
+from repro.query.parser import parse
+from repro.query.plans import ExecutionPlan
+from repro.query.schema import Schema, DEFAULT_SCHEMA
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    """One published query."""
+
+    qid: str
+    description: str
+    text: str
+    #: Ciphertexts per contribution, as reported in Figure 6.
+    paper_ciphertexts: int
+
+    def parsed(self) -> ast.Query:
+        return parse(self.text)
+
+    def plan(
+        self,
+        params: SystemParameters,
+        schema: Schema = DEFAULT_SCHEMA,
+    ) -> ExecutionPlan:
+        return compile_query(self.parsed(), params, schema)
+
+
+CATALOG: dict[str, CatalogEntry] = {
+    entry.qid: entry
+    for entry in (
+        CatalogEntry(
+            qid="Q1",
+            description=(
+                "Histogram of the number of infections in an infected "
+                "participant's two-hop neighborhood, within 14 days"
+            ),
+            text=(
+                "SELECT HISTO(COUNT(*)) FROM neigh(2) "
+                "WHERE dest.inf AND self.inf"
+            ),
+            paper_ciphertexts=1,
+        ),
+        CatalogEntry(
+            qid="Q2",
+            description=(
+                "Histogram of the amount of time A has spent near B, if A "
+                "is infected within 5-15 days of contact with B"
+            ),
+            text=(
+                "SELECT HISTO(SUM(edge.duration)) FROM neigh(1) "
+                "WHERE self.inf AND dest.tInfec IN "
+                "[edge.last_contact+5, edge.last_contact+10]"
+            ),
+            paper_ciphertexts=1,
+        ),
+        CatalogEntry(
+            qid="Q3",
+            description=(
+                "Histogram of the frequency of contact between A and B, "
+                "if A infected B"
+            ),
+            text=(
+                "SELECT HISTO(SUM(edge.contacts)) FROM neigh(1) "
+                "WHERE self.inf AND dest.tInf AND (dest.tInf > self.tInf+2)"
+            ),
+            paper_ciphertexts=14,
+        ),
+        CatalogEntry(
+            qid="Q4",
+            description=(
+                "Secondary attack rate of infected participants if they "
+                "travelled on the subway"
+            ),
+            text=(
+                "SELECT HISTO(SUM(dest.inf)) FROM neigh(1) "
+                "WHERE onSubway(edge.location) AND self.inf"
+            ),
+            paper_ciphertexts=1,
+        ),
+        CatalogEntry(
+            qid="Q5",
+            description=(
+                "Histogram of the number of distinct contacts within the "
+                "last 24 hours, for different age groups"
+            ),
+            text=(
+                "SELECT HISTO(COUNT(*)) FROM neigh(1) "
+                "GROUP BY decade(self.age)"
+            ),
+            paper_ciphertexts=1,
+        ),
+        CatalogEntry(
+            qid="Q6",
+            description=(
+                "Histogram of secondary infections caused by infected "
+                "participants in different age groups"
+            ),
+            text=(
+                "SELECT HISTO(COUNT(*)) FROM neigh(1) "
+                "WHERE self.inf AND dest.tInf AND (dest.tInf > self.tInf+2) "
+                "GROUP BY decade(self.age)"
+            ),
+            paper_ciphertexts=14,
+        ),
+        CatalogEntry(
+            qid="Q7",
+            description=(
+                "Histogram of secondary infections based on type of "
+                "exposure (such as family, social, work)"
+            ),
+            text=(
+                "SELECT HISTO(COUNT(*)) FROM neigh(1) "
+                "WHERE self.inf AND dest.tInf AND (dest.tInf > self.tInf+2) "
+                "GROUP BY edge.setting"
+            ),
+            paper_ciphertexts=14,
+        ),
+        CatalogEntry(
+            qid="Q8",
+            description=(
+                "Secondary attack rates in household vs non-household "
+                "contacts"
+            ),
+            text=(
+                "SELECT GSUM(SUM(dest.inf)/COUNT(*)) FROM neigh(1) "
+                "WHERE self.inf GROUP BY isHousehold(edge.location) "
+                "CLIP [0, 1]"
+            ),
+            paper_ciphertexts=1,
+        ),
+        CatalogEntry(
+            qid="Q9",
+            description=(
+                "Secondary attack rates within case-contact pairs in the "
+                "same age group vs different age groups"
+            ),
+            text=(
+                "SELECT GSUM(SUM(dest.inf)/COUNT(*)) FROM neigh(1) "
+                "WHERE dest.age IN [0, 100] AND "
+                "self.age IN [dest.age-10, dest.age+10] CLIP [0, 1]"
+            ),
+            paper_ciphertexts=10,
+        ),
+        CatalogEntry(
+            qid="Q10",
+            description=(
+                "Secondary attack rates at different stages of the disease "
+                "(incubation period vs illness period)"
+            ),
+            text=(
+                "SELECT GSUM(SUM(dest.inf)/COUNT(*)) FROM neigh(1) "
+                "WHERE self.inf AND (dest.tInf > self.tInf+2) "
+                "GROUP BY stage(dest.tInf - self.tInf) CLIP [0, 1]"
+            ),
+            paper_ciphertexts=14,
+        ),
+    )
+}
+
+
+def all_queries() -> list[CatalogEntry]:
+    return [CATALOG[f"Q{i}"] for i in range(1, 11)]

@@ -1,0 +1,384 @@
+"""Query compiler: AST -> :class:`~repro.query.plans.ExecutionPlan`.
+
+The compiler performs the clause partitioning of §4.4/§4.5, derives the
+exponent layout (value bounds via interval analysis over the bounded
+column domains), and enforces the language restrictions the paper states
+for multi-hop queries (no GROUP BY, no edge sums, no cross-group
+comparisons beyond one hop).
+
+It also provides the interpreter used wherever plaintext evaluation is
+legitimate: destination-side predicate/SUM evaluation, origin-side self
+clauses, and the plaintext baseline engine.
+"""
+
+from __future__ import annotations
+
+from repro.errors import QueryError, UnsupportedQueryError
+from repro.params import SystemParameters
+from repro.query import ast
+from repro.query.builtins import get_builtin
+from repro.query.plans import CrossClauseSpec, ExecutionPlan, ExponentLayout
+from repro.query.schema import DEFAULT_SCHEMA, Schema
+
+#: Row bindings: {(group, column name): int value}
+Bindings = dict[tuple[ast.ColumnGroup, str], int]
+
+
+# ---------------------------------------------------------------------------
+# Interpretation (plaintext evaluation of expressions and predicates)
+# ---------------------------------------------------------------------------
+
+
+def evaluate_expression(expr: ast.Expression, bindings: Bindings) -> int:
+    if isinstance(expr, ast.Literal):
+        return expr.value
+    if isinstance(expr, ast.Column):
+        key = (expr.group, expr.name)
+        if key not in bindings:
+            raise QueryError(f"no binding for {expr}")
+        return bindings[key]
+    if isinstance(expr, ast.BinaryOp):
+        left = evaluate_expression(expr.left, bindings)
+        right = evaluate_expression(expr.right, bindings)
+        if expr.op == "+":
+            return left + right
+        if expr.op == "-":
+            return left - right
+        if expr.op == "*":
+            return left * right
+        raise QueryError(f"unknown operator {expr.op}")
+    if isinstance(expr, ast.FuncCall):
+        builtin = get_builtin(expr.name)
+        args = [evaluate_expression(a, bindings) for a in expr.args]
+        return builtin(*args)
+    raise QueryError(f"cannot evaluate {type(expr).__name__}")
+
+
+def evaluate_predicate(pred: ast.Predicate, bindings: Bindings) -> bool:
+    if isinstance(pred, ast.Truthy):
+        return evaluate_expression(pred.expr, bindings) != 0
+    if isinstance(pred, ast.Compare):
+        left = evaluate_expression(pred.left, bindings)
+        right = evaluate_expression(pred.right, bindings)
+        return {
+            ">": left > right,
+            "<": left < right,
+            ">=": left >= right,
+            "<=": left <= right,
+            "=": left == right,
+            "!=": left != right,
+        }[pred.op]
+    if isinstance(pred, ast.InRange):
+        value = evaluate_expression(pred.value, bindings)
+        return (
+            evaluate_expression(pred.low, bindings)
+            <= value
+            <= evaluate_expression(pred.high, bindings)
+        )
+    if isinstance(pred, ast.Not):
+        return not evaluate_predicate(pred.operand, bindings)
+    if isinstance(pred, ast.And):
+        return all(evaluate_predicate(p, bindings) for p in pred.operands)
+    if isinstance(pred, ast.Or):
+        return any(evaluate_predicate(p, bindings) for p in pred.operands)
+    raise QueryError(f"cannot evaluate predicate {type(pred).__name__}")
+
+
+def evaluate_all(preds, bindings: Bindings) -> bool:
+    return all(evaluate_predicate(p, bindings) for p in preds)
+
+
+# ---------------------------------------------------------------------------
+# Static value-bound analysis
+# ---------------------------------------------------------------------------
+
+
+def expression_bounds(
+    expr: ast.Expression, schema: Schema
+) -> tuple[int, int]:
+    """Interval analysis: conservative [low, high] of an expression."""
+    if isinstance(expr, ast.Literal):
+        return expr.value, expr.value
+    if isinstance(expr, ast.Column):
+        spec = schema.lookup(expr.group, expr.name)
+        return spec.low, spec.high
+    if isinstance(expr, ast.BinaryOp):
+        a_low, a_high = expression_bounds(expr.left, schema)
+        b_low, b_high = expression_bounds(expr.right, schema)
+        if expr.op == "+":
+            return a_low + b_low, a_high + b_high
+        if expr.op == "-":
+            return a_low - b_high, a_high - b_low
+        if expr.op == "*":
+            corners = [
+                a_low * b_low,
+                a_low * b_high,
+                a_high * b_low,
+                a_high * b_high,
+            ]
+            return min(corners), max(corners)
+        raise QueryError(f"unknown operator {expr.op}")
+    if isinstance(expr, ast.FuncCall):
+        builtin = get_builtin(expr.name)
+        for arg in expr.args:
+            expression_bounds(arg, schema)  # validates columns exist
+        return builtin.output_low, builtin.output_high
+    raise QueryError(f"cannot bound {type(expr).__name__}")
+
+
+def _validate_columns(node, schema: Schema) -> None:
+    for column in ast.columns_in(node):
+        schema.lookup(column.group, column.name)
+
+
+# ---------------------------------------------------------------------------
+# Cross-clause machinery (§4.5)
+# ---------------------------------------------------------------------------
+
+
+def _single_dest_column(clause: ast.Predicate) -> ast.Column:
+    dest_columns = {
+        c for c in ast.columns_in(clause) if c.group == ast.ColumnGroup.DEST
+    }
+    if len(dest_columns) != 1:
+        raise UnsupportedQueryError(
+            "cross-group comparisons must reference exactly one dest column"
+        )
+    return dest_columns.pop()
+
+
+def qualifying_buckets(
+    cross: CrossClauseSpec, origin_bindings: Bindings
+) -> list[int]:
+    """Which buckets of the destination column satisfy the cross clauses
+    given the origin's own values.
+
+    A bucket qualifies if *any* raw value inside it satisfies every cross
+    clause — with bucket width 1 this is exact; for coarsened columns
+    (age decades) it matches the paper's group-level semantics.
+    """
+    spec = cross.spec
+    qualifying = []
+    for bucket in range(spec.comparison_domain_size):
+        low = spec.low + bucket * spec.comparison_bucket
+        high = min(low + spec.comparison_bucket - 1, spec.high)
+        for value in range(low, high + 1):
+            bindings = dict(origin_bindings)
+            bindings[(ast.ColumnGroup.DEST, cross.dest_column.name)] = value
+            try:
+                if evaluate_all(cross.clauses, bindings):
+                    qualifying.append(bucket)
+                    break
+            except QueryError:
+                break
+    return qualifying
+
+
+def bucket_group(
+    group_by: ast.Expression,
+    cross: CrossClauseSpec,
+    bucket: int,
+    origin_bindings: Bindings,
+) -> int:
+    """For a dest-side GROUP BY: which group a sequence bucket belongs
+    to, evaluated with the bucket's representative value and the origin's
+    own columns."""
+    spec = cross.spec
+    value = spec.low + bucket * spec.comparison_bucket
+    bindings = dict(origin_bindings)
+    bindings[(ast.ColumnGroup.DEST, cross.dest_column.name)] = value
+    return evaluate_expression(group_by, bindings)
+
+
+# ---------------------------------------------------------------------------
+# Compilation
+# ---------------------------------------------------------------------------
+
+
+def compile_query(
+    query: ast.Query,
+    params: SystemParameters,
+    schema: Schema = DEFAULT_SCHEMA,
+) -> ExecutionPlan:
+    """Compile a parsed query into an execution plan.
+
+    Raises :class:`UnsupportedQueryError` for queries outside the §4
+    language subset and :class:`QueryError` for schema violations.
+    """
+    if query.hops < 1:
+        raise UnsupportedQueryError("neigh(k) needs k >= 1")
+    d = params.degree_bound
+
+    # -- aggregate ----------------------------------------------------------
+    is_ratio = query.denominator is not None
+    if is_ratio:
+        if query.output is not ast.OutputKind.GSUM:
+            raise UnsupportedQueryError("ratio aggregates require GSUM")
+        if not isinstance(query.denominator, ast.CountStar):
+            raise UnsupportedQueryError(
+                "ratio denominators must be COUNT(*)"
+            )
+    if query.output is ast.OutputKind.GSUM and query.clip is None:
+        raise UnsupportedQueryError("GSUM queries must specify a CLIP range")
+    if query.clip is not None and query.clip[0] > query.clip[1]:
+        raise QueryError("CLIP range is inverted")
+
+    sum_expr: ast.Expression | None = None
+    if isinstance(query.numerator, ast.SumExpr):
+        sum_expr = query.numerator.expr
+        _validate_columns(sum_expr, schema)
+        groups = ast.groups_in(sum_expr)
+        if ast.ColumnGroup.SELF in groups:
+            raise UnsupportedQueryError(
+                "SUM arguments may only reference dest/edge columns"
+            )
+        low, high = expression_bounds(sum_expr, schema)
+        if low < 0:
+            raise UnsupportedQueryError(
+                "SUM arguments must be non-negative (exponent encoding)"
+            )
+        max_value = high
+    elif isinstance(query.numerator, ast.CountStar):
+        max_value = 1
+    else:
+        raise UnsupportedQueryError("inner aggregate must be COUNT or SUM")
+
+    # -- clause partition -----------------------------------------------------
+    self_clauses: list[ast.Predicate] = []
+    per_edge_clauses: list[ast.Predicate] = []
+    dest_clauses: list[ast.Predicate] = []
+    cross_clauses: list[ast.Predicate] = []
+    for clause in ast.conjuncts(query.where):
+        _validate_columns(clause, schema)
+        groups = ast.groups_in(clause)
+        has_self = ast.ColumnGroup.SELF in groups
+        has_dest = ast.ColumnGroup.DEST in groups
+        if has_self and has_dest:
+            cross_clauses.append(clause)
+        elif has_self:
+            if ast.ColumnGroup.EDGE in groups:
+                per_edge_clauses.append(clause)
+            else:
+                self_clauses.append(clause)
+        elif groups:
+            dest_clauses.append(clause)
+        else:
+            # Constant clause: fold at compile time.
+            if not evaluate_predicate(clause, {}):
+                self_clauses.append(clause)  # always-false: zeroes output
+
+    cross: CrossClauseSpec | None = None
+    if cross_clauses:
+        dest_columns = {_single_dest_column(c) for c in cross_clauses}
+        if len(dest_columns) != 1:
+            raise UnsupportedQueryError(
+                "all cross-group comparisons must share one dest column"
+            )
+        column = dest_columns.pop()
+        cross = CrossClauseSpec(
+            dest_column=column,
+            spec=schema.lookup(ast.ColumnGroup.DEST, column.name),
+            clauses=tuple(cross_clauses),
+        )
+
+    # -- GROUP BY ---------------------------------------------------------------
+    group_site: ast.ColumnGroup | None = None
+    num_groups = 1
+    if query.group_by is not None:
+        _validate_columns(query.group_by, schema)
+        groups = ast.groups_in(query.group_by)
+        if groups <= {ast.ColumnGroup.SELF}:
+            group_site = ast.ColumnGroup.SELF
+        elif groups <= {ast.ColumnGroup.EDGE}:
+            group_site = ast.ColumnGroup.EDGE
+        elif ast.ColumnGroup.DEST in groups and ast.ColumnGroup.EDGE not in groups:
+            # Q10-style grouping on a dest column: the origin groups the
+            # *buckets* of the §4.5 sequence, so the group key may mix
+            # dest and self columns as long as the dest side is the one
+            # column already driving the sequence.
+            group_site = ast.ColumnGroup.DEST
+            dest_cols = {
+                c
+                for c in ast.columns_in(query.group_by)
+                if c.group == ast.ColumnGroup.DEST
+            }
+            if len(dest_cols) != 1:
+                raise UnsupportedQueryError(
+                    "dest-side GROUP BY must use exactly one dest column"
+                )
+            group_column = dest_cols.pop()
+            if cross is None:
+                cross = CrossClauseSpec(
+                    dest_column=group_column,
+                    spec=schema.lookup(ast.ColumnGroup.DEST, group_column.name),
+                    clauses=(),
+                )
+            elif cross.dest_column != group_column:
+                raise UnsupportedQueryError(
+                    "dest-side GROUP BY must use the same dest column as "
+                    "the cross-group comparison"
+                )
+        else:
+            raise UnsupportedQueryError(
+                "GROUP BY must use self, edge, or one dest column (§4.5)"
+            )
+        low, high = expression_bounds(query.group_by, schema)
+        num_groups = high - low + 1
+        if low != 0:
+            raise UnsupportedQueryError(
+                "GROUP BY expressions must start their range at 0 "
+                "(wrap them in a bucketing builtin)"
+            )
+
+    # -- multi-hop restrictions (§4.4) -----------------------------------------
+    if query.hops > 1:
+        if query.group_by is not None:
+            raise UnsupportedQueryError("multi-hop queries cannot GROUP BY")
+        if cross is not None:
+            raise UnsupportedQueryError(
+                "multi-hop queries cannot compare fields across column groups"
+            )
+        if sum_expr is not None and ast.ColumnGroup.EDGE in ast.groups_in(
+            sum_expr
+        ):
+            raise UnsupportedQueryError(
+                "multi-hop queries cannot sum over edge columns"
+            )
+
+    # -- exponent layout ---------------------------------------------------------
+    # One-hop local queries aggregate over neighbors only (§4.3); the
+    # multi-hop flooding protocol folds in the origin's own value as well
+    # (§4.4 "along with an encryption of its own value").
+    neighborhood = sum(d**i for i in range(1, query.hops + 1))
+    if query.hops > 1:
+        neighborhood += 1
+    if is_ratio:
+        pair_base = neighborhood * max_value + 1
+        block_size = neighborhood * pair_base + neighborhood * max_value + 1
+    else:
+        pair_base = None
+        block_size = neighborhood * max_value + 1
+    layout = ExponentLayout(
+        num_groups=num_groups,
+        block_size=block_size,
+        pair_base=pair_base,
+        max_value=max_value,
+    )
+
+    return ExecutionPlan(
+        query=query,
+        hops=query.hops,
+        output=query.output,
+        is_ratio=is_ratio,
+        self_clauses=tuple(self_clauses),
+        per_edge_clauses=tuple(per_edge_clauses),
+        dest_clauses=tuple(dest_clauses),
+        cross=cross,
+        sum_expr=sum_expr,
+        group_by=query.group_by,
+        group_site=group_site,
+        layout=layout,
+        clip=query.clip,
+        bins=query.bins,
+        degree_bound=d,
+    )

@@ -1,0 +1,100 @@
+"""Tokenizer for the query language.
+
+Accepts both plain-ASCII AND/OR and the paper's ∧/∨ symbols, so the
+queries of Figure 2 can be pasted nearly verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import QuerySyntaxError
+
+KEYWORDS = {
+    "SELECT",
+    "FROM",
+    "WHERE",
+    "GROUP",
+    "BY",
+    "AND",
+    "OR",
+    "NOT",
+    "IN",
+    "NEIGH",
+    "HISTO",
+    "GSUM",
+    "COUNT",
+    "SUM",
+    "CLIP",
+    "BINS",
+}
+
+
+class TokenKind(Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    SYMBOL = "symbol"
+    END = "end"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind == TokenKind.KEYWORD and self.text == word
+
+    def is_symbol(self, symbol: str) -> bool:
+        return self.kind == TokenKind.SYMBOL and self.text == symbol
+
+
+_TWO_CHAR = (">=", "<=", "!=", "==")
+_ONE_CHAR = set("()[].,*/+-<>=")
+
+
+def tokenize(text: str) -> list[Token]:
+    """Split query text into tokens."""
+    # Normalize the paper's logical symbols.
+    text = text.replace("∧", " AND ").replace("∨", " OR ")
+    text = text.replace("∈", " IN ")
+    tokens: list[Token] = []
+    i = 0
+    length = len(text)
+    while i < length:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if text[i : i + 2] in _TWO_CHAR:
+            tokens.append(Token(TokenKind.SYMBOL, text[i : i + 2], i))
+            i += 2
+            continue
+        if ch in _ONE_CHAR:
+            tokens.append(Token(TokenKind.SYMBOL, ch, i))
+            i += 1
+            continue
+        if ch.isdigit():
+            j = i
+            while j < length and text[j].isdigit():
+                j += 1
+            tokens.append(Token(TokenKind.NUMBER, text[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < length and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            if word.upper() in KEYWORDS:
+                tokens.append(Token(TokenKind.KEYWORD, word.upper(), i))
+            else:
+                tokens.append(Token(TokenKind.IDENT, word, i))
+            i = j
+            continue
+        raise QuerySyntaxError(f"unexpected character {ch!r} at position {i}")
+    tokens.append(Token(TokenKind.END, "", length))
+    return tokens

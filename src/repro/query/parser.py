@@ -1,0 +1,292 @@
+"""Recursive-descent parser for the query language (§4).
+
+Grammar (keywords case-insensitive, ∧/∨/∈ accepted):
+
+    query      := SELECT aggspec FROM NEIGH '(' INT ')'
+                  [WHERE pred] [GROUP BY expr]
+                  [CLIP '[' int ',' int ']'] [BINS '[' int {',' int} ']']
+    aggspec    := (HISTO | GSUM) '(' inner ['/' inner] ')'
+    inner      := COUNT '(' '*' ')' | SUM '(' expr ')'
+    pred       := andterm {OR andterm}
+    andterm    := factor {AND factor}
+    factor     := NOT factor | '(' pred ')' followed by comparison tail?
+                | comparison
+    comparison := expr (relop expr | IN '[' expr ',' expr ']' | ε)
+    expr       := term {('+'|'-') term}
+    term       := primary {'*' primary}
+    primary    := INT | column | funccall | '(' expr ')'
+    column     := ('self'|'dest'|'edge') '.' IDENT
+"""
+
+from __future__ import annotations
+
+from repro.errors import QuerySyntaxError
+from repro.query import ast
+from repro.query.lexer import Token, TokenKind, tokenize
+
+_RELOPS = {">", "<", ">=", "<=", "=", "==", "!="}
+_GROUP_NAMES = {g.value: g for g in ast.ColumnGroup}
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token helpers --------------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        self._pos += 1
+        return token
+
+    def _expect_keyword(self, word: str) -> None:
+        token = self._advance()
+        if not token.is_keyword(word):
+            raise QuerySyntaxError(
+                f"expected {word} at position {token.position}, got {token.text!r}"
+            )
+
+    def _expect_symbol(self, symbol: str) -> None:
+        token = self._advance()
+        if not token.is_symbol(symbol):
+            raise QuerySyntaxError(
+                f"expected {symbol!r} at position {token.position}, "
+                f"got {token.text!r}"
+            )
+
+    def _expect_number(self) -> int:
+        token = self._advance()
+        if token.kind != TokenKind.NUMBER:
+            raise QuerySyntaxError(
+                f"expected a number at position {token.position}, "
+                f"got {token.text!r}"
+            )
+        return int(token.text)
+
+    def _accept_symbol(self, symbol: str) -> bool:
+        if self._peek().is_symbol(symbol):
+            self._advance()
+            return True
+        return False
+
+    def _accept_keyword(self, word: str) -> bool:
+        if self._peek().is_keyword(word):
+            self._advance()
+            return True
+        return False
+
+    # -- grammar ---------------------------------------------------------------
+
+    def parse_query(self) -> ast.Query:
+        self._expect_keyword("SELECT")
+        output, numerator, denominator = self._aggspec()
+        self._expect_keyword("FROM")
+        self._expect_keyword("NEIGH")
+        self._expect_symbol("(")
+        hops = self._expect_number()
+        self._expect_symbol(")")
+        where = None
+        if self._accept_keyword("WHERE"):
+            where = self._predicate()
+        group_by = None
+        if self._accept_keyword("GROUP"):
+            self._expect_keyword("BY")
+            group_by = self._expression()
+        clip = None
+        if self._accept_keyword("CLIP"):
+            self._expect_symbol("[")
+            low = self._signed_number()
+            self._expect_symbol(",")
+            high = self._signed_number()
+            self._expect_symbol("]")
+            clip = (low, high)
+        bins = None
+        if self._accept_keyword("BINS"):
+            self._expect_symbol("[")
+            edges = [self._signed_number()]
+            while self._accept_symbol(","):
+                edges.append(self._signed_number())
+            self._expect_symbol("]")
+            bins = tuple(edges)
+        end = self._advance()
+        if end.kind != TokenKind.END:
+            raise QuerySyntaxError(
+                f"unexpected trailing input at position {end.position}: "
+                f"{end.text!r}"
+            )
+        return ast.Query(
+            output=output,
+            numerator=numerator,
+            denominator=denominator,
+            hops=hops,
+            where=where,
+            group_by=group_by,
+            clip=clip,
+            bins=bins,
+        )
+
+    def _signed_number(self) -> int:
+        if self._accept_symbol("-"):
+            return -self._expect_number()
+        return self._expect_number()
+
+    def _aggspec(self):
+        token = self._advance()
+        if token.is_keyword("HISTO"):
+            output = ast.OutputKind.HISTO
+        elif token.is_keyword("GSUM"):
+            output = ast.OutputKind.GSUM
+        else:
+            raise QuerySyntaxError(
+                f"expected HISTO or GSUM at position {token.position}"
+            )
+        self._expect_symbol("(")
+        numerator = self._inner_aggregate()
+        denominator = None
+        if self._accept_symbol("/"):
+            denominator = self._inner_aggregate()
+        self._expect_symbol(")")
+        return output, numerator, denominator
+
+    def _inner_aggregate(self) -> ast.InnerAggregate:
+        token = self._advance()
+        if token.is_keyword("COUNT"):
+            self._expect_symbol("(")
+            self._expect_symbol("*")
+            self._expect_symbol(")")
+            return ast.CountStar()
+        if token.is_keyword("SUM"):
+            self._expect_symbol("(")
+            expr = self._expression()
+            self._expect_symbol(")")
+            return ast.SumExpr(expr)
+        raise QuerySyntaxError(
+            f"expected COUNT or SUM at position {token.position}"
+        )
+
+    def _predicate(self) -> ast.Predicate:
+        terms = [self._and_term()]
+        while self._accept_keyword("OR"):
+            terms.append(self._and_term())
+        if len(terms) == 1:
+            return terms[0]
+        return ast.Or(tuple(terms))
+
+    def _and_term(self) -> ast.Predicate:
+        factors = [self._factor()]
+        while self._accept_keyword("AND"):
+            factors.append(self._factor())
+        if len(factors) == 1:
+            return factors[0]
+        return ast.And(tuple(factors))
+
+    def _factor(self) -> ast.Predicate:
+        if self._accept_keyword("NOT"):
+            return ast.Not(self._factor())
+        if self._peek().is_symbol("("):
+            # Could be a parenthesized predicate or a parenthesized
+            # arithmetic expression starting a comparison; try the
+            # predicate first and fall back.
+            saved = self._pos
+            self._advance()
+            try:
+                inner = self._predicate()
+                self._expect_symbol(")")
+            except QuerySyntaxError:
+                self._pos = saved
+                return self._comparison()
+            # `(pred) relop ...` is not meaningful; treat as predicate.
+            return inner
+        return self._comparison()
+
+    def _comparison(self) -> ast.Predicate:
+        left = self._expression()
+        token = self._peek()
+        if token.kind == TokenKind.SYMBOL and token.text in _RELOPS:
+            op = self._advance().text
+            right = self._expression()
+            return ast.Compare("=" if op == "==" else op, left, right)
+        if token.is_keyword("IN"):
+            self._advance()
+            self._expect_symbol("[")
+            low = self._expression()
+            self._expect_symbol(",")
+            high = self._expression()
+            self._expect_symbol("]")
+            return ast.InRange(left, low, high)
+        if token.is_symbol("["):
+            # The paper's shorthand: dest.tInfec[a, b].
+            self._advance()
+            low = self._expression()
+            self._expect_symbol(",")
+            high = self._expression()
+            self._expect_symbol("]")
+            return ast.InRange(left, low, high)
+        return ast.Truthy(left)
+
+    def _expression(self) -> ast.Expression:
+        left = self._term()
+        while True:
+            token = self._peek()
+            if token.is_symbol("+") or token.is_symbol("-"):
+                op = self._advance().text
+                right = self._term()
+                left = ast.BinaryOp(op, left, right)
+            else:
+                return left
+
+    def _term(self) -> ast.Expression:
+        left = self._primary()
+        while self._peek().is_symbol("*"):
+            self._advance()
+            right = self._primary()
+            left = ast.BinaryOp("*", left, right)
+        return left
+
+    def _primary(self) -> ast.Expression:
+        token = self._advance()
+        if token.kind == TokenKind.NUMBER:
+            return ast.Literal(int(token.text))
+        if token.is_symbol("-"):
+            inner = self._primary()
+            if isinstance(inner, ast.Literal):
+                return ast.Literal(-inner.value)
+            return ast.BinaryOp("-", ast.Literal(0), inner)
+        if token.is_symbol("("):
+            expr = self._expression()
+            self._expect_symbol(")")
+            return expr
+        if token.kind == TokenKind.IDENT:
+            if token.text in _GROUP_NAMES and self._peek().is_symbol("."):
+                self._advance()
+                name = self._advance()
+                if name.kind not in (TokenKind.IDENT, TokenKind.KEYWORD):
+                    raise QuerySyntaxError(
+                        f"expected column name at position {name.position}"
+                    )
+                return ast.Column(_GROUP_NAMES[token.text], name.text)
+            if self._peek().is_symbol("("):
+                self._advance()
+                args = []
+                if not self._peek().is_symbol(")"):
+                    args.append(self._expression())
+                    while self._accept_symbol(","):
+                        args.append(self._expression())
+                self._expect_symbol(")")
+                return ast.FuncCall(token.text, tuple(args))
+            raise QuerySyntaxError(
+                f"bare identifier {token.text!r} at position "
+                f"{token.position}; columns are group.name"
+            )
+        raise QuerySyntaxError(
+            f"unexpected token {token.text!r} at position {token.position}"
+        )
+
+
+def parse(text: str) -> ast.Query:
+    """Parse query text into an AST."""
+    return _Parser(tokenize(text)).parse_query()

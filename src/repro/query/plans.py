@@ -1,0 +1,132 @@
+"""Execution-plan structures produced by the compiler (§4.3-§4.5).
+
+A plan captures everything the engines need:
+
+* how the WHERE clauses are partitioned across evaluation sites
+  (origin-global, origin-per-edge, destination, cross-group sequence);
+* the exponent layout: how (group, count, sum) triples map into
+  plaintext-polynomial coefficients;
+* how many ciphertexts each contribution requires (Figure 6);
+* the multiplication count, for the noise-budget feasibility check that
+  reproduces the §6.2 generality result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto import noise
+from repro.errors import UnsupportedQueryError
+from repro.params import BGVProfile, SystemParameters
+from repro.query import ast
+from repro.query.schema import ColumnSpec
+
+
+@dataclass(frozen=True)
+class ExponentLayout:
+    """How local results are encoded as monomial exponents (§4.1, §4.5).
+
+    Each GROUP BY group owns a disjoint coefficient block of
+    ``block_size`` coefficients.  Within a block, a plain aggregate value
+    ``v`` encodes as exponent ``v``; a ratio aggregate (count, sum)
+    encodes as ``count * pair_base + sum``.
+    """
+
+    num_groups: int
+    block_size: int
+    pair_base: int | None  # None for plain aggregates
+    max_value: int  # vmax: largest per-neighbor summand
+
+    @property
+    def total_coefficients(self) -> int:
+        return self.num_groups * self.block_size
+
+    def encode(self, group: int, count: int, total: int) -> int:
+        """Exponent for one origin's local result."""
+        if self.pair_base is None:
+            inner = total
+        else:
+            inner = count * self.pair_base + total
+        return group * self.block_size + inner
+
+    def decode(self, exponent: int) -> tuple[int, int, int]:
+        """(group, count, sum) for a coefficient index.  For plain
+        aggregates count is reported as -1 (unknown)."""
+        group, inner = divmod(exponent, self.block_size)
+        if self.pair_base is None:
+            return group, -1, inner
+        count, total = divmod(inner, self.pair_base)
+        return group, count, total
+
+
+@dataclass(frozen=True)
+class CrossClauseSpec:
+    """A §4.5 sequence protocol instance: the destination reports one
+    ciphertext per bucket of ``dest_column``'s comparison domain, and the
+    origin selects the qualifying subsequence."""
+
+    dest_column: ast.Column
+    spec: ColumnSpec
+    clauses: tuple[ast.Predicate, ...]
+
+    @property
+    def num_buckets(self) -> int:
+        return self.spec.comparison_domain_size
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """A compiled query, ready for the plaintext or encrypted engine."""
+
+    query: ast.Query
+    hops: int
+    output: ast.OutputKind
+    is_ratio: bool
+    #: SELF-only clauses: evaluated at the origin; failure zeroes the
+    #: whole contribution (§4.4 "Final processing").
+    self_clauses: tuple[ast.Predicate, ...]
+    #: SELF+EDGE clauses: the origin filters individual neighbors.
+    per_edge_clauses: tuple[ast.Predicate, ...]
+    #: DEST/EDGE clauses: evaluated by each destination (§4.4).
+    dest_clauses: tuple[ast.Predicate, ...]
+    #: SELF x DEST clauses: handled via the §4.5 sequence protocol.
+    cross: CrossClauseSpec | None
+    #: SUM argument (None for COUNT), evaluated destination-side.
+    sum_expr: ast.Expression | None
+    group_by: ast.Expression | None
+    group_site: ast.ColumnGroup | None  # SELF or EDGE
+    layout: ExponentLayout
+    clip: tuple[int, int] | None
+    bins: tuple[int, ...] | None
+    degree_bound: int
+
+    @property
+    def ciphertexts_per_contribution(self) -> int:
+        """The Figure 6 column: ciphertexts each device sends per
+        neighbor contribution."""
+        return self.cross.num_buckets if self.cross is not None else 1
+
+    @property
+    def multiplications(self) -> int:
+        """Homomorphic multiplications per origin (dominant term d^k,
+        matching the paper's accounting for Q1)."""
+        return noise.multiplications_for_query(self.hops, self.degree_bound)
+
+    def budget_report(self, profile: BGVProfile) -> noise.BudgetReport:
+        return noise.check_budget(profile, self.hops, self.degree_bound)
+
+    def validate_feasible(self, profile: BGVProfile) -> None:
+        """Raise if the plan does not fit the HE parameters: either the
+        noise budget (§6.2) or the plaintext coefficient capacity."""
+        noise.require_budget(profile, self.hops, self.degree_bound)
+        if self.layout.total_coefficients > profile.n:
+            raise UnsupportedQueryError(
+                f"plan needs {self.layout.total_coefficients} plaintext "
+                f"coefficients but the ring only has {profile.n}"
+            )
+
+    def communication_crounds(self, params: SystemParameters) -> int:
+        """Vertex-program rounds cost 2k message waves of k+1 C-rounds
+        each (§4.4 flooding + aggregation), i.e. Figure 5(d)'s 2k+2 for
+        one-hop queries."""
+        return 2 * self.hops * (params.hops + 1)

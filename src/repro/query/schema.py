@@ -1,0 +1,193 @@
+"""Column schema for the contact-graph domain of §2.1.
+
+Every column has a bounded integer domain; boundedness is what makes
+static sensitivity analysis (§4.7) and the §4.5 sequence protocol
+possible.  ``comparison_bucket`` is the discretization used when a
+column appears in a cross-column-group comparison: the destination then
+sends one ciphertext per bucket, which is what produces the Figure 6
+ciphertext counts (14 for day-offset columns, 10 for age decades).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import QueryError
+from repro.query.ast import ColumnGroup
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """One column's metadata."""
+
+    name: str
+    groups: frozenset[ColumnGroup]
+    low: int
+    high: int
+    comparison_bucket: int = 1
+    description: str = ""
+
+    @property
+    def domain_size(self) -> int:
+        return self.high - self.low + 1
+
+    @property
+    def comparison_domain_size(self) -> int:
+        """Number of buckets when this column drives a §4.5 sequence."""
+        return (
+            self.domain_size + self.comparison_bucket - 1
+        ) // self.comparison_bucket
+
+    def bucket_of(self, value: int) -> int:
+        clipped = min(max(value, self.low), self.high)
+        return (clipped - self.low) // self.comparison_bucket
+
+    def clip(self, value: int) -> int:
+        return min(max(int(value), self.low), self.high)
+
+
+_VERTEX = frozenset({ColumnGroup.SELF, ColumnGroup.DEST})
+_EDGE = frozenset({ColumnGroup.EDGE})
+
+#: Window length for infection-time columns: 14 days, giving the 14
+#: ciphertexts of Q3/Q6/Q7/Q10 in Figure 6.
+INFECTION_WINDOW_DAYS = 14
+
+#: Edge "setting" categories (family / household / social / work / other).
+SETTINGS = ("family", "household", "social", "work", "other")
+
+#: Location categories; ids below SUBWAY_LOCATION_MAX count as subway.
+NUM_LOCATIONS = 16
+SUBWAY_LOCATIONS = frozenset({0, 1})
+HOUSEHOLD_LOCATION = 2
+
+
+DEFAULT_COLUMNS = [
+    ColumnSpec(
+        "inf",
+        _VERTEX,
+        0,
+        1,
+        description="1 if the participant is infected",
+    ),
+    ColumnSpec(
+        "tInf",
+        _VERTEX,
+        0,
+        INFECTION_WINDOW_DAYS - 1,
+        description=(
+            "day of diagnosis within the study window; 0 means not "
+            "infected (truthiness tests treat 0 as false)"
+        ),
+    ),
+    ColumnSpec(
+        "tInfec",
+        _VERTEX,
+        0,
+        INFECTION_WINDOW_DAYS - 1,
+        description="alias domain for infection time (Q2 uses tInfec)",
+    ),
+    ColumnSpec(
+        "age",
+        _VERTEX,
+        0,
+        99,
+        comparison_bucket=10,
+        description="age in years; cross-group comparisons use decades",
+    ),
+    ColumnSpec(
+        "duration",
+        _EDGE,
+        0,
+        240,
+        description="cumulative contact duration (minutes, clipped)",
+    ),
+    ColumnSpec(
+        "contacts",
+        _EDGE,
+        0,
+        50,
+        description="number of distinct contact events (clipped)",
+    ),
+    ColumnSpec(
+        "last_contact",
+        _EDGE,
+        0,
+        INFECTION_WINDOW_DAYS - 1,
+        description="day of the most recent contact",
+    ),
+    ColumnSpec(
+        "location",
+        _EDGE,
+        0,
+        NUM_LOCATIONS - 1,
+        description="category of the contact location",
+    ),
+    ColumnSpec(
+        "setting",
+        _EDGE,
+        0,
+        len(SETTINGS) - 1,
+        description="exposure setting (family/household/social/work/other)",
+    ),
+]
+
+
+class Schema:
+    """A lookup table of column specs, keyed by (group, name)."""
+
+    def __init__(self, columns: list[ColumnSpec] | None = None):
+        self._columns: dict[str, ColumnSpec] = {}
+        for spec in columns if columns is not None else DEFAULT_COLUMNS:
+            self._columns[spec.name] = spec
+
+    def lookup(self, group: ColumnGroup, name: str) -> ColumnSpec:
+        spec = self._columns.get(name)
+        if spec is None:
+            raise QueryError(f"unknown column {group.value}.{name}")
+        if group not in spec.groups:
+            raise QueryError(
+                f"column {name} is not available in group {group.value}"
+            )
+        return spec
+
+    def column_names(self) -> list[str]:
+        return sorted(self._columns)
+
+
+DEFAULT_SCHEMA = Schema()
+
+
+def scaled_schema(duration_high: int = 20, contacts_high: int = 8) -> Schema:
+    """A domain-reduced schema for tests that run on tiny BGV rings.
+
+    The paper profile's ring (N = 32768) comfortably fits the default
+    domains; the 64-coefficient TEST ring does not fit SUM(edge.duration)
+    queries, so tests shrink the summand domains instead of slowing the
+    whole suite down with a bigger ring.
+    """
+    columns = []
+    for spec in DEFAULT_COLUMNS:
+        if spec.name == "duration":
+            columns.append(
+                ColumnSpec(
+                    spec.name,
+                    spec.groups,
+                    0,
+                    duration_high,
+                    description=spec.description,
+                )
+            )
+        elif spec.name == "contacts":
+            columns.append(
+                ColumnSpec(
+                    spec.name,
+                    spec.groups,
+                    0,
+                    contacts_high,
+                    description=spec.description,
+                )
+            )
+        else:
+            columns.append(spec)
+    return Schema(columns)

@@ -1,0 +1,65 @@
+"""Static sensitivity analysis (§4.7).
+
+"By construction, all queries in our language have bounded sensitivity,
+and this bound can be statically determined by multiplying the maximum
+value contribution of any one device by the total number of devices in
+their local neighborhood."
+
+A device influences its own local query plus every local query whose
+k-hop neighborhood contains it: at most M = 1 + sum(d^i, i=1..k) local
+results.  Per local result:
+
+* HISTO terms contribute at most 2 — changing a device's data can remove
+  one origin from one bin and add it to another;
+* GSUM terms contribute at most the clip-range width.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import QueryError
+from repro.query.ast import OutputKind
+from repro.query.plans import ExecutionPlan
+
+
+@dataclass(frozen=True)
+class SensitivityReport:
+    """The static bound and its factors."""
+
+    influenced_queries: int
+    per_query_contribution: float
+    sensitivity: float
+
+
+def influenced_local_queries(hops: int, degree_bound: int) -> int:
+    """M: how many origins' local results one device can affect."""
+    return 1 + sum(degree_bound**i for i in range(1, hops + 1))
+
+
+def analyze(plan: ExecutionPlan) -> SensitivityReport:
+    """Compute the query's global L1 sensitivity."""
+    influenced = influenced_local_queries(plan.hops, plan.degree_bound)
+    if plan.output is OutputKind.HISTO:
+        per_query = 2.0
+    elif plan.output is OutputKind.GSUM:
+        if plan.clip is None:
+            raise QueryError("GSUM plans must carry a clip range")
+        low, high = plan.clip
+        per_query = float(high - low)
+        if per_query == 0:
+            per_query = 1.0  # degenerate clip still releases membership
+    else:
+        raise QueryError(f"unknown output kind {plan.output}")
+    return SensitivityReport(
+        influenced_queries=influenced,
+        per_query_contribution=per_query,
+        sensitivity=per_query * influenced,
+    )
+
+
+def laplace_scale(plan: ExecutionPlan, epsilon: float) -> float:
+    """Noise scale b = sensitivity / epsilon for the Laplace mechanism."""
+    if epsilon <= 0:
+        raise QueryError("epsilon must be positive")
+    return analyze(plan).sensitivity / epsilon

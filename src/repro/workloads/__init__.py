@@ -1,0 +1,5 @@
+"""Synthetic workloads: household contact graphs
+(:mod:`repro.workloads.graphgen`), an epidemic process
+(:mod:`repro.workloads.epidemic`), and attribute/domain utilities
+(:mod:`repro.workloads.attributes`).
+"""

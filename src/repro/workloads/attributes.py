@@ -1,0 +1,53 @@
+"""Attribute utilities: domain validation and overrides.
+
+Generators in this package must only emit values inside the schema
+domains — the encrypted engine's exponent encoding depends on it.  These
+helpers validate that invariant and let tests construct precise
+scenarios.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParameterError
+from repro.query.ast import ColumnGroup
+from repro.query.schema import DEFAULT_SCHEMA, Schema
+from repro.workloads.graphgen import ContactGraph
+
+
+def validate_graph(graph: ContactGraph, schema: Schema = DEFAULT_SCHEMA) -> None:
+    """Raise if any vertex/edge attribute falls outside its schema domain."""
+    for vertex, attrs in enumerate(graph.vertex_attrs):
+        for name, value in attrs.items():
+            spec = schema.lookup(ColumnGroup.SELF, name)
+            if not spec.low <= value <= spec.high:
+                raise ParameterError(
+                    f"vertex {vertex}: {name}={value} outside "
+                    f"[{spec.low}, {spec.high}]"
+                )
+    for u in range(graph.num_vertices):
+        for v in graph.neighbors(u):
+            for name, value in graph.edge(u, v).items():
+                spec = schema.lookup(ColumnGroup.EDGE, name)
+                if not spec.low <= value <= spec.high:
+                    raise ParameterError(
+                        f"edge ({u},{v}): {name}={value} outside "
+                        f"[{spec.low}, {spec.high}]"
+                    )
+
+
+def set_vertex(graph: ContactGraph, vertex: int, **attrs: int) -> None:
+    """Override vertex attributes (test scenario construction)."""
+    graph.vertex_attrs[vertex].update(attrs)
+
+
+def set_edge(graph: ContactGraph, u: int, v: int, **attrs: int) -> None:
+    """Override shared edge attributes on an existing edge."""
+    graph.edge(u, v).update(attrs)
+
+
+def infection_rate(graph: ContactGraph) -> float:
+    """Fraction of infected vertices."""
+    if graph.num_vertices == 0:
+        return 0.0
+    infected = sum(a.get("inf", 0) for a in graph.vertex_attrs)
+    return infected / graph.num_vertices

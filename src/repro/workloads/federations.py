@@ -1,0 +1,139 @@
+"""Device federations and capability-biased selection (§7 Discussion).
+
+The paper notes that phones with metered connections make poor
+forwarders or committee members, but that devices increasingly come in
+per-person *federations* (laptop + phone + watch sharing an account):
+the federation can safely pool its data and delegate the most powerful
+device.  Biasing hop/committee selection toward powerful devices gives
+the adversary a small edge — all of its confederates can *claim* to be
+powerful — which "slightly more aggressive parameter settings" absorb.
+
+This module models both: federation formation/delegation, and the
+effective-malice computation with the compensating hop count.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.analysis.anonymity import expected_anonymity_set
+from repro.errors import ParameterError
+
+#: Device classes, by forwarding capability.
+DEVICE_CLASSES = ("watch", "phone", "laptop", "workstation")
+_CLASS_POWER = {name: i for i, name in enumerate(DEVICE_CLASSES)}
+
+
+@dataclass(frozen=True)
+class FederatedDevice:
+    device_class: str
+    metered: bool
+
+    @property
+    def power(self) -> int:
+        return _CLASS_POWER[self.device_class] - (1 if self.metered else 0)
+
+
+@dataclass(frozen=True)
+class Federation:
+    """One person's device set; the delegate participates in Mycelium
+    on the whole federation's behalf."""
+
+    owner: int
+    devices: tuple[FederatedDevice, ...]
+
+    @property
+    def delegate(self) -> FederatedDevice:
+        return max(self.devices, key=lambda d: d.power)
+
+    @property
+    def delegate_is_capable(self) -> bool:
+        """Suitable as a forwarder/committee member: unmetered and at
+        least laptop-class."""
+        delegate = self.delegate
+        return not delegate.metered and (
+            _CLASS_POWER[delegate.device_class] >= _CLASS_POWER["laptop"]
+        )
+
+
+def form_federations(
+    num_people: int, rng: random.Random, laptop_fraction: float = 0.6
+) -> list[Federation]:
+    """Everyone has a phone; a fraction also has a laptop/workstation,
+    and some phones are on metered connections."""
+    if num_people < 1:
+        raise ParameterError("need at least one person")
+    federations = []
+    for owner in range(num_people):
+        devices = [
+            FederatedDevice("phone", metered=rng.random() < 0.5)
+        ]
+        if rng.random() < 0.3:
+            devices.append(FederatedDevice("watch", metered=False))
+        if rng.random() < laptop_fraction:
+            device_class = "workstation" if rng.random() < 0.2 else "laptop"
+            devices.append(FederatedDevice(device_class, metered=False))
+        federations.append(Federation(owner, tuple(devices)))
+    return federations
+
+
+def capable_fraction(federations: list[Federation]) -> float:
+    if not federations:
+        return 0.0
+    capable = sum(1 for f in federations if f.delegate_is_capable)
+    return capable / len(federations)
+
+
+def effective_malicious_fraction(
+    malicious_fraction: float, capable_fraction_value: float
+) -> float:
+    """If forwarder selection is restricted to capable devices and every
+    Byzantine device *claims* to be capable, the malicious share among
+    eligible forwarders rises to mal / (capable + mal*(1-capable))."""
+    if not 0 <= malicious_fraction < 1:
+        raise ParameterError("malicious fraction must be in [0, 1)")
+    if not 0 < capable_fraction_value <= 1:
+        raise ParameterError("capable fraction must be in (0, 1]")
+    honest_capable = capable_fraction_value * (1 - malicious_fraction)
+    return malicious_fraction / (honest_capable + malicious_fraction)
+
+
+def compensating_hops(
+    base_hops: int,
+    replicas: int,
+    forwarder_fraction: float,
+    malicious_fraction: float,
+    capable_fraction_value: float,
+    num_devices: int,
+) -> int:
+    """The "slightly more aggressive parameter settings": the smallest
+    hop count whose anonymity set under capability-biased selection
+    matches the unbiased baseline at ``base_hops``."""
+    baseline = expected_anonymity_set(
+        base_hops, replicas, forwarder_fraction, malicious_fraction, num_devices
+    )
+    biased_malice = effective_malicious_fraction(
+        malicious_fraction, capable_fraction_value
+    )
+    for hops in range(base_hops, base_hops + 6):
+        achieved = expected_anonymity_set(
+            hops, replicas, forwarder_fraction, biased_malice, num_devices
+        )
+        if achieved >= baseline:
+            return hops
+    return base_hops + 6
+
+
+def bandwidth_saved_by_delegation(
+    federations: list[Federation], per_device_mb: float
+) -> float:
+    """MB kept off metered connections by routing each federation's
+    Mycelium duties to its delegate."""
+    saved = 0.0
+    for federation in federations:
+        for device in federation.devices:
+            if device.metered and device != federation.delegate:
+                saved += per_device_mb
+    return saved

@@ -1,0 +1,207 @@
+"""Synthetic contact graphs (the GAEN-style substrate of §2).
+
+The paper's deployment target is a graph over millions of devices with
+one vertex per participant and an edge whenever two devices observed
+each other's pseudonyms.  We synthesize graphs with the structure the
+catalog queries care about: households (cliques with household-location
+edges), plus external contacts (work/social/subway) up to the protocol's
+degree bound d.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import ParameterError
+from repro.query.schema import (
+    HOUSEHOLD_LOCATION,
+    NUM_LOCATIONS,
+    SETTINGS,
+)
+
+
+@dataclass
+class ContactGraph:
+    """An undirected contact graph with vertex and shared edge attributes.
+
+    Edge attributes are symmetric — both endpoints hold the same record,
+    mirroring reality (contact duration/time is observed by both
+    devices), which is what lets the compiler evaluate edge clauses on
+    either side.
+    """
+
+    degree_bound: int
+    vertex_attrs: list[dict[str, int]] = field(default_factory=list)
+    adjacency: list[dict[int, dict[str, int]]] = field(default_factory=list)
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.vertex_attrs)
+
+    def add_vertex(self, **attrs: int) -> int:
+        vertex = len(self.vertex_attrs)
+        self.vertex_attrs.append(dict(attrs))
+        self.adjacency.append({})
+        return vertex
+
+    def add_edge(self, u: int, v: int, **attrs: int) -> bool:
+        """Add an undirected edge; returns False if it would violate the
+        degree bound or already exists."""
+        if u == v:
+            raise ParameterError("self-loops are implicit (padding only)")
+        if v in self.adjacency[u]:
+            return False
+        if (
+            len(self.adjacency[u]) >= self.degree_bound
+            or len(self.adjacency[v]) >= self.degree_bound
+        ):
+            return False
+        record = dict(attrs)
+        self.adjacency[u][v] = record
+        self.adjacency[v][u] = record  # shared record: symmetric view
+        return True
+
+    def neighbors(self, u: int) -> list[int]:
+        return sorted(self.adjacency[u])
+
+    def edge(self, u: int, v: int) -> dict[str, int]:
+        return self.adjacency[u][v]
+
+    def degree(self, u: int) -> int:
+        return len(self.adjacency[u])
+
+    def num_edges(self) -> int:
+        return sum(len(adj) for adj in self.adjacency) // 2
+
+    def k_hop_members(self, origin: int, hops: int) -> dict[int, int]:
+        """BFS: vertex -> distance, for every vertex within ``hops`` of
+        the origin (the origin itself at distance 0)."""
+        distances = {origin: 0}
+        frontier = [origin]
+        for depth in range(1, hops + 1):
+            next_frontier = []
+            for u in frontier:
+                for v in self.neighbors(u):
+                    if v not in distances:
+                        distances[v] = depth
+                        next_frontier.append(v)
+            frontier = next_frontier
+        return distances
+
+    def spanning_tree(self, origin: int, hops: int) -> dict[int, list[int]]:
+        """Children lists of the BFS spanning tree rooted at ``origin``
+        (the tree the §4.4 flooding protocol induces: each vertex's
+        upstream neighbor is the first sender it heard the query from)."""
+        distances = self.k_hop_members(origin, hops)
+        children: dict[int, list[int]] = {v: [] for v in distances}
+        for v, depth in distances.items():
+            if v == origin:
+                continue
+            parent = min(
+                u
+                for u in self.neighbors(v)
+                if u in distances and distances[u] == depth - 1
+            )
+            children[parent].append(v)
+        return children
+
+
+def _edge_attrs(rng: random.Random, setting_index: int, location: int) -> dict:
+    return {
+        "duration": rng.randint(1, 240),
+        "contacts": rng.randint(1, 50),
+        "last_contact": rng.randint(0, 13),
+        "location": location,
+        "setting": setting_index,
+    }
+
+
+def generate_household_graph(
+    num_people: int,
+    degree_bound: int,
+    rng: random.Random,
+    mean_household: int = 3,
+    external_contacts: int = 2,
+) -> ContactGraph:
+    """Households as cliques plus random external contacts.
+
+    Ages are correlated within a household (adults + children); external
+    edges get work/social/subway locations.
+    """
+    if num_people < 2:
+        raise ParameterError("need at least two people")
+    graph = ContactGraph(degree_bound=degree_bound)
+    person = 0
+    while person < num_people:
+        size = min(
+            num_people - person, max(1, int(rng.gauss(mean_household, 1.2)))
+        )
+        adults = max(1, size - rng.randint(0, max(0, size - 1)))
+        base_age = rng.randint(25, 70)
+        members = []
+        for i in range(size):
+            if i < adults:
+                age = min(99, max(18, base_age + rng.randint(-5, 5)))
+            else:
+                age = rng.randint(0, 17)
+            members.append(
+                graph.add_vertex(age=age, inf=0, tInf=0, tInfec=0)
+            )
+        setting = SETTINGS.index("household")
+        for i, u in enumerate(members):
+            for v in members[i + 1 :]:
+                graph.add_edge(
+                    u, v, **_edge_attrs(rng, setting, HOUSEHOLD_LOCATION)
+                )
+        person += size
+    # External contacts.
+    non_household = [
+        i for i in range(NUM_LOCATIONS) if i != HOUSEHOLD_LOCATION
+    ]
+    external_settings = [
+        SETTINGS.index(s) for s in ("social", "work", "family", "other")
+    ]
+    for u in range(graph.num_vertices):
+        for _ in range(external_contacts):
+            v = rng.randrange(graph.num_vertices)
+            if v == u:
+                continue
+            graph.add_edge(
+                u,
+                v,
+                **_edge_attrs(
+                    rng, rng.choice(external_settings), rng.choice(non_household)
+                ),
+            )
+    return graph
+
+
+def generate_random_graph(
+    num_people: int,
+    avg_degree: float,
+    degree_bound: int,
+    rng: random.Random,
+) -> ContactGraph:
+    """An Erdos-Renyi-style contact graph with random attributes."""
+    graph = ContactGraph(degree_bound=degree_bound)
+    for _ in range(num_people):
+        graph.add_vertex(age=rng.randint(0, 99), inf=0, tInf=0, tInfec=0)
+    target_edges = int(num_people * avg_degree / 2)
+    attempts = 0
+    while graph.num_edges() < target_edges and attempts < target_edges * 20:
+        attempts += 1
+        u = rng.randrange(num_people)
+        v = rng.randrange(num_people)
+        if u == v:
+            continue
+        graph.add_edge(
+            u,
+            v,
+            **_edge_attrs(
+                rng,
+                rng.randrange(len(SETTINGS)),
+                rng.randrange(NUM_LOCATIONS),
+            ),
+        )
+    return graph

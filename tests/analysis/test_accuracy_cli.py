@@ -1,0 +1,107 @@
+"""Accuracy analysis and CLI tests."""
+
+import math
+
+import pytest
+
+from repro.analysis import accuracy
+from repro.cli import main
+from repro.errors import ParameterError
+from repro.params import SystemParameters
+from repro.query.compiler import compile_query
+from repro.query.parser import parse
+from repro.query.schema import DEFAULT_SCHEMA
+
+
+def plan_of(text: str):
+    return compile_query(parse(text), SystemParameters(), DEFAULT_SCHEMA)
+
+
+class TestAccuracy:
+    def test_estimate_scales_inversely_with_epsilon(self):
+        plan = plan_of("SELECT HISTO(COUNT(*)) FROM neigh(1)")
+        loose = accuracy.estimate(plan, epsilon=0.5)
+        tight = accuracy.estimate(plan, epsilon=2.0)
+        assert loose.noise_scale == pytest.approx(4 * tight.noise_scale)
+        assert loose.error_bound_95 > loose.expected_absolute_error
+
+    def test_relative_error(self):
+        plan = plan_of("SELECT HISTO(COUNT(*)) FROM neigh(1)")
+        estimate = accuracy.estimate(plan, epsilon=1.0)
+        assert estimate.relative_error(1000) < estimate.relative_error(100)
+        assert estimate.relative_error(0) == math.inf
+
+    def test_epsilon_for_target(self):
+        plan = plan_of("SELECT HISTO(COUNT(*)) FROM neigh(1)")
+        epsilon = accuracy.epsilon_for_relative_error(
+            plan, target_relative_error=0.05, expected_magnitude=10_000
+        )
+        achieved = accuracy.estimate(plan, epsilon)
+        assert achieved.relative_error(10_000) == pytest.approx(0.05)
+
+    def test_snr_grows_with_population(self):
+        """The scale argument of §1: noise is constant, signal grows."""
+        plan = plan_of("SELECT HISTO(COUNT(*)) FROM neigh(1)")
+        rows = accuracy.signal_to_noise_by_population(
+            plan, 1.0, (10**4, 10**6, 10**8)
+        )
+        snrs = [snr for _, snr in rows]
+        assert snrs == sorted(snrs)
+        assert snrs[-1] / snrs[0] == pytest.approx(10**4)
+
+    def test_guards(self):
+        plan = plan_of("SELECT HISTO(COUNT(*)) FROM neigh(1)")
+        with pytest.raises(ParameterError):
+            accuracy.estimate(plan, epsilon=0)
+        with pytest.raises(ParameterError):
+            accuracy.epsilon_for_relative_error(plan, 0, 1)
+        with pytest.raises(ParameterError):
+            accuracy.signal_to_noise_by_population(
+                plan, 1.0, (10,), signal_fraction=0
+            )
+
+
+class TestCli:
+    def test_catalog(self, capsys):
+        assert main(["catalog"]) == 0
+        out = capsys.readouterr().out
+        assert "Q1" in out and "Q10" in out
+        assert "False" in out  # Q1 infeasible at the paper profile
+
+    def test_figures(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 5(a)" in out
+        assert "7,553" in out
+
+    def test_run_catalog_query(self, capsys):
+        code = main(
+            [
+                "run", "Q5", "--people", "8", "--degree", "2",
+                "--noiseless", "--seed", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "origins=8" in out
+
+    def test_run_custom_query(self, capsys):
+        code = main(
+            [
+                "run",
+                "SELECT HISTO(COUNT(*)) FROM neigh(1) WHERE dest.inf",
+                "--people", "8", "--degree", "2", "--noiseless",
+            ]
+        )
+        assert code == 0
+        assert "sensitivity=" in capsys.readouterr().out
+
+    def test_schedule(self, capsys):
+        assert main(["schedule", "Q5"]) == 0
+        out = capsys.readouterr().out
+        assert "path setup" in out
+        assert "15 C-rounds" in out
+
+    def test_schedule_reuse_paths(self, capsys):
+        assert main(["schedule", "Q5", "--reuse-paths"]) == 0
+        assert "path setup" not in capsys.readouterr().out

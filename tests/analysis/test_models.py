@@ -1,0 +1,235 @@
+"""The analysis models must reproduce the paper's reported numbers."""
+
+import pytest
+
+from repro.analysis import (
+    aggregator_model,
+    anonymity,
+    bandwidth,
+    committee_model,
+    costmodel,
+    duration,
+    extrapolate,
+    goodput,
+)
+from repro.errors import ParameterError
+from repro.params import PAPER, SMALL, SystemParameters
+
+DEFAULTS = SystemParameters()  # Figure 4
+
+
+class TestFigure5a:
+    def test_paper_anchor(self):
+        """§6.3: r=2, k=3, 2% malicious yields a set of over 7000."""
+        size = anonymity.expected_anonymity_set(
+            hops=3,
+            replicas=2,
+            forwarder_fraction=0.1,
+            malicious_fraction=0.02,
+            num_devices=1_100_000,
+        )
+        assert 7000 < size < 8000
+
+    def test_monotone_in_replicas_and_hops(self):
+        series = anonymity.figure_5a_series()
+        for r, points in series.items():
+            values = [v for _, v in points]
+            assert values == sorted(values)  # grows with hops
+        at_k3 = {r: dict(points)[3] for r, points in series.items()}
+        assert at_k3[1] < at_k3[2] < at_k3[3]
+
+    def test_capped_by_population(self):
+        size = anonymity.expected_anonymity_set(4, 3, 0.1, 0.0, 1000)
+        assert size <= 1000
+
+    def test_more_malice_smaller_set(self):
+        low = anonymity.expected_anonymity_set(3, 2, 0.1, 0.02, 10**6)
+        high = anonymity.expected_anonymity_set(3, 2, 0.1, 0.04, 10**6)
+        assert high < low
+
+
+class TestFigure5b:
+    def test_paper_anchor(self):
+        """§6.3: k=3 gives ~1e-5 per query at default malice."""
+        p = anonymity.identification_probability(3, 2, 0.02)
+        assert 1e-6 < p < 1e-4
+
+    def test_monotone_in_malice(self):
+        series = anonymity.figure_5b_series()
+        for k, points in series.items():
+            values = [v for _, v in points]
+            assert values == sorted(values)
+
+    def test_longer_paths_safer(self):
+        p2 = anonymity.identification_probability(2, 2, 0.02)
+        p4 = anonymity.identification_probability(4, 2, 0.02)
+        assert p4 < p2
+
+    def test_bad_malice_rejected(self):
+        with pytest.raises(ParameterError):
+            anonymity.identification_probability(3, 2, 1.5)
+
+
+class TestFigure5c:
+    def test_paper_anchor(self):
+        """§6.3: r=2, 4% failure -> about one in 100 messages lost."""
+        success = goodput.message_success(3, 2, 0.04)
+        assert 0.98 < success < 0.995
+
+    def test_replicas_help(self):
+        s1 = goodput.message_success(3, 1, 0.04)
+        s3 = goodput.message_success(3, 3, 0.04)
+        assert s1 < s3
+
+    def test_perfect_network(self):
+        assert goodput.message_success(3, 1, 0.0) == 1.0
+
+    def test_series_shape(self):
+        series = goodput.figure_5c_series()
+        for r, points in series.items():
+            values = [v for _, v in points]
+            assert values == sorted(values, reverse=True)
+
+
+class TestFigure5d:
+    def test_formulas(self):
+        assert duration.telescoping_crounds(3) == 15
+        assert duration.forwarding_crounds(3) == 8
+        assert duration.telescoping_crounds(1) == 3
+
+    def test_one_hop_query_within_a_day(self):
+        """§6.3: with k=3 and one-hour C-rounds, both phases of a
+        one-hop query finish in less than a day... each."""
+        setup_hours = duration.hours(duration.telescoping_crounds(3))
+        forward_hours = duration.hours(duration.forwarding_crounds(3))
+        assert setup_hours < 24
+        assert forward_hours < 24
+
+    def test_series(self):
+        series = duration.figure_5d_series()
+        assert dict(series["telescoping"])[4] == 24
+        assert dict(series["forwarding"])[2] == 6
+
+
+class TestFigure7:
+    def test_paper_anchors(self):
+        """§6.4: ~170 MB non-forwarder, ~1030 MB forwarder, ~430 MB
+        expected at the Figure 4 defaults with C_q = 1."""
+        assert bandwidth.non_forwarder_mb(DEFAULTS) == pytest.approx(172.0)
+        assert bandwidth.forwarder_mb(DEFAULTS) == pytest.approx(1032.0)
+        assert bandwidth.expected_user_mb(DEFAULTS) == pytest.approx(430, rel=0.01)
+
+    def test_complex_queries_multiply(self):
+        """Figure 6: Q3's 14 ciphertexts multiply the cost."""
+        q3 = bandwidth.expected_user_mb(DEFAULTS, ciphertexts_per_query=14)
+        q5 = bandwidth.expected_user_mb(DEFAULTS, ciphertexts_per_query=1)
+        assert q3 == pytest.approx(14 * q5)
+
+    def test_series_shape(self):
+        series = bandwidth.figure_7_series(DEFAULTS)
+        # Forwarder costs dominate non-forwarder costs everywhere.
+        for cell, value in series["forwarder"].items():
+            assert value > series["non_forwarder"][cell]
+
+
+class TestFigure9a:
+    def test_paper_anchor(self):
+        """§6.6: ~350 MB per device at k=3, r=2."""
+        value = bandwidth.aggregator_per_user_mb(DEFAULTS)
+        assert 300 < value < 400
+
+    def test_grows_with_replicas(self):
+        series = bandwidth.figure_9a_series(DEFAULTS)
+        assert series[(3, 3)] > series[(3, 1)]
+
+
+class TestFigure8:
+    def test_privacy_failure_shrinks_with_size(self):
+        p10 = committee_model.privacy_failure_probability(10, 0.04)
+        p40 = committee_model.privacy_failure_probability(40, 0.04)
+        assert p40 < p10 < 1e-4
+
+    def test_liveness_high_at_low_churn(self):
+        assert committee_model.liveness_probability(10, 0.02) > 0.999
+
+    def test_liveness_tradeoff(self):
+        """Bigger committees are *less* likely to be short of quorum at
+        the same churn?  No — with majority threshold both scale; check
+        the probability stays sane and ordered in churn."""
+        for c in (10, 20, 40):
+            series = dict(committee_model.figure_8b_series((c,))[c])
+            values = list(series.values())
+            assert values == sorted(values, reverse=True)
+
+    def test_mpc_anchors(self):
+        assert committee_model.mpc_minutes(10) == pytest.approx(3.0)
+        assert committee_model.mpc_gb_per_member(10) == pytest.approx(4.5)
+
+    def test_reconstruction_threshold(self):
+        assert committee_model.reconstruction_threshold(10) == 6
+        assert committee_model.reconstruction_threshold(11) == 6
+
+
+class TestFigure9b:
+    def test_zkp_dominates(self):
+        """§6.6: "The cost is dominated by the ZKP verification (the
+        bars for the aggregation are very small)."""
+        cores = aggregator_model.cores_required(10**8, DEFAULTS)
+        assert cores["zkp_cores"] > 10 * cores["aggregation_cores"]
+
+    def test_linear_in_population(self):
+        c6 = aggregator_model.cores_required(10**6, DEFAULTS)["total_cores"]
+        c9 = aggregator_model.cores_required(10**9, DEFAULTS)["total_cores"]
+        assert c9 / c6 == pytest.approx(1000, rel=0.01)
+
+    def test_billion_device_scale(self):
+        """At 10^9 devices the aggregator needs on the order of 10^5
+        cores — within a large data center, as the paper argues."""
+        cores = aggregator_model.cores_required(10**9, DEFAULTS)["total_cores"]
+        assert 1e4 < cores < 1e7
+
+    def test_spot_checking_reduces_cost(self):
+        full = aggregator_model.cores_required(10**8, DEFAULTS)
+        sampled = aggregator_model.cores_required(
+            10**8, DEFAULTS, spot_check_fraction=0.1
+        )
+        assert sampled["zkp_cores"] == pytest.approx(full["zkp_cores"] * 0.1)
+
+    def test_guards(self):
+        with pytest.raises(ParameterError):
+            aggregator_model.cores_required(10, DEFAULTS, deadline_hours=0)
+        with pytest.raises(ParameterError):
+            aggregator_model.cores_required(10, DEFAULTS, spot_check_fraction=0)
+
+
+class TestExtrapolation:
+    def test_scale_monotone(self):
+        assert extrapolate.ring_op_scale(SMALL, PAPER) > 1
+
+    def test_roundtrip_identity(self):
+        assert extrapolate.ring_op_scale(SMALL, SMALL) == pytest.approx(1.0)
+
+    def test_device_compute_shape(self):
+        model = extrapolate.device_compute(
+            DEFAULTS, ciphertexts_per_query=1,
+            encrypt_seconds=30.0, multiply_seconds=30.0,
+        )
+        assert model.encryptions == 10
+        assert model.proofs == 11
+        # With ~30 s/op this lands in the paper's ~15-minute ballpark.
+        assert 10 < model.total_minutes < 25
+
+    def test_paper_anchor_split(self):
+        he, zkp = extrapolate.paper_anchored_device_minutes()
+        assert he == 14.0 and zkp == 1.0
+
+
+class TestCostModel:
+    def test_ciphertext_sizes_close(self):
+        ours = costmodel.implementation_ciphertext_mb()
+        assert abs(ours - costmodel.PAPER_CIPHERTEXT_MB) < 0.5
+
+    def test_binomial_tail_edges(self):
+        assert costmodel.binomial_tail(10, 0.5, 0) == 1.0
+        assert costmodel.binomial_tail(10, 0.5, 11) == 0.0
+        assert costmodel.binomial_tail(2, 0.5, 1) == pytest.approx(0.75)

@@ -1,0 +1,97 @@
+"""Shared fixtures: deterministic RNGs and session-scoped BGV keys.
+
+Key generation at the TEST profile is cheap but not free; sharing one key
+pair across the suite keeps the tests fast without coupling them (all BGV
+operations are stateless with respect to the key).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.crypto import bgv
+from repro.params import TEST
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A fresh deterministic RNG per test."""
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture(scope="session")
+def test_keys() -> tuple[bgv.SecretKey, bgv.PublicKey]:
+    return bgv.keygen(TEST, random.Random(42))
+
+
+@pytest.fixture(scope="session")
+def secret_key(test_keys) -> bgv.SecretKey:
+    return test_keys[0]
+
+
+@pytest.fixture(scope="session")
+def public_key(test_keys) -> bgv.PublicKey:
+    return test_keys[1]
+
+
+@pytest.fixture(scope="session")
+def relin_keys(test_keys) -> bgv.RelinKeySet:
+    return bgv.make_relin_keys(test_keys[0], max_power=20, rng=random.Random(43))
+
+
+def build_epidemic_graph(seed: int = 44, people: int = 14, degree: int = 3):
+    """A small epidemic contact graph with attributes clamped to the
+    scaled test schema."""
+    from repro.workloads.epidemic import run_epidemic
+    from repro.workloads.graphgen import generate_household_graph
+
+    rng = random.Random(seed)
+    graph = generate_household_graph(
+        people, degree_bound=degree, rng=rng, external_contacts=1
+    )
+    run_epidemic(graph, rng)
+    for u in range(graph.num_vertices):
+        for v in graph.neighbors(u):
+            edge = graph.edge(u, v)
+            edge["duration"] = min(edge["duration"], 20)
+            edge["contacts"] = min(edge["contacts"], 8)
+    return graph
+
+
+def build_system(seed: int = 45, people: int = 14, degree: int = 3, **kwargs):
+    """A ready MyceliumSystem over the TEST profile with the scaled
+    schema (so every catalog query fits the 64-coefficient ring)."""
+    from repro.core.system import MyceliumSystem
+    from repro.params import SystemParameters
+    from repro.query.schema import scaled_schema
+
+    params = SystemParameters(
+        num_devices=people,
+        degree_bound=degree,
+        hops=2,
+        committee_size=kwargs.pop("committee_size", 3),
+        replicas=1,
+        forwarder_fraction=0.3,
+    )
+    return MyceliumSystem.setup(
+        num_devices=people,
+        rng=random.Random(seed),
+        params=params,
+        schema=scaled_schema(),
+        committee_size=params.committee_size,
+        committee_threshold=kwargs.pop("committee_threshold", 2),
+        total_epsilon=kwargs.pop("total_epsilon", 1000.0),
+        **kwargs,
+    )
+
+
+@pytest.fixture(scope="session")
+def epidemic_graph():
+    return build_epidemic_graph()
+
+
+@pytest.fixture
+def mycelium_system():
+    return build_system()

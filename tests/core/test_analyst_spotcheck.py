@@ -1,0 +1,129 @@
+"""Analyst session API and §6.6 spot-checking tests."""
+
+import random
+
+import pytest
+
+from repro.core.aggregator import QueryAggregator
+from repro.core.analyst import Analyst
+from repro.crypto import bgv
+from repro.crypto.zksnark import Groth16System
+from repro.engine.encrypted import EncryptedExecutor
+from repro.engine.malicious import Behavior
+from repro.engine.zkcircuits import build_circuits
+from repro.errors import PrivacyBudgetExceeded, ProtocolError
+from repro.params import SystemParameters, TEST
+from repro.query.catalog import CATALOG
+from repro.query.compiler import compile_query
+from repro.query.parser import parse
+from repro.query.schema import scaled_schema
+from tests.conftest import build_epidemic_graph, build_system
+
+
+class TestAnalyst:
+    def test_preview_does_not_spend(self):
+        system = build_system(seed=80, total_epsilon=2.0)
+        analyst = Analyst(system)
+        preview = analyst.preview(CATALOG["Q5"], epsilon=1.0)
+        assert preview.affordable
+        assert preview.sensitivity > 0
+        assert system.budget.spent == 0.0
+
+    def test_ask_records_release(self):
+        system = build_system(seed=81)
+        graph = build_epidemic_graph(seed=82, people=8, degree=2)
+        analyst = Analyst(system, name="epi-team")
+        analyst.ask(CATALOG["Q5"], graph, epsilon=1.0)
+        analyst.ask(CATALOG["Q4"], graph, epsilon=0.5)
+        summary = analyst.study_summary()
+        assert len(summary) == 2
+        assert summary[0]["epsilon"] == 1.0
+        assert summary[1]["rejected"] == 0
+
+    def test_unaffordable_rejected_before_running(self):
+        system = build_system(seed=83, total_epsilon=0.5)
+        graph = build_epidemic_graph(seed=84, people=8, degree=2)
+        analyst = Analyst(system)
+        with pytest.raises(PrivacyBudgetExceeded):
+            analyst.ask(CATALOG["Q5"], graph, epsilon=1.0)
+        assert analyst.released == []
+
+    def test_queries_left(self):
+        system = build_system(seed=85, total_epsilon=4.0)
+        analyst = Analyst(system)
+        assert analyst.queries_left(0.5) == 8
+        assert analyst.queries_left(0) == 0
+
+
+@pytest.fixture(scope="module")
+def submissions_with_attacker():
+    rng = random.Random(86)
+    graph = build_epidemic_graph(seed=87, people=10, degree=3)
+    secret, public = bgv.keygen(TEST, rng)
+    relin = bgv.make_relin_keys(secret, 8, rng)
+    zk = Groth16System.setup(build_circuits(), rng)
+    plan = compile_query(
+        parse("SELECT HISTO(COUNT(*)) FROM neigh(1) WHERE dest.inf"),
+        SystemParameters(degree_bound=3),
+        scaled_schema(),
+    )
+    executor = EncryptedExecutor(plan, public, zk, rng)
+    submissions = executor.run(
+        graph, behaviors={0: Behavior.BAD_AGGREGATION}
+    )
+    return zk, relin, submissions
+
+
+class TestSpotChecking:
+    def test_full_checking_baseline(self, submissions_with_attacker):
+        zk, relin, submissions = submissions_with_attacker
+        aggregator = QueryAggregator(zk=zk, relin_keys=relin)
+        result = aggregator.aggregate(submissions)
+        assert result.rejected == [0]
+        full_proofs = result.proofs_verified
+        assert full_proofs > len(submissions)
+
+    def test_sampling_reduces_verified_proofs(self, submissions_with_attacker):
+        zk, relin, submissions = submissions_with_attacker
+        full = QueryAggregator(zk=zk, relin_keys=relin).aggregate(submissions)
+        sampled = QueryAggregator(
+            zk=zk,
+            relin_keys=relin,
+            spot_check_fraction=0.2,
+            spot_check_rng=random.Random(1),
+        ).aggregate(submissions)
+        assert sampled.proofs_verified < full.proofs_verified
+        assert sampled.verification_seconds < full.verification_seconds
+
+    def test_aggregation_proofs_always_checked(self, submissions_with_attacker):
+        """Spot-checking samples *leaf* proofs only: the Byzantine
+        origin's bad aggregation proof is still caught."""
+        zk, relin, submissions = submissions_with_attacker
+        sampled = QueryAggregator(
+            zk=zk,
+            relin_keys=relin,
+            spot_check_fraction=0.05,
+            spot_check_rng=random.Random(2),
+        ).aggregate(submissions)
+        assert 0 in sampled.rejected
+
+    def test_result_unchanged_for_honest_submissions(
+        self, submissions_with_attacker
+    ):
+        zk, relin, submissions = submissions_with_attacker
+        honest = [s for s in submissions if s.origin != 0]
+        full = QueryAggregator(zk=zk, relin_keys=relin).aggregate(honest)
+        sampled = QueryAggregator(
+            zk=zk,
+            relin_keys=relin,
+            spot_check_fraction=0.3,
+            spot_check_rng=random.Random(3),
+        ).aggregate(honest)
+        assert full.accepted == sampled.accepted
+        assert full.ciphertext.components is not None
+        assert sampled.ciphertext.components is not None
+
+    def test_invalid_fraction_rejected(self, submissions_with_attacker):
+        zk, relin, _ = submissions_with_attacker
+        with pytest.raises(ProtocolError):
+            QueryAggregator(zk=zk, relin_keys=relin, spot_check_fraction=0)

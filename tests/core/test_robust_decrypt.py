@@ -1,0 +1,85 @@
+"""Actively-secure threshold decryption: wrong partials are detected
+and outvoted (§5's error-detection property)."""
+
+import random
+
+import pytest
+
+from repro.core import committee as committee_mod
+from repro.crypto import bgv
+from repro.errors import ProtocolError
+from repro.params import TEST
+
+
+@pytest.fixture(scope="module")
+def shared():
+    rng = random.Random(171)
+    secret, public = bgv.keygen(TEST, rng)
+    committee = committee_mod.genesis_share_key(
+        secret, member_ids=[1, 4, 7, 9], threshold=2, rng=rng
+    )
+    ct = bgv.encrypt_monomial(public, 11, rng)
+    return rng, secret, public, committee, ct
+
+
+class TestRobustDecryption:
+    def test_all_honest(self, shared):
+        rng, secret, _, committee, ct = shared
+        plaintext, flagged = committee_mod.robust_threshold_decrypt(
+            committee, ct, rng
+        )
+        assert plaintext.coeffs == bgv.decrypt(secret, ct).coeffs
+        assert flagged == set()
+
+    def test_one_corrupt_member_detected(self, shared):
+        rng, secret, _, committee, ct = shared
+        plaintext, flagged = committee_mod.robust_threshold_decrypt(
+            committee, ct, rng, corrupt_members={4}
+        )
+        assert plaintext.coeffs == bgv.decrypt(secret, ct).coeffs
+        assert flagged == {4}
+
+    def test_corrupt_minority_outvoted(self, shared):
+        """With 4 members at threshold 2 there are 6 subsets; the single
+        honest-honest pair family still forms the majority against one
+        corrupt member — and the answer is always the true plaintext."""
+        rng, secret, _, committee, ct = shared
+        plaintext, flagged = committee_mod.robust_threshold_decrypt(
+            committee, ct, rng, corrupt_members={9}
+        )
+        assert plaintext.coeffs == bgv.decrypt(secret, ct).coeffs
+        assert 9 in flagged
+
+    def test_too_small_committee_rejected(self, shared):
+        rng, secret, _, _, ct = shared
+        tiny = committee_mod.genesis_share_key(
+            secret, member_ids=[1, 2], threshold=2, rng=random.Random(5)
+        )
+        with pytest.raises(ProtocolError):
+            committee_mod.robust_threshold_decrypt(tiny, ct, rng)
+
+
+class TestLivenessRetry:
+    def test_retries_until_quorum(self, shared):
+        """§6.5: wait for members to return, then retry."""
+        rng, secret, _, committee, ct = shared
+        schedule = [[1], [4], [1, 7]]  # two failed attempts, then quorum
+        plaintext, attempts = committee_mod.decrypt_with_liveness_retry(
+            committee, ct, rng, schedule
+        )
+        assert attempts == 3
+        assert plaintext.coeffs == bgv.decrypt(secret, ct).coeffs
+
+    def test_first_attempt_succeeds(self, shared):
+        rng, secret, _, committee, ct = shared
+        plaintext, attempts = committee_mod.decrypt_with_liveness_retry(
+            committee, ct, rng, [[1, 4, 7, 9]]
+        )
+        assert attempts == 1
+
+    def test_never_enough_members(self, shared):
+        rng, _, _, committee, ct = shared
+        with pytest.raises(ProtocolError):
+            committee_mod.decrypt_with_liveness_retry(
+                committee, ct, rng, [[1], [9], []]
+            )

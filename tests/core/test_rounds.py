@@ -1,0 +1,73 @@
+"""Query-schedule tests (§3.4, §6.3)."""
+
+import pytest
+
+from repro.core.rounds import build_schedule, queries_per_path_epoch
+from repro.params import SystemParameters
+from repro.query.compiler import compile_query
+from repro.query.parser import parse
+from repro.query.schema import DEFAULT_SCHEMA
+
+PARAMS = SystemParameters()  # Figure 4: k = 3
+
+
+def plan_of(text: str):
+    return compile_query(parse(text), PARAMS, DEFAULT_SCHEMA)
+
+
+class TestSchedule:
+    def test_one_hop_query_timeline(self):
+        plan = plan_of("SELECT HISTO(COUNT(*)) FROM neigh(1)")
+        schedule = build_schedule(plan, PARAMS)
+        by_name = {p.name: p.crounds for p in schedule.phases}
+        assert by_name["path setup"] == 15  # k^2 + 2k
+        assert by_name["vertex program"] == 8  # 2 waves x (k+1)
+        # §6.3: both phases of a one-hop query finish in under a day
+        # each, with one-hour C-rounds.
+        assert schedule.total_hours() < 30
+
+    def test_duration_independent_of_query_content(self):
+        """§6.3: duration depends only on hop counts."""
+        simple = plan_of("SELECT HISTO(COUNT(*)) FROM neigh(1)")
+        complex_query = plan_of(
+            "SELECT GSUM(SUM(dest.inf)/COUNT(*)) FROM neigh(1) "
+            "WHERE dest.age IN [0, 100] AND "
+            "self.age IN [dest.age-10, dest.age+10] CLIP [0, 1]"
+        )
+        assert (
+            build_schedule(simple, PARAMS).total_crounds
+            == build_schedule(complex_query, PARAMS).total_crounds
+        )
+
+    def test_two_hop_query_longer(self):
+        one = plan_of("SELECT HISTO(COUNT(*)) FROM neigh(1)")
+        two = plan_of("SELECT HISTO(COUNT(*)) FROM neigh(2) WHERE dest.inf")
+        assert (
+            build_schedule(two, PARAMS).total_crounds
+            > build_schedule(one, PARAMS).total_crounds
+        )
+
+    def test_path_reuse_skips_setup(self):
+        plan = plan_of("SELECT HISTO(COUNT(*)) FROM neigh(1)")
+        fresh = build_schedule(plan, PARAMS, reuse_paths=False)
+        reused = build_schedule(plan, PARAMS, reuse_paths=True)
+        assert reused.total_crounds == fresh.total_crounds - 15
+        assert all(p.name != "path setup" for p in reused.phases)
+
+    def test_table_rendering(self):
+        plan = plan_of("SELECT HISTO(COUNT(*)) FROM neigh(1)")
+        rows = build_schedule(plan, PARAMS).table()
+        assert len(rows) == 3
+        assert rows[0][0] == "path setup"
+
+
+class TestEpochPlanning:
+    def test_many_queries_per_epoch(self):
+        plan = plan_of("SELECT HISTO(COUNT(*)) FROM neigh(1)")
+        count = queries_per_path_epoch(plan, PARAMS, epoch_days=7)
+        # Setup 15 h once, then 9 h per query: ~17 in a week.
+        assert 10 <= count <= 20
+
+    def test_short_epoch_yields_zero(self):
+        plan = plan_of("SELECT HISTO(COUNT(*)) FROM neigh(1)")
+        assert queries_per_path_epoch(plan, PARAMS, epoch_days=0.25) == 0

@@ -1,0 +1,109 @@
+"""Byzantine behaviour over the real mixnet transport, plus the
+collective-beacon world option."""
+
+import random
+
+import pytest
+
+from repro.core.aggregator import QueryAggregator
+from repro.core.transport import MixnetTransport
+from repro.crypto import bgv
+from repro.crypto.zksnark import Groth16System
+from repro.engine.malicious import Behavior
+from repro.engine.plaintext import aggregate_coefficients
+from repro.engine.semantics import local_exponents
+from repro.engine.zkcircuits import build_circuits
+from repro.mixnet.network import MixnetWorld
+from repro.params import SystemParameters, TEST
+from repro.query.compiler import compile_query
+from repro.query.parser import parse
+from repro.query.schema import scaled_schema
+from repro.workloads.epidemic import run_epidemic
+from repro.workloads.graphgen import generate_household_graph
+
+QUERY = "SELECT HISTO(COUNT(*)) FROM neigh(1) WHERE dest.inf"
+
+
+def build_stack(seed=93, collective_beacon=False):
+    rng = random.Random(seed)
+    graph = generate_household_graph(
+        8, degree_bound=2, rng=rng, external_contacts=1
+    )
+    run_epidemic(graph, rng)
+    params = SystemParameters(
+        num_devices=8, hops=2, replicas=1, forwarder_fraction=0.45,
+        degree_bound=2, pseudonyms_per_device=2,
+    )
+    world = MixnetWorld(
+        params, num_devices=8, rng=rng, rsa_bits=512,
+        pseudonyms_per_device=2, collective_beacon=collective_beacon,
+    )
+    secret, public = bgv.keygen(TEST, rng)
+    relin = bgv.make_relin_keys(secret, 6, rng)
+    zk = Groth16System.setup(build_circuits(), rng)
+    plan = compile_query(
+        parse(QUERY), SystemParameters(degree_bound=2), scaled_schema()
+    )
+    transport = MixnetTransport(
+        world=world, graph=graph, plan=plan, public_key=public, zk=zk, rng=rng
+    )
+    return graph, plan, secret, relin, zk, transport
+
+
+class TestByzantineOverMixnet:
+    def test_forged_proof_filtered_at_origin(self):
+        graph, plan, secret, relin, zk, transport = build_stack(seed=93)
+        attacker = 0
+        submissions = transport.run(
+            behaviors={attacker: Behavior.FORGED_PROOF}
+        )
+        aggregator = QueryAggregator(zk=zk, relin_keys=relin)
+        result = aggregator.aggregate(submissions)
+        plain = bgv.decrypt(secret, result.ciphertext)
+        coeffs = list(plain.coeffs[: plan.layout.total_coefficients])
+        # Expected: the attacker's responses were dropped by its
+        # neighbors; its own origin submission is honest (the transport's
+        # behaviours only shape dest responses).
+        saved = dict(graph.vertex_attrs[attacker])
+        expected = [0] * plan.layout.total_coefficients
+        for origin in range(graph.num_vertices):
+            if origin == attacker:
+                graph.vertex_attrs[attacker].update(saved)
+            else:
+                graph.vertex_attrs[attacker].update(
+                    {"inf": 0, "tInf": 0, "tInfec": 0}
+                )
+            for exponent in local_exponents(plan, graph, origin):
+                expected[exponent] += 1
+        graph.vertex_attrs[attacker].update(saved)
+        assert coeffs == expected
+
+    def test_drop_message_tolerated(self):
+        graph, plan, secret, relin, zk, transport = build_stack(seed=94)
+        submissions = transport.run(behaviors={1: Behavior.DROP_MESSAGE})
+        aggregator = QueryAggregator(zk=zk, relin_keys=relin)
+        result = aggregator.aggregate(submissions)
+        assert not result.rejected
+        assert result.num_accepted == graph.num_vertices
+
+
+class TestCollectiveBeaconWorld:
+    def test_world_builds_with_commit_reveal_beacon(self):
+        graph, plan, secret, relin, zk, transport = build_stack(
+            seed=95, collective_beacon=True
+        )
+        board = transport.world.board
+        assert board.find("beacon-commit/epoch-0/0")
+        assert board.find("beacon-reveal/epoch-0/0")
+        submissions = transport.run()
+        aggregator = QueryAggregator(zk=zk, relin_keys=relin)
+        result = aggregator.aggregate(submissions)
+        plain = bgv.decrypt(secret, result.ciphertext)
+        coeffs = list(plain.coeffs[: plan.layout.total_coefficients])
+        expected, _ = aggregate_coefficients(plan, graph)
+        assert coeffs == expected
+
+    def test_beacon_differs_from_digest_derivation(self):
+        _, _, _, _, _, with_beacon = build_stack(seed=96, collective_beacon=True)
+        _, _, _, _, _, without = build_stack(seed=96, collective_beacon=False)
+        assert with_beacon.world.beacon != without.world.beacon

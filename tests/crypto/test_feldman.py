@@ -1,0 +1,78 @@
+"""Feldman VSS commitment tests."""
+
+import random
+
+import pytest
+
+from repro.crypto import feldman, shamir
+from repro.crypto.modmath import is_prime
+from repro.errors import SecretSharingError
+
+FIELD = 2**89 - 1  # Mersenne prime, keeps the group search fast
+
+
+@pytest.fixture(scope="module")
+def group() -> feldman.CommitmentGroup:
+    return feldman.group_for_field(FIELD)
+
+
+class TestGroup:
+    def test_group_structure(self, group):
+        assert is_prime(group.modulus)
+        assert (group.modulus - 1) % group.order == 0
+        assert pow(group.generator, group.order, group.modulus) == 1
+        assert group.generator != 1
+
+    def test_group_cached(self):
+        assert feldman.group_for_field(FIELD) is feldman.group_for_field(FIELD)
+
+    def test_composite_field_rejected(self):
+        with pytest.raises(SecretSharingError):
+            feldman.group_for_field(2**16)
+
+
+class TestCommitments:
+    def test_valid_shares_verify(self, group):
+        rng = random.Random(21)
+        shares, poly = shamir.share_secret(
+            777, 3, 5, FIELD, rng, return_polynomial=True
+        )
+        commitment = feldman.PolynomialCommitment.commit_polynomial(group, poly)
+        for share in shares:
+            assert commitment.verify_share(share)
+
+    def test_tampered_share_rejected(self, group):
+        rng = random.Random(22)
+        shares, poly = shamir.share_secret(
+            777, 3, 5, FIELD, rng, return_polynomial=True
+        )
+        commitment = feldman.PolynomialCommitment.commit_polynomial(group, poly)
+        bad = shamir.Share(shares[0].index, (shares[0].value + 1) % FIELD)
+        assert not commitment.verify_share(bad)
+
+    def test_share_at_wrong_index_rejected(self, group):
+        rng = random.Random(23)
+        shares, poly = shamir.share_secret(
+            777, 3, 5, FIELD, rng, return_polynomial=True
+        )
+        commitment = feldman.PolynomialCommitment.commit_polynomial(group, poly)
+        swapped = shamir.Share(2, shares[0].value)  # share 1's value at index 2
+        assert not commitment.verify_share(swapped)
+
+    def test_secret_commitment_is_constant_term(self, group):
+        rng = random.Random(24)
+        _, poly = shamir.share_secret(55, 2, 3, FIELD, rng, return_polynomial=True)
+        commitment = feldman.PolynomialCommitment.commit_polynomial(group, poly)
+        assert commitment.secret_commitment == group.commit(55)
+
+    def test_verify_or_raise(self, group):
+        rng = random.Random(25)
+        shares, poly = shamir.share_secret(
+            9, 2, 3, FIELD, rng, return_polynomial=True
+        )
+        commitment = feldman.PolynomialCommitment.commit_polynomial(group, poly)
+        feldman.verify_or_raise(commitment, shares[0])
+        with pytest.raises(SecretSharingError):
+            feldman.verify_or_raise(
+                commitment, shamir.Share(1, (shares[0].value + 1) % FIELD)
+            )

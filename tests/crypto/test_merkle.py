@@ -1,0 +1,94 @@
+"""Merkle tree and positional inclusion-proof tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import merkle
+from repro.errors import MerkleError
+
+
+class TestTreeBasics:
+    def test_single_leaf(self):
+        tree = merkle.MerkleTree([b"only"])
+        proof = tree.prove(0)
+        assert merkle.verify_inclusion(tree.root, b"only", proof)
+
+    def test_all_leaves_prove(self):
+        leaves = [f"leaf-{i}".encode() for i in range(7)]  # non-power-of-two
+        tree = merkle.MerkleTree(leaves)
+        for i, leaf in enumerate(leaves):
+            assert merkle.verify_inclusion(tree.root, leaf, tree.prove(i))
+
+    def test_root_changes_with_any_leaf(self):
+        leaves = [b"a", b"b", b"c", b"d"]
+        base = merkle.MerkleTree(leaves).root
+        for i in range(4):
+            mutated = list(leaves)
+            mutated[i] = b"x"
+            assert merkle.MerkleTree(mutated).root != base
+
+    def test_empty_tree(self):
+        tree = merkle.MerkleTree([])
+        assert tree.root  # well-defined sentinel root
+
+    def test_leaf_access(self):
+        tree = merkle.MerkleTree([b"a", b"b"])
+        assert tree.leaf(1) == b"b"
+        with pytest.raises(MerkleError):
+            tree.leaf(2)
+
+
+class TestProofSecurity:
+    def test_wrong_leaf_rejected(self):
+        tree = merkle.MerkleTree([b"a", b"b", b"c", b"d"])
+        proof = tree.prove(1)
+        assert not merkle.verify_inclusion(tree.root, b"x", proof)
+
+    def test_positional_binding(self):
+        """A proof for index i must not verify at index j — the §3.3
+        audit depends on the aggregator being unable to serve a leaf from
+        the wrong position."""
+        tree = merkle.MerkleTree([b"a", b"b", b"c", b"d"])
+        proof = tree.prove(1)
+        relocated = merkle.InclusionProof(index=2, siblings=proof.siblings)
+        assert not merkle.verify_inclusion(tree.root, b"b", relocated)
+
+    def test_tampered_sibling_rejected(self):
+        tree = merkle.MerkleTree([b"a", b"b", b"c", b"d"])
+        proof = tree.prove(0)
+        bad = merkle.InclusionProof(
+            index=0, siblings=(b"\x00" * 32,) + proof.siblings[1:]
+        )
+        assert not merkle.verify_inclusion(tree.root, b"a", bad)
+
+    def test_cross_tree_proof_rejected(self):
+        tree1 = merkle.MerkleTree([b"a", b"b", b"c", b"d"])
+        tree2 = merkle.MerkleTree([b"e", b"f", b"g", b"h"])
+        assert not merkle.verify_inclusion(tree2.root, b"a", tree1.prove(0))
+
+    def test_verify_or_raise(self):
+        tree = merkle.MerkleTree([b"a", b"b"])
+        merkle.verify_inclusion_or_raise(tree.root, b"a", tree.prove(0))
+        with pytest.raises(MerkleError):
+            merkle.verify_inclusion_or_raise(tree.root, b"b", tree.prove(0))
+
+    def test_out_of_range_prove(self):
+        tree = merkle.MerkleTree([b"a", b"b"])
+        with pytest.raises(MerkleError):
+            tree.prove(5)
+
+
+@given(
+    st.lists(st.binary(min_size=0, max_size=24), min_size=1, max_size=40),
+    st.data(),
+)
+@settings(max_examples=25, deadline=None)
+def test_inclusion_property(leaves, data):
+    """Every leaf of every tree verifies at its own index and only with
+    its own data."""
+    tree = merkle.MerkleTree(leaves)
+    index = data.draw(st.integers(min_value=0, max_value=len(leaves) - 1))
+    proof = tree.prove(index)
+    assert merkle.verify_inclusion(tree.root, leaves[index], proof)
+    assert not merkle.verify_inclusion(tree.root, leaves[index] + b"!", proof)

@@ -1,0 +1,106 @@
+"""Unit and property tests for repro.crypto.modmath."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto import modmath
+from repro.errors import ParameterError
+
+
+class TestIsPrime:
+    def test_small_primes(self):
+        primes = {2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37}
+        for n in range(40):
+            assert modmath.is_prime(n) == (n in primes)
+
+    def test_carmichael_numbers_rejected(self):
+        # Carmichael numbers fool Fermat tests but not Miller-Rabin.
+        for n in (561, 1105, 1729, 2465, 2821, 6601, 8911, 41041):
+            assert not modmath.is_prime(n)
+
+    def test_large_known_prime(self):
+        # 2^127 - 1 is a Mersenne prime.
+        assert modmath.is_prime((1 << 127) - 1)
+
+    def test_large_known_composite(self):
+        assert not modmath.is_prime((1 << 127) - 3)
+
+    def test_product_of_two_primes(self):
+        rng = random.Random(7)
+        p = modmath.random_prime(64, rng)
+        q = modmath.random_prime(64, rng)
+        assert not modmath.is_prime(p * q)
+
+
+class TestInvmod:
+    @given(st.integers(min_value=1, max_value=10**6))
+    def test_inverse_roundtrip(self, a):
+        p = 1_000_003  # prime
+        if a % p == 0:
+            return
+        inv = modmath.invmod(a, p)
+        assert (a * inv) % p == 1
+
+    def test_no_inverse_raises(self):
+        with pytest.raises(ParameterError):
+            modmath.invmod(6, 12)
+
+
+class TestPrimeGeneration:
+    def test_next_prime(self):
+        assert modmath.next_prime(14) == 17
+        assert modmath.next_prime(17) == 17
+        assert modmath.next_prime(1) == 2
+
+    def test_random_prime_bits(self):
+        rng = random.Random(3)
+        for bits in (16, 48, 128):
+            p = modmath.random_prime(bits, rng)
+            assert p.bit_length() == bits
+            assert modmath.is_prime(p)
+
+    def test_ntt_prime_congruence(self):
+        for two_n, bits in ((128, 64), (2048, 120), (256, 200)):
+            p = modmath.ntt_prime(bits, two_n)
+            assert p % two_n == 1
+            assert modmath.is_prime(p)
+            assert p.bit_length() >= bits
+
+    def test_ntt_prime_rejects_non_power_of_two(self):
+        with pytest.raises(ParameterError):
+            modmath.ntt_prime(64, 100)
+
+
+class TestRootsOfUnity:
+    def test_primitive_root_has_exact_order(self):
+        p = modmath.ntt_prime(64, 256)
+        w = modmath.primitive_root_of_unity(256, p)
+        assert pow(w, 256, p) == 1
+        assert pow(w, 128, p) != 1
+
+    def test_no_root_raises(self):
+        with pytest.raises(ParameterError):
+            modmath.primitive_root_of_unity(256, 23)
+
+
+class TestCenteredMod:
+    @given(st.integers(), st.integers(min_value=2, max_value=10**9))
+    def test_range_and_congruence(self, x, q):
+        r = modmath.centered_mod(x, q)
+        assert -q // 2 <= r <= q // 2
+        assert (r - x) % q == 0
+
+
+class TestCrt:
+    @given(st.integers(min_value=0, max_value=15 * 77 * 13 - 1))
+    def test_crt_roundtrip(self, x):
+        moduli = [15, 77, 13]  # pairwise coprime
+        residues = [x % m for m in moduli]
+        assert modmath.crt_combine(residues, moduli) == x
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ParameterError):
+            modmath.crt_combine([1, 2], [3])

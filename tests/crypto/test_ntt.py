@@ -1,0 +1,81 @@
+"""The NTT must agree with schoolbook negacyclic convolution."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import ntt
+from repro.crypto.modmath import ntt_prime
+from repro.errors import ParameterError
+
+N = 32
+Q = ntt_prime(61, 2 * N)
+
+
+@pytest.fixture(scope="module")
+def ctx() -> ntt.NttContext:
+    return ntt.get_context(N, Q)
+
+
+def test_forward_inverse_roundtrip(ctx):
+    rng = random.Random(11)
+    coeffs = [rng.randrange(Q) for _ in range(N)]
+    assert ctx.inverse(ctx.forward(coeffs)) == coeffs
+
+
+def test_multiply_matches_schoolbook_random(ctx):
+    rng = random.Random(12)
+    for _ in range(10):
+        a = [rng.randrange(Q) for _ in range(N)]
+        b = [rng.randrange(Q) for _ in range(N)]
+        assert ctx.multiply(a, b) == ntt.negacyclic_multiply_schoolbook(a, b, Q)
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=Q - 1), min_size=N, max_size=N),
+    st.lists(st.integers(min_value=0, max_value=Q - 1), min_size=N, max_size=N),
+)
+@settings(max_examples=25, deadline=None)
+def test_multiply_matches_schoolbook_property(a, b):
+    ctx = ntt.get_context(N, Q)
+    assert ctx.multiply(a, b) == ntt.negacyclic_multiply_schoolbook(a, b, Q)
+
+
+def test_negacyclic_wraparound(ctx):
+    # x^(N-1) * x = x^N = -1 in the quotient ring.
+    a = [0] * N
+    a[N - 1] = 1
+    b = [0] * N
+    b[1] = 1
+    result = ctx.multiply(a, b)
+    expected = [0] * N
+    expected[0] = Q - 1
+    assert result == expected
+
+
+def test_identity_multiplication(ctx):
+    rng = random.Random(13)
+    a = [rng.randrange(Q) for _ in range(N)]
+    one = [1] + [0] * (N - 1)
+    assert ctx.multiply(a, one) == a
+
+
+def test_rejects_bad_length(ctx):
+    with pytest.raises(ParameterError):
+        ctx.multiply([1] * (N - 1), [1] * N)
+
+
+def test_rejects_unfriendly_modulus():
+    with pytest.raises(ParameterError):
+        ntt.NttContext(32, 97)  # 97 - 1 = 96 not divisible by 64
+
+
+def test_rejects_non_power_of_two_length():
+    with pytest.raises(ParameterError):
+        ntt.NttContext(24, Q)
+
+
+def test_context_cache_returns_same_object():
+    assert ntt.get_context(N, Q) is ntt.get_context(N, Q)

@@ -1,0 +1,85 @@
+"""Parameter-profile validation and derived-quantity tests."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.params import (
+    BGVProfile,
+    DEFAULT_SYSTEM,
+    PAPER,
+    PROFILES,
+    SMALL,
+    SystemParameters,
+    TEST,
+)
+
+
+class TestBgvProfiles:
+    def test_registry(self):
+        assert set(PROFILES) == {"test", "small", "paper"}
+
+    def test_paper_parameters_match_section5(self):
+        assert PAPER.n == 32768
+        assert PAPER.t == 2**30
+        assert PAPER.q_bits == 550
+        assert PAPER.q.bit_length() in (550, 551)
+        assert PAPER.q % (2 * PAPER.n) == 1  # NTT-friendly
+
+    def test_test_profile_budget_derived(self):
+        # TEST has no calibration: the budget comes from the noise model.
+        assert TEST.calibrated_multiplications is None
+        assert TEST.max_multiplications >= 9  # admits d=3 two-hop tests
+
+    def test_budget_monotone_in_modulus(self):
+        smaller = BGVProfile(name="a", n=64, t=2**10, q_bits=300)
+        larger = BGVProfile(name="b", n=64, t=2**10, q_bits=900)
+        assert smaller.max_multiplications < larger.max_multiplications
+
+    def test_invalid_profiles_rejected(self):
+        with pytest.raises(ParameterError):
+            BGVProfile(name="x", n=100, t=2**10, q_bits=300)  # not pow2
+        with pytest.raises(ParameterError):
+            BGVProfile(name="x", n=64, t=1, q_bits=300)
+        with pytest.raises(ParameterError):
+            BGVProfile(name="x", n=64, t=2**10, q_bits=8)  # q <= t
+
+    def test_ciphertext_bytes(self):
+        assert TEST.ciphertext_bytes == 2 * 64 * 64  # two elements, 512-bit
+        assert SMALL.ciphertext_bytes == 2 * 1024 * 113
+
+    def test_rings_cached_and_consistent(self):
+        assert TEST.ring.n == TEST.n
+        assert TEST.plaintext_ring.q == TEST.t
+
+
+class TestSystemParameters:
+    def test_figure4_defaults(self):
+        assert DEFAULT_SYSTEM.num_devices == 1_100_000
+        assert DEFAULT_SYSTEM.hops == 3
+        assert DEFAULT_SYSTEM.replicas == 2
+        assert DEFAULT_SYSTEM.forwarder_fraction == 0.1
+        assert DEFAULT_SYSTEM.committee_size == 10
+        assert DEFAULT_SYSTEM.degree_bound == 10
+
+    def test_derived_quantities(self):
+        assert DEFAULT_SYSTEM.batch_size == 200  # r*d/f
+        assert DEFAULT_SYSTEM.telescoping_crounds == 15
+        assert DEFAULT_SYSTEM.forwarding_crounds == 8
+        assert DEFAULT_SYSTEM.node_failure_rate == pytest.approx(0.04)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_devices": 0},
+            {"hops": 0},
+            {"replicas": 0},
+            {"forwarder_fraction": 0.0},
+            {"forwarder_fraction": 1.5},
+            {"malicious_fraction": 1.0},
+            {"churn_fraction": -0.1},
+            {"degree_bound": 0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ParameterError):
+            SystemParameters(**kwargs)

@@ -1,0 +1,131 @@
+"""Ring-axiom property tests for RingElement."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.modmath import ntt_prime
+from repro.crypto.polyring import RingElement, RingParams
+from repro.errors import ParameterError
+
+N = 16
+Q = ntt_prime(50, 2 * N)
+PARAMS = RingParams(n=N, q=Q)
+
+coeff_lists = st.lists(
+    st.integers(min_value=0, max_value=Q - 1), min_size=N, max_size=N
+)
+elements = coeff_lists.map(lambda cs: RingElement(PARAMS, tuple(cs)))
+
+
+class TestConstruction:
+    def test_from_coeffs_pads(self):
+        e = RingElement.from_coeffs(PARAMS, [1, 2])
+        assert e.coeffs == (1, 2) + (0,) * (N - 2)
+
+    def test_from_coeffs_rejects_too_long(self):
+        with pytest.raises(ParameterError):
+            RingElement.from_coeffs(PARAMS, [1] * (N + 1))
+
+    def test_monomial_wraps_with_sign(self):
+        # x^N = -1, so x^(N+2) = -x^2.
+        e = RingElement.monomial(PARAMS, N + 2)
+        assert e.coeffs[2] == Q - 1
+        assert sum(1 for c in e.coeffs if c) == 1
+
+    def test_bad_ring_degree(self):
+        with pytest.raises(ParameterError):
+            RingParams(n=12, q=Q)
+
+
+class TestRingAxioms:
+    @given(elements, elements, elements)
+    @settings(max_examples=20, deadline=None)
+    def test_add_associative(self, a, b, c):
+        assert (a + b) + c == a + (b + c)
+
+    @given(elements, elements)
+    @settings(max_examples=20, deadline=None)
+    def test_add_commutative(self, a, b):
+        assert a + b == b + a
+
+    @given(elements, elements)
+    @settings(max_examples=15, deadline=None)
+    def test_mul_commutative(self, a, b):
+        assert a * b == b * a
+
+    @given(elements, elements, elements)
+    @settings(max_examples=10, deadline=None)
+    def test_mul_distributes_over_add(self, a, b, c):
+        assert a * (b + c) == a * b + a * c
+
+    @given(elements)
+    @settings(max_examples=20, deadline=None)
+    def test_additive_inverse(self, a):
+        assert a + (-a) == RingElement.zero(PARAMS)
+
+    @given(elements)
+    @settings(max_examples=20, deadline=None)
+    def test_multiplicative_identity(self, a):
+        assert a * RingElement.one(PARAMS) == a
+
+    @given(elements)
+    @settings(max_examples=20, deadline=None)
+    def test_sub_is_add_neg(self, a):
+        b = RingElement.monomial(PARAMS, 3, 7)
+        assert a - b == a + (-b)
+
+
+class TestShift:
+    @given(elements, st.integers(min_value=0, max_value=4 * N))
+    @settings(max_examples=25, deadline=None)
+    def test_shift_equals_monomial_multiply(self, a, degree):
+        assert a.shift(degree) == a * RingElement.monomial(PARAMS, degree)
+
+    def test_shift_by_zero_is_identity(self):
+        e = RingElement.from_coeffs(PARAMS, [5, 4, 3])
+        assert e.shift(0) == e
+
+
+class TestViews:
+    def test_centered_range(self):
+        e = RingElement.from_coeffs(PARAMS, [Q - 1, 1, Q // 2])
+        centered = e.centered()
+        assert centered[0] == -1
+        assert centered[1] == 1
+        assert all(-Q // 2 <= c <= Q // 2 for c in centered)
+
+    def test_infinity_norm(self):
+        e = RingElement.from_coeffs(PARAMS, [Q - 3, 2])
+        assert e.infinity_norm() == 3
+
+    def test_lift_mod(self):
+        e = RingElement.from_coeffs(PARAMS, [Q - 1, 17])
+        lifted = e.lift_mod(16)
+        assert lifted[0] == 15  # -1 mod 16
+        assert lifted[1] == 1
+
+    def test_bool_and_is_zero(self):
+        assert not RingElement.zero(PARAMS)
+        assert RingElement.one(PARAMS)
+
+
+class TestRandomDistributions:
+    def test_ternary_values(self):
+        rng = random.Random(5)
+        e = RingElement.random_ternary(PARAMS, rng)
+        assert set(e.centered()) <= {-1, 0, 1}
+
+    def test_bounded_values(self):
+        rng = random.Random(6)
+        e = RingElement.random_bounded(PARAMS, 3, rng)
+        assert all(-3 <= c <= 3 for c in e.centered())
+
+    def test_incompatible_params_rejected(self):
+        other = RingParams(n=N, q=ntt_prime(52, 2 * N))
+        a = RingElement.zero(PARAMS)
+        b = RingElement.zero(other)
+        with pytest.raises(ParameterError):
+            _ = a + b

@@ -1,0 +1,111 @@
+"""Shamir secret sharing properties."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import shamir
+from repro.errors import SecretSharingError
+
+FIELD = 2**127 - 1  # Mersenne prime
+
+
+class TestShareReconstruct:
+    @given(
+        st.integers(min_value=0, max_value=FIELD - 1),
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=0, max_value=4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_threshold_reconstructs(self, secret, threshold, extra):
+        rng = random.Random(secret & 0xFFFF)
+        num = threshold + extra
+        shares = shamir.share_secret(secret, threshold, num, FIELD, rng)
+        subset = random.Random(1).sample(shares, threshold)
+        assert shamir.reconstruct_secret(subset, FIELD) == secret
+
+    def test_fewer_than_threshold_gives_wrong_secret(self):
+        rng = random.Random(9)
+        secret = 123456789
+        shares = shamir.share_secret(secret, 3, 5, FIELD, rng)
+        # With 2 of 3 shares, interpolation yields an unrelated value
+        # (information-theoretically independent of the secret).
+        guess = shamir.reconstruct_secret(shares[:2], FIELD)
+        assert guess != secret
+
+    def test_any_subset_of_threshold_size(self):
+        rng = random.Random(10)
+        secret = 42
+        shares = shamir.share_secret(secret, 3, 6, FIELD, rng)
+        for i in range(0, 4):
+            subset = shares[i : i + 3]
+            assert shamir.reconstruct_secret(subset, FIELD) == secret
+
+    def test_invalid_threshold(self):
+        with pytest.raises(SecretSharingError):
+            shamir.share_secret(1, 5, 3, FIELD, random.Random(0))
+
+    def test_empty_reconstruct(self):
+        with pytest.raises(SecretSharingError):
+            shamir.reconstruct_secret([], FIELD)
+
+    def test_duplicate_indices_rejected(self):
+        s = shamir.Share(1, 5)
+        with pytest.raises(SecretSharingError):
+            shamir.reconstruct_secret([s, s], FIELD)
+
+    def test_share_index_must_be_positive(self):
+        with pytest.raises(SecretSharingError):
+            shamir.Share(0, 5)
+
+
+class TestLinearity:
+    def test_shares_add_homomorphically(self):
+        """Sum of shares is a share of the sum — the property threshold
+        decryption relies on."""
+        rng = random.Random(11)
+        a_shares = shamir.share_secret(100, 3, 5, FIELD, rng)
+        b_shares = shamir.share_secret(23, 3, 5, FIELD, rng)
+        summed = [
+            shamir.Share(x.index, (x.value + y.value) % FIELD)
+            for x, y in zip(a_shares, b_shares)
+        ]
+        assert shamir.reconstruct_secret(summed[:3], FIELD) == 123
+
+    def test_scalar_multiplication(self):
+        rng = random.Random(12)
+        shares = shamir.share_secret(7, 2, 4, FIELD, rng)
+        scaled = [shamir.Share(s.index, (s.value * 9) % FIELD) for s in shares]
+        assert shamir.reconstruct_secret(scaled[:2], FIELD) == 63
+
+
+class TestLagrange:
+    def test_coefficients_sum_property(self):
+        # For the constant polynomial f(x) = c, any index set must
+        # reconstruct c, so the lagrange coefficients sum to 1.
+        coeffs = shamir.lagrange_coefficients_at_zero([1, 4, 7], FIELD)
+        assert sum(coeffs.values()) % FIELD == 1
+
+
+class TestVectorSharing:
+    def test_vector_roundtrip(self):
+        rng = random.Random(13)
+        values = [5, 0, FIELD - 1, 17]
+        shares = shamir.share_vector(values, 2, 4, FIELD, rng)
+        assert shamir.reconstruct_vector(shares[1:3], FIELD) == values
+
+    def test_component_access(self):
+        rng = random.Random(14)
+        shares = shamir.share_vector([9, 8], 2, 3, FIELD, rng)
+        component_shares = [s.component(1) for s in shares[:2]]
+        assert shamir.reconstruct_secret(component_shares, FIELD) == 8
+
+    def test_inconsistent_lengths_rejected(self):
+        bad = [
+            shamir.VectorShare(1, (1, 2)),
+            shamir.VectorShare(2, (1,)),
+        ]
+        with pytest.raises(SecretSharingError):
+            shamir.reconstruct_vector(bad, FIELD)

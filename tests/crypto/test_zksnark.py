@@ -1,0 +1,100 @@
+"""Simulated Groth16 behaviour: soundness, forgery resistance, costs."""
+
+import random
+
+import pytest
+
+from repro.crypto import zksnark
+from repro.errors import ProofError
+
+
+def _even_circuit() -> zksnark.Circuit:
+    def check(public_inputs, witness):
+        (target,) = public_inputs
+        return isinstance(witness, int) and witness * 2 == target
+
+    return zksnark.Circuit(name="is-double", check=check, num_constraints=100)
+
+
+@pytest.fixture
+def system(rng) -> zksnark.Groth16System:
+    return zksnark.Groth16System.setup([_even_circuit()], rng)
+
+
+class TestProveVerify:
+    def test_honest_proof_verifies(self, system):
+        statement = zksnark.Statement("is-double", (10,))
+        proof = system.prove(statement, 5)
+        assert system.verify(statement, proof)
+
+    def test_false_statement_unprovable(self, system):
+        statement = zksnark.Statement("is-double", (10,))
+        with pytest.raises(ProofError):
+            system.prove(statement, 4)
+
+    def test_proof_bound_to_statement(self, system):
+        s1 = zksnark.Statement("is-double", (10,))
+        s2 = zksnark.Statement("is-double", (12,))
+        proof = system.prove(s1, 5)
+        assert not system.verify(s2, proof)
+
+    def test_forgery_rejected(self, system, rng):
+        statement = zksnark.Statement("is-double", (10,))
+        forged = zksnark.forge_proof(statement, rng)
+        assert not system.verify(statement, forged)
+
+    def test_unknown_circuit(self, system):
+        with pytest.raises(ProofError):
+            system.prove(zksnark.Statement("nope", ()), 1)
+
+    def test_proofs_deterministic_per_statement(self, system):
+        """Zero-knowledge in the simulation: the token depends only on
+        the statement, never on the witness."""
+        statement = zksnark.Statement("is-double", (10,))
+        assert system.prove(statement, 5).token == system.prove(statement, 5).token
+
+    def test_cross_setup_proofs_fail(self, rng):
+        sys1 = zksnark.Groth16System.setup([_even_circuit()], random.Random(1))
+        sys2 = zksnark.Groth16System.setup([_even_circuit()], random.Random(2))
+        statement = zksnark.Statement("is-double", (10,))
+        proof = sys1.prove(statement, 5)
+        assert not sys2.verify(statement, proof)
+
+
+class TestCostModel:
+    def test_proof_size_is_groth16_constant(self, system):
+        proof = system.prove(zksnark.Statement("is-double", (10,)), 5)
+        assert proof.size_bytes == 192
+
+    def test_verification_linear_in_public_io(self):
+        small = zksnark.Statement("is-double", (1,))
+        big = zksnark.Statement("is-double", (b"\x00" * 4_300_000,))
+        t_small = zksnark.Groth16System.verification_seconds(small)
+        t_big = zksnark.Groth16System.verification_seconds(big)
+        assert t_big > 100 * t_small
+
+    def test_proving_time_positive(self, system):
+        assert system.proving_seconds("is-double") > 0
+
+
+class TestCanonicalEncoding:
+    def test_injective_across_types(self):
+        pairs = [
+            (b"ab", "ab"),
+            (1, True),
+            ((1, 2), (1, (2,))),
+            ((b"a", b"b"), (b"ab",)),
+            (0, -0),
+        ]
+        for a, b in pairs:
+            if a == b:  # 0 == -0; skip genuinely equal values
+                continue
+            assert zksnark.canonical_encode(a) != zksnark.canonical_encode(b)
+
+    def test_deterministic(self):
+        obj = (1, b"x", "y", (None, 2))
+        assert zksnark.canonical_encode(obj) == zksnark.canonical_encode(obj)
+
+    def test_unencodable_rejected(self):
+        with pytest.raises(ProofError):
+            zksnark.canonical_encode({"a": 1})

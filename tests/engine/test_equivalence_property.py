@@ -1,0 +1,120 @@
+"""Property-based equivalence: encrypted execution == plaintext oracle.
+
+Hypothesis drives random graphs, attributes, and query shapes through
+both engines; the decrypted coefficient vector must equal the oracle's
+exactly on every example.  This is the load-bearing invariant of the
+whole system: homomorphic aggregation computes the same function as the
+reference semantics.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import bgv
+from repro.crypto.zksnark import Groth16System
+from repro.engine.encrypted import EncryptedExecutor
+from repro.engine.plaintext import aggregate_coefficients
+from repro.engine.zkcircuits import build_circuits
+from repro.params import SystemParameters, TEST
+from repro.query.compiler import compile_query
+from repro.query.parser import parse
+from repro.query.schema import scaled_schema
+from repro.workloads.graphgen import ContactGraph
+
+SCHEMA = scaled_schema(duration_high=10, contacts_high=5)
+PARAMS = SystemParameters(degree_bound=3)
+
+_setup_rng = random.Random(2024)
+SECRET, PUBLIC = bgv.keygen(TEST, _setup_rng)
+ZK = Groth16System.setup(build_circuits(), _setup_rng)
+
+QUERIES = [
+    "SELECT HISTO(COUNT(*)) FROM neigh(1)",
+    "SELECT HISTO(COUNT(*)) FROM neigh(1) WHERE dest.inf",
+    "SELECT HISTO(COUNT(*)) FROM neigh(1) WHERE dest.inf AND self.inf",
+    "SELECT HISTO(SUM(edge.contacts)) FROM neigh(1) WHERE dest.inf",
+    "SELECT HISTO(COUNT(*)) FROM neigh(1) WHERE dest.tInf > self.tInf + 2",
+    "SELECT HISTO(COUNT(*)) FROM neigh(1) WHERE dest.inf GROUP BY edge.setting",
+    "SELECT HISTO(COUNT(*)) FROM neigh(1) GROUP BY stage(self.tInf)",
+    "SELECT GSUM(SUM(dest.inf)/COUNT(*)) FROM neigh(1) WHERE self.inf CLIP [0, 1]",
+    "SELECT HISTO(COUNT(*)) FROM neigh(2) WHERE dest.inf",
+]
+
+
+@st.composite
+def graphs(draw):
+    num = draw(st.integers(min_value=2, max_value=7))
+    graph = ContactGraph(degree_bound=3)
+    for _ in range(num):
+        graph.add_vertex(
+            age=draw(st.integers(0, 99)),
+            inf=draw(st.integers(0, 1)),
+            tInf=draw(st.integers(0, 13)),
+            tInfec=draw(st.integers(0, 13)),
+        )
+    num_edges = draw(st.integers(min_value=0, max_value=num * 2))
+    for _ in range(num_edges):
+        u = draw(st.integers(0, num - 1))
+        v = draw(st.integers(0, num - 1))
+        if u == v:
+            continue
+        graph.add_edge(
+            u,
+            v,
+            duration=draw(st.integers(0, 10)),
+            contacts=draw(st.integers(0, 5)),
+            last_contact=draw(st.integers(0, 13)),
+            location=draw(st.integers(0, 15)),
+            setting=draw(st.integers(0, 4)),
+        )
+    return graph
+
+
+class TestEncryptedMatchesPlaintext:
+    @pytest.mark.parametrize("query_text", QUERIES)
+    @given(graph=graphs())
+    @settings(
+        max_examples=6,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_equivalence(self, query_text, graph):
+        plan = compile_query(parse(query_text), PARAMS, SCHEMA)
+        executor = EncryptedExecutor(plan, PUBLIC, ZK, random.Random(5))
+        submissions = executor.run(graph)
+        total = [0] * plan.layout.total_coefficients
+        for submission in submissions:
+            plain = bgv.decrypt(SECRET, submission.ciphertext)
+            for i in range(len(total)):
+                total[i] += plain.coeffs[i]
+        expected, _ = aggregate_coefficients(plan, graph)
+        assert total == expected
+
+
+class TestLayoutProperties:
+    @given(
+        st.integers(min_value=1, max_value=5),  # degree bound
+        st.integers(min_value=0, max_value=9),  # group
+        st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_ratio_encode_decode_roundtrip(self, degree, group, data):
+        from repro.query.plans import ExponentLayout
+
+        max_value = data.draw(st.integers(min_value=1, max_value=6))
+        pair_base = degree * max_value + 1
+        layout = ExponentLayout(
+            num_groups=10,
+            block_size=degree * pair_base + degree * max_value + 1,
+            pair_base=pair_base,
+            max_value=max_value,
+        )
+        count = data.draw(st.integers(min_value=0, max_value=degree))
+        total = data.draw(st.integers(min_value=0, max_value=count * max_value))
+        exponent = layout.encode(group, count, total)
+        assert layout.decode(exponent) == (group, count, total)
+        # Blocks never collide across groups.
+        assert exponent // layout.block_size == group

@@ -1,0 +1,105 @@
+"""Histogram/GSUM decoding tests (§4.1, §4.4 final processing)."""
+
+import pytest
+
+from repro.engine import histogram
+from repro.errors import QueryError
+from repro.params import SystemParameters
+from repro.query.compiler import compile_query
+from repro.query.parser import parse
+from repro.query.schema import DEFAULT_SCHEMA
+
+PARAMS = SystemParameters(degree_bound=4)
+
+
+def plan_of(text: str):
+    return compile_query(parse(text), PARAMS, DEFAULT_SCHEMA)
+
+
+class TestHistogramDecode:
+    def test_raw_counts(self):
+        plan = plan_of("SELECT HISTO(COUNT(*)) FROM neigh(1)")
+        coeffs = [3, 1, 0, 2, 0]  # block size d+1 = 5
+        groups = histogram.decode_histogram(coeffs, plan)
+        assert len(groups) == 1
+        assert groups[0].counts == (3.0, 1.0, 0.0, 2.0, 0.0)
+
+    def test_binned_counts(self):
+        plan = plan_of("SELECT HISTO(COUNT(*)) FROM neigh(1) BINS [0, 2, 4]")
+        coeffs = [3, 1, 0, 2, 7]
+        groups = histogram.decode_histogram(coeffs, plan)
+        # Bins: [0,2) -> 4, [2,4) -> 2, [4,end) -> 7.
+        assert groups[0].counts == (4.0, 2.0, 7.0)
+
+    def test_grouped_blocks(self):
+        plan = plan_of(
+            "SELECT HISTO(COUNT(*)) FROM neigh(1) GROUP BY decade(self.age)"
+        )
+        block = plan.layout.block_size
+        coeffs = [0] * plan.layout.total_coefficients
+        coeffs[0 * block + 2] = 5  # decade 0, value 2
+        coeffs[3 * block + 1] = 7  # decade 3, value 1
+        groups = histogram.decode_histogram(coeffs, plan)
+        assert groups[0].counts[2] == 5.0
+        assert groups[3].counts[1] == 7.0
+        assert sum(groups[1].counts) == 0
+
+    def test_unsorted_bins_rejected(self):
+        with pytest.raises(QueryError):
+            histogram.bin_counts([1, 2, 3], (2, 0))
+
+
+class TestGsumDecode:
+    def test_plain_clipped_sum(self):
+        plan = plan_of("SELECT GSUM(SUM(dest.inf)) FROM neigh(1) CLIP [0, 2]")
+        # Values 0..4 (block size 5); clip to [0,2].
+        coeffs = [1, 1, 1, 1, 1]
+        values = histogram.decode_gsum(coeffs, plan)
+        assert values == [0 + 1 + 2 + 2 + 2]
+
+    def test_matches_paper_formula(self):
+        plan = plan_of("SELECT GSUM(SUM(dest.inf)) FROM neigh(1) CLIP [1, 3]")
+        coeffs = [4, 3, 2, 1, 5]
+        ours = histogram.decode_gsum(coeffs, plan)[0]
+        reference = histogram.clipping_formula_reference(coeffs, 1, 3)
+        assert ours == reference
+
+    def test_ratio_decoding(self):
+        plan = plan_of(
+            "SELECT GSUM(SUM(dest.inf)/COUNT(*)) FROM neigh(1) CLIP [0, 1]"
+        )
+        layout = plan.layout
+        coeffs = [0] * layout.total_coefficients
+        coeffs[layout.encode(0, 4, 2)] = 3  # three origins with rate 0.5
+        coeffs[layout.encode(0, 2, 2)] = 1  # one origin with rate 1.0
+        coeffs[layout.encode(0, 0, 0)] = 9  # no-contact origins: skipped
+        values = histogram.decode_gsum(coeffs, plan)
+        assert values[0] == pytest.approx(3 * 0.5 + 1.0)
+
+    def test_ratio_clipping(self):
+        plan = plan_of(
+            "SELECT GSUM(SUM(dest.inf)/COUNT(*)) FROM neigh(1) CLIP [0, 1]"
+        )
+        layout = plan.layout
+        coeffs = [0] * layout.total_coefficients
+        # A Byzantine-looking cell with sum > count decodes to a rate > 1
+        # and must be clipped to 1.
+        coeffs[layout.encode(0, 1, 3)] = 1
+        assert histogram.decode_gsum(coeffs, plan) == [1.0]
+
+    def test_requires_clip(self):
+        plan = plan_of("SELECT HISTO(COUNT(*)) FROM neigh(1)")
+        with pytest.raises(QueryError):
+            histogram.decode_gsum([0] * 5, plan)
+
+    def test_grouped_gsum(self):
+        plan = plan_of(
+            "SELECT GSUM(SUM(dest.inf)/COUNT(*)) FROM neigh(1) "
+            "GROUP BY isHousehold(edge.location) CLIP [0, 1]"
+        )
+        layout = plan.layout
+        coeffs = [0] * layout.total_coefficients
+        coeffs[layout.encode(0, 2, 0)] = 1  # non-household rate 0
+        coeffs[layout.encode(1, 2, 2)] = 1  # household rate 1
+        values = histogram.decode_gsum(coeffs, plan)
+        assert values == [0.0, 1.0]

@@ -1,0 +1,158 @@
+"""Execution-semantics tests on hand-built graphs with known answers."""
+
+import pytest
+
+from repro.engine import semantics
+from repro.engine.plaintext import run_plaintext
+from repro.params import SystemParameters
+from repro.query.compiler import compile_query
+from repro.query.parser import parse
+from repro.query.schema import DEFAULT_SCHEMA
+from repro.workloads.graphgen import ContactGraph
+
+PARAMS = SystemParameters(degree_bound=3)
+
+
+def plan_of(text: str):
+    return compile_query(parse(text), PARAMS, DEFAULT_SCHEMA)
+
+
+def star_graph():
+    """Vertex 0 with three neighbors of known attributes."""
+    graph = ContactGraph(degree_bound=3)
+    graph.add_vertex(age=40, inf=1, tInf=3, tInfec=3)  # origin
+    graph.add_vertex(age=35, inf=1, tInf=7, tInfec=7)  # infected later
+    graph.add_vertex(age=70, inf=0, tInf=0, tInfec=0)  # healthy
+    graph.add_vertex(age=41, inf=1, tInf=4, tInfec=4)  # infected too soon
+    graph.add_edge(0, 1, duration=10, contacts=2, last_contact=1, location=2, setting=1)
+    graph.add_edge(0, 2, duration=5, contacts=1, last_contact=2, location=0, setting=2)
+    graph.add_edge(0, 3, duration=8, contacts=4, last_contact=3, location=5, setting=3)
+    return graph
+
+
+class TestNeighborContribution:
+    def test_count_indicator(self):
+        plan = plan_of("SELECT HISTO(COUNT(*)) FROM neigh(1) WHERE dest.inf")
+        graph = star_graph()
+        assert semantics.neighbor_contribution(plan, graph, 0, 1).exponent == 1
+        assert semantics.neighbor_contribution(plan, graph, 0, 2).exponent == 0
+
+    def test_sum_value(self):
+        plan = plan_of("SELECT HISTO(SUM(edge.duration)) FROM neigh(1)")
+        graph = star_graph()
+        assert semantics.neighbor_contribution(plan, graph, 0, 1).exponent == 10
+
+    def test_ratio_pair_encoding(self):
+        plan = plan_of(
+            "SELECT GSUM(SUM(dest.inf)/COUNT(*)) FROM neigh(1) CLIP [0, 1]"
+        )
+        graph = star_graph()
+        contribution = semantics.neighbor_contribution(plan, graph, 0, 1)
+        base = plan.layout.pair_base
+        assert contribution.exponent == base + 1  # (count 1, inf 1)
+        healthy = semantics.neighbor_contribution(plan, graph, 0, 2)
+        assert healthy.exponent == base  # (count 1, inf 0)
+
+    def test_cross_bucket_reported(self):
+        plan = plan_of(
+            "SELECT HISTO(COUNT(*)) FROM neigh(1) WHERE dest.tInf > self.tInf + 2"
+        )
+        graph = star_graph()
+        contribution = semantics.neighbor_contribution(plan, graph, 0, 1)
+        assert contribution.bucket == 7
+
+
+class TestOriginLogic:
+    def test_self_clause_blocks_contribution(self):
+        plan = plan_of("SELECT HISTO(COUNT(*)) FROM neigh(1) WHERE self.inf")
+        graph = star_graph()
+        assert semantics.local_exponents(plan, graph, 0) == [3]
+        assert semantics.local_exponents(plan, graph, 2) == []  # healthy origin
+
+    def test_cross_clause_counts_only_late_infections(self):
+        """Origin has tInf=3; neighbors at tInf 7 (counted), 0 (healthy),
+        4 (too soon: 4 <= 3+2)."""
+        plan = plan_of(
+            "SELECT HISTO(COUNT(*)) FROM neigh(1) "
+            "WHERE self.inf AND dest.tInf AND dest.tInf > self.tInf + 2"
+        )
+        graph = star_graph()
+        assert semantics.local_exponents(plan, graph, 0) == [1]
+
+    def test_per_edge_filter(self):
+        plan = plan_of(
+            "SELECT HISTO(COUNT(*)) FROM neigh(1) "
+            "WHERE self.age > edge.duration AND dest.inf"
+        )
+        graph = star_graph()
+        # Origin age 40 > duration on all three edges; now shrink one.
+        graph.edge(0, 1)["duration"] = 200
+        # Neighbor 1 filtered out; remaining infected neighbor is 3.
+        assert semantics.local_exponents(plan, graph, 0) == [1]
+
+    def test_group_by_self(self):
+        plan = plan_of(
+            "SELECT HISTO(COUNT(*)) FROM neigh(1) GROUP BY decade(self.age)"
+        )
+        graph = star_graph()
+        block = plan.layout.block_size
+        assert semantics.local_exponents(plan, graph, 0) == [4 * block + 3]
+
+    def test_group_by_edge_partitions(self):
+        plan = plan_of(
+            "SELECT HISTO(COUNT(*)) FROM neigh(1) WHERE dest.inf "
+            "GROUP BY edge.setting"
+        )
+        graph = star_graph()
+        block = plan.layout.block_size
+        # Settings 1, 2, 3 each hold one neighbor; infected are 1 and 3.
+        assert sorted(semantics.local_exponents(plan, graph, 0)) == sorted(
+            [1 * block + 1, 2 * block + 0, 3 * block + 1]
+        )
+
+    def test_origin_with_no_neighbors(self):
+        plan = plan_of("SELECT HISTO(COUNT(*)) FROM neigh(1)")
+        graph = ContactGraph(degree_bound=3)
+        graph.add_vertex(age=10, inf=0, tInf=0, tInfec=0)
+        assert semantics.local_exponents(plan, graph, 0) == [0]
+
+    def test_two_hop_count(self):
+        plan = plan_of("SELECT HISTO(COUNT(*)) FROM neigh(2) WHERE dest.inf")
+        graph = ContactGraph(degree_bound=2)
+        chain = [
+            graph.add_vertex(age=1, inf=1, tInf=1, tInfec=1) for _ in range(4)
+        ]
+        graph.add_edge(chain[0], chain[1])
+        graph.add_edge(chain[1], chain[2])
+        graph.add_edge(chain[2], chain[3])
+        # From vertex 0: members {0, 1, 2}, all infected.
+        assert semantics.local_exponents(plan, graph, 0) == [3]
+        # From vertex 1: members {0, 1, 2, 3}.
+        assert semantics.local_exponents(plan, graph, 1) == [4]
+
+
+class TestPlaintextRun:
+    def test_q10_style_dest_grouping(self):
+        plan = plan_of(
+            "SELECT GSUM(SUM(dest.inf)/COUNT(*)) FROM neigh(1) "
+            "WHERE self.inf AND dest.tInf > self.tInf + 2 "
+            "GROUP BY stage(dest.tInf - self.tInf) CLIP [0, 1]"
+        )
+        graph = star_graph()
+        run = run_plaintext(plan, graph)
+        # Origin 0 (tInf=3): neighbor 1 (tInf=7, offset 4 -> incubation
+        # stage 0) qualifies; neighbor 3 (offset 1) does not.
+        assert run.gsums[0] == pytest.approx(1.0)  # rate 1/1 in stage 0
+
+    def test_contributing_origins(self):
+        plan = plan_of("SELECT HISTO(COUNT(*)) FROM neigh(1) WHERE self.inf")
+        graph = star_graph()
+        run = run_plaintext(plan, graph)
+        assert run.contributing_origins == 3  # vertices 0, 1, 3
+
+    def test_histogram_totals(self):
+        plan = plan_of("SELECT HISTO(COUNT(*)) FROM neigh(1) WHERE dest.inf")
+        graph = star_graph()
+        run = run_plaintext(plan, graph)
+        # Every vertex contributes; total mass = number of vertices.
+        assert sum(run.histograms[0].counts) == graph.num_vertices

@@ -1,0 +1,106 @@
+"""Adversary inference tests: anonymity sets and exact identification
+(the mechanics behind Figures 5a/5b)."""
+
+import random
+
+import pytest
+
+from repro.mixnet.adversary import AdversaryView
+from repro.mixnet.forwarding import ForwardingDriver, SendRequest
+from repro.mixnet.network import MixnetWorld
+from repro.mixnet.telescope import TelescopeDriver
+from repro.params import SystemParameters
+
+
+@pytest.fixture(scope="module")
+def busy_world():
+    """A world with several concurrent senders so batches actually mix."""
+    params = SystemParameters(
+        num_devices=30,
+        hops=2,
+        replicas=1,
+        forwarder_fraction=0.4,
+        degree_bound=2,
+        pseudonyms_per_device=2,
+    )
+    world = MixnetWorld(
+        params,
+        num_devices=30,
+        rng=random.Random(21),
+        rsa_bits=512,
+        pseudonyms_per_device=2,
+    )
+    driver = TelescopeDriver(world)
+    senders = [0, 1, 2, 3, 4]
+    dests = [10, 11, 12, 13, 14]
+    requests = [
+        (s, 0, 0, world.devices[d].identity.primary().handle)
+        for s, d in zip(senders, dests)
+    ]
+    paths = driver.setup_paths(requests)
+    fw = ForwardingDriver(world)
+    delivery_round = world.current_round + world.params.hops + 1
+    fw.send_batch(
+        [SendRequest(s, (0, 0), b"payload-%d" % s) for s in senders],
+        payload_bytes=16,
+    )
+    return world, paths, dests, delivery_round
+
+
+class TestAnonymitySets:
+    def test_honest_hops_widen_set(self, busy_world):
+        """With honest forwarders, the adversary cannot pin the sender:
+        the candidate set contains multiple devices."""
+        world, paths, dests, delivery_round = busy_world
+        adversary = AdversaryView(world)
+        dst_handle = world.devices[dests[0]].identity.primary().handle
+        sources = adversary.anonymity_set_for_delivery(
+            dst_handle, delivery_round - 1
+        )
+        assert len(sources) > 1
+        assert 0 in sources  # the truth is inside the candidate set
+
+    def test_malicious_chain_identifies_sender(self, busy_world):
+        """If every hop on the path colludes, the adversary traces the
+        message to exactly one device (Figure 5b's failure event)."""
+        world, paths, dests, delivery_round = busy_world
+        path = paths[(0, 0, 0)]
+        hop_owners = {world.handle_owner[h] for h in path.hop_handles}
+        adversary = AdversaryView(world)
+        adversary.mark_malicious(hop_owners - {0})
+        dst_handle = world.devices[dests[0]].identity.primary().handle
+        events = [
+            e
+            for e in adversary.deposits_into(dst_handle)
+            if e.round_number == delivery_round - 1
+        ]
+        assert events
+        sources = set()
+        for event in events:
+            sources |= adversary.candidate_sources(event)
+        # The whole chain colluding collapses the set to the sender.
+        assert sources == {0}
+
+    def test_partial_collusion_keeps_set_large(self, busy_world):
+        """One honest hop on the path is enough to keep multiple
+        candidates (the §3.2 guarantee)."""
+        world, paths, dests, delivery_round = busy_world
+        path = paths[(1, 0, 0)]
+        first_hop_owner = world.handle_owner[path.hop_handles[0]]
+        adversary = AdversaryView(world)
+        adversary.mark_malicious({first_hop_owner} - {1})
+        dst_handle = world.devices[dests[1]].identity.primary().handle
+        sources = adversary.anonymity_set_for_delivery(
+            dst_handle, delivery_round - 1
+        )
+        assert 1 in sources
+
+    def test_deposit_log_observables(self, busy_world):
+        """The aggregator sees depositor/mailbox/round for every message,
+        but never sees a plaintext payload."""
+        world, _, _, _ = busy_world
+        adversary = AdversaryView(world)
+        events = adversary.deposits()
+        assert events
+        assert all(e.depositor in world.devices for e in events)
+        assert not any(b"payload-" in e.data for e in events)

@@ -1,0 +1,137 @@
+"""Collective beacon (§3.4) and traffic-analysis resistance (§4.7)."""
+
+import random
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.mixnet import beacon, trafficanalysis
+from repro.mixnet.bulletin import BulletinBoard
+
+
+class TestBeaconProtocol:
+    def test_all_honest_derives(self):
+        board = BulletinBoard()
+        value = beacon.run_beacon_protocol(
+            board, "epoch-1", [1, 2, 3, 4], random.Random(5)
+        )
+        assert len(value) == 32
+
+    def test_deterministic_from_board(self):
+        """Anyone reading the board derives the same B."""
+        board = BulletinBoard()
+        participants = [1, 2, 3]
+        value = beacon.run_beacon_protocol(
+            board, "e", participants, random.Random(6)
+        )
+        rederived = beacon.derive_collective_beacon(board, "e", participants)
+        assert value == rederived
+
+    def test_different_seeds_different_beacon(self):
+        b1 = beacon.run_beacon_protocol(
+            BulletinBoard(), "e", [1, 2], random.Random(7)
+        )
+        b2 = beacon.run_beacon_protocol(
+            BulletinBoard(), "e", [1, 2], random.Random(8)
+        )
+        assert b1 != b2
+
+    def test_withholder_excluded_but_protocol_completes(self):
+        board = BulletinBoard()
+        value = beacon.run_beacon_protocol(
+            board, "e", [1, 2, 3], random.Random(9), withholders={2}
+        )
+        assert value  # two valid reveals suffice
+
+    def test_equivocator_excluded(self):
+        """A device revealing a different seed than committed changes
+        nothing: its reveal fails the commitment check."""
+        rng = random.Random(10)
+        board_honest = BulletinBoard()
+        shares = {d: beacon.make_share(d, random.Random(100 + d)) for d in (1, 2, 3)}
+        for d in (1, 2, 3):
+            beacon.post_commitment(board_honest, "e", shares[d])
+        for d in (1, 3):
+            beacon.post_reveal(board_honest, "e", shares[d])
+        # Device 2 equivocates.
+        fake = beacon.BeaconShare(2, bytes(32), shares[2].salt)
+        beacon.post_reveal(board_honest, "e", fake)
+        derived = beacon.derive_collective_beacon(board_honest, "e", [1, 2, 3])
+        # Same as if 2 had simply withheld.
+        board_without = BulletinBoard()
+        for d in (1, 2, 3):
+            beacon.post_commitment(board_without, "e", shares[d])
+        for d in (1, 3):
+            beacon.post_reveal(board_without, "e", shares[d])
+        assert derived == beacon.derive_collective_beacon(
+            board_without, "e", [1, 2, 3]
+        )
+
+    def test_everyone_withholding_fails(self):
+        board = BulletinBoard()
+        with pytest.raises(ProtocolError):
+            beacon.run_beacon_protocol(
+                board, "e", [1, 2], random.Random(11), withholders={1, 2}
+            )
+
+    def test_single_honest_participant_suffices(self):
+        board = BulletinBoard()
+        value = beacon.run_beacon_protocol(
+            board,
+            "e",
+            [1, 2, 3],
+            random.Random(12),
+            withholders={2},
+            equivocators={3},
+        )
+        assert len(value) == 32
+
+
+class TestTrafficAnalysis:
+    def test_sda_breaks_sparse_mixnet(self):
+        """The §4.7 premise: against a sparse mixnet, the statistical
+        disclosure attack finds the true recipient."""
+        rng = random.Random(13)
+        observations = trafficanalysis.simulate_sparse_mixnet(
+            num_devices=40,
+            target_sender=3,
+            target_recipient=27,
+            rounds=3000,
+            send_probability=0.1,
+            rng=rng,
+        )
+        rank = trafficanalysis.attack_rank_of_true_recipient(
+            observations, 3, 27, 40
+        )
+        assert rank <= 3  # essentially identified
+
+    def test_sda_fails_against_full_participation(self):
+        """Mycelium's pattern: every device active every round — the
+        attack's scores are identically zero and carry no information."""
+        rng = random.Random(14)
+        observations = trafficanalysis.simulate_full_participation(
+            num_devices=40,
+            target_sender=3,
+            target_recipient=27,
+            rounds=3000,
+            rng=rng,
+        )
+        scores = trafficanalysis.statistical_disclosure_attack(
+            observations, 3, 40
+        )
+        # Every candidate scores identically: the observations carry no
+        # information about who talks to whom.
+        assert len(set(scores)) == 1
+        assert scores[27] == scores[0]
+
+    def test_real_mixnet_rounds_are_uniform(self):
+        """In the actual simulation, a forwarding round's deposit
+        pattern does not distinguish a path whose message was dropped
+        (dummies fill the hole) from a live one — checked elsewhere via
+        deposit counts; here we check the observation adapter."""
+        everyone = trafficanalysis.simulate_full_participation(
+            10, 0, 5, 4, random.Random(0)
+        )
+        assert all(
+            o.senders == o.receivers == frozenset(range(10)) for o in everyone
+        )

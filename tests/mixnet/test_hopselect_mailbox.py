@@ -1,0 +1,149 @@
+"""Hop-selection and mailbox-commitment tests (§3.2-§3.4)."""
+
+import random
+
+import pytest
+
+from repro.errors import MessageDroppedError, ParameterError
+from repro.mixnet import hopselect, mailbox
+from repro.mixnet.bulletin import BulletinBoard
+
+BEACON = b"\x42" * 32
+
+
+class TestHopSelection:
+    def test_buckets_disjoint(self):
+        """Every eligible pseudonym serves exactly one hop position."""
+        positions = hopselect.forwarder_slots(BEACON, 3, 0.1, 2000)
+        for index, position in positions.items():
+            for other in range(1, 4):
+                eligible = hopselect.is_eligible(index, BEACON, other, 0.1)
+                assert eligible == (other == position)
+
+    def test_forwarder_fraction(self):
+        positions = hopselect.forwarder_slots(BEACON, 3, 0.1, 5000)
+        fraction = len(positions) / 5000
+        assert 0.25 < fraction < 0.35  # ~ k*f = 0.3
+
+    def test_sampled_hops_eligible(self):
+        rng = random.Random(71)
+        for position in (1, 2, 3):
+            index = hopselect.sample_hop(rng, BEACON, position, 0.1, 2000)
+            assert hopselect.is_eligible(index, BEACON, position, 0.1)
+
+    def test_sample_excludes(self):
+        rng = random.Random(72)
+        first = hopselect.sample_hop(rng, BEACON, 1, 0.2, 500)
+        second = hopselect.sample_hop(rng, BEACON, 1, 0.2, 500, exclude={first})
+        assert second != first
+
+    def test_beacon_changes_assignment(self):
+        a = hopselect.forwarder_slots(b"\x01" * 32, 2, 0.1, 1000)
+        b = hopselect.forwarder_slots(b"\x02" * 32, 2, 0.1, 1000)
+        assert a != b
+
+    def test_bad_position_rejected(self):
+        with pytest.raises(ParameterError):
+            hopselect.is_eligible(0, BEACON, 0, 0.1)
+
+    def test_empty_directory_rejected(self):
+        with pytest.raises(ParameterError):
+            hopselect.sample_hop(random.Random(0), BEACON, 1, 0.1, 0)
+
+    def test_hop_position_for(self):
+        for index in range(200):
+            position = hopselect.hop_position_for(index, BEACON, 3, 0.1)
+            if position is not None:
+                assert 1 <= position <= 3
+                assert hopselect.is_eligible(index, BEACON, position, 0.1)
+
+
+class TestMailboxes:
+    def setup_method(self):
+        self.board = BulletinBoard()
+        self.server = mailbox.MailboxServer(self.board)
+
+    def test_deposit_fetch_roundtrip(self):
+        deposit = self.server.deposit(b"alice", b"hello", depositor=1)
+        closed = self.server.end_round()
+        batch = self.server.fetch(closed, b"alice")
+        assert batch.payloads == (b"hello",)
+        assert mailbox.verify_batch(self.board, batch)
+        receipt = self.server.receipt(closed, deposit)
+        assert mailbox.verify_receipt(self.board, b"hello", receipt)
+
+    def test_multiple_messages_one_round(self):
+        for i in range(5):
+            self.server.deposit(b"alice", bytes([i]), depositor=i)
+        self.server.deposit(b"bob", b"x", depositor=9)
+        closed = self.server.end_round()
+        assert len(self.server.fetch(closed, b"alice").payloads) == 5
+        assert len(self.server.fetch(closed, b"bob").payloads) == 1
+
+    def test_empty_mailbox_verifies(self):
+        self.server.deposit(b"alice", b"m", depositor=1)
+        closed = self.server.end_round()
+        batch = self.server.fetch(closed, b"carol")
+        assert batch.payloads == ()
+        assert mailbox.verify_batch(self.board, batch)
+
+    def test_rounds_isolated(self):
+        self.server.deposit(b"alice", b"round0", depositor=1)
+        r0 = self.server.end_round()
+        self.server.deposit(b"alice", b"round1", depositor=1)
+        r1 = self.server.end_round()
+        assert self.server.fetch(r0, b"alice").payloads == (b"round0",)
+        assert self.server.fetch(r1, b"alice").payloads == (b"round1",)
+
+    def test_fetch_open_round_rejected(self):
+        with pytest.raises(Exception):
+            self.server.fetch(0, b"alice")
+
+    def test_dropped_deposit_has_no_receipt(self):
+        """§3.4: a dropped message cannot be receipt-proven; the sender
+        challenges on the bulletin board."""
+        deposit = self.server.deposit(b"alice", b"will-drop", depositor=1)
+        self.server.drop_pending(lambda d: d.payload == b"will-drop")
+        closed = self.server.end_round()
+        with pytest.raises(MessageDroppedError):
+            self.server.receipt(closed, deposit)
+
+    def test_withheld_message_detected_by_recipient(self):
+        """Serving a mailbox with a message missing no longer matches the
+        committed mailbox root."""
+        self.server.deposit(b"alice", b"one", depositor=1)
+        self.server.deposit(b"alice", b"two", depositor=2)
+        closed = self.server.end_round()
+        honest = self.server.fetch(closed, b"alice")
+        tampered = mailbox.MailboxBatch(
+            round_number=honest.round_number,
+            mailbox=honest.mailbox,
+            payloads=honest.payloads[:1],
+            mailbox_root=honest.mailbox_root,
+            round_proof=honest.round_proof,
+            round_root=honest.round_root,
+        )
+        assert mailbox.verify_batch(self.board, honest)
+        assert not mailbox.verify_batch(self.board, tampered)
+
+    def test_forged_root_detected_via_bulletin(self):
+        """A batch whose round root differs from the posted one fails —
+        the aggregator cannot show different roots to different devices."""
+        self.server.deposit(b"alice", b"m", depositor=1)
+        closed = self.server.end_round()
+        honest = self.server.fetch(closed, b"alice")
+        forged = mailbox.MailboxBatch(
+            round_number=honest.round_number,
+            mailbox=honest.mailbox,
+            payloads=honest.payloads,
+            mailbox_root=honest.mailbox_root,
+            round_proof=honest.round_proof,
+            round_root=b"\x00" * 32,
+        )
+        assert not mailbox.verify_batch(self.board, forged)
+
+    def test_round_roots_posted(self):
+        self.server.end_round()
+        self.server.end_round()
+        assert self.board.latest("cround-root/0")
+        assert self.board.latest("cround-root/1")

@@ -1,0 +1,186 @@
+"""Verifiable map (M1/M2) construction and audit tests (§3.3)."""
+
+import random
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.mixnet import maps
+from repro.mixnet.pseudonym import mint_device
+
+
+@pytest.fixture(scope="module")
+def population():
+    rng = random.Random(61)
+    devices = [mint_device(i, 3, rng, rsa_bits=256) for i in range(8)]
+    registrations = {
+        d.device_id: [p.pseudonym for p in d.pseudonyms] for d in devices
+    }
+    directory = maps.build_directory(registrations, rng)
+    return devices, directory
+
+
+class TestDirectoryConstruction:
+    def test_slot_count(self, population):
+        _, directory = population
+        assert directory.num_slots == 8 * 3
+        assert directory.num_devices == 8
+
+    def test_every_pseudonym_present(self, population):
+        devices, directory = population
+        for device in devices:
+            for p in device.pseudonyms:
+                index = directory.index_of_handle(p.handle)
+                assert directory.lookup(index).leaf.handle == p.handle
+
+    def test_uneven_registration_rejected(self):
+        rng = random.Random(62)
+        a = mint_device(0, 2, rng, rsa_bits=256)
+        b = mint_device(1, 3, rng, rsa_bits=256)
+        registrations = {
+            0: [p.pseudonym for p in a.pseudonyms],
+            1: [p.pseudonym for p in b.pseudonyms],
+        }
+        with pytest.raises(ProtocolError):
+            maps.build_directory(registrations, rng)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ProtocolError):
+            maps.build_directory({}, random.Random(0))
+
+    def test_lookup_out_of_range(self, population):
+        _, directory = population
+        with pytest.raises(ProtocolError):
+            directory.lookup(directory.num_slots)
+        with pytest.raises(ProtocolError):
+            directory.lookup_device(0)
+
+
+class TestLeafCodecs:
+    def test_m1_roundtrip(self, population):
+        _, directory = population
+        leaf = directory.m1_leaves[0]
+        assert maps.M1Leaf.decode(leaf.encode()) == leaf
+
+    def test_m2_roundtrip(self, population):
+        _, directory = population
+        leaf = directory.m2_leaves[0]
+        assert maps.M2Leaf.decode(leaf.encode()) == leaf
+
+
+class TestVerification:
+    def test_honest_lookup_verifies(self, population):
+        _, directory = population
+        lookup = directory.lookup(5)
+        assert maps.verify_m1_lookup(directory.m1_root, lookup)
+
+    def test_wrong_position_rejected(self, population):
+        _, directory = population
+        honest = directory.lookup(5)
+        relocated = maps.M1Lookup(index=6, leaf=honest.leaf, proof=honest.proof)
+        assert not maps.verify_m1_lookup(directory.m1_root, relocated)
+
+    def test_substituted_key_rejected(self, population):
+        """An aggregator serving the right handle with a wrong key fails
+        the h = H(pk) binding check."""
+        devices, directory = population
+        honest = directory.lookup(3)
+        other = directory.lookup(4)
+        forged_leaf = maps.M1Leaf(
+            handle=honest.leaf.handle,
+            public_key=other.leaf.public_key,
+            device_number=honest.leaf.device_number,
+        )
+        forged = maps.M1Lookup(index=3, leaf=forged_leaf, proof=honest.proof)
+        assert not maps.verify_m1_lookup(directory.m1_root, forged)
+
+    def test_m2_lookup_verifies(self, population):
+        _, directory = population
+        lookup = directory.lookup_device(1)
+        assert maps.verify_m2_lookup(directory.m2_root, lookup)
+
+
+class TestAudits:
+    def test_self_audit_passes_honest(self, population):
+        devices, directory = population
+        device = devices[0]
+        own = [p.pseudonym for p in device.pseudonyms]
+        served = [
+            directory.lookup(directory.index_of_handle(p.handle)) for p in own
+        ]
+        assert maps.audit_own_pseudonyms(directory.m1_root, own, served)
+
+    def test_self_audit_detects_omission(self, population):
+        """§3.3: if the aggregator omitted an honest device's pseudonym,
+        that device detects the problem."""
+        devices, directory = population
+        device = devices[0]
+        own = [p.pseudonym for p in device.pseudonyms]
+        served = [
+            directory.lookup(directory.index_of_handle(p.handle))
+            for p in own[:-1]
+        ]
+        assert not maps.audit_own_pseudonyms(directory.m1_root, own, served)
+
+    def test_self_audit_detects_key_swap(self, population):
+        devices, directory = population
+        device = devices[0]
+        other = devices[1]
+        own = [p.pseudonym for p in device.pseudonyms]
+        served = [
+            directory.lookup(directory.index_of_handle(p.handle)) for p in own
+        ]
+        # Serve one of the device's handles bound to a different key.
+        bad_leaf = maps.M1Leaf(
+            handle=own[0].handle,
+            public_key=other.pseudonyms[0].pseudonym.public_key,
+            device_number=served[0].leaf.device_number,
+        )
+        served[0] = maps.M1Lookup(
+            index=served[0].index, leaf=bad_leaf, proof=served[0].proof
+        )
+        assert not maps.audit_own_pseudonyms(directory.m1_root, own, served)
+
+    def test_cross_audit_passes_honest(self, population):
+        _, directory = population
+        assert maps.cross_audit(
+            directory.m1_root,
+            directory.m2_root,
+            directory,
+            random.Random(63),
+            samples=12,
+        )
+
+    def test_cross_audit_detects_over_registration(self):
+        """A device smuggling extra pseudonyms into M1 is caught: its M2
+        leaf only lists P of them, so sampled extras fail the audit."""
+        rng = random.Random(64)
+        devices = [mint_device(i, 2, rng, rsa_bits=256) for i in range(4)]
+        registrations = {
+            d.device_id: [p.pseudonym for p in d.pseudonyms] for d in devices
+        }
+        directory = maps.build_directory(registrations, rng)
+        # The aggregator (colluding) grafts two extra pseudonyms owned by
+        # device 0 into M1 without extending its M2 leaf.
+        extra = mint_device(99, 2, rng, rsa_bits=256)
+        for p in extra.pseudonyms:
+            directory.m1_leaves.append(
+                maps.M1Leaf(
+                    handle=p.pseudonym.handle,
+                    public_key=p.pseudonym.public_key,
+                    device_number=1,
+                )
+            )
+        tampered = maps.Directory(
+            m1_leaves=directory.m1_leaves,
+            m2_leaves=directory.m2_leaves,
+            pseudonyms_per_device=2,
+        )
+        # Sampling enough entries hits an extra slot and fails.
+        assert not maps.cross_audit(
+            tampered.m1_root,
+            tampered.m2_root,
+            tampered,
+            random.Random(65),
+            samples=60,
+        )

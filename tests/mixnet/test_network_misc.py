@@ -1,0 +1,126 @@
+"""MixnetWorld plumbing: verified lookups, audits, drop challenges,
+and the hop-aliasing regression."""
+
+import random
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.mixnet import maps
+from repro.mixnet.forwarding import ForwardingDriver, SendRequest, strip_padding
+from repro.mixnet.network import MixnetWorld
+from repro.mixnet.telescope import TelescopeDriver
+from repro.params import SystemParameters
+
+
+def make_world(seed=7, num_devices=16, hops=2, fraction=0.45):
+    params = SystemParameters(
+        num_devices=num_devices,
+        hops=hops,
+        replicas=1,
+        forwarder_fraction=fraction,
+        degree_bound=2,
+        pseudonyms_per_device=2,
+    )
+    return MixnetWorld(
+        params,
+        num_devices=num_devices,
+        rng=random.Random(seed),
+        rsa_bits=512,
+        pseudonyms_per_device=2,
+    )
+
+
+class TestWorldPlumbing:
+    def test_verified_lookup_roundtrip(self):
+        world = make_world(seed=31)
+        lookup = world.verified_lookup(3)
+        assert maps.verify_m1_lookup(world.m1_root, lookup)
+        by_handle = world.verified_lookup_by_handle(lookup.leaf.handle)
+        assert by_handle.leaf == lookup.leaf
+
+    def test_unknown_handle_rejected(self):
+        world = make_world(seed=32)
+        with pytest.raises(ProtocolError):
+            world.verified_lookup_by_handle(b"\x00" * 32)
+
+    def test_handle_owner_complete(self):
+        world = make_world(seed=33)
+        assert len(world.handle_owner) == 16 * 2
+        for handle, owner in world.handle_owner.items():
+            assert world.devices[owner].identity.owns_handle(handle)
+
+    def test_audits_pass(self):
+        world = make_world(seed=34)
+        assert world.run_audits(sample_devices=4, samples_each=5)
+
+    def test_roots_on_bulletin_board(self):
+        world = make_world(seed=35)
+        assert world.m1_root == world.directory.m1_root
+        assert world.m2_root == world.directory.m2_root
+
+
+class TestAggregatorByzantine:
+    def test_forwarding_drop_detected(self):
+        """An aggregator that drops a message *after* accepting it is
+        caught by the sender's missing receipt (§3.4)."""
+        world = make_world(seed=36)
+        driver = TelescopeDriver(world)
+        dest = world.devices[9].identity.primary().handle
+        paths = driver.setup_paths([(0, 0, 0, dest)])
+        assert paths[(0, 0, 0)].established
+        dropped = {"done": False}
+
+        def drop_one(deposit):
+            if not dropped["done"] and deposit.depositor == 0:
+                dropped["done"] = True
+                return True
+            return False
+
+        world.aggregator_drop_predicate = drop_one
+        fw = ForwardingDriver(world)
+        fw.send_batch([SendRequest(0, (0, 0), b"will-vanish")], payload_bytes=16)
+        assert b"deposit-dropped" in world.complaints()
+
+    def test_honest_aggregator_no_complaints(self):
+        world = make_world(seed=37)
+        driver = TelescopeDriver(world)
+        dest = world.devices[9].identity.primary().handle
+        driver.setup_paths([(0, 0, 0, dest)])
+        assert world.complaints() == []
+
+
+class TestHopAliasingRegression:
+    def test_same_device_consecutive_hops(self):
+        """Regression: two consecutive hops owned by one device (under
+        different pseudonyms) must still relay correctly — routing is by
+        (path id, mailbox), not path id alone."""
+        # Seed 93 with 8 devices reproduces the original failure: device
+        # 6 owned both hops of device 0's slot-0 path.
+        world = make_world(seed=93, num_devices=8)
+        rng = random.Random(93)
+        driver = TelescopeDriver(world)
+        established = 0
+        total = 0
+        for source in range(4):
+            dest = world.devices[source + 4].identity.primary().handle
+            paths = driver.setup_paths([(source, 0, 0, dest)])
+            for p in paths.values():
+                total += 1
+                established += p.established
+        assert established == total
+
+    def test_aliased_path_delivers_payload(self):
+        world = make_world(seed=93, num_devices=8)
+        driver = TelescopeDriver(world)
+        dest = world.devices[1].identity.primary().handle
+        paths = driver.setup_paths([(0, 0, 0, dest)])
+        path = paths[(0, 0, 0)]
+        assert path.established
+        owners = [world.handle_owner[h] for h in path.hop_handles]
+        fw = ForwardingDriver(world)
+        fw.send_batch([SendRequest(0, (0, 0), b"through-alias")], payload_bytes=16)
+        received = [
+            strip_padding(r.plaintext) for r in world.devices[1].received
+        ]
+        assert b"through-alias" in received

@@ -1,0 +1,66 @@
+"""Onion wrapping/peeling unit tests (§3.2, §3.5)."""
+
+import random
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.mixnet import onion
+
+
+class TestWireMessage:
+    def test_roundtrip(self):
+        pid = bytes(range(16))
+        message = onion.WireMessage(pid, b"body")
+        assert onion.WireMessage.decode(message.encode()) == message
+
+    def test_bad_path_id_length(self):
+        with pytest.raises(ProtocolError):
+            onion.WireMessage(b"short", b"body").encode()
+
+    def test_decode_too_short(self):
+        with pytest.raises(ProtocolError):
+            onion.WireMessage.decode(b"tiny")
+
+
+class TestOnionLayers:
+    KEYS = [bytes([i]) * 32 for i in range(1, 4)]
+
+    def test_wrap_peel_roundtrip(self):
+        payload = b"the innermost payload"
+        body = onion.wrap(payload, self.KEYS, base_round=10)
+        for offset, key in enumerate(self.KEYS):
+            body = onion.peel(key, 10 + offset, body)
+        assert body == payload
+
+    def test_wrong_round_garbles(self):
+        payload = b"payload"
+        body = onion.wrap(payload, self.KEYS, base_round=10)
+        peeled = onion.peel(self.KEYS[0], 11, body)
+        peeled = onion.peel(self.KEYS[1], 11, peeled)
+        peeled = onion.peel(self.KEYS[2], 12, peeled)
+        assert peeled != payload
+
+    def test_length_preserved(self):
+        payload = b"x" * 100
+        body = onion.wrap(payload, self.KEYS, base_round=0)
+        assert len(body) == 100
+
+    def test_reverse_unwrap(self):
+        payload = b"reverse payload"
+        # Hop 1 (nearest source) wrapped at round 9, hop 2 at round 8.
+        body = payload
+        from repro.crypto import aead
+
+        body = aead.senc(self.KEYS[1], 8, body)
+        body = aead.senc(self.KEYS[0], 9, body)
+        recovered = onion.unwrap_reverse(body, self.KEYS[:2], base_round=9)
+        assert recovered == payload
+
+    def test_path_ids_unique(self):
+        rng = random.Random(5)
+        ids = {onion.new_path_id(rng) for _ in range(100)}
+        assert len(ids) == 100
+
+    def test_dummy_matches_length(self):
+        assert len(onion.dummy_body(77)) == 77

@@ -1,0 +1,86 @@
+"""Pseudonym identity and bulletin-board tests."""
+
+import pytest
+
+from repro.errors import EquivocationError, ProtocolError
+from repro.mixnet import pseudonym
+from repro.mixnet.bulletin import BulletinBoard, derive_beacon
+
+
+class TestPseudonym:
+    def test_binding_holds(self, rng):
+        identity = pseudonym.mint_pseudonym(rng, rsa_bits=256)
+        assert identity.pseudonym.verify_binding()
+
+    def test_binding_detects_swap(self, rng):
+        a = pseudonym.mint_pseudonym(rng, rsa_bits=256)
+        b = pseudonym.mint_pseudonym(rng, rsa_bits=256)
+        forged = pseudonym.Pseudonym(
+            handle=a.handle, public_key=b.pseudonym.public_key
+        )
+        assert not forged.verify_binding()
+
+    def test_handles_unique(self, rng):
+        device = pseudonym.mint_device(0, 4, rng, rsa_bits=256)
+        handles = [p.handle for p in device.pseudonyms]
+        assert len(set(handles)) == 4
+
+    def test_identity_for_handle(self, rng):
+        device = pseudonym.mint_device(1, 2, rng, rsa_bits=256)
+        target = device.pseudonyms[1]
+        assert device.identity_for_handle(target.handle) is target
+        with pytest.raises(ProtocolError):
+            device.identity_for_handle(b"\x00" * 32)
+
+    def test_owns_handle(self, rng):
+        device = pseudonym.mint_device(2, 2, rng, rsa_bits=256)
+        assert device.owns_handle(device.primary().handle)
+        assert not device.owns_handle(b"\x01" * 32)
+
+    def test_primary_requires_pseudonyms(self):
+        empty = pseudonym.DeviceIdentity(device_id=9)
+        with pytest.raises(ProtocolError):
+            empty.primary()
+
+
+class TestBulletin:
+    def test_append_and_find(self):
+        board = BulletinBoard()
+        board.post("aggregator", "root", b"abc")
+        board.post("device-1", "complaint", b"dropped")
+        assert board.latest("root").payload == b"abc"
+        assert len(board.find("complaint")) == 1
+
+    def test_missing_tag(self):
+        board = BulletinBoard()
+        with pytest.raises(ProtocolError):
+            board.latest("nothing")
+
+    def test_equivocation_detected(self):
+        board = BulletinBoard()
+        board.post("aggregator", "m1-root", b"aaa")
+        board.post("aggregator", "m1-root", b"bbb")
+        with pytest.raises(EquivocationError):
+            board.require_unique("m1-root")
+
+    def test_repeated_identical_posts_ok(self):
+        board = BulletinBoard()
+        board.post("aggregator", "m1-root", b"aaa")
+        board.post("aggregator", "m1-root", b"aaa")
+        assert board.require_unique("m1-root").payload == b"aaa"
+
+    def test_sequence_numbers_monotonic(self):
+        board = BulletinBoard()
+        entries = [board.post("a", "t", bytes([i])) for i in range(5)]
+        assert [e.sequence for e in entries] == list(range(5))
+
+    def test_beacon_changes_with_history(self):
+        board = BulletinBoard()
+        beacon1 = derive_beacon(board, "epoch-0")
+        board.post("aggregator", "m1-root", b"x")
+        beacon2 = derive_beacon(board, "epoch-0")
+        assert beacon1 != beacon2
+
+    def test_beacon_label_separates(self):
+        board = BulletinBoard()
+        assert derive_beacon(board, "a") != derive_beacon(board, "b")

@@ -1,0 +1,247 @@
+"""Integration tests: telescoping path setup and message forwarding
+through the full mixnet simulation (§3.4-§3.5)."""
+
+import random
+
+import pytest
+
+from repro.mixnet.forwarding import ForwardingDriver, SendRequest, strip_padding
+from repro.mixnet.network import MixnetWorld
+from repro.mixnet.telescope import TelescopeDriver
+from repro.params import SystemParameters
+
+
+def make_world(seed=7, num_devices=20, hops=2, replicas=1, fraction=0.4):
+    params = SystemParameters(
+        num_devices=num_devices,
+        hops=hops,
+        replicas=replicas,
+        forwarder_fraction=fraction,
+        degree_bound=2,
+        pseudonyms_per_device=2,
+    )
+    world = MixnetWorld(
+        params,
+        num_devices=num_devices,
+        rng=random.Random(seed),
+        rsa_bits=512,
+        pseudonyms_per_device=2,
+    )
+    return world
+
+
+@pytest.fixture(scope="module")
+def established_world():
+    """A world with two established 2-hop paths, shared by read-only
+    assertions; mutating tests build their own worlds."""
+    world = make_world()
+    driver = TelescopeDriver(world)
+    dst5 = world.devices[5].identity.primary().handle
+    dst9 = world.devices[9].identity.primary().handle
+    paths = driver.setup_paths([(0, 0, 0, dst5), (3, 0, 0, dst9)])
+    return world, paths, (dst5, dst9)
+
+
+class TestTelescoping:
+    def test_paths_establish(self, established_world):
+        _, paths, _ = established_world
+        assert all(p.established for p in paths.values())
+        assert not any(p.failed for p in paths.values())
+
+    def test_destination_key_correct(self, established_world):
+        world, paths, (dst5, _) = established_world
+        path = paths[(0, 0, 0)]
+        expected = world.devices[5].identity.primary().pseudonym.public_key
+        assert path.dest_pk == expected
+
+    def test_ack_received(self, established_world):
+        _, paths, _ = established_world
+        assert all(p.got_ack for p in paths.values())
+
+    def test_duration_close_to_formula(self, established_world):
+        """Path setup takes k^2 + 2k C-rounds (§3.4) plus driver slack."""
+        world, _, _ = established_world
+        formula = world.params.telescoping_crounds
+        assert formula <= world.current_round <= formula + 3
+
+    def test_hops_only_know_neighbors(self, established_world):
+        """Topology privacy building block: no single honest hop's link
+        state mentions both the source and the destination."""
+        world, paths, (dst5, _) = established_world
+        path = paths[(0, 0, 0)]
+        source_handle = path.source_handle
+        for handle in path.hop_handles:
+            owner = world.devices[world.handle_owner[handle]]
+            if owner.device_id == 0:
+                continue  # the source may be its own hop
+            for link in owner.in_links.values():
+                knows_source = link.prev_mailbox == source_handle
+                knows_dest = link.next_mailbox == dst5
+                assert not (knows_source and knows_dest) or world.params.hops == 1
+
+    def test_no_complaints_in_honest_run(self, established_world):
+        world, _, _ = established_world
+        assert world.complaints() == []
+
+    def test_offline_hop_fails_path(self):
+        world = make_world(seed=11)
+        driver = TelescopeDriver(world)
+        dst = world.devices[6].identity.primary().handle
+        # Take every hop-1-eligible device offline except none needed:
+        # knock out the specific first hop after it is chosen is racy, so
+        # instead take a big bite: mark half the devices offline.
+        for device_id in range(10, 20):
+            world.devices[device_id].online = False
+        paths = driver.setup_paths([(0, 0, 0, dst)])
+        path = paths[(0, 0, 0)]
+        # Either the path routed around online devices and established, or
+        # it failed cleanly -- it must never be half-open.
+        assert path.established != path.failed
+
+    def test_aggregator_drop_triggers_complaint(self):
+        """§3.4: if the aggregator drops a deposited message, the sender
+        misses its inclusion receipt and posts a challenge."""
+        world = make_world(seed=13)
+        driver = TelescopeDriver(world)
+        dst = world.devices[6].identity.primary().handle
+        drops = {"armed": False}
+
+        def drop_some(deposit):
+            if not drops["armed"]:
+                drops["armed"] = True
+                return True
+            return False
+
+        world.aggregator_drop_predicate = drop_some
+        driver.setup_paths([(0, 0, 0, dst)])
+        assert b"deposit-dropped" in world.complaints()
+
+    def test_complaint_blocks_key_fetch(self):
+        """§3.4: any complaint on the board makes *all* last hops refuse
+        to fetch destination keys, so no path establishes."""
+        world = make_world(seed=17)
+        driver = TelescopeDriver(world)
+        world.board.post("device-99", "complaint/path-setup", b"missing-ack")
+        dst = world.devices[6].identity.primary().handle
+        paths = driver.setup_paths([(0, 0, 0, dst)])
+        assert not paths[(0, 0, 0)].established
+
+
+class TestForwarding:
+    def test_payload_delivered(self, established_world):
+        world, _, (dst5, dst9) = established_world
+        fw = ForwardingDriver(world)
+        result = fw.send_batch(
+            [
+                SendRequest(0, (0, 0), b"are you ill?"),
+                SendRequest(3, (0, 0), b"query 42"),
+            ],
+            payload_bytes=32,
+        )
+        assert all(result.values())
+        got5 = [strip_padding(r.plaintext) for r in world.devices[5].received]
+        got9 = [strip_padding(r.plaintext) for r in world.devices[9].received]
+        assert b"are you ill?" in got5
+        assert b"query 42" in got9
+
+    def test_forwarding_latency(self, established_world):
+        """One communication round costs k+1 C-rounds (§3.5)."""
+        world, _, _ = established_world
+        fw = ForwardingDriver(world)
+        before = world.current_round
+        fw.send_batch(
+            [SendRequest(0, (0, 0), b"ping")],
+            payload_bytes=8,
+        )
+        assert world.current_round - before == world.params.hops + 2
+
+    def test_oversized_payload_rejected(self, established_world):
+        world, _, _ = established_world
+        fw = ForwardingDriver(world)
+        with pytest.raises(Exception):
+            fw.send_batch(
+                [SendRequest(0, (0, 0), b"x" * 100)],
+                payload_bytes=8,
+            )
+
+
+class TestReplicasAndFailures:
+    @pytest.fixture(scope="class")
+    def replica_world(self):
+        world = make_world(seed=9, num_devices=40, hops=3, replicas=2, fraction=0.3)
+        driver = TelescopeDriver(world)
+        dst = world.devices[20].identity.primary().handle
+        paths = driver.setup_paths([(1, 0, 0, dst), (1, 0, 1, dst)])
+        return world, paths, dst
+
+    def test_both_replicas_establish(self, replica_world):
+        _, paths, _ = replica_world
+        assert all(p.established for p in paths.values())
+
+    def test_replica_survives_offline_hop(self, replica_world):
+        """§3.2: r replicas over disjoint paths deliver the message even
+        when a forwarder on one path goes offline."""
+        world, paths, dst = replica_world
+        p0, p1 = paths[(1, 0, 0)], paths[(1, 0, 1)]
+        owners0 = [world.handle_owner[h] for h in p0.hop_handles]
+        owners1 = [world.handle_owner[h] for h in p1.hop_handles]
+        victim = next(
+            o
+            for o in owners0
+            if o != 1 and o not in owners1 and o != world.handle_owner[dst]
+        )
+        world.devices[victim].online = False
+        fw = ForwardingDriver(world)
+        fw.send_batch(
+            [
+                SendRequest(1, (0, 0), b"replica-msg"),
+                SendRequest(1, (0, 1), b"replica-msg"),
+            ],
+            payload_bytes=16,
+        )
+        received = [
+            strip_padding(r.plaintext) for r in world.devices[20].received
+        ]
+        assert b"replica-msg" in received
+        world.devices[victim].online = True
+
+    def test_dummy_keeps_pattern(self, replica_world):
+        """When a hop misses an input, it still deposits *something* to
+        its next hop (a random dummy), so the aggregator's view of the
+        communication pattern is unchanged (§3.5)."""
+        world, paths, dst = replica_world
+        p0, p1 = paths[(1, 0, 0)], paths[(1, 0, 1)]
+        owners0 = [world.handle_owner[h] for h in p0.hop_handles]
+        owners1 = [world.handle_owner[h] for h in p1.hop_handles]
+        # Disable a non-final hop on path 0: the hops after it mask the
+        # missing message with dummies all the way to the destination.
+        candidates = [
+            o
+            for o in owners0[:-1]
+            if o not in (1, world.handle_owner[dst]) and o not in owners1
+        ]
+        if not candidates:
+            pytest.skip("hop collision makes this seed unsuitable")
+        victim = candidates[0]
+        world.devices[victim].online = False
+        deposits_before = len(
+            [e for e in world.deposit_log if e[2] == dst]
+        )
+        fw = ForwardingDriver(world)
+        fw.send_batch(
+            [
+                SendRequest(1, (0, 0), b"will-be-lost"),
+                SendRequest(1, (0, 1), b"will-arrive"),
+            ],
+            payload_bytes=16,
+        )
+        deposits_after = len([e for e in world.deposit_log if e[2] == dst])
+        # Both paths produced a deposit into the destination mailbox:
+        # one real, one dummy from the final hop of the broken path.
+        assert deposits_after - deposits_before == 2
+        received = [
+            strip_padding(r.plaintext) for r in world.devices[20].received
+        ]
+        assert b"will-arrive" in received
+        assert b"will-be-lost" not in received
+        world.devices[victim].online = True

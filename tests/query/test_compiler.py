@@ -1,0 +1,259 @@
+"""Compiler tests: clause partitioning, layouts, Figure 6 counts, and
+the §6.2 feasibility result."""
+
+import pytest
+
+from repro.errors import QueryError, UnsupportedQueryError
+from repro.params import PAPER, SystemParameters, TEST
+from repro.query import ast
+from repro.query.catalog import CATALOG, all_queries
+from repro.query.compiler import (
+    compile_query,
+    evaluate_expression,
+    evaluate_predicate,
+    expression_bounds,
+    qualifying_buckets,
+)
+from repro.query.parser import parse
+from repro.query.schema import DEFAULT_SCHEMA
+
+PARAMS = SystemParameters()
+
+
+def plan_of(text: str, **kwargs):
+    params = SystemParameters(**kwargs) if kwargs else PARAMS
+    return compile_query(parse(text), params, DEFAULT_SCHEMA)
+
+
+class TestClausePartition:
+    def test_self_and_dest_split(self):
+        plan = plan_of(
+            "SELECT HISTO(COUNT(*)) FROM neigh(1) WHERE dest.inf AND self.inf"
+        )
+        assert len(plan.self_clauses) == 1
+        assert len(plan.dest_clauses) == 1
+        assert plan.cross is None
+
+    def test_edge_clause_goes_dest_side(self):
+        plan = plan_of(
+            "SELECT HISTO(SUM(dest.inf)) FROM neigh(1) "
+            "WHERE onSubway(edge.location) AND self.inf"
+        )
+        assert len(plan.dest_clauses) == 1
+        assert len(plan.self_clauses) == 1
+
+    def test_self_edge_clause_is_per_edge(self):
+        plan = plan_of(
+            "SELECT HISTO(COUNT(*)) FROM neigh(1) "
+            "WHERE self.age > edge.duration"
+        )
+        assert len(plan.per_edge_clauses) == 1
+        assert not plan.dest_clauses
+
+    def test_cross_clause_detected(self):
+        plan = plan_of(
+            "SELECT HISTO(COUNT(*)) FROM neigh(1) "
+            "WHERE dest.tInf > self.tInf + 2"
+        )
+        assert plan.cross is not None
+        assert plan.cross.dest_column.name == "tInf"
+        assert plan.cross.num_buckets == 14
+
+    def test_two_dest_columns_in_cross_rejected(self):
+        with pytest.raises(UnsupportedQueryError):
+            plan_of(
+                "SELECT HISTO(COUNT(*)) FROM neigh(1) "
+                "WHERE dest.tInf + dest.age > self.age"
+            )
+
+    def test_cross_clauses_on_different_columns_rejected(self):
+        with pytest.raises(UnsupportedQueryError):
+            plan_of(
+                "SELECT HISTO(COUNT(*)) FROM neigh(1) "
+                "WHERE dest.tInf > self.tInf AND dest.age > self.age"
+            )
+
+
+class TestFigure6:
+    """The ciphertext counts of Figure 6, exactly."""
+
+    @pytest.mark.parametrize("entry", all_queries(), ids=lambda e: e.qid)
+    def test_ciphertext_count_matches_paper(self, entry):
+        plan = entry.plan(PARAMS)
+        assert plan.ciphertexts_per_contribution == entry.paper_ciphertexts
+
+
+class TestGenerality:
+    """§6.2: everything expressible; only Q1 exceeds the noise budget."""
+
+    @pytest.mark.parametrize("entry", all_queries(), ids=lambda e: e.qid)
+    def test_all_queries_expressible(self, entry):
+        entry.plan(PARAMS)  # compiles without error
+
+    def test_only_q1_infeasible_at_paper_profile(self):
+        for entry in all_queries():
+            plan = entry.plan(PARAMS)
+            report = plan.budget_report(PAPER)
+            if entry.qid == "Q1":
+                assert not report.feasible
+                assert report.multiplications_required == 100
+            else:
+                assert report.feasible
+
+    def test_q1_feasible_on_test_profile_small_degree(self):
+        params = SystemParameters(degree_bound=3)
+        plan = CATALOG["Q1"].plan(params)
+        assert plan.budget_report(TEST).feasible
+
+    def test_paper_ring_fits_all_catalog_layouts(self):
+        for entry in all_queries():
+            plan = entry.plan(PARAMS)
+            assert plan.layout.total_coefficients <= PAPER.n
+
+
+class TestLayout:
+    def test_plain_count_layout(self):
+        plan = plan_of("SELECT HISTO(COUNT(*)) FROM neigh(1)")
+        d = PARAMS.degree_bound
+        assert plan.layout.block_size == d + 1
+        assert plan.layout.num_groups == 1
+        assert plan.layout.pair_base is None
+
+    def test_ratio_layout_roundtrip(self):
+        plan = plan_of(
+            "SELECT GSUM(SUM(dest.inf)/COUNT(*)) FROM neigh(1) CLIP [0, 1]"
+        )
+        layout = plan.layout
+        for count, total in [(0, 0), (3, 2), (10, 10), (1, 0)]:
+            exponent = layout.encode(0, count, total)
+            assert layout.decode(exponent) == (0, count, total)
+
+    def test_group_blocks_disjoint(self):
+        plan = plan_of(
+            "SELECT HISTO(COUNT(*)) FROM neigh(1) GROUP BY decade(self.age)"
+        )
+        layout = plan.layout
+        assert layout.num_groups == 10
+        e1 = layout.encode(1, 0, 0)
+        e2 = layout.encode(2, 0, 0)
+        assert e2 - e1 == layout.block_size
+
+    def test_two_hop_layout(self):
+        plan = plan_of(
+            "SELECT HISTO(COUNT(*)) FROM neigh(2) WHERE dest.inf"
+        )
+        d = PARAMS.degree_bound
+        # Multi-hop neighborhoods include the origin's own row (§4.4).
+        assert plan.layout.block_size == d + d * d + 2
+
+    def test_capacity_validation(self):
+        plan = plan_of("SELECT HISTO(SUM(edge.duration)) FROM neigh(1)")
+        with pytest.raises(UnsupportedQueryError):
+            plan.validate_feasible(TEST)  # 64 coefficients: too small
+        plan.validate_feasible(PAPER)
+
+
+class TestRestrictions:
+    def test_gsum_requires_clip(self):
+        with pytest.raises(UnsupportedQueryError):
+            plan_of("SELECT GSUM(COUNT(*)) FROM neigh(1)")
+
+    def test_ratio_requires_gsum(self):
+        with pytest.raises(UnsupportedQueryError):
+            plan_of("SELECT HISTO(SUM(dest.inf)/COUNT(*)) FROM neigh(1)")
+
+    def test_sum_over_self_rejected(self):
+        with pytest.raises(UnsupportedQueryError):
+            plan_of("SELECT HISTO(SUM(self.age)) FROM neigh(1)")
+
+    def test_multihop_group_by_rejected(self):
+        with pytest.raises(UnsupportedQueryError):
+            plan_of(
+                "SELECT HISTO(COUNT(*)) FROM neigh(2) GROUP BY decade(self.age)"
+            )
+
+    def test_multihop_cross_rejected(self):
+        with pytest.raises(UnsupportedQueryError):
+            plan_of(
+                "SELECT HISTO(COUNT(*)) FROM neigh(2) "
+                "WHERE dest.tInf > self.tInf"
+            )
+
+    def test_multihop_edge_sum_rejected(self):
+        with pytest.raises(UnsupportedQueryError):
+            plan_of("SELECT HISTO(SUM(edge.duration)) FROM neigh(2)")
+
+    def test_unknown_column_rejected(self):
+        with pytest.raises(QueryError):
+            plan_of("SELECT HISTO(COUNT(*)) FROM neigh(1) WHERE dest.nope")
+
+    def test_edge_column_in_wrong_group(self):
+        with pytest.raises(QueryError):
+            plan_of("SELECT HISTO(COUNT(*)) FROM neigh(1) WHERE dest.duration")
+
+    def test_inverted_clip_rejected(self):
+        with pytest.raises(QueryError):
+            plan_of("SELECT GSUM(COUNT(*)) FROM neigh(1) CLIP [5, 1]")
+
+    def test_zero_hops_rejected(self):
+        with pytest.raises(UnsupportedQueryError):
+            plan_of("SELECT HISTO(COUNT(*)) FROM neigh(0)")
+
+
+class TestEvaluation:
+    def test_expression_arithmetic(self):
+        expr = parse(
+            "SELECT HISTO(SUM(edge.duration * 2 + 1)) FROM neigh(1)"
+        ).numerator.expr
+        bindings = {(ast.ColumnGroup.EDGE, "duration"): 5}
+        assert evaluate_expression(expr, bindings) == 11
+
+    def test_predicate_or_not(self):
+        pred = parse(
+            "SELECT HISTO(COUNT(*)) FROM neigh(1) "
+            "WHERE NOT dest.inf OR dest.age >= 30"
+        ).where
+        assert evaluate_predicate(
+            pred,
+            {
+                (ast.ColumnGroup.DEST, "inf"): 1,
+                (ast.ColumnGroup.DEST, "age"): 40,
+            },
+        )
+        assert not evaluate_predicate(
+            pred,
+            {
+                (ast.ColumnGroup.DEST, "inf"): 1,
+                (ast.ColumnGroup.DEST, "age"): 20,
+            },
+        )
+
+    def test_bounds_interval_arithmetic(self):
+        expr = parse(
+            "SELECT HISTO(SUM(edge.duration - edge.contacts)) FROM neigh(1)"
+        ).numerator
+        low, high = expression_bounds(expr.expr, DEFAULT_SCHEMA)
+        assert low == -50
+        assert high == 240
+
+    def test_qualifying_buckets_exact(self):
+        plan = plan_of(
+            "SELECT HISTO(COUNT(*)) FROM neigh(1) "
+            "WHERE dest.tInf > self.tInf + 2"
+        )
+        buckets = qualifying_buckets(
+            plan.cross, {(ast.ColumnGroup.SELF, "tInf"): 4}
+        )
+        assert buckets == list(range(7, 14))
+
+    def test_qualifying_buckets_decades(self):
+        plan = plan_of(
+            "SELECT GSUM(SUM(dest.inf)/COUNT(*)) FROM neigh(1) WHERE "
+            "dest.age IN [0, 100] AND self.age IN [dest.age-10, dest.age+10] "
+            "CLIP [0, 1]"
+        )
+        buckets = qualifying_buckets(
+            plan.cross, {(ast.ColumnGroup.SELF, "age"): 35}
+        )
+        # Age 35 is within +-10 of values in decades 2, 3, 4 (20s-40s).
+        assert buckets == [2, 3, 4]

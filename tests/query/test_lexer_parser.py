@@ -1,0 +1,181 @@
+"""Lexer and parser tests for the §4 query language."""
+
+import pytest
+
+from repro.errors import QuerySyntaxError
+from repro.query import ast
+from repro.query.lexer import TokenKind, tokenize
+from repro.query.parser import parse
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select Histo from WHERE")
+        assert all(t.kind == TokenKind.KEYWORD for t in tokens[:-1])
+
+    def test_unicode_operators_normalized(self):
+        tokens = tokenize("self.inf ∧ dest.inf ∨ edge.x ∈ [1, 2]")
+        words = [t.text for t in tokens if t.kind == TokenKind.KEYWORD]
+        assert words == ["AND", "OR", "IN"]
+
+    def test_two_char_symbols(self):
+        tokens = tokenize("a >= 1 <= != ==")
+        symbols = [t.text for t in tokens if t.kind == TokenKind.SYMBOL]
+        assert symbols == [">=", "<=", "!=", "=="]
+
+    def test_numbers_and_idents(self):
+        tokens = tokenize("foo123 456")
+        assert tokens[0].kind == TokenKind.IDENT
+        assert tokens[1].kind == TokenKind.NUMBER
+
+    def test_bad_character(self):
+        with pytest.raises(QuerySyntaxError):
+            tokenize("SELECT @")
+
+    def test_end_token(self):
+        assert tokenize("")[-1].kind == TokenKind.END
+
+
+class TestParser:
+    def test_minimal_query(self):
+        q = parse("SELECT HISTO(COUNT(*)) FROM neigh(1)")
+        assert q.output is ast.OutputKind.HISTO
+        assert isinstance(q.numerator, ast.CountStar)
+        assert q.hops == 1
+        assert q.where is None
+
+    def test_where_conjunction(self):
+        q = parse(
+            "SELECT HISTO(COUNT(*)) FROM neigh(2) WHERE dest.inf AND self.inf"
+        )
+        clauses = ast.conjuncts(q.where)
+        assert len(clauses) == 2
+        assert all(isinstance(c, ast.Truthy) for c in clauses)
+
+    def test_comparison(self):
+        q = parse(
+            "SELECT HISTO(COUNT(*)) FROM neigh(1) "
+            "WHERE dest.tInf > self.tInf + 2"
+        )
+        clause = ast.conjuncts(q.where)[0]
+        assert isinstance(clause, ast.Compare)
+        assert clause.op == ">"
+        assert isinstance(clause.right, ast.BinaryOp)
+
+    def test_in_range(self):
+        q = parse(
+            "SELECT HISTO(SUM(edge.duration)) FROM neigh(1) WHERE "
+            "dest.tInfec IN [edge.last_contact+5, edge.last_contact+10]"
+        )
+        clause = ast.conjuncts(q.where)[0]
+        assert isinstance(clause, ast.InRange)
+
+    def test_paper_shorthand_range(self):
+        """The paper writes dest.tInfec[a, b] for the range test."""
+        q = parse(
+            "SELECT HISTO(COUNT(*)) FROM neigh(1) WHERE dest.tInfec[1, 5]"
+        )
+        clause = ast.conjuncts(q.where)[0]
+        assert isinstance(clause, ast.InRange)
+
+    def test_ratio_aggregate(self):
+        q = parse(
+            "SELECT GSUM(SUM(dest.inf)/COUNT(*)) FROM neigh(1) "
+            "WHERE self.inf CLIP [0, 1]"
+        )
+        assert q.output is ast.OutputKind.GSUM
+        assert isinstance(q.numerator, ast.SumExpr)
+        assert isinstance(q.denominator, ast.CountStar)
+        assert q.clip == (0, 1)
+
+    def test_group_by_function(self):
+        q = parse(
+            "SELECT HISTO(COUNT(*)) FROM neigh(1) GROUP BY decade(self.age)"
+        )
+        assert isinstance(q.group_by, ast.FuncCall)
+        assert q.group_by.name == "decade"
+
+    def test_bins_clause(self):
+        q = parse(
+            "SELECT HISTO(COUNT(*)) FROM neigh(1) BINS [0, 3, 6]"
+        )
+        assert q.bins == (0, 3, 6)
+
+    def test_parenthesized_predicate(self):
+        q = parse(
+            "SELECT HISTO(COUNT(*)) FROM neigh(1) "
+            "WHERE self.inf AND (dest.tInf AND dest.inf OR dest.age > 5)"
+        )
+        assert isinstance(q.where, ast.And)
+
+    def test_or_precedence(self):
+        q = parse(
+            "SELECT HISTO(COUNT(*)) FROM neigh(1) "
+            "WHERE self.inf AND dest.inf OR dest.age > 5"
+        )
+        # AND binds tighter than OR.
+        assert isinstance(q.where, ast.Or)
+
+    def test_not_predicate(self):
+        q = parse(
+            "SELECT HISTO(COUNT(*)) FROM neigh(1) WHERE NOT dest.inf"
+        )
+        assert isinstance(q.where, ast.Not)
+
+    def test_negative_clip(self):
+        q = parse(
+            "SELECT GSUM(SUM(dest.inf)) FROM neigh(1) CLIP [-5, 5]"
+        )
+        assert q.clip == (-5, 5)
+
+    def test_roundtrip_via_str(self):
+        text = (
+            "SELECT GSUM(SUM(dest.inf)/COUNT(*)) FROM neigh(1) "
+            "WHERE self.inf GROUP BY isHousehold(edge.location) CLIP [0, 1]"
+        )
+        q1 = parse(text)
+        q2 = parse(str(q1))
+        assert q1 == q2
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "HISTO(COUNT(*)) FROM neigh(1)",  # missing SELECT
+            "SELECT HISTO(COUNT(*)) FROM neigh()",  # missing hops
+            "SELECT MAX(COUNT(*)) FROM neigh(1)",  # bad aggregator
+            "SELECT HISTO(COUNT(*)) FROM neigh(1) WHERE",  # dangling WHERE
+            "SELECT HISTO(COUNT(*)) FROM neigh(1) trailing",  # junk
+            "SELECT HISTO(AVG(*)) FROM neigh(1)",  # bad inner
+            "SELECT HISTO(COUNT(*)) FROM neigh(1) WHERE bare",  # bare ident
+        ],
+    )
+    def test_syntax_errors(self, bad):
+        with pytest.raises(QuerySyntaxError):
+            parse(bad)
+
+
+class TestAstHelpers:
+    def test_columns_in(self):
+        q = parse(
+            "SELECT HISTO(SUM(edge.duration)) FROM neigh(1) "
+            "WHERE self.inf AND dest.tInf > self.tInf + 2"
+        )
+        columns = ast.columns_in(q.where)
+        names = {str(c) for c in columns}
+        assert names == {"self.inf", "dest.tInf", "self.tInf"}
+
+    def test_groups_in(self):
+        q = parse(
+            "SELECT HISTO(COUNT(*)) FROM neigh(1) WHERE dest.inf AND self.inf"
+        )
+        assert ast.groups_in(q.where) == {
+            ast.ColumnGroup.SELF,
+            ast.ColumnGroup.DEST,
+        }
+
+    def test_conjuncts_flatten_nested(self):
+        q = parse(
+            "SELECT HISTO(COUNT(*)) FROM neigh(1) "
+            "WHERE self.inf AND (dest.inf AND dest.tInf)"
+        )
+        assert len(ast.conjuncts(q.where)) == 3

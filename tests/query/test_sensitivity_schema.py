@@ -1,0 +1,129 @@
+"""Sensitivity analysis (§4.7), schema, and builtin tests."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.params import SystemParameters
+from repro.query import sensitivity
+from repro.query.ast import ColumnGroup
+from repro.query.builtins import get_builtin
+from repro.query.catalog import CATALOG
+from repro.query.compiler import compile_query
+from repro.query.parser import parse
+from repro.query.schema import DEFAULT_SCHEMA, scaled_schema
+
+
+def plan_of(text: str, degree_bound: int = 10):
+    params = SystemParameters(degree_bound=degree_bound)
+    return compile_query(parse(text), params, DEFAULT_SCHEMA)
+
+
+class TestSensitivity:
+    def test_histo_one_hop(self):
+        plan = plan_of("SELECT HISTO(COUNT(*)) FROM neigh(1)", degree_bound=10)
+        report = sensitivity.analyze(plan)
+        assert report.influenced_queries == 11  # itself + 10 neighbors
+        assert report.per_query_contribution == 2.0
+        assert report.sensitivity == 22.0
+
+    def test_histo_two_hop(self):
+        plan = plan_of(
+            "SELECT HISTO(COUNT(*)) FROM neigh(2) WHERE dest.inf",
+            degree_bound=10,
+        )
+        report = sensitivity.analyze(plan)
+        assert report.influenced_queries == 111  # 1 + 10 + 100
+
+    def test_gsum_uses_clip_width(self):
+        plan = plan_of(
+            "SELECT GSUM(SUM(dest.inf)) FROM neigh(1) CLIP [0, 5]",
+            degree_bound=10,
+        )
+        report = sensitivity.analyze(plan)
+        assert report.per_query_contribution == 5.0
+        assert report.sensitivity == 55.0
+
+    def test_ratio_clip_01(self):
+        plan = CATALOG["Q8"].plan(SystemParameters(degree_bound=10))
+        report = sensitivity.analyze(plan)
+        assert report.per_query_contribution == 1.0
+
+    def test_laplace_scale(self):
+        plan = plan_of("SELECT HISTO(COUNT(*)) FROM neigh(1)", degree_bound=10)
+        assert sensitivity.laplace_scale(plan, epsilon=2.0) == 11.0
+
+    def test_bad_epsilon(self):
+        plan = plan_of("SELECT HISTO(COUNT(*)) FROM neigh(1)")
+        with pytest.raises(QueryError):
+            sensitivity.laplace_scale(plan, epsilon=0)
+
+    def test_sensitivity_monotone_in_degree(self):
+        small = plan_of("SELECT HISTO(COUNT(*)) FROM neigh(1)", degree_bound=3)
+        large = plan_of("SELECT HISTO(COUNT(*)) FROM neigh(1)", degree_bound=10)
+        assert (
+            sensitivity.analyze(small).sensitivity
+            < sensitivity.analyze(large).sensitivity
+        )
+
+
+class TestSchema:
+    def test_lookup_groups(self):
+        spec = DEFAULT_SCHEMA.lookup(ColumnGroup.SELF, "age")
+        assert spec.domain_size == 100
+        with pytest.raises(QueryError):
+            DEFAULT_SCHEMA.lookup(ColumnGroup.EDGE, "age")
+
+    def test_comparison_domains_match_figure6(self):
+        tinf = DEFAULT_SCHEMA.lookup(ColumnGroup.DEST, "tInf")
+        age = DEFAULT_SCHEMA.lookup(ColumnGroup.DEST, "age")
+        assert tinf.comparison_domain_size == 14
+        assert age.comparison_domain_size == 10
+
+    def test_bucket_of_clips(self):
+        age = DEFAULT_SCHEMA.lookup(ColumnGroup.DEST, "age")
+        assert age.bucket_of(35) == 3
+        assert age.bucket_of(-5) == 0
+        assert age.bucket_of(150) == 9
+
+    def test_scaled_schema_shrinks_sums(self):
+        schema = scaled_schema(duration_high=20)
+        spec = schema.lookup(ColumnGroup.EDGE, "duration")
+        assert spec.high == 20
+        # Other columns untouched.
+        assert schema.lookup(ColumnGroup.SELF, "age").high == 99
+
+    def test_unknown_column(self):
+        with pytest.raises(QueryError):
+            DEFAULT_SCHEMA.lookup(ColumnGroup.SELF, "password")
+
+
+class TestBuiltins:
+    def test_on_subway(self):
+        fn = get_builtin("onSubway")
+        assert fn(0) == 1
+        assert fn(7) == 0
+
+    def test_is_household(self):
+        fn = get_builtin("isHousehold")
+        assert fn(2) == 1
+        assert fn(3) == 0
+
+    def test_stage_buckets(self):
+        fn = get_builtin("stage")
+        assert fn(3) == 0  # incubation
+        assert fn(8) == 1  # illness
+
+    def test_decade(self):
+        fn = get_builtin("decade")
+        assert fn(0) == 0
+        assert fn(35) == 3
+        assert fn(99) == 9
+        assert fn(150) == 9  # clipped
+
+    def test_arity_enforced(self):
+        with pytest.raises(QueryError):
+            get_builtin("decade")(1, 2)
+
+    def test_unknown_builtin(self):
+        with pytest.raises(QueryError):
+            get_builtin("melt")

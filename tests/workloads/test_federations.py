@@ -1,0 +1,85 @@
+"""Device federation model tests (§7 Discussion)."""
+
+import random
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.workloads import federations
+
+
+class TestFederationFormation:
+    def test_everyone_has_a_phone(self):
+        feds = federations.form_federations(50, random.Random(1))
+        for federation in feds:
+            assert any(
+                d.device_class == "phone" for d in federation.devices
+            )
+
+    def test_delegate_is_most_powerful(self):
+        feds = federations.form_federations(50, random.Random(2))
+        for federation in feds:
+            delegate = federation.delegate
+            assert all(d.power <= delegate.power for d in federation.devices)
+
+    def test_capable_fraction_grows_with_laptops(self):
+        rng = random.Random(3)
+        few = federations.capable_fraction(
+            federations.form_federations(300, rng, laptop_fraction=0.2)
+        )
+        many = federations.capable_fraction(
+            federations.form_federations(300, rng, laptop_fraction=0.9)
+        )
+        assert few < many
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(ParameterError):
+            federations.form_federations(0, random.Random(0))
+
+
+class TestBiasedSelection:
+    def test_effective_malice_rises_with_bias(self):
+        base = 0.02
+        effective = federations.effective_malicious_fraction(base, 0.5)
+        assert effective > base
+        # All confederates claim capability: at 50% capable the
+        # malicious share nearly doubles.
+        assert effective == pytest.approx(
+            base / (0.5 * (1 - base) + base), rel=1e-9
+        )
+
+    def test_no_bias_when_everyone_capable(self):
+        effective = federations.effective_malicious_fraction(0.02, 1.0)
+        assert effective == pytest.approx(0.02 / (0.98 + 0.02))
+
+    def test_compensating_hops(self):
+        """The §7 mitigation: one or two extra hops absorb the bias."""
+        hops = federations.compensating_hops(
+            base_hops=3,
+            replicas=2,
+            forwarder_fraction=0.1,
+            malicious_fraction=0.02,
+            capable_fraction_value=0.5,
+            num_devices=1_100_000,
+        )
+        assert 3 <= hops <= 5
+
+    def test_guards(self):
+        with pytest.raises(ParameterError):
+            federations.effective_malicious_fraction(1.5, 0.5)
+        with pytest.raises(ParameterError):
+            federations.effective_malicious_fraction(0.02, 0.0)
+
+
+class TestDelegationBenefit:
+    def test_metered_bandwidth_saved(self):
+        feds = federations.form_federations(200, random.Random(4))
+        saved = federations.bandwidth_saved_by_delegation(feds, 430.0)
+        metered_non_delegates = sum(
+            1
+            for f in feds
+            for d in f.devices
+            if d.metered and d != f.delegate
+        )
+        assert saved == pytest.approx(metered_non_delegates * 430.0)
+        assert saved > 0

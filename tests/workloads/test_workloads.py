@@ -1,0 +1,155 @@
+"""Workload generator tests."""
+
+import random
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.query.schema import SETTINGS
+from repro.workloads import attributes, epidemic, graphgen
+
+
+class TestContactGraph:
+    def test_degree_bound_enforced(self):
+        rng = random.Random(1)
+        graph = graphgen.generate_random_graph(50, 6.0, degree_bound=4, rng=rng)
+        assert all(graph.degree(v) <= 4 for v in range(graph.num_vertices))
+
+    def test_edges_symmetric_shared_record(self):
+        graph = graphgen.ContactGraph(degree_bound=3)
+        a = graph.add_vertex(age=10, inf=0, tInf=0, tInfec=0)
+        b = graph.add_vertex(age=20, inf=0, tInf=0, tInfec=0)
+        graph.add_edge(a, b, duration=5, contacts=1, last_contact=0, location=0, setting=0)
+        graph.edge(a, b)["duration"] = 9
+        assert graph.edge(b, a)["duration"] == 9
+
+    def test_duplicate_edge_rejected(self):
+        graph = graphgen.ContactGraph(degree_bound=3)
+        a = graph.add_vertex()
+        b = graph.add_vertex()
+        assert graph.add_edge(a, b)
+        assert not graph.add_edge(b, a)
+        assert graph.num_edges() == 1
+
+    def test_self_loop_rejected(self):
+        graph = graphgen.ContactGraph(degree_bound=3)
+        a = graph.add_vertex()
+        with pytest.raises(ParameterError):
+            graph.add_edge(a, a)
+
+    def test_k_hop_members_distances(self):
+        graph = graphgen.ContactGraph(degree_bound=3)
+        vertices = [graph.add_vertex() for _ in range(4)]
+        graph.add_edge(vertices[0], vertices[1])
+        graph.add_edge(vertices[1], vertices[2])
+        graph.add_edge(vertices[2], vertices[3])
+        members = graph.k_hop_members(vertices[0], 2)
+        assert members == {vertices[0]: 0, vertices[1]: 1, vertices[2]: 2}
+
+    def test_spanning_tree_covers_neighborhood(self):
+        rng = random.Random(2)
+        graph = graphgen.generate_random_graph(30, 4.0, degree_bound=5, rng=rng)
+        tree = graph.spanning_tree(0, 2)
+        members = graph.k_hop_members(0, 2)
+        assert set(tree) == set(members)
+        # Every non-root has exactly one parent.
+        child_count = sum(len(children) for children in tree.values())
+        assert child_count == len(members) - 1
+
+
+class TestHouseholdGraph:
+    def test_household_edges_present(self):
+        rng = random.Random(3)
+        graph = graphgen.generate_household_graph(60, degree_bound=8, rng=rng)
+        household = SETTINGS.index("household")
+        household_edges = sum(
+            1
+            for u in range(graph.num_vertices)
+            for v in graph.neighbors(u)
+            if u < v and graph.edge(u, v)["setting"] == household
+        )
+        assert household_edges > 0
+
+    def test_attributes_in_schema_domains(self):
+        rng = random.Random(4)
+        graph = graphgen.generate_household_graph(80, degree_bound=8, rng=rng)
+        attributes.validate_graph(graph)
+
+    def test_children_have_child_ages(self):
+        rng = random.Random(5)
+        graph = graphgen.generate_household_graph(100, degree_bound=8, rng=rng)
+        ages = [attrs["age"] for attrs in graph.vertex_attrs]
+        assert any(a < 18 for a in ages)
+        assert any(a >= 18 for a in ages)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ParameterError):
+            graphgen.generate_household_graph(1, 4, random.Random(0))
+
+
+class TestEpidemic:
+    def test_infection_spreads(self):
+        rng = random.Random(6)
+        graph = graphgen.generate_household_graph(120, degree_bound=8, rng=rng)
+        stats = epidemic.run_epidemic(graph, rng)
+        assert stats["infected"] > stats["seeds"]
+        assert stats["transmissions"] == stats["infected"] - stats["seeds"]
+
+    def test_attributes_consistent(self):
+        rng = random.Random(7)
+        graph = graphgen.generate_household_graph(80, degree_bound=8, rng=rng)
+        epidemic.run_epidemic(graph, rng)
+        for attrs in graph.vertex_attrs:
+            if attrs["inf"]:
+                assert attrs["tInf"] >= 1
+                assert attrs["tInf"] == attrs["tInfec"]
+            else:
+                assert attrs["tInf"] == 0
+        attributes.validate_graph(graph)
+
+    def test_household_transmission_dominates(self):
+        """Q8's premise: household contacts transmit more; check the
+        generator actually produces that signal."""
+        rng = random.Random(8)
+        graph = graphgen.generate_household_graph(
+            400, degree_bound=8, rng=rng, external_contacts=2
+        )
+        epidemic.run_epidemic(graph, rng)
+        household = SETTINGS.index("household")
+        rates = {True: [0, 0], False: [0, 0]}  # [transmissions, pairs]
+        for u in range(graph.num_vertices):
+            if not graph.vertex_attrs[u]["inf"]:
+                continue
+            for v in graph.neighbors(u):
+                is_household = graph.edge(u, v)["setting"] == household
+                rates[is_household][1] += 1
+                if graph.vertex_attrs[v]["inf"]:
+                    rates[is_household][0] += 1
+        household_rate = rates[True][0] / max(1, rates[True][1])
+        other_rate = rates[False][0] / max(1, rates[False][1])
+        assert household_rate > other_rate
+
+    def test_infection_rate_helper(self):
+        rng = random.Random(9)
+        graph = graphgen.generate_household_graph(50, degree_bound=6, rng=rng)
+        assert attributes.infection_rate(graph) == 0.0
+        epidemic.run_epidemic(graph, rng)
+        assert attributes.infection_rate(graph) > 0.0
+
+
+class TestAttributeHelpers:
+    def test_set_vertex_and_edge(self):
+        graph = graphgen.ContactGraph(degree_bound=2)
+        a = graph.add_vertex(age=5, inf=0, tInf=0, tInfec=0)
+        b = graph.add_vertex(age=6, inf=0, tInf=0, tInfec=0)
+        graph.add_edge(a, b, duration=1, contacts=1, last_contact=0, location=0, setting=0)
+        attributes.set_vertex(graph, a, inf=1, tInf=3)
+        attributes.set_edge(graph, a, b, duration=7)
+        assert graph.vertex_attrs[a]["inf"] == 1
+        assert graph.edge(b, a)["duration"] == 7
+
+    def test_validate_detects_out_of_domain(self):
+        graph = graphgen.ContactGraph(degree_bound=2)
+        graph.add_vertex(age=500, inf=0, tInf=0, tInfec=0)
+        with pytest.raises(ParameterError):
+            attributes.validate_graph(graph)
