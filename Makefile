@@ -1,0 +1,16 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench docs-check
+
+test:
+	$(PYTHON) -m pytest tests/ -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
+
+# Verify docs/OBSERVABILITY.md matches the declared telemetry catalog,
+# that every declared name has a live instrumentation site, and that no
+# markdown references a file or module that does not exist.
+docs-check:
+	$(PYTHON) -m repro.telemetry.contract

@@ -1,26 +1,156 @@
-"""Shared benchmark fixtures.
+"""Shared benchmark fixtures, backed by the telemetry layer.
 
 Every benchmark regenerates one table or figure from the paper's
-evaluation and prints the rows/series it produces (bypassing pytest's
-capture so the tables land in ``bench_output.txt``).
+evaluation.  Each test runs inside its own :func:`repro.telemetry.session`,
+so the numbers it prints are sourced from the same counters and spans the
+production code emits (see ``docs/OBSERVABILITY.md``).  At the end of the
+run the collected snapshots are written as one normalized
+``BENCH_<timestamp>.json`` record into ``benchmarks/out/`` (override the
+directory with the ``MYCELIUM_BENCH_DIR`` environment variable).
+
+Record schema (one JSON object per run)::
+
+    {
+      "schema_version": 1,
+      "started_at": "<UTC ISO-8601>",
+      "entries": [
+        {
+          "test": "<pytest nodeid>",
+          "outcome": "passed" | "failed",
+          "wall_seconds": <float>,
+          "report_lines": ["..."],          # what the test printed
+          "metrics": {...},                  # telemetry metric snapshot
+          "spans": {...},                    # per-span-name count/seconds
+        },
+        ...
+      ]
+    }
 """
 
 from __future__ import annotations
 
+import json
+import os
 import random
+import time
+from pathlib import Path
 
 import pytest
 
+from repro import telemetry
+
+SCHEMA_VERSION = 1
+
+#: Default output directory for BENCH_*.json records.
+DEFAULT_BENCH_DIR = Path(__file__).resolve().parent / "out"
+
+
+def bench_output_dir() -> Path:
+    override = os.environ.get("MYCELIUM_BENCH_DIR")
+    return Path(override) if override else DEFAULT_BENCH_DIR
+
+
+class BenchRecorder:
+    """Accumulates one normalized entry per benchmark test."""
+
+    def __init__(self) -> None:
+        self.started_at = time.strftime(
+            "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
+        )
+        self.entries: list[dict] = []
+        self._current_lines: list[str] = []
+
+    # -- per-test protocol -------------------------------------------------
+
+    def start_test(self) -> None:
+        self._current_lines = []
+
+    def record_line(self, line: str) -> None:
+        self._current_lines.append(line)
+
+    def finish_test(
+        self,
+        nodeid: str,
+        outcome: str,
+        wall_seconds: float,
+        snapshot: dict,
+    ) -> None:
+        metrics: dict = {}
+        for kind in ("counters", "gauges", "histograms"):
+            metrics.update(snapshot.get(kind, {}))
+        self.entries.append(
+            {
+                "test": nodeid,
+                "outcome": outcome,
+                "wall_seconds": wall_seconds,
+                "report_lines": list(self._current_lines),
+                "metrics": metrics,
+                "spans": snapshot.get("spans", {}),
+            }
+        )
+
+    # -- export ------------------------------------------------------------
+
+    def write(self, directory: Path) -> Path:
+        directory.mkdir(parents=True, exist_ok=True)
+        stamp = self.started_at.replace(":", "").replace("-", "")
+        path = directory / f"BENCH_{stamp}.json"
+        record = {
+            "schema_version": SCHEMA_VERSION,
+            "started_at": self.started_at,
+            "entries": self.entries,
+        }
+        path.write_text(json.dumps(record, indent=2, sort_keys=True))
+        return path
+
+
+@pytest.fixture(scope="session")
+def bench_recorder():
+    recorder = BenchRecorder()
+    yield recorder
+    if recorder.entries:
+        path = recorder.write(bench_output_dir())
+        print(f"\n[bench] wrote {len(recorder.entries)} entries to {path}")
+
+
+@pytest.fixture(autouse=True)
+def bench_telemetry(request, bench_recorder):
+    """Run every benchmark inside its own telemetry session and record a
+    normalized snapshot entry when it finishes."""
+    bench_recorder.start_test()
+    start = time.perf_counter()
+    with telemetry.session() as session:
+        yield session
+        snapshot = session.snapshot()
+    wall = time.perf_counter() - start
+    failed = getattr(request.node, "_bench_failed", False)
+    bench_recorder.finish_test(
+        nodeid=request.node.nodeid,
+        outcome="failed" if failed else "passed",
+        wall_seconds=wall,
+        snapshot=snapshot,
+    )
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    rep = outcome.get_result()
+    if rep.when == "call" and rep.failed:
+        item._bench_failed = True
+
 
 @pytest.fixture
-def report(capsys):
-    """A print function that is visible in captured benchmark runs."""
+def report(capsys, bench_recorder):
+    """A print function that is visible in captured benchmark runs and
+    mirrored into the run's BENCH_*.json record."""
 
     def _report(*lines: str) -> None:
         with capsys.disabled():
             print()
             for line in lines:
                 print(line)
+                bench_recorder.record_line(line)
 
     return _report
 

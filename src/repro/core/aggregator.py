@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import telemetry
 from repro.crypto import bgv, zksnark
 from repro.crypto.merkle import InclusionProof, MerkleTree, verify_inclusion
 from repro.engine.encrypted import OriginSubmission
@@ -139,6 +140,8 @@ class QueryAggregator:
         self._accepted_digests = []
         for submission in submissions:
             ok, seconds, proofs = self.verify_submission(submission)
+            telemetry.count("aggregator.proofs.verified", proofs)
+            telemetry.observe("aggregator.verify.seconds", seconds)
             total_seconds += seconds
             total_proofs += proofs
             if not ok:
@@ -151,6 +154,8 @@ class QueryAggregator:
                 global_ct = relinearized
             else:
                 global_ct = bgv.add(global_ct, relinearized)
+        telemetry.count("aggregator.submissions.accepted", len(accepted))
+        telemetry.count("aggregator.submissions.rejected", len(rejected))
         self._tree = MerkleTree(self._accepted_digests or [b"empty"])
         return AggregationResult(
             ciphertext=global_ct,

@@ -26,8 +26,10 @@ at genesis, no matter how many queries run.
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass, field
 
+from repro import telemetry
 from repro.crypto import bgv, feldman, shamir, vsr
 from repro.crypto.polyring import RingElement
 from repro.dp.laplace import sample_laplace
@@ -181,6 +183,7 @@ def threshold_decrypt(
     participating: list[int] | None = None,
 ) -> RingElement:
     """Full decryption flow with any ``threshold`` members online."""
+    start = time.perf_counter()
     members = committee.members
     if participating is not None:
         members = [m for m in members if m.device_id in participating]
@@ -203,7 +206,12 @@ def threshold_decrypt(
         )
         for member in chosen
     ]
-    return combine_partials(ciphertext, partials, committee.profile)
+    plaintext = combine_partials(ciphertext, partials, committee.profile)
+    telemetry.count("committee.decrypt.partials", len(partials))
+    telemetry.observe(
+        "committee.decrypt.seconds", time.perf_counter() - start
+    )
+    return plaintext
 
 
 def decrypt_with_liveness_retry(
@@ -326,6 +334,7 @@ def committee_noise(
     for seed in seeds.values():
         combined ^= seed
     rng = random.Random(combined)
+    telemetry.count("committee.noise.samples", num_values)
     return [sample_laplace(scale, rng) for _ in range(num_values)]
 
 
@@ -347,6 +356,7 @@ def rotate_committee(
     detected by the Feldman checks inside :func:`repro.crypto.vsr.redistribute`
     and excluded.
     """
+    start = time.perf_counter()
     group = committee.group
     new_size = len(new_member_ids)
     per_member_values: list[list[int]] = [[] for _ in new_member_ids]
@@ -382,6 +392,10 @@ def rotate_committee(
         )
         for i, device in enumerate(new_member_ids)
     ]
+    telemetry.count("committee.rotations.total")
+    telemetry.observe(
+        "committee.rotate.seconds", time.perf_counter() - start
+    )
     return Committee(
         profile=committee.profile,
         members=members,

@@ -28,7 +28,9 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
+from repro import telemetry
 from repro.core import committee as committee_mod
 from repro.core.aggregator import QueryAggregator
 from repro.core.results import (
@@ -54,6 +56,9 @@ from repro.query.parser import parse
 from repro.query.plans import ExecutionPlan
 from repro.query.schema import DEFAULT_SCHEMA, Schema
 from repro.workloads.graphgen import ContactGraph
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mixnet.network import MixnetWorld
 
 
 @dataclass
@@ -101,22 +106,25 @@ class MyceliumSystem:
                 replicas=2,
                 forwarder_fraction=0.3,
             )
-        secret, public = bgv.keygen(profile, rng)
-        # Deferred relinearization means device outputs reach degree
-        # ~|k-hop neighborhood|; cover it with margin.
-        if max_relin_power is None:
-            neighborhood = 1 + sum(
-                params.degree_bound**i for i in range(1, params.hops + 1)
-            )
-            max_relin_power = max(2, neighborhood + 2)
-        relin = bgv.make_relin_keys(secret, max_relin_power, rng)
-        zk = zksnark.Groth16System.setup(build_circuits(), rng)
-        member_ids = committee_mod.elect_committee(
-            list(range(num_devices)), committee_size, rng
-        )
-        first_committee = committee_mod.genesis_share_key(
-            secret, member_ids, committee_threshold, rng
-        )
+        with telemetry.span("system.setup", num_devices=num_devices):
+            with telemetry.span("query.genesis"):
+                secret, public = bgv.keygen(profile, rng)
+                # Deferred relinearization means device outputs reach degree
+                # ~|k-hop neighborhood|; cover it with margin.
+                if max_relin_power is None:
+                    neighborhood = 1 + sum(
+                        params.degree_bound**i
+                        for i in range(1, params.hops + 1)
+                    )
+                    max_relin_power = max(2, neighborhood + 2)
+                relin = bgv.make_relin_keys(secret, max_relin_power, rng)
+                zk = zksnark.Groth16System.setup(build_circuits(), rng)
+                member_ids = committee_mod.elect_committee(
+                    list(range(num_devices)), committee_size, rng
+                )
+                first_committee = committee_mod.genesis_share_key(
+                    secret, member_ids, committee_threshold, rng
+                )
         return cls(
             profile=profile,
             params=params,
@@ -153,48 +161,90 @@ class MyceliumSystem:
         offline: set[int] | None = None,
         rotate: bool = False,
         noiseless: bool = False,
+        world: MixnetWorld | None = None,
     ) -> QueryResult:
         """Execute one query end to end and release the noisy answer.
 
         ``noiseless=True`` skips the Laplace noise — a testing facility
         for comparing against the plaintext oracle; it does *not* charge
         less budget.
+
+        ``world`` switches the execute phase from the in-process
+        transport to the real mix network: graph vertex i must be mixnet
+        device i, and contributions travel as onion-routed mailbox
+        payloads (one-hop plans only; see
+        :class:`repro.core.transport.MixnetTransport`).  ``offline`` is
+        an in-process-transport facility and cannot be combined with it
+        — mark devices offline on the world instead.
         """
-        plan = self.compile(query)
-        label = str(plan.query)
-        self.budget.charge(epsilon, label)
+        with telemetry.span("query.run", epsilon=epsilon) as query_span:
+            with telemetry.span("query.compile"):
+                plan = self.compile(query)
+            label = str(plan.query)
+            query_span.set_attribute("query", label)
+            self.budget.charge(epsilon, label)
 
-        executor = EncryptedExecutor(plan, self.public_key, self.zk, self.rng)
-        submissions = executor.run(graph, behaviors=behaviors, offline=offline)
-        aggregator = QueryAggregator(zk=self.zk, relin_keys=self.relin_keys)
-        aggregation = aggregator.aggregate(submissions)
-        if aggregation.ciphertext is None:
-            raise ProtocolError("no valid contributions to aggregate")
+            with telemetry.span("query.execute"):
+                executor = EncryptedExecutor(
+                    plan, self.public_key, self.zk, self.rng
+                )
+                if world is not None:
+                    if offline is not None:
+                        raise QueryError(
+                            "offline= is the in-process transport's churn "
+                            "model; mark devices offline on the MixnetWorld"
+                        )
+                    from repro.core.transport import MixnetTransport
 
-        plaintext = committee_mod.threshold_decrypt(
-            self.committee, aggregation.ciphertext, self.rng
-        )
-        coefficients = [
-            plaintext.coeffs[i] for i in range(plan.layout.total_coefficients)
-        ]
+                    transport = MixnetTransport(
+                        world=world,
+                        graph=graph,
+                        plan=plan,
+                        public_key=self.public_key,
+                        zk=self.zk,
+                        rng=self.rng,
+                    )
+                    submissions = transport.run(behaviors)
+                else:
+                    submissions = executor.run(
+                        graph, behaviors=behaviors, offline=offline
+                    )
+            with telemetry.span("query.aggregate"):
+                aggregator = QueryAggregator(
+                    zk=self.zk, relin_keys=self.relin_keys
+                )
+                aggregation = aggregator.aggregate(submissions)
+            if aggregation.ciphertext is None:
+                raise ProtocolError("no valid contributions to aggregate")
 
-        report = sensitivity_mod.analyze(plan)
-        scale = 0.0 if noiseless else report.sensitivity / epsilon
-        metadata = QueryMetadata(
-            query_text=label,
-            epsilon=epsilon,
-            sensitivity=report.sensitivity,
-            noise_scale=scale,
-            contributing_origins=aggregation.num_accepted,
-            rejected_origins=len(aggregation.rejected),
-            committee_epoch=self.committee.epoch,
-            verification_seconds=aggregation.verification_seconds,
-        )
-        result = self._release(plan, coefficients, scale, metadata)
-        self.query_log.append(metadata)
-        if rotate:
-            self.rotate_committee()
-        return result
+            with telemetry.span("query.decrypt"):
+                plaintext = committee_mod.threshold_decrypt(
+                    self.committee, aggregation.ciphertext, self.rng
+                )
+                coefficients = [
+                    plaintext.coeffs[i]
+                    for i in range(plan.layout.total_coefficients)
+                ]
+
+            report = sensitivity_mod.analyze(plan)
+            scale = 0.0 if noiseless else report.sensitivity / epsilon
+            metadata = QueryMetadata(
+                query_text=label,
+                epsilon=epsilon,
+                sensitivity=report.sensitivity,
+                noise_scale=scale,
+                contributing_origins=aggregation.num_accepted,
+                rejected_origins=len(aggregation.rejected),
+                committee_epoch=self.committee.epoch,
+                verification_seconds=aggregation.verification_seconds,
+            )
+            with telemetry.span("query.release"):
+                result = self._release(plan, coefficients, scale, metadata)
+            self.query_log.append(metadata)
+            if rotate:
+                with telemetry.span("query.rotate"):
+                    self.rotate_committee()
+            return result
 
     def _release(
         self,

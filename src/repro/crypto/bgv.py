@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 from repro.crypto.polyring import RingElement, RingParams
 from repro.errors import CryptoError, NoiseBudgetExceeded, ParameterError
 from repro.params import BGVProfile
+from repro.telemetry.runtime import count as _count
 
 
 @dataclass(frozen=True)
@@ -225,6 +226,7 @@ def encrypt(
     profile = pk.profile
     if plaintext.params.n != profile.n:
         raise ParameterError("plaintext degree does not match profile")
+    _count("bgv.encrypt.count")
     ring = profile.ring
     rand = randomness or EncryptionRandomness.generate(profile, rng)
     m_lifted = RingElement.from_coeffs(ring, [c % profile.t for c in plaintext.coeffs])
@@ -273,6 +275,7 @@ def encrypt_monomial(
 
 def decrypt(secret: SecretKey, ct: Ciphertext) -> RingElement:
     """Decrypt to a plaintext ring element with coefficients in [0, t)."""
+    _count("bgv.decrypt.count")
     phase = _decryption_phase(secret, ct)
     t = secret.profile.t
     plain = phase.lift_mod(t)
@@ -332,6 +335,7 @@ def _guard_noise(profile: BGVProfile, noise_bits: float) -> None:
 
 def add(a: Ciphertext, b: Ciphertext) -> Ciphertext:
     """Homomorphic addition (histogram "bin" aggregation, §4.1)."""
+    _count("bgv.add.count")
     _check_same_profile(a, b)
     long, short = (a, b) if a.degree >= b.degree else (b, a)
     components = list(long.components)
@@ -349,6 +353,7 @@ def add(a: Ciphertext, b: Ciphertext) -> Ciphertext:
 
 def subtract(a: Ciphertext, b: Ciphertext) -> Ciphertext:
     """Homomorphic subtraction (used by the §4.5 sequence protocol)."""
+    _count("bgv.sub.count")
     _check_same_profile(a, b)
     width = max(len(a.components), len(b.components))
     zero = RingElement.zero(a.profile.ring)
@@ -374,6 +379,7 @@ def multiply(a: Ciphertext, b: Ciphertext) -> Ciphertext:
     In the monomial encoding this *adds the encoded exponents* — the local
     neighborhood summation of §4.3.
     """
+    _count("bgv.mul.count")
     _check_same_profile(a, b)
     profile = a.profile
     out_degree = a.degree + b.degree
@@ -396,6 +402,7 @@ def multiply(a: Ciphertext, b: Ciphertext) -> Ciphertext:
 
 def multiply_plain(ct: Ciphertext, plain: RingElement) -> Ciphertext:
     """Multiply by a plaintext polynomial (coefficients mod t)."""
+    _count("bgv.mul_plain.count")
     profile = ct.profile
     lifted = RingElement.from_coeffs(
         profile.ring, [c % profile.t for c in plain.coeffs]
@@ -439,6 +446,7 @@ def relinearize(ct: Ciphertext, rlk: RelinKeySet) -> Ciphertext:
     """
     if ct.degree <= 1:
         return ct
+    _count("bgv.relinearize.count")
     profile = ct.profile
     if rlk.max_power < ct.degree:
         raise CryptoError(

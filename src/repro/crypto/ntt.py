@@ -14,10 +14,9 @@ transform.
 
 from __future__ import annotations
 
-from functools import lru_cache
-
 from repro.crypto.modmath import invmod, primitive_root_of_unity
 from repro.errors import ParameterError
+from repro.telemetry.runtime import count as _count
 
 
 class NttContext:
@@ -59,6 +58,7 @@ class NttContext:
 
     def forward(self, coeffs: list[int]) -> list[int]:
         """In-place-style forward negacyclic NTT; returns a new list."""
+        _count("ntt.forward.count")
         a = [c % self.q for c in coeffs]
         n, q = self.n, self.q
         psi = self._psi_rev
@@ -80,6 +80,7 @@ class NttContext:
 
     def inverse(self, values: list[int]) -> list[int]:
         """Inverse negacyclic NTT; returns coefficient representation."""
+        _count("ntt.inverse.count")
         a = list(values)
         n, q = self.n, self.q
         psi_inv = self._psi_inv_rev
@@ -113,10 +114,23 @@ class NttContext:
         return self.inverse(prod)
 
 
-@lru_cache(maxsize=32)
+_CONTEXTS: dict[tuple[int, int], NttContext] = {}
+
+
 def get_context(n: int, q: int) -> NttContext:
-    """Return a cached :class:`NttContext` for ``(n, q)``."""
-    return NttContext(n, q)
+    """Return a cached :class:`NttContext` for ``(n, q)``.
+
+    Table construction dominates single transforms, so the cache
+    hit/miss split (``ntt.cache.hits`` / ``ntt.cache.misses``) is the
+    first thing to inspect when ring operations look slow.
+    """
+    context = _CONTEXTS.get((n, q))
+    if context is None:
+        _count("ntt.cache.misses")
+        context = _CONTEXTS[(n, q)] = NttContext(n, q)
+    else:
+        _count("ntt.cache.hits")
+    return context
 
 
 def negacyclic_multiply_schoolbook(a: list[int], b: list[int], q: int) -> list[int]:

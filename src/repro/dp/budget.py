@@ -15,6 +15,7 @@ import math
 from dataclasses import dataclass, field
 
 from repro.errors import ParameterError, PrivacyBudgetExceeded
+from repro.telemetry.runtime import count as _count, set_gauge as _set_gauge
 
 
 @dataclass
@@ -47,6 +48,9 @@ class PrivacyBudget:
             )
         self.spent += epsilon
         self.history.append((label, epsilon))
+        _count("dp.queries.total")
+        _set_gauge("dp.budget.epsilon_spent", self.spent)
+        _set_gauge("dp.budget.epsilon_remaining", self.remaining)
 
 
 @dataclass

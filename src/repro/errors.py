@@ -15,6 +15,10 @@ class ParameterError(MyceliumError):
     """A configuration or cryptographic parameter is invalid."""
 
 
+class TelemetryError(MyceliumError):
+    """Misuse of the telemetry layer (undeclared metric, kind mismatch)."""
+
+
 class CryptoError(MyceliumError):
     """A cryptographic operation failed (bad key, tag mismatch, ...)."""
 

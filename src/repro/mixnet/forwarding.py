@@ -21,6 +21,7 @@ from __future__ import annotations
 import struct
 from dataclasses import dataclass
 
+from repro import telemetry
 from repro.crypto import aead
 from repro.errors import ProtocolError
 from repro.mixnet.network import (
@@ -93,39 +94,54 @@ class ForwardingDriver:
         delivery_round = base_round + k + 1
         sent: dict[tuple[int, tuple[int, int]], bool] = {}
         envelope_bytes = None
-        for request in sends:
-            device = world.devices[request.device_id]
-            path = device.paths.get(request.path_key)
-            key = (request.device_id, request.path_key)
-            if (
-                path is None
-                or not path.established
-                or not device.online
-            ):
-                sent[key] = False
-                continue
-            if len(request.payload) > payload_bytes:
-                raise ProtocolError("payload exceeds the phase's fixed size")
-            padded = request.payload.ljust(payload_bytes, b"\x00")
-            envelope = build_envelope(path, padded, delivery_round, device.rng)
-            envelope_bytes = len(envelope)
-            body = wrap_for_path(path, envelope, base_round)
-            device.queue_deposit(path.hop_handles[0], path.first_path_id, body)
-            sent[key] = True
-        # Arm dummy injection: a hop at position p that sees no message on
-        # an expecting link in round base+p emits a dummy of matching size.
-        if envelope_bytes is not None:
-            world.forwarding_phase_start = base_round
-            # A hop at position p deposits bodies of exactly
-            # envelope + (k - p) bytes (one TAG_FORWARD byte per layer
-            # still to peel); emit_dummies matches that shape.
-            world.forwarding_body_bytes = envelope_bytes
-        # Deposits land in C-round `base`, hop j forwards in base+j, and
-        # the destination opens its mailbox in base+k+1 — k+1 C-rounds of
-        # latency (§3.5), spanning k+2 round boundaries of the simulator.
-        for _ in range(k + 2):
-            world.run_round()
-        world.forwarding_phase_start = None
+        with telemetry.span("mixnet.send_batch", sends=len(sends), hops=k):
+            for request in sends:
+                device = world.devices[request.device_id]
+                path = device.paths.get(request.path_key)
+                key = (request.device_id, request.path_key)
+                if (
+                    path is None
+                    or not path.established
+                    or not device.online
+                ):
+                    sent[key] = False
+                    continue
+                if len(request.payload) > payload_bytes:
+                    raise ProtocolError(
+                        "payload exceeds the phase's fixed size"
+                    )
+                padded = request.payload.ljust(payload_bytes, b"\x00")
+                envelope = build_envelope(
+                    path, padded, delivery_round, device.rng
+                )
+                envelope_bytes = len(envelope)
+                body = wrap_for_path(path, envelope, base_round)
+                device.queue_deposit(
+                    path.hop_handles[0], path.first_path_id, body
+                )
+                sent[key] = True
+            # Arm dummy injection: a hop at position p that sees no message
+            # on an expecting link in round base+p emits a dummy of matching
+            # size.
+            if envelope_bytes is not None:
+                world.forwarding_phase_start = base_round
+                # A hop at position p deposits bodies of exactly
+                # envelope + (k - p) bytes (one TAG_FORWARD byte per layer
+                # still to peel); emit_dummies matches that shape.
+                world.forwarding_body_bytes = envelope_bytes
+            delivered = sum(1 for ok in sent.values() if ok)
+            telemetry.count("mixnet.send.messages", delivered)
+            for _ in range(delivered):
+                telemetry.observe("mixnet.send.hop_latency_rounds", k + 1)
+            # Deposits land in C-round `base`, hop j forwards in base+j, and
+            # the destination opens its mailbox in base+k+1 — k+1 C-rounds
+            # of latency (§3.5), spanning k+2 round boundaries of the
+            # simulator.
+            try:
+                for _ in range(k + 2):
+                    world.run_round()
+            finally:
+                world.forwarding_phase_start = None
         return sent
 
 

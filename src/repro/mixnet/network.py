@@ -24,6 +24,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
+from repro import telemetry
 from repro.crypto import rsa
 from repro.crypto.hashes import derive_key
 from repro.errors import CryptoError, ProtocolError
@@ -272,6 +273,7 @@ class MixDevice:
             length = world.forwarding_body_bytes + (
                 world.params.hops - link.position
             )
+            telemetry.count("mixnet.round.dummies")
             self.queue_deposit(
                 link.next_mailbox, link.out_path_id, onion.dummy_body(length)
             )
@@ -428,6 +430,10 @@ class MixnetWorld:
         round_number = self.current_round
         fetch_round = round_number - 1
         deposits_by_device: dict[int, list] = {}
+        num_fetched = 0
+        num_deposits = 0
+        bytes_out = 0
+        telemetry.count("mixnet.rounds.total")
         for device in self.devices.values():
             if not device.online:
                 continue
@@ -435,12 +441,14 @@ class MixnetWorld:
                 for handle in device.handles:
                     batch = self.mailboxes.fetch(fetch_round, handle)
                     if not verify_batch(self.board, batch):
+                        telemetry.count("mixnet.complaints.total")
                         self.board.post(
                             f"device-{device.device_id}",
                             COMPLAINT_TAG,
                             b"mailbox-batch-invalid",
                         )
                         continue
+                    num_fetched += len(batch.payloads)
                     for payload in batch.payloads:
                         device.process_wire(self, round_number, handle, payload)
             for action, path_id in device.due_actions(round_number):
@@ -452,9 +460,16 @@ class MixnetWorld:
             for mailbox, data in device.drain_deposits():
                 deposit = self.mailboxes.deposit(mailbox, data, device.device_id)
                 deposits_by_device.setdefault(device.device_id, []).append(deposit)
+                num_deposits += 1
+                bytes_out += len(data)
                 self.deposit_log.append(
                     (round_number, device.device_id, mailbox, data)
                 )
+        if num_fetched:
+            telemetry.count("mixnet.round.fetches", num_fetched)
+        if num_deposits:
+            telemetry.count("mixnet.round.deposits", num_deposits)
+            telemetry.count("mixnet.round.bytes_out", bytes_out)
         if self.aggregator_drop_predicate is not None:
             self.mailboxes.drop_pending(self.aggregator_drop_predicate)
         closed = self.mailboxes.end_round()
@@ -466,6 +481,7 @@ class MixnetWorld:
                 except ProtocolError:
                     ok = False
                 if not ok:
+                    telemetry.count("mixnet.complaints.total")
                     self.board.post(
                         f"device-{device_id}", COMPLAINT_TAG, b"deposit-dropped"
                     )

@@ -1,0 +1,82 @@
+"""Zero-dependency telemetry for the Mycelium pipeline.
+
+Structured observability in three pieces, documented normatively in
+``docs/OBSERVABILITY.md``:
+
+* a :class:`~repro.telemetry.tracer.Tracer` of nested, attributed spans
+  over the monotonic clock (``system.setup`` → ``query.genesis``;
+  ``query.run`` → compile/execute/aggregate/decrypt/release/rotate);
+* a strict :class:`~repro.telemetry.metrics.MetricsRegistry` of
+  counters, gauges, and fixed-bucket histograms whose names must be
+  declared in :mod:`repro.telemetry.catalog`;
+* a JSONL exporter (:mod:`repro.telemetry.export`).
+
+Telemetry is **off by default**: instrumentation sites call the helpers
+re-exported here (:func:`span`, :func:`count`, :func:`observe`,
+:func:`set_gauge`), which cost one global read when nothing is
+collecting.  Turn collection on with :func:`session`::
+
+    from repro import telemetry
+
+    with telemetry.session() as active:
+        system = MyceliumSystem.setup(num_devices=16, rng=rng)
+        system.run_query(..., rotate=True)
+        telemetry.export_jsonl("trace.jsonl")
+
+See ``examples/telemetry_demo.py`` for an end-to-end walk-through and
+``make docs-check`` for the contract enforcement.
+"""
+
+from repro.telemetry.catalog import METRICS, SPANS, MetricSpec, SpanSpec
+from repro.telemetry.export import (
+    export_records,
+    load_jsonl,
+    metric_names,
+    render_span_tree,
+    span_names,
+    span_tree,
+)
+from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.telemetry.runtime import (
+    Telemetry,
+    active,
+    count,
+    disable,
+    enable,
+    export_jsonl,
+    observe,
+    session,
+    set_gauge,
+    span,
+)
+from repro.telemetry.tracer import NOOP_SPAN, Span, Tracer
+
+__all__ = [
+    "METRICS",
+    "SPANS",
+    "MetricSpec",
+    "SpanSpec",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NOOP_SPAN",
+    "Span",
+    "Telemetry",
+    "Tracer",
+    "active",
+    "count",
+    "disable",
+    "enable",
+    "export_jsonl",
+    "export_records",
+    "load_jsonl",
+    "metric_names",
+    "observe",
+    "render_span_tree",
+    "session",
+    "set_gauge",
+    "span",
+    "span_names",
+    "span_tree",
+]

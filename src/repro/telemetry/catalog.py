@@ -1,0 +1,253 @@
+"""The normative metric and span catalog — the telemetry *contract*.
+
+Every metric the pipeline can emit is declared here, once, with its
+kind, unit, and (for histograms) fixed bucket boundaries; every span
+name the tracer may open is declared alongside.  Instrumentation sites
+refer to these names as string literals, the strict
+:class:`repro.telemetry.metrics.MetricsRegistry` refuses names that are
+not declared here, and ``docs/OBSERVABILITY.md`` documents exactly this
+set — a correspondence enforced by :mod:`repro.telemetry.contract`
+(``make docs-check``), so neither the docs nor the code can drift
+silently.
+
+Naming scheme: dotted lowercase ``subsystem.object.measure`` names, e.g.
+``mixnet.round.bytes_out``.  Units are annotations for humans and
+dashboards; values are never rescaled by the library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+COUNTER = "counter"
+GAUGE = "gauge"
+HISTOGRAM = "histogram"
+
+#: Fixed boundaries for wall-clock timing histograms (seconds).  The
+#: last bucket is the implicit overflow (+inf) bucket.
+TIME_BUCKETS = (0.0001, 0.001, 0.01, 0.1, 1.0, 10.0, 60.0)
+
+#: Boundaries for the simulated Groth16 verification cost model, whose
+#: per-query totals can reach minutes at paper scale.
+MODEL_SECONDS_BUCKETS = (0.001, 0.01, 0.1, 1.0, 10.0, 100.0, 1000.0)
+
+#: Boundaries for mixnet latencies measured in C-rounds.
+CROUND_BUCKETS = (1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0)
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """Declaration of one metric: its stable name, kind, and unit."""
+
+    name: str
+    kind: str  # COUNTER | GAUGE | HISTOGRAM
+    unit: str
+    description: str
+    buckets: tuple[float, ...] | None = None  # histograms only
+
+    def __post_init__(self) -> None:
+        if self.kind not in (COUNTER, GAUGE, HISTOGRAM):
+            raise ValueError(f"unknown metric kind {self.kind!r}")
+        if (self.kind == HISTOGRAM) != (self.buckets is not None):
+            raise ValueError(
+                f"{self.name}: buckets are required for histograms and "
+                "forbidden otherwise"
+            )
+
+
+@dataclass(frozen=True)
+class SpanSpec:
+    """Declaration of one span name and where it sits in the tree."""
+
+    name: str
+    parent: str | None  # span name of the canonical parent; None = root
+    description: str
+
+
+def _specs(*specs: MetricSpec) -> dict[str, MetricSpec]:
+    return {spec.name: spec for spec in specs}
+
+
+METRICS: dict[str, MetricSpec] = _specs(
+    # -- mixnet ------------------------------------------------------------
+    MetricSpec(
+        "mixnet.rounds.total", COUNTER, "C-rounds",
+        "C-rounds advanced by MixnetWorld.run_round",
+    ),
+    MetricSpec(
+        "mixnet.round.deposits", COUNTER, "messages",
+        "mailbox deposits made by online devices",
+    ),
+    MetricSpec(
+        "mixnet.round.bytes_out", COUNTER, "bytes",
+        "bytes deposited into mailboxes (wire bytes, path id included)",
+    ),
+    MetricSpec(
+        "mixnet.round.fetches", COUNTER, "messages",
+        "mailbox payloads fetched and dispatched by devices",
+    ),
+    MetricSpec(
+        "mixnet.round.dummies", COUNTER, "messages",
+        "traffic-pattern dummies injected by hops (§3.5)",
+    ),
+    MetricSpec(
+        "mixnet.complaints.total", COUNTER, "complaints",
+        "public complaints posted to the bulletin board",
+    ),
+    MetricSpec(
+        "mixnet.send.messages", COUNTER, "messages",
+        "end-to-end payloads deposited by ForwardingDriver.send_batch",
+    ),
+    MetricSpec(
+        "mixnet.send.hop_latency_rounds", HISTOGRAM, "C-rounds",
+        "delivery latency of one forwarded payload (k+1 C-rounds)",
+        buckets=CROUND_BUCKETS,
+    ),
+    # -- BGV / NTT ---------------------------------------------------------
+    MetricSpec(
+        "bgv.encrypt.count", COUNTER, "ops", "fresh BGV encryptions",
+    ),
+    MetricSpec(
+        "bgv.decrypt.count", COUNTER, "ops", "secret-key decryptions",
+    ),
+    MetricSpec(
+        "bgv.add.count", COUNTER, "ops", "homomorphic additions",
+    ),
+    MetricSpec(
+        "bgv.sub.count", COUNTER, "ops", "homomorphic subtractions",
+    ),
+    MetricSpec(
+        "bgv.mul.count", COUNTER, "ops",
+        "homomorphic ciphertext-ciphertext multiplications",
+    ),
+    MetricSpec(
+        "bgv.mul_plain.count", COUNTER, "ops",
+        "ciphertext-plaintext multiplications",
+    ),
+    MetricSpec(
+        "bgv.relinearize.count", COUNTER, "ops",
+        "relinearizations of degree>1 ciphertexts back to degree 1",
+    ),
+    MetricSpec(
+        "ntt.forward.count", COUNTER, "transforms",
+        "forward negacyclic NTTs",
+    ),
+    MetricSpec(
+        "ntt.inverse.count", COUNTER, "transforms",
+        "inverse negacyclic NTTs",
+    ),
+    MetricSpec(
+        "ntt.cache.hits", COUNTER, "lookups",
+        "NttContext table-cache hits in get_context",
+    ),
+    MetricSpec(
+        "ntt.cache.misses", COUNTER, "lookups",
+        "NttContext table-cache misses (tables built)",
+    ),
+    # -- aggregator --------------------------------------------------------
+    MetricSpec(
+        "aggregator.proofs.verified", COUNTER, "proofs",
+        "Groth16 proofs checked during submission verification",
+    ),
+    MetricSpec(
+        "aggregator.verify.seconds", HISTOGRAM, "seconds",
+        "simulated Groth16 verification seconds per submission "
+        "(the paper's aggregator cost model, Figure 9b)",
+        buckets=MODEL_SECONDS_BUCKETS,
+    ),
+    MetricSpec(
+        "aggregator.submissions.accepted", COUNTER, "submissions",
+        "origin submissions whose proof stack verified",
+    ),
+    MetricSpec(
+        "aggregator.submissions.rejected", COUNTER, "submissions",
+        "origin submissions discarded as Byzantine",
+    ),
+    # -- committee ---------------------------------------------------------
+    MetricSpec(
+        "committee.decrypt.partials", COUNTER, "shares",
+        "partial decryptions combined during threshold decryption",
+    ),
+    MetricSpec(
+        "committee.decrypt.seconds", HISTOGRAM, "seconds",
+        "wall-clock duration of one threshold decryption",
+        buckets=TIME_BUCKETS,
+    ),
+    MetricSpec(
+        "committee.noise.samples", COUNTER, "draws",
+        "Laplace draws sampled inside the committee MPC",
+    ),
+    MetricSpec(
+        "committee.rotations.total", COUNTER, "rotations",
+        "VSR key handoffs to a new committee",
+    ),
+    MetricSpec(
+        "committee.rotate.seconds", HISTOGRAM, "seconds",
+        "wall-clock duration of one VSR rotation",
+        buckets=TIME_BUCKETS,
+    ),
+    # -- differential privacy ----------------------------------------------
+    MetricSpec(
+        "dp.budget.epsilon_spent", GAUGE, "epsilon",
+        "cumulative epsilon charged to the sequential-composition budget",
+    ),
+    MetricSpec(
+        "dp.budget.epsilon_remaining", GAUGE, "epsilon",
+        "epsilon remaining in the budget",
+    ),
+    MetricSpec(
+        "dp.queries.total", COUNTER, "queries",
+        "queries successfully charged against the budget",
+    ),
+)
+
+
+SPANS: dict[str, SpanSpec] = {
+    spec.name: spec
+    for spec in (
+        SpanSpec(
+            "system.setup", None,
+            "MyceliumSystem.setup: the genesis ceremony plus first election",
+        ),
+        SpanSpec(
+            "query.genesis", "system.setup",
+            "one-time key material: BGV keygen, relinearization keys, "
+            "Groth16 trusted setup, first committee sharing (§4.2)",
+        ),
+        SpanSpec(
+            "query.run", None,
+            "one end-to-end query (MyceliumSystem.run_query); "
+            "attributes: query, epsilon",
+        ),
+        SpanSpec(
+            "query.compile", "query.run",
+            "parse + compile + feasibility check",
+        ),
+        SpanSpec(
+            "query.execute", "query.run",
+            "encrypted vertex-program execution (in-process or over the "
+            "real mixnet when a MixnetWorld is supplied)",
+        ),
+        SpanSpec(
+            "query.aggregate", "query.run",
+            "aggregator: proof verification, relinearization, global sum",
+        ),
+        SpanSpec(
+            "query.decrypt", "query.run",
+            "committee threshold decryption of the global ciphertext",
+        ),
+        SpanSpec(
+            "query.release", "query.run",
+            "decode, in-MPC Laplace noise, result assembly",
+        ),
+        SpanSpec(
+            "query.rotate", "query.run",
+            "extended-VSR key handoff to the next committee",
+        ),
+        SpanSpec(
+            "mixnet.send_batch", "query.execute",
+            "one forwarding wave over established telescoping paths "
+            "(k+2 simulator rounds); attributes: sends, hops",
+        ),
+    )
+}

@@ -1,0 +1,250 @@
+"""``make docs-check``: keep ``docs/OBSERVABILITY.md`` and the code honest.
+
+Three families of checks, each returning human-readable problems:
+
+1. **Metric/span contract** — the names documented in the catalog tables
+   of ``docs/OBSERVABILITY.md`` must equal, exactly, the names declared
+   in :mod:`repro.telemetry.catalog`, in both directions.  Documented
+   units and kinds must match the declarations too.
+2. **Instrumentation liveness** — every declared name must appear as a
+   string literal somewhere under ``src/repro/`` outside the telemetry
+   package itself, i.e. some instrumentation site can actually emit it.
+   A name nobody emits is dead contract and fails the check.
+3. **Doc rot** — every backticked file path or ``repro.*`` module
+   reference in the top-level and ``docs/`` markdown must resolve to a
+   real file in the repository.
+
+Run it as a module (the Makefile target does)::
+
+    PYTHONPATH=src python -m repro.telemetry.contract [repo_root]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+from repro.telemetry import catalog
+
+OBSERVABILITY_DOC = Path("docs") / "OBSERVABILITY.md"
+
+#: Markdown files audited for rotten file references.
+DOC_FILES = ("README.md", "DESIGN.md", "docs")
+
+_TABLE_ROW = re.compile(r"^\|\s*`([a-z0-9_.]+)`\s*\|(.*)\|\s*$")
+_BACKTICK = re.compile(r"`([^`\n]+)`")
+_PATH_LIKE = re.compile(r"^[A-Za-z0-9_\-./]+\.(?:py|md|json|jsonl|txt)$")
+_MODULE_LIKE = re.compile(r"^repro(?:\.[a-z_][a-z0-9_]*)+$")
+
+
+def find_repo_root(start: Path | None = None) -> Path:
+    """Walk up from this file (or ``start``) to the directory that holds
+    ``docs/OBSERVABILITY.md``."""
+    here = (start or Path(__file__).resolve()).parent
+    for candidate in (here, *here.parents):
+        if (candidate / OBSERVABILITY_DOC).is_file():
+            return candidate
+    raise FileNotFoundError(
+        f"could not locate {OBSERVABILITY_DOC} above {here}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Check 1: the documented catalog mirrors the declared catalog
+# ---------------------------------------------------------------------------
+
+
+def documented_names(doc_text: str) -> tuple[dict[str, list[str]], dict[str, list[str]]]:
+    """Extract (metrics, spans) tables from OBSERVABILITY.md.
+
+    Returns dicts of name -> remaining table cells; a row belongs to
+    whichever ``## Metric catalog`` / ``## Span catalog`` section it
+    appears under.
+    """
+    metrics: dict[str, list[str]] = {}
+    spans: dict[str, list[str]] = {}
+    section = None
+    section_level = 0
+    for line in doc_text.splitlines():
+        if line.startswith("#"):
+            level = len(line) - len(line.lstrip("#"))
+            heading = line.lstrip("#").strip().lower()
+            if "metric catalog" in heading:
+                section, section_level = metrics, level
+            elif "span catalog" in heading:
+                section, section_level = spans, level
+            elif level <= section_level:
+                # Deeper subheadings (e.g. per-subsystem groupings) stay
+                # inside the catalog; a same-or-higher heading ends it.
+                section = None
+            continue
+        if section is None:
+            continue
+        match = _TABLE_ROW.match(line.strip())
+        if match is None:
+            continue
+        name = match.group(1)
+        cells = [c.strip() for c in match.group(2).split("|")]
+        section[name] = cells
+    return metrics, spans
+
+
+def check_catalog_contract(root: Path) -> list[str]:
+    problems: list[str] = []
+    doc_path = root / OBSERVABILITY_DOC
+    doc_metrics, doc_spans = documented_names(
+        doc_path.read_text(encoding="utf-8")
+    )
+
+    for name in sorted(set(catalog.METRICS) - set(doc_metrics)):
+        problems.append(
+            f"metric {name!r} is declared in catalog.py but missing from "
+            f"{OBSERVABILITY_DOC}"
+        )
+    for name in sorted(set(doc_metrics) - set(catalog.METRICS)):
+        problems.append(
+            f"metric {name!r} is documented in {OBSERVABILITY_DOC} but not "
+            "declared in catalog.py"
+        )
+    for name in sorted(set(catalog.SPANS) - set(doc_spans)):
+        problems.append(
+            f"span {name!r} is declared in catalog.py but missing from "
+            f"{OBSERVABILITY_DOC}"
+        )
+    for name in sorted(set(doc_spans) - set(catalog.SPANS)):
+        problems.append(
+            f"span {name!r} is documented in {OBSERVABILITY_DOC} but not "
+            "declared in catalog.py"
+        )
+
+    # Kind and unit columns must match the declarations.
+    for name, cells in sorted(doc_metrics.items()):
+        spec = catalog.METRICS.get(name)
+        if spec is None or len(cells) < 2:
+            continue
+        kind, unit = cells[0], cells[1]
+        if kind != spec.kind:
+            problems.append(
+                f"{name}: documented kind {kind!r} != declared {spec.kind!r}"
+            )
+        if unit.strip("`") != spec.unit:
+            problems.append(
+                f"{name}: documented unit {unit!r} != declared {spec.unit!r}"
+            )
+    return problems
+
+
+# ---------------------------------------------------------------------------
+# Check 2: every declared name is emitted by some instrumentation site
+# ---------------------------------------------------------------------------
+
+
+def check_instrumentation_liveness(root: Path) -> list[str]:
+    problems: list[str] = []
+    telemetry_dir = root / "src" / "repro" / "telemetry"
+    sources: list[str] = []
+    for path in sorted((root / "src" / "repro").rglob("*.py")):
+        if telemetry_dir in path.parents:
+            continue
+        sources.append(path.read_text(encoding="utf-8"))
+    corpus = "\n".join(sources)
+    for name in sorted(set(catalog.METRICS) | set(catalog.SPANS)):
+        if f'"{name}"' not in corpus and f"'{name}'" not in corpus:
+            problems.append(
+                f"{name!r} is declared in catalog.py but no instrumentation "
+                "site under src/repro/ emits it"
+            )
+    return problems
+
+
+# ---------------------------------------------------------------------------
+# Check 3: doc rot — referenced files and modules must exist
+# ---------------------------------------------------------------------------
+
+
+def _resolve_path(root: Path, reference: str) -> bool:
+    reference = reference.split("::")[0]
+    candidates = (
+        root / reference,
+        root / "src" / reference,
+        root / "src" / "repro" / reference,
+        root / "docs" / reference,
+    )
+    return any(c.is_file() for c in candidates)
+
+
+def _resolve_module(root: Path, module: str) -> bool:
+    relative = Path(*module.split("."))
+    return (
+        (root / "src" / relative).with_suffix(".py").is_file()
+        or (root / "src" / relative / "__init__.py").is_file()
+    )
+
+
+def iter_doc_files(root: Path):
+    for entry in DOC_FILES:
+        path = root / entry
+        if path.is_dir():
+            yield from sorted(path.glob("*.md"))
+        elif path.is_file():
+            yield path
+
+
+def check_doc_rot(root: Path) -> list[str]:
+    problems: list[str] = []
+    for doc in iter_doc_files(root):
+        text = doc.read_text(encoding="utf-8")
+        for token in _BACKTICK.findall(text):
+            token = token.strip()
+            if _PATH_LIKE.match(token.split("::")[0]) and "/" in token:
+                if not _resolve_path(root, token):
+                    problems.append(
+                        f"{doc.relative_to(root)}: referenced file "
+                        f"{token!r} does not exist"
+                    )
+            elif _MODULE_LIKE.match(token):
+                if not _resolve_module(root, token):
+                    problems.append(
+                        f"{doc.relative_to(root)}: referenced module "
+                        f"{token!r} does not exist"
+                    )
+    return problems
+
+
+# ---------------------------------------------------------------------------
+# Entry points
+# ---------------------------------------------------------------------------
+
+
+def run_checks(root: Path | None = None) -> list[str]:
+    """All checks; returns the combined problem list (empty = healthy)."""
+    root = root or find_repo_root()
+    problems = check_catalog_contract(root)
+    problems += check_instrumentation_liveness(root)
+    problems += check_doc_rot(root)
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    root = Path(argv[0]).resolve() if argv else find_repo_root()
+    if not (root / OBSERVABILITY_DOC).is_file():
+        print(f"docs-check: no {OBSERVABILITY_DOC} under {root}")
+        return 1
+    problems = run_checks(root)
+    if problems:
+        print(f"docs-check: {len(problems)} problem(s)")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    names = len(catalog.METRICS) + len(catalog.SPANS)
+    print(
+        f"docs-check: OK ({len(catalog.METRICS)} metrics, "
+        f"{len(catalog.SPANS)} spans, {names} names in contract)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,140 @@
+"""JSONL export of one telemetry session, and helpers to read it back.
+
+The export is a sequence of self-describing JSON objects, one per line,
+in this order (the normative schema lives in ``docs/OBSERVABILITY.md``):
+
+1. one ``meta`` record — schema version, clock, record counts;
+2. one ``span`` record per finished span, sorted by start time.  Times
+   are microseconds relative to the earliest span start in the export
+   (``t_us``), so traces are comparable across processes;
+3. one record per touched metric: ``counter``, ``gauge``, or
+   ``histogram``.
+
+Span records carry ``span_id``/``parent_id``/``trace_id`` so the tree
+can be rebuilt exactly; :func:`span_tree` and :func:`render_span_tree`
+do that for consumers that just want the hierarchy.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+
+SCHEMA_VERSION = 1
+
+
+def export_records(telemetry) -> list[dict]:
+    """The export as a list of plain dicts (what JSONL lines serialize)."""
+    spans = sorted(
+        telemetry.tracer.finished_spans(), key=lambda s: (s.start_ns, s.span_id)
+    )
+    snapshot = telemetry.metrics.snapshot()
+    records: list[dict] = [
+        {
+            "type": "meta",
+            "schema_version": SCHEMA_VERSION,
+            "clock": "perf_counter_ns",
+            "spans": len(spans),
+            "metrics": sum(
+                len(snapshot[kind])
+                for kind in ("counters", "gauges", "histograms")
+            ),
+        }
+    ]
+    origin = spans[0].start_ns if spans else 0
+    for span in spans:
+        records.append(
+            {
+                "type": "span",
+                "name": span.name,
+                "span_id": span.span_id,
+                "parent_id": span.parent_id,
+                "trace_id": span.trace_id,
+                "t_us": (span.start_ns - origin) // 1000,
+                "duration_us": span.duration_ns // 1000,
+                "attrs": dict(span.attributes),
+            }
+        )
+    for name, value in snapshot["counters"].items():
+        records.append({"type": "counter", "name": name, "value": value})
+    for name, value in snapshot["gauges"].items():
+        records.append({"type": "gauge", "name": name, "value": value})
+    for name, data in snapshot["histograms"].items():
+        records.append({"type": "histogram", "name": name, **data})
+    return records
+
+
+def export_jsonl(telemetry, path) -> int:
+    """Write the session to ``path`` (str/PathLike or text file object).
+
+    Returns the number of lines written.
+    """
+    records = export_records(telemetry)
+    if isinstance(path, (str, os.PathLike)):
+        with open(path, "w", encoding="utf-8") as handle:
+            return _write_lines(records, handle)
+    return _write_lines(records, path)
+
+
+def _write_lines(records: list[dict], handle: io.TextIOBase) -> int:
+    for record in records:
+        handle.write(json.dumps(record, default=str, sort_keys=True))
+        handle.write("\n")
+    return len(records)
+
+
+def load_jsonl(path) -> list[dict]:
+    """Parse an export back into the list of records."""
+    if isinstance(path, (str, os.PathLike)):
+        with open(path, encoding="utf-8") as handle:
+            return [json.loads(line) for line in handle if line.strip()]
+    return [json.loads(line) for line in path if line.strip()]
+
+
+def span_tree(records: list[dict]) -> list[dict]:
+    """Rebuild the span hierarchy from export records.
+
+    Returns the list of root spans; each node is the span record with a
+    ``children`` list added (ordered by start time).
+    """
+    spans = [dict(r) for r in records if r.get("type") == "span"]
+    by_id = {span["span_id"]: span for span in spans}
+    roots: list[dict] = []
+    for span in spans:
+        span.setdefault("children", [])
+        parent = by_id.get(span["parent_id"])
+        if parent is None:
+            roots.append(span)
+        else:
+            parent.setdefault("children", []).append(span)
+    return roots
+
+
+def span_names(records: list[dict]) -> set[str]:
+    """Every distinct span name present in an export."""
+    return {r["name"] for r in records if r.get("type") == "span"}
+
+
+def metric_names(records: list[dict]) -> set[str]:
+    """Every metric name present in an export."""
+    return {
+        r["name"]
+        for r in records
+        if r.get("type") in ("counter", "gauge", "histogram")
+    }
+
+
+def render_span_tree(records: list[dict]) -> str:
+    """An indented text rendering of the span tree (for humans)."""
+    lines: list[str] = []
+
+    def _render(node: dict, depth: int) -> None:
+        ms = node["duration_us"] / 1000
+        lines.append(f"{'  ' * depth}{node['name']}  {ms:.2f} ms")
+        for child in node.get("children", []):
+            _render(child, depth + 1)
+
+    for root in span_tree(records):
+        _render(root, 0)
+    return "\n".join(lines)

@@ -1,0 +1,180 @@
+"""Counters, gauges, and fixed-bucket histograms.
+
+The registry is *strict* by default: a metric name must be declared in
+:mod:`repro.telemetry.catalog` before it can be emitted, and the call
+must match the declared kind (``add`` for counters, ``set_gauge`` for
+gauges, ``observe`` for histograms).  Strictness is what lets the
+``docs-check`` tool guarantee that everything the code can export is
+documented in ``docs/OBSERVABILITY.md`` — there is no side channel for
+ad-hoc names.
+
+Histogram bucket semantics: for declared boundaries ``b_0 < … < b_{k-1}``
+the histogram keeps ``k + 1`` counts; an observation ``v`` lands in the
+first bucket with ``v <= b_i`` and in the overflow bucket when it
+exceeds every boundary.  Boundaries are upper-inclusive, so a value
+exactly on an edge belongs to the bucket that edge closes.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+from repro.errors import TelemetryError
+from repro.telemetry import catalog as catalog_mod
+from repro.telemetry.catalog import COUNTER, GAUGE, HISTOGRAM, MetricSpec
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("spec", "value")
+
+    def __init__(self, spec: MetricSpec):
+        self.spec = spec
+        self.value: float = 0
+
+    def add(self, value: float = 1) -> None:
+        if value < 0:
+            raise TelemetryError(
+                f"counter {self.spec.name} cannot decrease (got {value})"
+            )
+        self.value += value
+
+
+class Gauge:
+    """A last-value-wins measurement."""
+
+    __slots__ = ("spec", "value")
+
+    def __init__(self, spec: MetricSpec):
+        self.spec = spec
+        self.value: float | None = None
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Fixed-boundary histogram with count/sum/min/max summary."""
+
+    __slots__ = ("spec", "bounds", "counts", "count", "total", "min", "max")
+
+    def __init__(self, spec: MetricSpec):
+        self.spec = spec
+        bounds = spec.buckets or ()
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise TelemetryError(
+                f"histogram {spec.name} boundaries must strictly increase"
+            )
+        self.bounds: tuple[float, ...] = tuple(bounds)
+        self.counts: list[int] = [0] * (len(self.bounds) + 1)
+        self.count: int = 0
+        self.total: float = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float | None:
+        return self.total / self.count if self.count else None
+
+
+_KIND_CLASSES = {COUNTER: Counter, GAUGE: Gauge, HISTOGRAM: Histogram}
+
+
+class MetricsRegistry:
+    """Instruments keyed by catalog name, created lazily on first use."""
+
+    def __init__(
+        self,
+        catalog: dict[str, MetricSpec] | None = None,
+        strict: bool = True,
+    ):
+        self.catalog = catalog_mod.METRICS if catalog is None else catalog
+        self.strict = strict
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _instrument(self, name: str, kind: str):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            spec = self.catalog.get(name)
+            if spec is None:
+                if self.strict:
+                    raise TelemetryError(
+                        f"metric {name!r} is not declared in the telemetry "
+                        "catalog (repro/telemetry/catalog.py)"
+                    )
+                spec = MetricSpec(
+                    name, kind, "", "ad-hoc (non-strict registry)",
+                    buckets=catalog_mod.TIME_BUCKETS if kind == HISTOGRAM else None,
+                )
+            instrument = _KIND_CLASSES[spec.kind](spec)
+            self._instruments[name] = instrument
+        if instrument.spec.kind != kind:
+            raise TelemetryError(
+                f"metric {name!r} is a {instrument.spec.kind}, not a {kind}"
+            )
+        return instrument
+
+    # -- emission -----------------------------------------------------------
+
+    def add(self, name: str, value: float = 1) -> None:
+        self._instrument(name, COUNTER).add(value)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self._instrument(name, GAUGE).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        self._instrument(name, HISTOGRAM).observe(value)
+
+    # -- inspection ---------------------------------------------------------
+
+    def get(self, name: str) -> Counter | Gauge | Histogram | None:
+        """The live instrument for ``name``, or None if never emitted."""
+        return self._instruments.get(name)
+
+    def value(self, name: str, default: float = 0) -> float:
+        """Counter/gauge value by name (histograms: observation count)."""
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            return default
+        if isinstance(instrument, Histogram):
+            return instrument.count
+        return default if instrument.value is None else instrument.value
+
+    def names(self) -> list[str]:
+        return sorted(self._instruments)
+
+    def snapshot(self) -> dict:
+        """A plain-data view of every instrument that has been touched."""
+        counters: dict[str, float] = {}
+        gauges: dict[str, float | None] = {}
+        histograms: dict[str, dict] = {}
+        for name in sorted(self._instruments):
+            instrument = self._instruments[name]
+            if isinstance(instrument, Counter):
+                counters[name] = instrument.value
+            elif isinstance(instrument, Gauge):
+                gauges[name] = instrument.value
+            else:
+                histograms[name] = {
+                    "bounds": list(instrument.bounds),
+                    "counts": list(instrument.counts),
+                    "count": instrument.count,
+                    "sum": instrument.total,
+                    "min": instrument.min,
+                    "max": instrument.max,
+                }
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }

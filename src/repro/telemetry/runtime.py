@@ -1,0 +1,140 @@
+"""The process-wide telemetry switch and the instrumentation helpers.
+
+Instrumented code throughout the pipeline calls the four module-level
+helpers — :func:`span`, :func:`count`, :func:`observe`,
+:func:`set_gauge` — unconditionally.  When no telemetry session is
+active (the default) each helper is a single global read and a ``None``
+check: no allocation, no locks, no formatting.  That is the whole
+"no-op implementation" — it is not a separate code path in the
+instrumented modules, so the hot paths stay readable.
+
+Enable collection either imperatively::
+
+    active = telemetry.enable()
+    ...  # run queries
+    telemetry.export_jsonl("trace.jsonl")
+    telemetry.disable()
+
+or, preferably, scoped::
+
+    with telemetry.session() as active:
+        system = MyceliumSystem.setup(num_devices=16, rng=rng)
+        system.run_query(...)
+    print(active.snapshot()["counters"]["bgv.encrypt.count"])
+
+Sessions nest: entering a new session shelves the previous one and
+restores it on exit, which is what lets the benchmark harness wrap every
+benchmark in a fresh session without coordinating with user code.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.tracer import NOOP_SPAN, Span, Tracer, _NoopSpan
+
+
+class Telemetry:
+    """One collection session: a tracer plus a metrics registry."""
+
+    def __init__(self, strict: bool = True):
+        self.tracer = Tracer()
+        self.metrics = MetricsRegistry(strict=strict)
+
+    def snapshot(self) -> dict:
+        """Plain-data summary: metrics plus per-span-name timing totals."""
+        durations: dict[str, dict] = {}
+        for finished in self.tracer.finished_spans():
+            entry = durations.setdefault(
+                finished.name, {"count": 0, "seconds": 0.0}
+            )
+            entry["count"] += 1
+            entry["seconds"] += finished.duration_seconds
+        snap = self.metrics.snapshot()
+        snap["spans"] = durations
+        return snap
+
+    def export_jsonl(self, path) -> int:
+        """Write the JSONL export (see :mod:`repro.telemetry.export`)."""
+        from repro.telemetry.export import export_jsonl
+
+        return export_jsonl(self, path)
+
+
+_active: Telemetry | None = None
+
+
+def enable(strict: bool = True) -> Telemetry:
+    """Start a global telemetry session and return it."""
+    global _active
+    _active = Telemetry(strict=strict)
+    return _active
+
+
+def disable() -> Telemetry | None:
+    """Stop collecting; returns the session that was active, if any."""
+    global _active
+    previous = _active
+    _active = None
+    return previous
+
+
+def active() -> Telemetry | None:
+    """The currently collecting session, or None."""
+    return _active
+
+
+@contextmanager
+def session(strict: bool = True):
+    """Collect telemetry for the duration of a ``with`` block."""
+    global _active
+    previous = _active
+    current = Telemetry(strict=strict)
+    _active = current
+    try:
+        yield current
+    finally:
+        _active = previous
+
+
+# ---------------------------------------------------------------------------
+# Instrumentation helpers (the only API instrumented modules use)
+# ---------------------------------------------------------------------------
+
+
+def span(name: str, **attributes) -> Span | _NoopSpan:
+    """A context-managed span, or the shared no-op when disabled."""
+    t = _active
+    if t is None:
+        return NOOP_SPAN
+    return t.tracer.span(name, **attributes)
+
+
+def count(name: str, value: float = 1) -> None:
+    """Increment a declared counter (no-op when disabled)."""
+    t = _active
+    if t is not None:
+        t.metrics.add(name, value)
+
+
+def observe(name: str, value: float) -> None:
+    """Record one histogram observation (no-op when disabled)."""
+    t = _active
+    if t is not None:
+        t.metrics.observe(name, value)
+
+
+def set_gauge(name: str, value: float) -> None:
+    """Set a declared gauge (no-op when disabled)."""
+    t = _active
+    if t is not None:
+        t.metrics.set_gauge(name, value)
+
+
+def export_jsonl(path) -> int:
+    """Export the active session to ``path``; 0 lines if disabled."""
+    t = _active
+    if t is None:
+        return 0
+    return t.export_jsonl(path)

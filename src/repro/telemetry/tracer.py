@@ -1,0 +1,135 @@
+"""Nested spans over the monotonic clock.
+
+A :class:`Span` is a context manager; entering it pushes it onto the
+tracer's stack (so the span open at that moment becomes its parent) and
+records a ``time.perf_counter_ns`` start stamp; exiting records the end
+stamp and appends the span to the tracer's finished list.  Exceptions
+propagate unchanged but leave an ``error`` attribute on the span.
+
+The :data:`NOOP_SPAN` singleton implements the same surface with no
+state and no allocation — it is what instrumentation receives when
+telemetry is disabled (the default), which keeps traced code effectively
+free when nobody is listening.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Span:
+    """One timed, attributed node of the trace tree."""
+
+    __slots__ = (
+        "tracer",
+        "name",
+        "span_id",
+        "parent_id",
+        "trace_id",
+        "start_ns",
+        "end_ns",
+        "attributes",
+    )
+
+    def __init__(self, tracer: Tracer, name: str, attributes: dict):
+        self.tracer = tracer
+        self.name = name
+        self.attributes = attributes
+        self.span_id: int | None = None
+        self.parent_id: int | None = None
+        self.trace_id: int | None = None
+        self.start_ns: int | None = None
+        self.end_ns: int | None = None
+
+    def set_attribute(self, key: str, value) -> None:
+        self.attributes[key] = value
+
+    @property
+    def duration_ns(self) -> int:
+        if self.start_ns is None or self.end_ns is None:
+            return 0
+        return self.end_ns - self.start_ns
+
+    @property
+    def duration_seconds(self) -> float:
+        return self.duration_ns / 1e9
+
+    def __enter__(self) -> Span:
+        tracer = self.tracer
+        self.span_id = tracer._next_id()
+        stack = tracer._stack
+        if stack:
+            parent = stack[-1]
+            self.parent_id = parent.span_id
+            self.trace_id = parent.trace_id
+        else:
+            self.trace_id = self.span_id
+        stack.append(self)
+        self.start_ns = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.end_ns = time.perf_counter_ns()
+        if exc_type is not None and "error" not in self.attributes:
+            self.attributes["error"] = exc_type.__name__
+        stack = self.tracer._stack
+        # Tolerate out-of-order exits (an inner span leaked past its
+        # scope): unwind down to and including this span.
+        while stack and stack.pop() is not self:
+            pass
+        self.tracer._finished.append(self)
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, id={self.span_id}, "
+            f"parent={self.parent_id}, {self.duration_ns}ns)"
+        )
+
+
+class Tracer:
+    """Produces spans and retains the finished ones for export.
+
+    The simulator is single-threaded, so the current span is tracked
+    with a plain stack rather than context variables.
+    """
+
+    def __init__(self) -> None:
+        self._stack: list[Span] = []
+        self._finished: list[Span] = []
+        self._counter: int = 0
+
+    def _next_id(self) -> int:
+        self._counter += 1
+        return self._counter
+
+    def span(self, name: str, **attributes) -> Span:
+        """Create (but do not start) a span; use it as a context manager."""
+        return Span(self, name, attributes)
+
+    @property
+    def current(self) -> Span | None:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def finished_spans(self) -> list[Span]:
+        """Finished spans in *end* order (children precede parents)."""
+        return list(self._finished)
+
+
+class _NoopSpan:
+    """Shared do-nothing span used whenever telemetry is disabled."""
+
+    __slots__ = ()
+
+    def set_attribute(self, key: str, value) -> None:
+        pass
+
+    def __enter__(self) -> _NoopSpan:
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+NOOP_SPAN = _NoopSpan()

@@ -1,0 +1,98 @@
+"""The docs-check contract: docs, catalog, and instrumentation agree."""
+
+from pathlib import Path
+
+from repro.telemetry import catalog
+from repro.telemetry.contract import (
+    check_catalog_contract,
+    check_doc_rot,
+    check_instrumentation_liveness,
+    documented_names,
+    find_repo_root,
+    main,
+    run_checks,
+)
+
+ROOT = find_repo_root(Path(__file__).resolve())
+
+
+class TestRepositoryIsHealthy:
+    def test_all_checks_pass(self):
+        assert run_checks(ROOT) == []
+
+    def test_main_exit_code(self, capsys):
+        assert main([str(ROOT)]) == 0
+        assert "docs-check: OK" in capsys.readouterr().out
+
+
+class TestDocumentedNames:
+    def test_doc_tables_cover_the_whole_catalog(self):
+        text = (ROOT / "docs" / "OBSERVABILITY.md").read_text()
+        metrics, spans = documented_names(text)
+        assert set(metrics) == set(catalog.METRICS)
+        assert set(spans) == set(catalog.SPANS)
+
+    def test_subheadings_stay_inside_a_catalog_section(self):
+        text = (
+            "## Metric catalog\n"
+            "### Subsystem A\n"
+            "| `a.b.count` | counter | ops | things |\n"
+            "## Something else\n"
+            "| `c.d.count` | counter | ops | not collected |\n"
+        )
+        metrics, spans = documented_names(text)
+        assert set(metrics) == {"a.b.count"}
+        assert spans == {}
+
+    def test_kind_and_unit_columns_are_checked(self, tmp_path):
+        doc_dir = tmp_path / "docs"
+        doc_dir.mkdir()
+        rows = "\n".join(
+            f"| `{spec.name}` | {spec.kind} | {spec.unit} | x |"
+            for spec in catalog.METRICS.values()
+        )
+        span_rows = "\n".join(
+            f"| `{spec.name}` | - | x |" for spec in catalog.SPANS.values()
+        )
+        good = f"## Metric catalog\n{rows}\n## Span catalog\n{span_rows}\n"
+        (doc_dir / "OBSERVABILITY.md").write_text(good)
+        assert check_catalog_contract(tmp_path) == []
+
+        bad = good.replace(
+            "| `bgv.add.count` | counter | ops |",
+            "| `bgv.add.count` | gauge | minutes |",
+        )
+        (doc_dir / "OBSERVABILITY.md").write_text(bad)
+        problems = "\n".join(check_catalog_contract(tmp_path))
+        assert "documented kind 'gauge'" in problems
+        assert "documented unit 'minutes'" in problems
+
+    def test_missing_name_is_reported_both_ways(self, tmp_path):
+        doc_dir = tmp_path / "docs"
+        doc_dir.mkdir()
+        (doc_dir / "OBSERVABILITY.md").write_text(
+            "## Metric catalog\n"
+            "| `not.a.real.metric` | counter | ops | bogus |\n"
+            "## Span catalog\n"
+        )
+        problems = "\n".join(check_catalog_contract(tmp_path))
+        assert "'not.a.real.metric' is documented" in problems
+        assert "'bgv.add.count' is declared" in problems
+
+
+class TestLivenessAndRot:
+    def test_every_catalog_name_has_an_instrumentation_site(self):
+        assert check_instrumentation_liveness(ROOT) == []
+
+    def test_doc_rot_clean(self):
+        assert check_doc_rot(ROOT) == []
+
+    def test_rotten_reference_is_caught(self, tmp_path):
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "docs" / "OBSERVABILITY.md").write_text("ok")
+        (tmp_path / "README.md").write_text(
+            "see `src/repro/never/was.py` and `repro.not_a_module`"
+        )
+        problems = "\n".join(check_doc_rot(tmp_path))
+        assert "src/repro/never/was.py" in problems
+        assert "repro.not_a_module" in problems

@@ -1,0 +1,121 @@
+"""JSONL export: schema, round-trip fidelity, and tree reconstruction."""
+
+import io
+import json
+
+from repro import telemetry
+from repro.telemetry.export import (
+    SCHEMA_VERSION,
+    export_jsonl,
+    export_records,
+    load_jsonl,
+    metric_names,
+    render_span_tree,
+    span_names,
+    span_tree,
+)
+
+
+def _session_with_activity():
+    with telemetry.session() as session:
+        with telemetry.span("query.run", epsilon=1.0):
+            with telemetry.span("query.compile"):
+                pass
+            with telemetry.span("query.execute"):
+                telemetry.count("bgv.encrypt.count", 4)
+        telemetry.set_gauge("dp.budget.epsilon_spent", 1.0)
+        telemetry.observe("committee.decrypt.seconds", 0.02)
+    return session
+
+
+class TestSchema:
+    def test_meta_record_first(self):
+        records = export_records(_session_with_activity())
+        meta = records[0]
+        assert meta["type"] == "meta"
+        assert meta["schema_version"] == SCHEMA_VERSION
+        assert meta["clock"] == "perf_counter_ns"
+        assert meta["spans"] == 3
+        assert meta["metrics"] == 3
+
+    def test_span_records_sorted_by_start(self):
+        records = export_records(_session_with_activity())
+        spans = [r for r in records if r["type"] == "span"]
+        assert [s["name"] for s in spans] == [
+            "query.run", "query.compile", "query.execute",
+        ]
+        assert spans[0]["t_us"] == 0
+        assert all(
+            a["t_us"] <= b["t_us"] for a, b in zip(spans, spans[1:])
+        )
+
+    def test_span_record_fields(self):
+        records = export_records(_session_with_activity())
+        root = next(r for r in records if r.get("name") == "query.run")
+        assert root["parent_id"] is None
+        assert root["attrs"] == {"epsilon": 1.0}
+        assert root["duration_us"] >= 0
+        child = next(r for r in records if r.get("name") == "query.compile")
+        assert child["parent_id"] == root["span_id"]
+        assert child["trace_id"] == root["trace_id"]
+
+
+class TestRoundTrip:
+    def test_file_object_round_trip(self):
+        session = _session_with_activity()
+        buffer = io.StringIO()
+        written = export_jsonl(session, buffer)
+        loaded = load_jsonl(io.StringIO(buffer.getvalue()))
+        assert len(loaded) == written
+        assert loaded == export_records(session)
+
+    def test_path_round_trip(self, tmp_path):
+        session = _session_with_activity()
+        path = tmp_path / "trace.jsonl"
+        written = export_jsonl(session, path)
+        assert len(path.read_text().splitlines()) == written
+        assert load_jsonl(path) == export_records(session)
+
+    def test_every_line_is_valid_json(self, tmp_path):
+        session = _session_with_activity()
+        path = tmp_path / "trace.jsonl"
+        export_jsonl(session, path)
+        for line in path.read_text().splitlines():
+            json.loads(line)
+
+    def test_runtime_helper_exports_active_session(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with telemetry.session():
+            telemetry.count("bgv.add.count")
+            written = telemetry.export_jsonl(path)
+        assert written >= 2
+        assert "bgv.add.count" in metric_names(load_jsonl(path))
+
+
+class TestTreeReconstruction:
+    def test_span_tree_rebuilds_hierarchy(self):
+        records = export_records(_session_with_activity())
+        roots = span_tree(records)
+        assert [r["name"] for r in roots] == ["query.run"]
+        children = [c["name"] for c in roots[0]["children"]]
+        assert children == ["query.compile", "query.execute"]
+
+    def test_name_helpers(self):
+        records = export_records(_session_with_activity())
+        assert span_names(records) == {
+            "query.run", "query.compile", "query.execute",
+        }
+        assert metric_names(records) == {
+            "bgv.encrypt.count",
+            "dp.budget.epsilon_spent",
+            "committee.decrypt.seconds",
+        }
+
+    def test_render_is_indented(self):
+        rendered = render_span_tree(
+            export_records(_session_with_activity())
+        )
+        lines = rendered.splitlines()
+        assert lines[0].startswith("query.run")
+        assert lines[1].startswith("  query.compile")
+        assert lines[2].startswith("  query.execute")

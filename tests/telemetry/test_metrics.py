@@ -1,0 +1,116 @@
+"""Metrics registry: strictness, kinds, and histogram bucket edges."""
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry.catalog import (
+    COUNTER,
+    GAUGE,
+    HISTOGRAM,
+    METRICS,
+    MetricSpec,
+    SPANS,
+)
+from repro.telemetry.metrics import Histogram, MetricsRegistry
+
+
+class TestStrictRegistry:
+    def test_undeclared_name_raises(self):
+        registry = MetricsRegistry()
+        with pytest.raises(TelemetryError):
+            registry.add("made.up.metric")
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        with pytest.raises(TelemetryError):
+            registry.observe("bgv.add.count", 1.0)  # declared as a counter
+        with pytest.raises(TelemetryError):
+            registry.add("dp.budget.epsilon_spent")  # declared as a gauge
+
+    def test_counter_cannot_decrease(self):
+        registry = MetricsRegistry()
+        registry.add("bgv.add.count", 2)
+        with pytest.raises(TelemetryError):
+            registry.add("bgv.add.count", -1)
+
+    def test_nonstrict_accepts_adhoc_names(self):
+        registry = MetricsRegistry(strict=False)
+        registry.add("scratch.counter", 3)
+        assert registry.value("scratch.counter") == 3
+
+    def test_counter_gauge_roundtrip(self):
+        registry = MetricsRegistry()
+        registry.add("ntt.forward.count", 5)
+        registry.add("ntt.forward.count")
+        registry.set_gauge("dp.budget.epsilon_spent", 2.5)
+        assert registry.value("ntt.forward.count") == 6
+        assert registry.value("dp.budget.epsilon_spent") == 2.5
+        assert registry.value("never.emitted", default=-1) == -1
+
+
+class TestHistogramBuckets:
+    SPEC = MetricSpec(
+        "committee.decrypt.seconds",
+        HISTOGRAM,
+        "seconds",
+        "test",
+        buckets=(0.1, 1.0, 10.0),
+    )
+
+    def test_boundaries_are_upper_inclusive(self):
+        histogram = Histogram(self.SPEC)
+        # A value exactly on an edge belongs to the bucket the edge closes.
+        histogram.observe(0.1)
+        histogram.observe(1.0)
+        histogram.observe(10.0)
+        assert histogram.counts == [1, 1, 1, 0]
+
+    def test_interior_and_overflow(self):
+        histogram = Histogram(self.SPEC)
+        histogram.observe(0.05)   # <= 0.1
+        histogram.observe(0.5)    # <= 1.0
+        histogram.observe(5.0)    # <= 10.0
+        histogram.observe(50.0)   # overflow
+        assert histogram.counts == [1, 1, 1, 1]
+
+    def test_summary_statistics(self):
+        histogram = Histogram(self.SPEC)
+        for value in (0.2, 0.4, 1.2):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.total == pytest.approx(1.8)
+        assert histogram.min == pytest.approx(0.2)
+        assert histogram.max == pytest.approx(1.2)
+        assert histogram.mean == pytest.approx(0.6)
+
+    def test_unsorted_boundaries_rejected(self):
+        bad = MetricSpec(
+            "bad.hist", HISTOGRAM, "s", "test", buckets=(1.0, 0.5)
+        )
+        with pytest.raises(TelemetryError):
+            Histogram(bad)
+
+    def test_empty_histogram_mean_is_none(self):
+        histogram = Histogram(self.SPEC)
+        assert histogram.mean is None
+        assert histogram.min is None and histogram.max is None
+
+
+class TestCatalogIntegrity:
+    def test_every_metric_kind_is_valid(self):
+        for spec in METRICS.values():
+            assert spec.kind in (COUNTER, GAUGE, HISTOGRAM)
+
+    def test_histograms_have_buckets_and_others_do_not(self):
+        for spec in METRICS.values():
+            assert (spec.kind == HISTOGRAM) == (spec.buckets is not None)
+
+    def test_span_parents_are_declared(self):
+        for spec in SPANS.values():
+            if spec.parent is not None:
+                assert spec.parent in SPANS, spec.name
+
+    def test_names_are_dotted_lowercase(self):
+        for name in (*METRICS, *SPANS):
+            assert "." in name
+            assert name == name.lower()

@@ -1,0 +1,66 @@
+"""Regression guard: disabled telemetry must stay ~free.
+
+The instrumentation sits on hot paths (every NTT, every BGV op), so the
+no-op path has to be cheap enough to leave on unconditionally.  The
+bound checked here: the disabled-path cost of *all* telemetry calls a
+small ``MyceliumSystem.setup(num_devices=10)`` issues must stay under
+5 % of that setup's own wall time.
+
+Measured indirectly to avoid timing flakiness: run setup once under an
+enabled session to count how many telemetry events it emits, time the
+setup with telemetry disabled, then time that many disabled-path helper
+calls directly and compare.
+"""
+
+import random
+import time
+
+from repro import telemetry
+from repro.core.system import MyceliumSystem
+
+
+def _setup():
+    return MyceliumSystem.setup(num_devices=10, rng=random.Random(7))
+
+
+def test_noop_overhead_under_five_percent():
+    # How many telemetry events does one setup emit?
+    with telemetry.session() as session:
+        _setup()
+        snapshot = session.snapshot()
+    events = sum(snapshot["counters"].values())
+    events += sum(entry["count"] for entry in snapshot["spans"].values())
+    assert events > 0, "setup emitted no telemetry; instrumentation gone?"
+
+    # Wall time of the real work, telemetry disabled.
+    assert telemetry.active() is None
+    start = time.perf_counter()
+    _setup()
+    setup_seconds = time.perf_counter() - start
+
+    # Disabled-path cost of the same number of helper calls.  count()
+    # is the hot-path helper (span() additionally returns the shared
+    # no-op object); measure the dearer of the two per event.
+    rounds = max(int(events), 1)
+    start = time.perf_counter()
+    for _ in range(rounds):
+        telemetry.count("ntt.forward.count")
+    count_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    for _ in range(rounds):
+        with telemetry.span("query.run"):
+            pass
+    span_seconds = time.perf_counter() - start
+    noop_seconds = max(count_seconds, span_seconds)
+
+    assert noop_seconds < 0.05 * setup_seconds, (
+        f"no-op telemetry cost {noop_seconds:.6f}s for {rounds} events "
+        f"vs setup {setup_seconds:.6f}s"
+    )
+
+
+def test_disabled_span_is_shared_noop():
+    assert telemetry.active() is None
+    first = telemetry.span("query.run")
+    second = telemetry.span("query.compile", attr=1)
+    assert first is second

@@ -1,0 +1,113 @@
+"""Tracer semantics: nesting, ordering, attributes, and the no-op path."""
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry.tracer import NOOP_SPAN, Tracer
+
+
+class TestNesting:
+    def test_parent_child_ids(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+                assert inner.trace_id == outer.trace_id
+        assert outer.parent_id is None
+
+    def test_siblings_share_parent(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("a") as a:
+                pass
+            with tracer.span("b") as b:
+                pass
+        assert a.parent_id == root.span_id
+        assert b.parent_id == root.span_id
+        assert a.span_id != b.span_id
+
+    def test_separate_roots_get_separate_traces(self):
+        tracer = Tracer()
+        with tracer.span("first") as first:
+            pass
+        with tracer.span("second") as second:
+            pass
+        assert first.trace_id != second.trace_id
+
+    def test_current_tracks_stack(self):
+        tracer = Tracer()
+        assert tracer.current is None
+        with tracer.span("outer") as outer:
+            assert tracer.current is outer
+            with tracer.span("inner") as inner:
+                assert tracer.current is inner
+            assert tracer.current is outer
+        assert tracer.current is None
+
+
+class TestOrdering:
+    def test_finished_spans_in_end_order(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        names = [s.name for s in tracer.finished_spans()]
+        assert names == ["inner", "outer"]
+
+    def test_durations_nest(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert outer.start_ns <= inner.start_ns
+        assert inner.end_ns <= outer.end_ns
+        assert outer.duration_ns >= inner.duration_ns >= 0
+
+
+class TestAttributes:
+    def test_constructor_and_setter(self):
+        tracer = Tracer()
+        with tracer.span("s", query="Q5") as span:
+            span.set_attribute("epsilon", 1.0)
+        assert span.attributes == {"query": "Q5", "epsilon": 1.0}
+
+    def test_exception_marks_error_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("failing"):
+                raise ValueError("boom")
+        (span,) = tracer.finished_spans()
+        assert span.attributes["error"] == "ValueError"
+        assert span.end_ns is not None
+
+
+class TestNoopPath:
+    def test_helpers_are_noop_without_session(self):
+        assert telemetry.active() is None
+        span = telemetry.span("query.run")
+        assert span is NOOP_SPAN
+        with span as inner:
+            inner.set_attribute("ignored", 1)
+        # Metric helpers silently do nothing.
+        telemetry.count("bgv.add.count")
+        telemetry.observe("committee.decrypt.seconds", 0.1)
+        telemetry.set_gauge("dp.budget.epsilon_spent", 1.0)
+        assert telemetry.export_jsonl("/nonexistent/never-written.jsonl") == 0
+
+    def test_session_scopes_and_restores(self):
+        assert telemetry.active() is None
+        with telemetry.session() as outer:
+            assert telemetry.active() is outer
+            with telemetry.session() as inner:
+                assert telemetry.active() is inner
+            assert telemetry.active() is outer
+        assert telemetry.active() is None
+
+    def test_session_collects_spans(self):
+        with telemetry.session() as session:
+            with telemetry.span("query.run"):
+                with telemetry.span("query.compile"):
+                    pass
+        snapshot = session.snapshot()
+        assert snapshot["spans"]["query.run"]["count"] == 1
+        assert snapshot["spans"]["query.compile"]["count"] == 1
