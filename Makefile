@@ -1,13 +1,19 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench docs-check
+.PHONY: test bench chaos docs-check
 
 test:
 	$(PYTHON) -m pytest tests/ -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
+
+# Seeded fault-injection suite over multiple seeds x fault rates.
+# Out of tier-1 by default (pyproject addopts deselect the marker);
+# fault model and guarantees: docs/RESILIENCE.md.
+chaos:
+	$(PYTHON) -m pytest tests/ -m chaos -q
 
 # Verify docs/OBSERVABILITY.md matches the declared telemetry catalog,
 # that every declared name has a live instrumentation site, and that no

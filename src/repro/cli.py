@@ -195,6 +195,96 @@ def cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro import telemetry
+    from repro.core.system import MyceliumSystem
+    from repro.engine import histogram as histogram_mod
+    from repro.engine.plaintext import aggregate_coefficients
+    from repro.errors import ProtocolError
+    from repro.faults import FaultInjector, FaultPlan
+    from repro.mixnet.network import MixnetWorld
+    from repro.query.schema import scaled_schema
+
+    graph, rng = _build_workload(args.people, 2, args.seed)
+    params = SystemParameters(
+        num_devices=graph.num_vertices, hops=2, replicas=2,
+        forwarder_fraction=0.45, degree_bound=2, pseudonyms_per_device=2,
+        churn_fraction=min(0.9, args.failure),
+    )
+    world = MixnetWorld(
+        params, num_devices=graph.num_vertices, rng=rng, rsa_bits=512,
+        pseudonyms_per_device=2,
+    )
+    system = MyceliumSystem.setup(
+        num_devices=graph.num_vertices, rng=rng, params=params,
+        schema=scaled_schema(), committee_size=3, committee_threshold=2,
+        total_epsilon=max(10.0, args.epsilon),
+    )
+    members = [m.device_id for m in system.committee.members]
+    # Leave path setup fault-free; chaos starts once circuits exist
+    # (the §3.4 steady state).  One more dropout than the committee can
+    # spare forces the §6.5 liveness retry.
+    fault_start = params.telescoping_crounds + 4
+    dropouts = members[
+        : system.committee.size - system.committee.threshold + 1
+    ]
+    fault_plan = FaultPlan.generate(
+        seed=args.seed,
+        num_devices=graph.num_vertices,
+        churn_fraction=args.failure / 2,
+        churn_window_rounds=4,
+        horizon_rounds=96,
+        start_round=fault_start,
+        wire_drop_rate=args.failure / 2,
+        wire_delay_rate=args.failure / 4,
+        wire_corrupt_rate=args.failure / 4,
+        wire_fault_start=fault_start,
+        committee_dropouts=tuple(dropouts),
+        committee_offline_attempts=2,
+    )
+    FaultInjector(fault_plan).attach(world)
+    query = "SELECT HISTO(COUNT(*)) FROM neigh(1) WHERE dest.inf"
+    print(
+        f"chaos: people={graph.num_vertices} failure={args.failure} "
+        f"seed={args.seed} fault_start=C-round {fault_start}"
+    )
+    telemetry.enable()
+    try:
+        result = system.run_query(
+            query, graph, epsilon=args.epsilon, noiseless=True, world=world
+        )
+    except ProtocolError as exc:
+        print(f"query failed with a typed error: {type(exc).__name__}: {exc}")
+        if args.trace:
+            telemetry.export_jsonl(args.trace)
+            print(f"telemetry trace written to {args.trace}")
+        telemetry.disable()
+        return 1
+    report = result.metadata.recovery
+    print(report.summary())
+    plan = system.compile(query)
+    expected, _ = aggregate_coefficients(
+        plan, graph,
+        skipped_origins=report.skipped_origins,
+        defaulted=report.defaulted_by_origin,
+    )
+    expected_counts = [
+        [int(c) for c in g.counts]
+        for g in histogram_mod.decode_histogram(expected, plan)
+    ]
+    got_counts = [[int(round(c)) for c in g.counts] for g in result.groups]
+    print(f"histogram: {got_counts}")
+    print(
+        "result matches the degraded plaintext oracle: "
+        f"{got_counts == expected_counts}"
+    )
+    if args.trace:
+        telemetry.export_jsonl(args.trace)
+        print(f"telemetry trace written to {args.trace}")
+    telemetry.disable()
+    return 0 if got_counts == expected_counts else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -231,6 +321,23 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--people", type=int, default=10)
     demo.add_argument("--seed", type=int, default=91)
     demo.set_defaults(fn=cmd_demo)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run one faulted query end-to-end and print the RecoveryReport",
+    )
+    chaos.add_argument("--people", type=int, default=10)
+    chaos.add_argument(
+        "--failure", type=float, default=0.1,
+        help="overall fault intensity in [0, 1] (split across churn and "
+        "wire drop/delay/corrupt rates)",
+    )
+    chaos.add_argument("--seed", type=int, default=7)
+    chaos.add_argument("--epsilon", type=float, default=1.0)
+    chaos.add_argument(
+        "--trace", help="write the telemetry JSONL trace to this path"
+    )
+    chaos.set_defaults(fn=cmd_chaos)
     return parser
 
 

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.engine.histogram import GroupHistogram
+from repro.faults.report import RecoveryReport
 from repro.query.ast import OutputKind
 
 
@@ -20,6 +21,12 @@ class QueryMetadata:
     rejected_origins: int
     committee_epoch: int
     verification_seconds: float = 0.0
+    #: Bulletin-board complaints observed after a mixnet-transported
+    #: query (Byzantine-forwarder / dropped-deposit evidence).
+    complaints: int = 0
+    #: Fault/recovery bookkeeping for mixnet-transported queries; None
+    #: for the in-process transport.
+    recovery: RecoveryReport | None = None
 
 
 @dataclass(frozen=True)

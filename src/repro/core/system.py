@@ -204,6 +204,7 @@ class MyceliumSystem:
                         zk=self.zk,
                         rng=self.rng,
                     )
+                    transport_start_round = world.current_round
                     submissions = transport.run(behaviors)
                 else:
                     submissions = executor.run(
@@ -217,14 +218,60 @@ class MyceliumSystem:
             if aggregation.ciphertext is None:
                 raise ProtocolError("no valid contributions to aggregate")
 
+            injector = world.fault_injector if world is not None else None
             with telemetry.span("query.decrypt"):
-                plaintext = committee_mod.threshold_decrypt(
-                    self.committee, aggregation.ciphertext, self.rng
-                )
+                member_ids = [m.device_id for m in self.committee.members]
+                decrypt_attempts = 1
+                flagged: set[int] = set()
+                if injector is not None and injector.plan.corrupt_committee:
+                    plaintext, flagged = committee_mod.robust_threshold_decrypt(
+                        self.committee,
+                        aggregation.ciphertext,
+                        self.rng,
+                        corrupt_members=injector.corrupt_members(member_ids),
+                    )
+                elif injector is not None and injector.plan.committee_dropouts:
+                    schedule = injector.committee_schedule(member_ids)
+                    plaintext, decrypt_attempts = (
+                        committee_mod.decrypt_with_liveness_retry(
+                            self.committee,
+                            aggregation.ciphertext,
+                            self.rng,
+                            schedule,
+                        )
+                    )
+                    if decrypt_attempts > 1:
+                        telemetry.count(
+                            "committee.decrypt.retries", decrypt_attempts - 1
+                        )
+                else:
+                    plaintext = committee_mod.threshold_decrypt(
+                        self.committee, aggregation.ciphertext, self.rng
+                    )
                 coefficients = [
                     plaintext.coeffs[i]
                     for i in range(plan.layout.total_coefficients)
                 ]
+
+            recovery = None
+            num_complaints = 0
+            if world is not None:
+                complaint_texts = tuple(
+                    c.decode("utf-8", errors="replace")
+                    for c in world.complaints()
+                )
+                num_complaints = len(complaint_texts)
+                if num_complaints:
+                    telemetry.count(
+                        "query.complaints.observed", num_complaints
+                    )
+                recovery = transport.recovery
+                recovery.complaints = complaint_texts
+                recovery.decrypt_attempts = decrypt_attempts
+                recovery.flagged_members = tuple(sorted(flagged))
+                recovery.crounds = world.current_round - transport_start_round
+                if injector is not None:
+                    recovery.faults_injected = injector.fault_counts()
 
             report = sensitivity_mod.analyze(plan)
             scale = 0.0 if noiseless else report.sensitivity / epsilon
@@ -237,6 +284,8 @@ class MyceliumSystem:
                 rejected_origins=len(aggregation.rejected),
                 committee_epoch=self.committee.epoch,
                 verification_seconds=aggregation.verification_seconds,
+                complaints=num_complaints,
+                recovery=recovery,
             )
             with telemetry.span("query.release"):
                 result = self._release(plan, coefficients, scale, metadata)

@@ -38,6 +38,7 @@ from repro.engine.encrypted import (
 )
 from repro.engine.malicious import Behavior
 from repro.errors import ProtocolError, UnsupportedQueryError
+from repro.faults.report import RecoveryReport
 from repro.mixnet.forwarding import ForwardingDriver, SendRequest
 from repro.mixnet.network import MixnetWorld
 from repro.mixnet.telescope import TelescopeDriver
@@ -127,6 +128,11 @@ class MixnetTransport:
     zk: zksnark.Groth16System
     rng: random.Random
     crounds_used: dict[str, int] = field(default_factory=dict)
+    #: Delivery attempts per payload when a fault injector is attached.
+    max_attempts: int = 3
+    #: What recovery did for this query (docs/RESILIENCE.md); attached
+    #: to the result metadata by MyceliumSystem.run_query.
+    recovery: RecoveryReport = field(default_factory=RecoveryReport)
     _phase_start_round: int = field(default=0, init=False)
     #: vertex -> slot -> destination vertex (self for padding slots).
     _slots: dict[int, list[int]] = field(default_factory=dict, init=False)
@@ -174,15 +180,60 @@ class MixnetTransport:
         (real payloads where it has something to say, padding elsewhere
         — the degree-hiding guarantee)."""
         r = self.world.params.replicas
+        if self.world.fault_injector is None:
+            # Fault-free: blast every replica at once, exactly one wave.
+            sends = []
+            for vertex in range(self.graph.num_vertices):
+                for slot, target in enumerate(self._slots[vertex]):
+                    payload = payload_for(vertex, slot, target)
+                    for replica in range(r):
+                        sends.append(
+                            SendRequest(vertex, (slot, replica), payload)
+                        )
+            ForwardingDriver(self.world).send_batch(sends, payload_bytes)
+            return
+        # Chaos mode: one primary send per slot, then bounded
+        # retransmission with exponential backoff and failover onto the
+        # redundant replica paths (docs/RESILIENCE.md).
+        wave_start = self.world.current_round
         sends = []
+        payloads: dict[tuple[int, int], tuple[bytes, int]] = {}
         for vertex in range(self.graph.num_vertices):
             for slot, target in enumerate(self._slots[vertex]):
                 payload = payload_for(vertex, slot, target)
-                for replica in range(r):
-                    sends.append(
-                        SendRequest(vertex, (slot, replica), payload)
-                    )
-        ForwardingDriver(self.world).send_batch(sends, payload_bytes)
+                payloads[(vertex, slot)] = (payload, target)
+                sends.append(SendRequest(vertex, (slot, 0), payload))
+
+        def confirm(request: SendRequest) -> bool:
+            payload, target = payloads[
+                (request.device_id, request.path_key[0])
+            ]
+            if not payload:
+                return True  # pure padding: nothing to deliver
+            return self._delivered(target, payload, wave_start)
+
+        result = ForwardingDriver(self.world).send_reliable(
+            sends, payload_bytes, confirm, max_attempts=self.max_attempts
+        )
+        self.recovery.retransmissions += result.retransmissions
+        self.recovery.failovers += result.failovers
+        self.recovery.undelivered += len(result.undelivered)
+
+    def _delivered(
+        self, target: int, payload: bytes, since_round: int
+    ) -> bool:
+        """Has ``target`` received ``payload`` since ``since_round``?
+
+        The delivery oracle for reliable sends: payloads are framed with
+        a length prefix and padded with zeros, so a prefix match on the
+        opened plaintext identifies the message unambiguously.
+        """
+        for received in self.world.devices[target].received:
+            if received.round_number <= since_round:
+                continue
+            if received.plaintext.startswith(payload):
+                return True
+        return False
 
     def flood_query(self) -> None:
         start = self.world.current_round
@@ -258,8 +309,14 @@ class MixnetTransport:
             self.plan, self.public_key, self.zk, self.rng
         )
         submissions = []
+        skipped: list[int] = []
         for origin in range(self.graph.num_vertices):
             device = self.world.devices[origin]
+            if not device.online:
+                # An origin that is offline at collection time submits
+                # nothing; the aggregator proceeds without it (§4.4).
+                skipped.append(origin)
+                continue
             neighbor_handles = {
                 self._primary(n): n for n in self.graph.neighbors(origin)
             }
@@ -309,11 +366,20 @@ class MixnetTransport:
                 if n in decisions.selected_neighbors
             }
             leaves = [m for m in leaves if m.sender in inputs]
+            missing = sorted(
+                n for n in decisions.selected_neighbors if n not in inputs
+            )
+            if missing:
+                # These neighbors never answered (churn, exhausted
+                # retries): their terms default to Enc(x^0) inside
+                # build_origin_submission.
+                self.recovery.defaulted_by_origin[origin] = tuple(missing)
             submissions.append(
                 executor.build_origin_submission(
                     self.graph, origin, decisions, inputs, leaves
                 )
             )
+        self.recovery.skipped_origins = tuple(skipped)
         return submissions
 
     def run(

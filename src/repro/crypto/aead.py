@@ -81,7 +81,11 @@ def senc(key: bytes, round_number: int, data: bytes) -> bytes:
     return chacha20_xor(key, nonce_from_round(round_number), data)
 
 
-def random_dummy(length: int) -> bytes:
+def random_dummy(length: int, rng=None) -> bytes:
     """A random string of the right length, indistinguishable from an
-    SEnc ciphertext (§3.5 dummy generation)."""
-    return os.urandom(length)
+    SEnc ciphertext (§3.5 dummy generation).  A seeded ``rng`` keeps
+    simulations replayable (chaos runs hash wire bytes into fault
+    verdicts); without one, use OS randomness."""
+    if rng is None:
+        return os.urandom(length)
+    return bytes(rng.randrange(256) for _ in range(length))

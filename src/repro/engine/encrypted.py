@@ -18,6 +18,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
+from repro import telemetry
 from repro.crypto import bgv, zksnark
 from repro.crypto.polyring import RingElement
 from repro.engine import semantics, zkcircuits
@@ -72,6 +73,8 @@ class RunStats:
     leaf_ciphertexts: int = 0
     multiplications: int = 0
     origin_filtered_leaves: int = 0
+    #: Selected neighbors whose term defaulted to Enc(x^0) (§4.4).
+    defaulted_members: int = 0
     behaviors_applied: dict[str, int] = field(default_factory=dict)
 
 
@@ -488,6 +491,14 @@ class EncryptedExecutor:
         """
         plan = self.plan
         behaviors = behaviors or {}
+        missing = [
+            member
+            for member in getattr(decisions, "selected_neighbors", ())
+            if inputs.get(member) is None
+        ]
+        if missing:
+            self.stats.defaulted_members += len(missing)
+            telemetry.count("engine.defaults.total", len(missing))
         seed = self.rng.getrandbits(64)
         output = _origin_combine(
             plan, self.pk, decisions, inputs, random.Random(seed), self.stats

@@ -40,14 +40,30 @@ class PlaintextRun:
 
 
 def aggregate_coefficients(
-    plan: ExecutionPlan, graph: ContactGraph
+    plan: ExecutionPlan,
+    graph: ContactGraph,
+    skipped_origins: frozenset[int] | set[int] | tuple[int, ...] = (),
+    defaulted: dict[int, tuple[int, ...]] | None = None,
 ) -> tuple[list[int], int]:
     """Sum every origin's local exponents into the global coefficient
-    vector (what homomorphic addition computes)."""
+    vector (what homomorphic addition computes).
+
+    ``skipped_origins`` / ``defaulted`` replay a
+    :class:`repro.faults.report.RecoveryReport` against the oracle: an
+    origin that submitted nothing is skipped outright, and a neighbor
+    that defaulted to ``Enc(x^0)`` contributes exponent 0 — the
+    *degraded* ground truth a faulted-but-recovered query must equal.
+    """
     coefficients = [0] * plan.layout.total_coefficients
     contributing = 0
+    skipped = frozenset(skipped_origins)
+    defaulted = defaulted or {}
     for origin in range(graph.num_vertices):
-        exponents = semantics.local_exponents(plan, graph, origin)
+        if origin in skipped:
+            continue
+        exponents = semantics.local_exponents(
+            plan, graph, origin, defaulted=defaulted.get(origin, ())
+        )
         if exponents:
             contributing += 1
         for exponent in exponents:

@@ -170,15 +170,22 @@ def origin_groups(plan: ExecutionPlan, decisions: OriginDecisions) -> list[int]:
 
 
 def local_exponents(
-    plan: ExecutionPlan, graph: ContactGraph, origin: int
+    plan: ExecutionPlan,
+    graph: ContactGraph,
+    origin: int,
+    defaulted: frozenset[int] | set[int] | tuple[int, ...] = (),
 ) -> list[int]:
     """The exponents of the origin's submitted ciphertext — the ground
     truth the encrypted engine must reproduce.
 
-    Returns [] when the origin submits Enc(0).
+    Returns [] when the origin submits Enc(0).  ``defaulted`` names
+    neighbors whose contribution the origin replaced with ``Enc(x^0)``
+    (offline / never responded, §4.4): they stay in their group's
+    product but contribute exponent 0, exactly like the encrypted path.
     """
     if plan.hops > 1:
         return _local_exponents_multihop(plan, graph, origin)
+    defaulted = frozenset(defaulted)
     decisions = origin_decisions(plan, graph, origin)
     if not decisions.contributes:
         return []
@@ -198,6 +205,8 @@ def local_exponents(
             members = list(decisions.selected_neighbors)
         total = 0
         for neighbor in members:
+            if neighbor in defaulted:
+                continue  # Enc(x^0): a neutral factor in the product
             contribution = contributions[neighbor]
             if plan.cross is not None:
                 allowed = decisions.buckets_per_group.get(group, ())

@@ -1,0 +1,25 @@
+"""Deterministic fault injection and recovery bookkeeping.
+
+The paper's resilience story (§3.4 churn, Figure 5(c) goodput under
+forwarder failure, §6.5 committee liveness) is exercised here as an
+executable protocol property rather than a closed-form estimate: a
+seeded :class:`FaultPlan` schedules per-C-round faults, a
+:class:`FaultInjector` applies them from inside the mixnet clock, and
+the recovery machinery spread across ``mixnet``/``core``/``engine``
+reports what it had to do in a :class:`RecoveryReport`.
+
+See ``docs/RESILIENCE.md`` for the fault model and the recovery
+semantics layer by layer.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import ChurnWindow, FaultKind, FaultPlan
+from repro.faults.report import RecoveryReport
+
+__all__ = [
+    "ChurnWindow",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "RecoveryReport",
+]

@@ -42,6 +42,18 @@ class SendRequest:
     payload: bytes
 
 
+@dataclass
+class ReliableSendResult:
+    """Outcome of :meth:`ForwardingDriver.send_reliable`."""
+
+    #: (device_id, original path_key) -> delivery confirmed.
+    delivered: dict[tuple[int, tuple[int, int]], bool]
+    retransmissions: int = 0
+    failovers: int = 0
+    #: Requests still unconfirmed after the attempt budget.
+    undelivered: tuple[tuple[int, tuple[int, int]], ...] = ()
+
+
 def build_envelope(
     path: SourcePathState, payload: bytes, delivery_round: int, rng
 ) -> bytes:
@@ -143,6 +155,98 @@ class ForwardingDriver:
             finally:
                 world.forwarding_phase_start = None
         return sent
+
+    def send_reliable(
+        self,
+        sends: list[SendRequest],
+        payload_bytes: int,
+        confirm,
+        max_attempts: int = 3,
+    ) -> ReliableSendResult:
+        """Bounded retransmission with replica failover.
+
+        Runs :meth:`send_batch` waves until ``confirm(request)`` is true
+        for every request or the attempt budget runs out.  Between
+        attempts the clock idles ``2**attempt`` C-rounds (exponential
+        backoff — a real deployment waits for churned devices to come
+        back, §3.4).  Each retry rotates to the next pre-established
+        replica path for the same slot, and a request whose chosen
+        replica was never established fails over immediately to any
+        established sibling — the paper's telescoping circuits are cheap
+        to set up in redundant pairs precisely so the source has a
+        second route ready (§3.4, Figure 5c).
+
+        ``confirm`` is the caller's delivery oracle (e.g. "the
+        destination's mailbox state shows the payload"); requests whose
+        payload is pure padding should confirm trivially.
+        """
+        world = self.world
+        replicas = world.params.replicas
+        delivered = {
+            (req.device_id, req.path_key): False for req in sends
+        }
+        pending = list(enumerate(sends))
+        attempts_used: dict[int, int] = {}
+        retransmissions = 0
+        failovers = 0
+        with telemetry.span(
+            "mixnet.send_reliable",
+            sends=len(sends),
+            max_attempts=max_attempts,
+        ):
+            for attempt in range(max_attempts):
+                batch = []
+                for _, request in pending:
+                    slot, primary = request.path_key
+                    key = (slot, (primary + attempt) % replicas)
+                    device = world.devices[request.device_id]
+                    path = device.paths.get(key)
+                    if path is None or not path.established:
+                        for alt in range(replicas):
+                            candidate = device.paths.get((slot, alt))
+                            if candidate is not None and candidate.established:
+                                key = (slot, alt)
+                                break
+                    if attempt > 0:
+                        retransmissions += 1
+                    if key != request.path_key:
+                        failovers += 1
+                    batch.append(
+                        SendRequest(request.device_id, key, request.payload)
+                    )
+                self.send_batch(batch, payload_bytes)
+                still_pending = []
+                for index, request in pending:
+                    if confirm(request):
+                        delivered[(request.device_id, request.path_key)] = True
+                        attempts_used[index] = attempt + 1
+                    else:
+                        still_pending.append((index, request))
+                pending = still_pending
+                if not pending:
+                    break
+                if attempt < max_attempts - 1:
+                    for _ in range(2**attempt):
+                        world.run_round()
+            for count in attempts_used.values():
+                telemetry.observe("mixnet.send.attempts", count)
+            if retransmissions:
+                telemetry.count(
+                    "mixnet.retransmissions.total", retransmissions
+                )
+            if failovers:
+                telemetry.count("mixnet.failovers.total", failovers)
+            undelivered = tuple(
+                (req.device_id, req.path_key) for _, req in pending
+            )
+            if undelivered:
+                telemetry.count("mixnet.send.undelivered", len(undelivered))
+        return ReliableSendResult(
+            delivered=delivered,
+            retransmissions=retransmissions,
+            failovers=failovers,
+            undelivered=undelivered,
+        )
 
 
 def strip_padding(payload: bytes) -> bytes:

@@ -155,6 +155,11 @@ class MixDevice:
     ) -> None:
         """Handle one mailbox message fetched in ``round_number`` (it was
         deposited in ``round_number - 1``)."""
+        injector = world.fault_injector
+        if injector is not None and injector.drop_on_receive(
+            round_number, self.device_id, dest_handle, data
+        ):
+            return
         try:
             message = onion.WireMessage.decode(data)
         except ProtocolError:
@@ -275,7 +280,9 @@ class MixDevice:
             )
             telemetry.count("mixnet.round.dummies")
             self.queue_deposit(
-                link.next_mailbox, link.out_path_id, onion.dummy_body(length)
+                link.next_mailbox,
+                link.out_path_id,
+                onion.dummy_body(length, self.rng),
             )
 
     def _receive_payload(
@@ -363,6 +370,10 @@ class MixnetWorld:
         # Adversary wiretap: (round, depositor_device, mailbox, data digest)
         self.deposit_log: list[tuple[int, int, bytes, bytes]] = []
         self.aggregator_drop_predicate = None
+        # Optional chaos hook (duck-typed FaultInjector; see repro.faults):
+        # consulted at the top of run_round (churn, delayed releases), per
+        # deposit (drop/delay/corrupt), and per fetched payload.
+        self.fault_injector = None
         # Forwarding-phase bookkeeping (set by the forwarding driver).
         self.forwarding_phase_start: int | None = None
         self.forwarding_body_bytes: int = 0
@@ -429,7 +440,11 @@ class MixnetWorld:
         """
         round_number = self.current_round
         fetch_round = round_number - 1
+        injector = self.fault_injector
+        if injector is not None:
+            injector.begin_round(self, round_number)
         deposits_by_device: dict[int, list] = {}
+        injected_drops: list = []
         num_fetched = 0
         num_deposits = 0
         bytes_out = 0
@@ -458,32 +473,59 @@ class MixnetWorld:
                     )
             device.emit_dummies(self, round_number)
             for mailbox, data in device.drain_deposits():
-                deposit = self.mailboxes.deposit(mailbox, data, device.device_id)
-                deposits_by_device.setdefault(device.device_id, []).append(deposit)
+                action, wire_data = "deliver", data
+                if injector is not None:
+                    action, wire_data = injector.on_deposit(
+                        round_number, device.device_id, mailbox, data
+                    )
+                if action == "delay":
+                    # The injector holds the message and re-queues it
+                    # later; round-keyed AEAD nonces mean the late copy
+                    # no longer decrypts (§3.5), so the depositor's
+                    # receipt check below never sees it this round.
+                    continue
+                deposit = self.mailboxes.deposit(
+                    mailbox, wire_data, device.device_id
+                )
+                if action == "drop":
+                    injected_drops.append(deposit)
+                # Receipt-check against the bytes the device *meant* to
+                # send — a corrupted wire copy then fails verification.
+                deposits_by_device.setdefault(device.device_id, []).append(
+                    (deposit, data)
+                )
                 num_deposits += 1
-                bytes_out += len(data)
+                bytes_out += len(wire_data)
                 self.deposit_log.append(
-                    (round_number, device.device_id, mailbox, data)
+                    (round_number, device.device_id, mailbox, wire_data)
                 )
         if num_fetched:
             telemetry.count("mixnet.round.fetches", num_fetched)
         if num_deposits:
             telemetry.count("mixnet.round.deposits", num_deposits)
             telemetry.count("mixnet.round.bytes_out", bytes_out)
+        if injected_drops:
+            dropped_ids = {id(d) for d in injected_drops}
+            self.mailboxes.drop_pending(lambda dep: id(dep) in dropped_ids)
         if self.aggregator_drop_predicate is not None:
             self.mailboxes.drop_pending(self.aggregator_drop_predicate)
         closed = self.mailboxes.end_round()
         for device_id, deposits in deposits_by_device.items():
-            for deposit in deposits:
+            for deposit, original in deposits:
+                reason = b"deposit-dropped"
                 try:
                     receipt = self.mailboxes.receipt(closed, deposit)
-                    ok = verify_receipt(self.board, deposit.payload, receipt)
+                    ok = verify_receipt(self.board, original, receipt)
+                    if not ok:
+                        # Round committed, but not over our bytes: the
+                        # wire copy was tampered with, not dropped.
+                        reason = b"deposit-tampered"
                 except ProtocolError:
                     ok = False
                 if not ok:
                     telemetry.count("mixnet.complaints.total")
                     self.board.post(
-                        f"device-{device_id}", COMPLAINT_TAG, b"deposit-dropped"
+                        f"device-{device_id}", COMPLAINT_TAG, reason
                     )
         return closed
 

@@ -82,6 +82,6 @@ def unwrap_reverse(payload: bytes, hop_keys: list[bytes], base_round: int) -> by
     return body
 
 
-def dummy_body(length: int) -> bytes:
+def dummy_body(length: int, rng=None) -> bytes:
     """A random body indistinguishable from an SEnc ciphertext (§3.5)."""
-    return aead.random_dummy(length)
+    return aead.random_dummy(length, rng)

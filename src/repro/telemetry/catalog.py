@@ -34,6 +34,9 @@ MODEL_SECONDS_BUCKETS = (0.001, 0.01, 0.1, 1.0, 10.0, 100.0, 1000.0)
 #: Boundaries for mixnet latencies measured in C-rounds.
 CROUND_BUCKETS = (1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0)
 
+#: Boundaries for per-payload delivery attempts under reliable sends.
+ATTEMPT_BUCKETS = (1.0, 2.0, 3.0, 4.0, 6.0, 8.0)
+
 
 @dataclass(frozen=True)
 class MetricSpec:
@@ -102,6 +105,56 @@ METRICS: dict[str, MetricSpec] = _specs(
         "mixnet.send.hop_latency_rounds", HISTOGRAM, "C-rounds",
         "delivery latency of one forwarded payload (k+1 C-rounds)",
         buckets=CROUND_BUCKETS,
+    ),
+    MetricSpec(
+        "mixnet.retransmissions.total", COUNTER, "messages",
+        "payload re-sends by ForwardingDriver.send_reliable after an "
+        "unconfirmed delivery",
+    ),
+    MetricSpec(
+        "mixnet.failovers.total", COUNTER, "messages",
+        "sends diverted to a redundant pre-established replica path "
+        "after a primary-path failure",
+    ),
+    MetricSpec(
+        "mixnet.send.undelivered", COUNTER, "messages",
+        "payloads still unconfirmed after the bounded retransmission "
+        "budget",
+    ),
+    MetricSpec(
+        "mixnet.send.attempts", HISTOGRAM, "attempts",
+        "delivery attempts used per confirmed payload under reliable "
+        "sends",
+        buckets=ATTEMPT_BUCKETS,
+    ),
+    # -- fault injection (repro.faults) ------------------------------------
+    MetricSpec(
+        "faults.injected.total", COUNTER, "faults",
+        "fault events applied by the deterministic FaultInjector "
+        "(all kinds)",
+    ),
+    MetricSpec(
+        "faults.churn.offline", COUNTER, "devices",
+        "device offline transitions applied by churn windows and "
+        "forwarder crashes",
+    ),
+    MetricSpec(
+        "faults.wire.dropped", COUNTER, "messages",
+        "wire messages dropped by fault injection (deposit- or "
+        "fetch-side)",
+    ),
+    MetricSpec(
+        "faults.wire.delayed", COUNTER, "messages",
+        "wire messages held back past their C-round by fault injection",
+    ),
+    MetricSpec(
+        "faults.wire.corrupted", COUNTER, "messages",
+        "wire messages corrupted in transit by fault injection",
+    ),
+    MetricSpec(
+        "faults.committee.dropouts", COUNTER, "members",
+        "committee members made unavailable or corrupt at decryption "
+        "time",
     ),
     # -- BGV / NTT ---------------------------------------------------------
     MetricSpec(
@@ -186,6 +239,23 @@ METRICS: dict[str, MetricSpec] = _specs(
         "wall-clock duration of one VSR rotation",
         buckets=TIME_BUCKETS,
     ),
+    MetricSpec(
+        "committee.decrypt.retries", COUNTER, "attempts",
+        "extra threshold-decryption attempts forced by committee "
+        "dropouts (§6.5 liveness retry)",
+    ),
+    # -- engine ------------------------------------------------------------
+    MetricSpec(
+        "engine.defaults.total", COUNTER, "contributions",
+        "neighbor contributions defaulted to Enc(x^0) because the "
+        "neighbor never responded (§4.4 graceful degradation)",
+    ),
+    # -- query-level robustness --------------------------------------------
+    MetricSpec(
+        "query.complaints.observed", COUNTER, "complaints",
+        "bulletin-board complaints attached to a query's result "
+        "metadata",
+    ),
     # -- differential privacy ----------------------------------------------
     MetricSpec(
         "dp.budget.epsilon_spent", GAUGE, "epsilon",
@@ -248,6 +318,12 @@ SPANS: dict[str, SpanSpec] = {
             "mixnet.send_batch", "query.execute",
             "one forwarding wave over established telescoping paths "
             "(k+2 simulator rounds); attributes: sends, hops",
+        ),
+        SpanSpec(
+            "mixnet.send_reliable", "query.execute",
+            "reliable delivery: send waves plus bounded retransmission "
+            "with exponential backoff and replica failover; "
+            "attributes: sends, max_attempts",
         ),
     )
 }

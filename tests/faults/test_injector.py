@@ -1,0 +1,223 @@
+"""FaultInjector against a live MixnetWorld: wire verdicts, the
+complaint taxonomy they trigger, churn windows, retransmission."""
+
+import random
+
+from repro.faults import ChurnWindow, FaultInjector, FaultKind, FaultPlan
+from repro.mixnet.forwarding import ForwardingDriver, SendRequest, strip_padding
+from repro.mixnet.network import MixnetWorld
+from repro.mixnet.telescope import TelescopeDriver
+from repro.params import SystemParameters
+
+
+def make_world(seed=7, num_devices=10, replicas=1):
+    params = SystemParameters(
+        num_devices=num_devices,
+        hops=2,
+        replicas=replicas,
+        forwarder_fraction=0.45,
+        degree_bound=2,
+        pseudonyms_per_device=2,
+    )
+    return MixnetWorld(
+        params,
+        num_devices=num_devices,
+        rng=random.Random(seed),
+        rsa_bits=512,
+        pseudonyms_per_device=2,
+    )
+
+
+def establish(world, src=0, dst=9, replicas=1):
+    """Fault-free path setup from src to dst's primary pseudonym."""
+    dest = world.devices[dst].identity.primary().handle
+    requests = [(src, 0, rep, dest) for rep in range(replicas)]
+    paths = TelescopeDriver(world).setup_paths(requests)
+    assert all(p.established for p in paths.values())
+    return dest
+
+
+def delivered(world, dst, marker):
+    return any(
+        strip_padding(r.plaintext) == marker
+        for r in world.devices[dst].received
+    )
+
+
+class TestWireVerdicts:
+    def test_drop_raises_deposit_dropped_complaint(self):
+        world = make_world(seed=51)
+        establish(world)
+        plan = FaultPlan(
+            seed=1, wire_drop_rate=1.0, wire_fault_start=world.current_round
+        )
+        injector = FaultInjector(plan).attach(world)
+        ForwardingDriver(world).send_batch(
+            [SendRequest(0, (0, 0), b"doomed")], payload_bytes=16
+        )
+        assert not delivered(world, 9, b"doomed")
+        assert b"deposit-dropped" in world.complaints()
+        assert b"deposit-tampered" not in world.complaints()
+        assert injector.fault_counts()[FaultKind.WIRE_DROP.value] >= 1
+
+    def test_corrupt_raises_deposit_tampered_complaint(self):
+        world = make_world(seed=52)
+        establish(world)
+        plan = FaultPlan(
+            seed=1,
+            wire_corrupt_rate=1.0,
+            wire_fault_start=world.current_round,
+        )
+        injector = FaultInjector(plan).attach(world)
+        ForwardingDriver(world).send_batch(
+            [SendRequest(0, (0, 0), b"garbled")], payload_bytes=16
+        )
+        assert not delivered(world, 9, b"garbled")
+        assert b"deposit-tampered" in world.complaints()
+        assert b"deposit-dropped" not in world.complaints()
+        assert injector.fault_counts()[FaultKind.WIRE_CORRUPT.value] >= 1
+
+    def test_delay_is_a_silent_loss(self):
+        """A delayed deposit re-enters the mailbox stream late; the
+        round-keyed onion no longer decrypts, so it is a loss — but the
+        aggregator committed it, so no complaint is raised."""
+        world = make_world(seed=53)
+        establish(world)
+        plan = FaultPlan(
+            seed=1,
+            wire_delay_rate=1.0,
+            delay_rounds=2,
+            wire_fault_start=world.current_round,
+        )
+        injector = FaultInjector(plan).attach(world)
+        ForwardingDriver(world).send_batch(
+            [SendRequest(0, (0, 0), b"late")], payload_bytes=16
+        )
+        for _ in range(4):  # let the held copies release and settle
+            world.run_round()
+        assert not delivered(world, 9, b"late")
+        assert world.complaints() == []
+        assert injector.fault_counts()[FaultKind.WIRE_DELAY.value] >= 1
+        # Released copies were re-deposited, not re-delayed forever —
+        # anything still held (fresh dummy traffic) is due in the future.
+        assert all(due >= world.current_round for due, *_ in injector._delayed)
+
+    def test_receive_drop_loses_payload_without_complaint(self):
+        world = make_world(seed=54)
+        establish(world)
+        plan = FaultPlan(
+            seed=1,
+            receive_drop_rate=1.0,
+            wire_fault_start=world.current_round,
+        )
+        FaultInjector(plan).attach(world)
+        ForwardingDriver(world).send_batch(
+            [SendRequest(0, (0, 0), b"vanishes")], payload_bytes=16
+        )
+        assert not delivered(world, 9, b"vanishes")
+        assert world.complaints() == []
+
+    def test_faults_respect_start_round(self):
+        world = make_world(seed=55)
+        establish(world)
+        plan = FaultPlan(
+            seed=1, wire_drop_rate=1.0, wire_fault_start=10**6
+        )
+        injector = FaultInjector(plan).attach(world)
+        ForwardingDriver(world).send_batch(
+            [SendRequest(0, (0, 0), b"fine")], payload_bytes=16
+        )
+        assert delivered(world, 9, b"fine")
+        assert injector.fault_counts() == {}
+
+    def test_verdicts_are_deterministic(self):
+        results = []
+        for _ in range(2):
+            world = make_world(seed=56)
+            establish(world)
+            plan = FaultPlan(
+                seed=9,
+                wire_drop_rate=0.3,
+                wire_delay_rate=0.2,
+                wire_corrupt_rate=0.1,
+                wire_fault_start=world.current_round,
+            )
+            injector = FaultInjector(plan).attach(world)
+            ForwardingDriver(world).send_batch(
+                [SendRequest(0, (0, 0), b"replay")], payload_bytes=16
+            )
+            results.append(
+                (
+                    injector.fault_counts(),
+                    world.complaints(),
+                    delivered(world, 9, b"replay"),
+                )
+            )
+        assert results[0] == results[1]
+
+
+class TestChurn:
+    def test_window_toggles_online(self):
+        world = make_world(seed=57)
+        plan = FaultPlan(
+            seed=1,
+            churn_windows=(
+                ChurnWindow(device_id=3, start_round=2, end_round=4),
+            ),
+        )
+        injector = FaultInjector(plan).attach(world)
+        seen = {}
+        for _ in range(6):
+            done = world.run_round()
+            seen[done] = world.devices[3].online
+        assert seen[0] and seen[1]
+        assert not seen[2] and not seen[3]
+        assert seen[4] and seen[5]
+        # One fault event per window, not per covered round.
+        assert injector.fault_counts()[FaultKind.CHURN.value] == 1
+
+    def test_unmanaged_devices_left_alone(self):
+        world = make_world(seed=58)
+        plan = FaultPlan(
+            seed=1,
+            churn_windows=(
+                ChurnWindow(device_id=3, start_round=0, end_round=2),
+            ),
+        )
+        FaultInjector(plan).attach(world)
+        world.devices[5].online = False  # test-managed, not plan-managed
+        for _ in range(4):
+            world.run_round()
+        assert not world.devices[5].online
+        assert world.devices[3].online
+
+
+class TestRetransmission:
+    def test_reliable_send_defeats_receive_drops(self):
+        """Fetch-side losses leave no complaint; only the confirm-and-
+        retransmit loop recovers them.  A <1 drop rate falls to the
+        retry budget."""
+        world = make_world(seed=60, replicas=2)
+        establish(world, replicas=2)
+        plan = FaultPlan(
+            seed=4,
+            receive_drop_rate=0.3,
+            wire_fault_start=world.current_round,
+        )
+        FaultInjector(plan).attach(world)
+        driver = ForwardingDriver(world)
+        marker = b"persistent"
+
+        def confirm(request):
+            return delivered(world, 9, marker)
+
+        result = driver.send_reliable(
+            [SendRequest(0, (0, 0), marker)],
+            payload_bytes=16,
+            confirm=confirm,
+            max_attempts=6,
+        )
+        assert delivered(world, 9, marker)
+        assert result.retransmissions >= 1
+        assert result.failovers >= 1
+        assert result.undelivered == ()
