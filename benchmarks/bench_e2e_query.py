@@ -5,8 +5,11 @@ program, proof verification, relinearization + summation, threshold
 decryption, noise, release.
 """
 
+import pytest
+
 from benchmarks.conftest import format_table
 from repro.query.catalog import CATALOG
+from repro.runtime import RuntimeConfig, available_backends
 from tests.conftest import build_epidemic_graph, build_system
 
 
@@ -31,6 +34,32 @@ def test_end_to_end_query(benchmark, report):
                 ["modeled ZKP verify seconds", md.verification_seconds],
             ],
         )
+    )
+    assert md.contributing_origins == graph.num_vertices
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+@pytest.mark.parametrize("backend", available_backends())
+def test_end_to_end_backend_worker_sweep(benchmark, report, backend, workers):
+    """Q5 end to end at every backend × worker combination.
+
+    Every cell must produce the same answer (the runtime's determinism
+    contract); the per-cell wall time is what the sweep measures.
+    """
+    graph = build_epidemic_graph(seed=71, people=12, degree=3)
+
+    def run():
+        system = build_system(seed=72, people=12, degree=3)
+        return system.run_query(
+            CATALOG["Q5"], graph, epsilon=1.0,
+            runtime=RuntimeConfig(workers=workers, backend=backend),
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    md = result.metadata
+    report(
+        f"e2e Q5 backend={backend} workers={workers}: "
+        f"origins={md.contributing_origins} rejected={md.rejected_origins}"
     )
     assert md.contributing_origins == graph.num_vertices
 

@@ -2,15 +2,23 @@
 
 Not a paper figure by itself, but the constants every §6.4/§6.6
 extrapolation builds on: encryption, addition, multiplication,
-relinearization, decryption, serialization at the TEST and SMALL rings.
+relinearization, decryption, serialization at the TEST and SMALL rings,
+plus a compute-backend sweep of the ring-multiply hot path (the sweep
+axes always appear in BENCH_*.json; the ``numpy`` rows only when NumPy
+is importable — see ``docs/PERFORMANCE.md``).
 """
 
 import random
+import time
 
 import pytest
 
+from benchmarks.conftest import format_table
 from repro.crypto import bgv
 from repro.params import SMALL, TEST
+from repro.runtime import available_backends, use_backend
+
+BACKENDS = available_backends()
 
 
 @pytest.fixture(scope="module")
@@ -66,6 +74,55 @@ class TestTestRing:
 
         back = benchmark(roundtrip)
         assert back.components == a.components
+
+
+class TestBackendSweep:
+    """Backend sweep of multiplication, the dominant HE cost."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_multiply_test_ring(self, benchmark, backend, test_material):
+        _, _, _, _, a, b, _ = test_material
+        with use_backend(backend):
+            ct = benchmark(lambda: bgv.multiply(a, b))
+        assert ct.degree == 2
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_multiply_small_ring(self, benchmark, backend, small_material):
+        _, _, _, a, b = small_material
+        with use_backend(backend):
+            ct = benchmark.pedantic(
+                lambda: bgv.multiply(a, b), rounds=3, iterations=1
+            )
+        assert ct.degree == 2
+
+    def test_backend_speedup_small_ring(self, report, small_material):
+        """Measured speedup of each backend over ``pure`` at SMALL.
+
+        The table lands in the run's BENCH_*.json ``report_lines`` so a
+        record documents the speedup the machine actually delivered.
+        """
+        _, _, _, a, b = small_material
+        timings = {}
+        for backend in BACKENDS:
+            with use_backend(backend):
+                bgv.multiply(a, b)  # warm NTT/plan caches
+                started = time.perf_counter()
+                for _ in range(3):
+                    bgv.multiply(a, b)
+                timings[backend] = (time.perf_counter() - started) / 3
+        base = timings["pure"]
+        rows = [
+            [name, 1000 * seconds, base / seconds]
+            for name, seconds in timings.items()
+        ]
+        report(
+            *format_table(
+                "Backend speedup: ciphertext multiply at the SMALL ring",
+                ["backend", "ms/multiply", "speedup vs pure"],
+                rows,
+            )
+        )
+        assert timings["pure"] > 0
 
 
 class TestSmallRing:

@@ -11,8 +11,17 @@ directory with the ``MYCELIUM_BENCH_DIR`` environment variable).
 Record schema (one JSON object per run)::
 
     {
-      "schema_version": 1,
+      "schema_version": 2,
       "started_at": "<UTC ISO-8601>",
+      "environment": {
+        "backend": "<active compute backend name>",
+        "available_backends": ["pure", ...],
+        "workers": <configured worker count>,
+        "python": "<major.minor.micro>",
+        "cpu_count": <int>,
+        "numpy": "<version>" | null,
+        "platform": "<sys.platform>",
+      },
       "entries": [
         {
           "test": "<pytest nodeid>",
@@ -39,7 +48,38 @@ import pytest
 
 from repro import telemetry
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+
+
+def environment_provenance() -> dict:
+    """Machine/runtime facts that contextualize every number in a record.
+
+    A speedup claim is meaningless without knowing which backend produced
+    it, how many workers were configured, and what hardware it ran on —
+    so each BENCH_*.json carries this block alongside the entries.
+    """
+    import platform
+    import sys
+
+    from repro.runtime import active_backend, available_backends
+    from repro.runtime.config import get_runtime_config
+
+    try:
+        import numpy
+
+        numpy_version = numpy.__version__
+    except ImportError:
+        numpy_version = None
+    config = get_runtime_config()
+    return {
+        "backend": active_backend().name,
+        "available_backends": available_backends(),
+        "workers": config.workers,
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "numpy": numpy_version,
+        "platform": sys.platform,
+    }
 
 #: Default output directory for BENCH_*.json records.
 DEFAULT_BENCH_DIR = Path(__file__).resolve().parent / "out"
@@ -98,6 +138,7 @@ class BenchRecorder:
         record = {
             "schema_version": SCHEMA_VERSION,
             "started_at": self.started_at,
+            "environment": environment_provenance(),
             "entries": self.entries,
         }
         path.write_text(json.dumps(record, indent=2, sort_keys=True))

@@ -3,13 +3,17 @@
     python -m repro catalog
     python -m repro run Q5 --people 16 --epsilon 1.0
     python -m repro run "SELECT HISTO(COUNT(*)) FROM neigh(1)" --noiseless
+    python -m repro run Q5 --backend numpy --workers 4
     python -m repro figures
     python -m repro demo
+    python -m repro bench --quick
 
 ``run`` generates a synthetic epidemic workload, stands up a deployment
 at the TEST ring, and executes the query end to end; ``figures`` prints
 the analytic series behind the paper's evaluation plots; ``demo`` runs a
-query over the real mix network.
+query over the real mix network; ``bench`` times the ring-multiplication
+hot path across every available compute backend and a worker sweep (see
+``docs/PERFORMANCE.md``).
 """
 
 from __future__ import annotations
@@ -57,7 +61,15 @@ def cmd_run(args: argparse.Namespace) -> int:
     from repro.core.system import MyceliumSystem
     from repro.query.ast import OutputKind
     from repro.query.schema import scaled_schema
+    from repro.runtime import RuntimeConfig
 
+    # Explicit flags beat the MYCELIUM_* environment overrides.
+    base = RuntimeConfig.from_env()
+    runtime = RuntimeConfig(
+        workers=args.workers if args.workers is not None else base.workers,
+        backend=args.backend if args.backend is not None else base.backend,
+        chunk_size=base.chunk_size,
+    )
     query = CATALOG[args.query] if args.query in CATALOG else args.query
     graph, rng = _build_workload(args.people, args.degree, args.seed)
     params = SystemParameters(
@@ -78,7 +90,8 @@ def cmd_run(args: argparse.Namespace) -> int:
         total_epsilon=max(10.0, args.epsilon),
     )
     result = system.run_query(
-        query, graph, epsilon=args.epsilon, noiseless=args.noiseless
+        query, graph, epsilon=args.epsilon, noiseless=args.noiseless,
+        runtime=runtime,
     )
     md = result.metadata
     print(f"query: {md.query_text}")
@@ -195,6 +208,62 @@ def cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _bench_mul_task(context, seed: int):
+    """Fabric task: one seeded negacyclic multiply on the active backend.
+
+    Module-level so worker processes can import it by reference; the
+    seed makes every worker's operands independent of scheduling.
+    """
+    from repro.crypto.polyring import RingElement, RingParams
+
+    n, q = context
+    params = RingParams(n=n, q=q)
+    rng = random.Random(seed)
+    a = RingElement.random_uniform(params, rng)
+    b = RingElement.random_uniform(params, rng)
+    return (a * b).coeffs[0]
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.params import SMALL, TEST
+    from repro.runtime import TaskFabric, available_backends, use_backend
+
+    profile = TEST if args.quick else SMALL
+    ops = 8 if args.quick else 16
+    worker_counts = (1, 2) if args.quick else (1, 2, 4)
+    ring = profile.ring
+    context = (ring.n, ring.q)
+    seeds = list(range(1000, 1000 + ops))
+    print(
+        f"ring multiply: n={ring.n}, log2(q)={ring.q.bit_length()}, "
+        f"{ops} ops per cell (profile {profile.name!r})"
+    )
+    print(f"{'backend':<8} {'workers':>7} {'total_s':>9} {'ms/op':>9} {'speedup':>8}")
+    baseline = None
+    for backend in available_backends():
+        for workers in worker_counts:
+            # chunk_size=2 keeps several chunks in flight so workers>1
+            # really dispatches out of process (same chunking at every
+            # worker count, so all cells do identical work).
+            with use_backend(backend), TaskFabric(
+                workers=workers, chunk_size=2
+            ) as fabric:
+                started = time.perf_counter()
+                fabric.map(
+                    _bench_mul_task, seeds, context=context, label="bench.mul"
+                )
+                elapsed = time.perf_counter() - started
+            if baseline is None:
+                baseline = elapsed
+            print(
+                f"{backend:<8} {workers:>7} {elapsed:>9.3f} "
+                f"{1000 * elapsed / ops:>9.3f} {baseline / elapsed:>7.2f}x"
+            )
+    return 0
+
+
 def cmd_chaos(args: argparse.Namespace) -> int:
     from repro import telemetry
     from repro.core.system import MyceliumSystem
@@ -303,7 +372,27 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--epsilon", type=float, default=1.0)
     run.add_argument("--seed", type=int, default=7)
     run.add_argument("--noiseless", action="store_true")
+    run.add_argument(
+        "--backend", default=None,
+        help="compute backend: pure, numpy, or auto (default: "
+        "$MYCELIUM_BACKEND or auto)",
+    )
+    run.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for parallel stages (default: "
+        "$MYCELIUM_WORKERS or 1); results are identical at any count",
+    )
     run.set_defaults(fn=cmd_run)
+
+    bench = sub.add_parser(
+        "bench",
+        help="time the ring-multiply hot path per backend and worker count",
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="small ring and short sweep (seconds, not minutes)",
+    )
+    bench.set_defaults(fn=cmd_bench)
 
     sub.add_parser(
         "figures", help="print the evaluation-figure series"
@@ -342,6 +431,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    from repro.runtime import RuntimeConfig, set_runtime_config
+
+    # Every subcommand honors MYCELIUM_WORKERS / MYCELIUM_BACKEND;
+    # explicit flags (e.g. `run --workers`) still win over these.
+    set_runtime_config(RuntimeConfig.from_env())
     args = build_parser().parse_args(argv)
     return args.fn(args)
 

@@ -25,6 +25,13 @@ from repro.crypto import bgv, zksnark
 from repro.crypto.merkle import InclusionProof, MerkleTree, verify_inclusion
 from repro.engine.encrypted import OriginSubmission
 from repro.errors import ProtocolError
+from repro.runtime import TaskFabric
+
+#: Fixed fan-in of the first summation-tree level.  A module constant —
+#: never derived from the worker count — so the tree shape (and with it
+#: every ciphertext's noise-bit metadata) is identical no matter how the
+#: chunks are scheduled.
+SUM_CHUNK = 8
 
 
 @dataclass
@@ -43,6 +50,39 @@ class AggregationResult:
         return len(self.accepted)
 
 
+def _pairwise_sum(cts: list[bgv.Ciphertext]) -> bgv.Ciphertext:
+    """Reduce ciphertexts pairwise in order: a fixed, balanced shape."""
+    layer = list(cts)
+    while len(layer) > 1:
+        layer = [
+            bgv.add(layer[i], layer[i + 1]) if i + 1 < len(layer) else layer[i]
+            for i in range(0, len(layer), 2)
+        ]
+    return layer[0]
+
+
+def _sum_chunk_task(context: None, chunk: list[bgv.Ciphertext]) -> bgv.Ciphertext:
+    """Fabric task: pairwise-sum one fixed-size chunk of ciphertexts."""
+    return _pairwise_sum(chunk)
+
+
+def _verify_relin_task(
+    context: tuple[zksnark.Groth16System, bgv.RelinKeySet],
+    submission: OriginSubmission,
+) -> tuple[bool, float, int, bgv.Ciphertext | None]:
+    """Fabric task: full proof-stack check plus relinearization.
+
+    Only dispatched under full verification (``spot_check_fraction`` of
+    1.0), where the check is a pure function of the submission — no
+    sampling RNG, so any worker may run it.
+    """
+    zk, relin_keys = context
+    checker = QueryAggregator(zk=zk, relin_keys=relin_keys)
+    ok, seconds, proofs = checker.verify_submission(submission)
+    relin = bgv.relinearize(submission.ciphertext, relin_keys) if ok else None
+    return ok, seconds, proofs, relin
+
+
 @dataclass
 class QueryAggregator:
     """Aggregator state for one query.
@@ -58,6 +98,12 @@ class QueryAggregator:
     relin_keys: bgv.RelinKeySet
     spot_check_fraction: float = 1.0
     spot_check_rng: object | None = None
+    #: Optional parallel fabric.  Submissions verify + relinearize
+    #: independently, so they shard cleanly — but only under full
+    #: verification: spot-checking draws from a shared RNG whose
+    #: consumption order must stay sequential, so it pins the serial
+    #: path.
+    fabric: TaskFabric | None = None
     _tree: MerkleTree | None = field(default=None, init=False)
     _accepted_digests: list[bytes] = field(default_factory=list, init=False)
 
@@ -131,15 +177,39 @@ class QueryAggregator:
     def aggregate(
         self, submissions: list[OriginSubmission]
     ) -> AggregationResult:
-        """Verify, relinearize, and sum all submissions."""
+        """Verify, relinearize, and sum all submissions.
+
+        Verification + relinearization of distinct submissions is
+        independent work, sharded across :attr:`fabric` when one is set
+        and every proof is being checked (spot-checking consumes a
+        shared RNG and stays serial).  The global sum is a fixed-shape
+        summation tree (see :func:`_tree_sum`), not a left fold, so it
+        too can be chunked without changing the result.
+        """
         accepted: list[int] = []
         rejected: list[int] = []
         total_seconds = 0.0
         total_proofs = 0
-        global_ct: bgv.Ciphertext | None = None
         self._accepted_digests = []
-        for submission in submissions:
-            ok, seconds, proofs = self.verify_submission(submission)
+        if self.fabric is not None and self.spot_check_fraction >= 1.0:
+            results = self.fabric.map(
+                _verify_relin_task,
+                submissions,
+                context=(self.zk, self.relin_keys),
+                label="aggregator.verify",
+            )
+        else:
+            results = []
+            for submission in submissions:
+                ok, seconds, proofs = self.verify_submission(submission)
+                relin = (
+                    bgv.relinearize(submission.ciphertext, self.relin_keys)
+                    if ok
+                    else None
+                )
+                results.append((ok, seconds, proofs, relin))
+        relinearized: list[bgv.Ciphertext] = []
+        for submission, (ok, seconds, proofs, relin) in zip(submissions, results):
             telemetry.count("aggregator.proofs.verified", proofs)
             telemetry.observe("aggregator.verify.seconds", seconds)
             total_seconds += seconds
@@ -148,12 +218,9 @@ class QueryAggregator:
                 rejected.append(submission.origin)
                 continue
             accepted.append(submission.origin)
-            relinearized = bgv.relinearize(submission.ciphertext, self.relin_keys)
-            self._accepted_digests.append(relinearized.digest())
-            if global_ct is None:
-                global_ct = relinearized
-            else:
-                global_ct = bgv.add(global_ct, relinearized)
+            relinearized.append(relin)
+            self._accepted_digests.append(relin.digest())
+        global_ct = self._tree_sum(relinearized)
         telemetry.count("aggregator.submissions.accepted", len(accepted))
         telemetry.count("aggregator.submissions.rejected", len(rejected))
         self._tree = MerkleTree(self._accepted_digests or [b"empty"])
@@ -165,6 +232,28 @@ class QueryAggregator:
             verification_seconds=total_seconds,
             proofs_verified=total_proofs,
         )
+
+    def _tree_sum(self, cts: list[bgv.Ciphertext]) -> bgv.Ciphertext | None:
+        """Sum ciphertexts over a worker-count-independent tree.
+
+        Contributions are grouped into :data:`SUM_CHUNK`-sized chunks,
+        each chunk is reduced pairwise (sharded across the fabric when
+        there is more than one), and the partials are reduced pairwise
+        in order.  Homomorphic addition is exact, and the fixed shape
+        keeps even the noise-bit *metadata* identical at any worker
+        count (a balanced tree also grows the noise estimate
+        logarithmically where the old left fold grew it linearly).
+        """
+        if not cts:
+            return None
+        chunks = [cts[i : i + SUM_CHUNK] for i in range(0, len(cts), SUM_CHUNK)]
+        if self.fabric is not None and len(chunks) > 1:
+            partials = self.fabric.map(
+                _sum_chunk_task, chunks, label="aggregator.sum"
+            )
+        else:
+            partials = [_pairwise_sum(chunk) for chunk in chunks]
+        return _pairwise_sum(partials)
 
     def inclusion_proof(self, position: int) -> InclusionProof:
         """Summation-tree inclusion proof for an accepted contribution

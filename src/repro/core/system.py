@@ -55,6 +55,12 @@ from repro.query.compiler import compile_query
 from repro.query.parser import parse
 from repro.query.plans import ExecutionPlan
 from repro.query.schema import DEFAULT_SCHEMA, Schema
+from repro.runtime import (
+    RuntimeConfig,
+    TaskFabric,
+    backends,
+    get_runtime_config,
+)
 from repro.workloads.graphgen import ContactGraph
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -162,6 +168,7 @@ class MyceliumSystem:
         rotate: bool = False,
         noiseless: bool = False,
         world: MixnetWorld | None = None,
+        runtime: RuntimeConfig | None = None,
     ) -> QueryResult:
         """Execute one query end to end and release the noisy answer.
 
@@ -176,7 +183,34 @@ class MyceliumSystem:
         :class:`repro.core.transport.MixnetTransport`).  ``offline`` is
         an in-process-transport facility and cannot be combined with it
         — mark devices offline on the world instead.
+
+        ``runtime`` selects the parallel worker count and the compute
+        backend for this query (defaults to the process-wide
+        :func:`repro.runtime.get_runtime_config`).  Results are
+        bit-identical at any worker count and across backends; see
+        docs/PERFORMANCE.md.
         """
+        config = runtime if runtime is not None else get_runtime_config()
+        with backends.use_backend(config.backend), TaskFabric.from_config(
+            config
+        ) as fabric:
+            return self._run_query_with_fabric(
+                query, graph, epsilon, behaviors, offline, rotate,
+                noiseless, world, fabric,
+            )
+
+    def _run_query_with_fabric(
+        self,
+        query: str | CatalogEntry,
+        graph: ContactGraph,
+        epsilon: float,
+        behaviors: dict[int, Behavior] | None,
+        offline: set[int] | None,
+        rotate: bool,
+        noiseless: bool,
+        world: MixnetWorld | None,
+        fabric: TaskFabric,
+    ) -> QueryResult:
         with telemetry.span("query.run", epsilon=epsilon) as query_span:
             with telemetry.span("query.compile"):
                 plan = self.compile(query)
@@ -186,7 +220,7 @@ class MyceliumSystem:
 
             with telemetry.span("query.execute"):
                 executor = EncryptedExecutor(
-                    plan, self.public_key, self.zk, self.rng
+                    plan, self.public_key, self.zk, self.rng, fabric=fabric
                 )
                 if world is not None:
                     if offline is not None:
@@ -212,7 +246,7 @@ class MyceliumSystem:
                     )
             with telemetry.span("query.aggregate"):
                 aggregator = QueryAggregator(
-                    zk=self.zk, relin_keys=self.relin_keys
+                    zk=self.zk, relin_keys=self.relin_keys, fabric=fabric
                 )
                 aggregation = aggregator.aggregate(submissions)
             if aggregation.ciphertext is None:

@@ -14,6 +14,9 @@ transform.
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
+
 from repro.crypto.modmath import invmod, primitive_root_of_unity
 from repro.errors import ParameterError
 from repro.telemetry.runtime import count as _count
@@ -114,7 +117,14 @@ class NttContext:
         return self.inverse(prod)
 
 
-_CONTEXTS: dict[tuple[int, int], NttContext] = {}
+#: Most (n, q) pairs a process touches: one ciphertext and one plaintext
+#: ring per profile, plus a handful of test rings.  Least-recently-used
+#: pairs are evicted beyond this, bounding memory when many parameter
+#: sets are exercised in one process (sweeps, equivalence tests).
+CONTEXT_CACHE_SIZE = 32
+
+_CONTEXTS: OrderedDict[tuple[int, int], NttContext] = OrderedDict()
+_CONTEXTS_LOCK = threading.Lock()
 
 
 def get_context(n: int, q: int) -> NttContext:
@@ -123,14 +133,41 @@ def get_context(n: int, q: int) -> NttContext:
     Table construction dominates single transforms, so the cache
     hit/miss split (``ntt.cache.hits`` / ``ntt.cache.misses``) is the
     first thing to inspect when ring operations look slow.
+
+    The cache is safe under concurrent callers (worker pools, threaded
+    benchmark harnesses): lookups and insertions hold a lock, the
+    hit/miss counters stay accurate, and the cache is LRU-bounded at
+    :data:`CONTEXT_CACHE_SIZE` entries.  Table construction itself runs
+    outside the lock; two racing builders may both construct, but only
+    one context is published and counted as the miss.
     """
-    context = _CONTEXTS.get((n, q))
-    if context is None:
+    key = (n, q)
+    with _CONTEXTS_LOCK:
+        context = _CONTEXTS.get(key)
+        if context is not None:
+            _CONTEXTS.move_to_end(key)
+            _count("ntt.cache.hits")
+            return context
+    built = NttContext(n, q)  # potentially slow: keep outside the lock
+    with _CONTEXTS_LOCK:
+        context = _CONTEXTS.get(key)
+        if context is not None:
+            # Another caller published while we were building; theirs
+            # won the race and already counted the miss.
+            _CONTEXTS.move_to_end(key)
+            _count("ntt.cache.hits")
+            return context
         _count("ntt.cache.misses")
-        context = _CONTEXTS[(n, q)] = NttContext(n, q)
-    else:
-        _count("ntt.cache.hits")
-    return context
+        _CONTEXTS[key] = built
+        while len(_CONTEXTS) > CONTEXT_CACHE_SIZE:
+            _CONTEXTS.popitem(last=False)
+    return built
+
+
+def clear_context_cache() -> None:
+    """Drop all cached contexts (tests and memory-pressure hooks)."""
+    with _CONTEXTS_LOCK:
+        _CONTEXTS.clear()
 
 
 def negacyclic_multiply_schoolbook(a: list[int], b: list[int], q: int) -> list[int]:

@@ -1,9 +1,11 @@
 """Arithmetic in the quotient ring R_q = Z_q[x] / (x^N + 1).
 
 :class:`RingElement` is an immutable value type; all operators return new
-elements.  Multiplication dispatches to the cached negacyclic NTT when the
-modulus supports it (every BGV modulus we generate does) and falls back to
-schoolbook multiplication otherwise.
+elements.  Multiplication dispatches through the active compute backend
+(:mod:`repro.runtime.backends`): the pure-Python reference uses the
+cached negacyclic NTT when the modulus supports it (every BGV modulus we
+generate does) and falls back to schoolbook multiplication otherwise;
+the optional NumPy backend computes the identical product vectorized.
 """
 
 from __future__ import annotations
@@ -11,9 +13,9 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
-from repro.crypto import ntt
 from repro.crypto.modmath import centered_mod
 from repro.errors import ParameterError
+from repro.runtime import backends
 
 
 @dataclass(frozen=True)
@@ -144,13 +146,7 @@ class RingElement:
             return self.scale(other)
         self._check_compatible(other)
         n, q = self.params.n, self.params.q
-        if self.params.supports_ntt:
-            ctx = ntt.get_context(n, q)
-            product = ctx.multiply(list(self.coeffs), list(other.coeffs))
-        else:
-            product = ntt.negacyclic_multiply_schoolbook(
-                list(self.coeffs), list(other.coeffs), q
-            )
+        product = backends.ring_multiply(self.coeffs, other.coeffs, n, q)
         return RingElement(self.params, tuple(product))
 
     __rmul__ = __mul__

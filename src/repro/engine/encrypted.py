@@ -26,6 +26,7 @@ from repro.engine.malicious import Behavior
 from repro.errors import ProofError, ProtocolError
 from repro.query import ast
 from repro.query.plans import ExecutionPlan
+from repro.runtime import TaskFabric, derive_rng
 from repro.workloads.graphgen import ContactGraph
 
 
@@ -375,6 +376,27 @@ def _prove_aggregate(
 # ---------------------------------------------------------------------------
 
 
+def _run_origin_task(
+    context: tuple, origin: int
+) -> tuple[OriginSubmission, RunStats]:
+    """Fabric task: one origin's full submission, with private stats.
+
+    Builds a throwaway executor around an RNG derived from the run's
+    master seed and the origin id, so the submission is a pure function
+    of ``(context, origin)`` — independent of worker count, execution
+    order, and of how much randomness other origins consumed.
+    """
+    plan, pk, zk, graph, behaviors, offline, master_seed = context
+    worker = EncryptedExecutor(
+        plan, pk, zk, derive_rng(master_seed, "origin", origin)
+    )
+    if plan.hops == 1:
+        submission = worker._run_one_hop(graph, origin, behaviors, offline)
+    else:
+        submission = worker._run_multi_hop(graph, origin, behaviors, offline)
+    return submission, worker.stats
+
+
 class EncryptedExecutor:
     """Run a plan over a graph with per-device Byzantine behaviours."""
 
@@ -384,15 +406,27 @@ class EncryptedExecutor:
         pk: bgv.PublicKey,
         zk: zksnark.Groth16System,
         rng: random.Random,
+        fabric: TaskFabric | None = None,
     ):
         self.plan = plan
         self.pk = pk
         self.zk = zk
         self.rng = rng
+        self.fabric = fabric if fabric is not None else TaskFabric()
         self.stats = RunStats()
 
     def _behavior(self, behaviors, device: int) -> Behavior:
         return behaviors.get(device, Behavior.HONEST)
+
+    def _merge_stats(self, other: RunStats) -> None:
+        self.stats.leaf_ciphertexts += other.leaf_ciphertexts
+        self.stats.multiplications += other.multiplications
+        self.stats.origin_filtered_leaves += other.origin_filtered_leaves
+        self.stats.defaulted_members += other.defaulted_members
+        for name, hits in other.behaviors_applied.items():
+            self.stats.behaviors_applied[name] = (
+                self.stats.behaviors_applied.get(name, 0) + hits
+            )
 
     def run(
         self,
@@ -400,21 +434,40 @@ class EncryptedExecutor:
         behaviors: dict[int, Behavior] | None = None,
         offline: set[int] | None = None,
     ) -> list[OriginSubmission]:
-        """Produce every origin's submission (one per online vertex)."""
+        """Produce every origin's submission (one per online vertex).
+
+        Origins are independent, so they are sharded across the fabric.
+        One master seed is drawn from this executor's RNG up front and
+        each origin works from an RNG derived from (master seed, origin
+        id): the output is bit-identical at any worker count, and the
+        whole run stays a deterministic function of the executor's RNG
+        state, exactly as the sequential implementation was.
+        """
         behaviors = behaviors or {}
         offline = offline or set()
+        origins = [
+            origin
+            for origin in range(graph.num_vertices)
+            if origin not in offline
+        ]
+        master_seed = self.rng.getrandbits(64)
+        context = (
+            self.plan, self.pk, self.zk, graph, behaviors, offline, master_seed,
+        )
+        results = self.fabric.map(
+            _run_origin_task, origins, context=context, label="engine.origins"
+        )
         submissions = []
-        for origin in range(graph.num_vertices):
-            if origin in offline:
-                continue
-            if self.plan.hops == 1:
-                submissions.append(
-                    self._run_one_hop(graph, origin, behaviors, offline)
-                )
-            else:
-                submissions.append(
-                    self._run_multi_hop(graph, origin, behaviors, offline)
-                )
+        defaulted = 0
+        for submission, stats in results:
+            submissions.append(submission)
+            self._merge_stats(stats)
+            defaulted += stats.defaulted_members
+        if self.fabric.last_out_of_process and defaulted:
+            # Worker processes run with telemetry inactive; account for
+            # their defaulted-contribution counts here.  The in-process
+            # path already counted them inside build_origin_submission.
+            telemetry.count("engine.defaults.total", defaulted)
         return submissions
 
     def _collect_leaf(

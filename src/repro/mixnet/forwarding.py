@@ -31,6 +31,7 @@ from repro.mixnet.network import (
     TAG_PAYLOAD,
     link_keys,
 )
+from repro.runtime import TaskFabric
 
 
 @dataclass(frozen=True)
@@ -68,6 +69,27 @@ def build_envelope(
     return TAG_PAYLOAD + struct.pack(">H", len(penc)) + penc + sealed
 
 
+def _wrap_task(base_round: int, item: tuple[tuple[bytes, ...], bytes]) -> bytes:
+    """Fabric task: onion-wrap one envelope under pre-derived hop keys.
+
+    Pure — no RNG, no shared state — so wraps shard freely across
+    workers; only the key derivation (trivial) and the mailbox deposits
+    (ordered) stay with the caller.
+    """
+    forward_keys, envelope = item
+    body = TAG_FORWARD + envelope
+    for j in range(len(forward_keys), 0, -1):
+        body = aead.senc(forward_keys[j - 1], base_round + j, body)
+        if j > 1:
+            body = TAG_FORWARD + body
+    return body
+
+
+def _forward_keys(path: SourcePathState) -> tuple[bytes, ...]:
+    """The per-hop forwarding keys an onion for ``path`` wraps under."""
+    return tuple(link_keys(hop_key)[0] for hop_key in path.hop_keys)
+
+
 def wrap_for_path(path: SourcePathState, envelope: bytes, base_round: int) -> bytes:
     """Onion-wrap an envelope: every hop sees TAG_FORWARD after its peel.
 
@@ -75,20 +97,24 @@ def wrap_for_path(path: SourcePathState, envelope: bytes, base_round: int) -> by
     round); the innermost peel at hop k reveals the envelope, which hop k
     deposits into the destination's mailbox.
     """
-    body = TAG_FORWARD + envelope
-    for j in range(len(path.hop_keys), 0, -1):
-        k_fwd, _, _ = link_keys(path.hop_keys[j - 1])
-        body = aead.senc(k_fwd, base_round + j, body)
-        if j > 1:
-            body = TAG_FORWARD + body
-    return body
+    return _wrap_task(base_round, (_forward_keys(path), envelope))
 
 
 class ForwardingDriver:
-    """Run one vertex-program communication round for a batch of sends."""
+    """Run one vertex-program communication round for a batch of sends.
 
-    def __init__(self, world: MixnetWorld):
+    ``fabric`` shards the CPU-heavy onion wrapping (layered ChaCha20
+    over pure-Python primitives) across workers; it defaults to a fabric
+    built from the process-wide runtime config, i.e. in-process serial
+    execution unless the user opted into workers.  Envelope building
+    stays serial — it draws session keys from each device's RNG in
+    request order — and deposits land in request order, so batches are
+    byte-identical at any worker count.
+    """
+
+    def __init__(self, world: MixnetWorld, fabric: TaskFabric | None = None):
         self.world = world
+        self.fabric = fabric if fabric is not None else TaskFabric.from_config()
 
     def send_batch(
         self, sends: list[SendRequest], payload_bytes: int
@@ -107,6 +133,10 @@ class ForwardingDriver:
         sent: dict[tuple[int, tuple[int, int]], bool] = {}
         envelope_bytes = None
         with telemetry.span("mixnet.send_batch", sends=len(sends), hops=k):
+            # Stage 1 (serial): resolve paths and build envelopes, which
+            # draw session keys from each device's RNG in request order.
+            wrap_jobs: list[tuple[tuple[bytes, ...], bytes]] = []
+            deposits: list[tuple[object, SourcePathState]] = []
             for request in sends:
                 device = world.devices[request.device_id]
                 path = device.paths.get(request.path_key)
@@ -127,11 +157,18 @@ class ForwardingDriver:
                     path, padded, delivery_round, device.rng
                 )
                 envelope_bytes = len(envelope)
-                body = wrap_for_path(path, envelope, base_round)
+                wrap_jobs.append((_forward_keys(path), envelope))
+                deposits.append((device, path))
+                sent[key] = True
+            # Stage 2 (parallel, pure): layered symmetric encryption.
+            bodies = self.fabric.map(
+                _wrap_task, wrap_jobs, context=base_round, label="mixnet.wrap"
+            )
+            # Stage 3 (serial): mailbox deposits in request order.
+            for (device, path), body in zip(deposits, bodies):
                 device.queue_deposit(
                     path.hop_handles[0], path.first_path_id, body
                 )
-                sent[key] = True
             # Arm dummy injection: a hop at position p that sees no message
             # on an expecting link in round base+p emits a dummy of matching
             # size.

@@ -1,0 +1,170 @@
+"""Pluggable compute backends for the negacyclic polynomial kernel.
+
+Every BGV operation bottoms out in ring arithmetic in
+R_q = Z_q[x]/(x^n + 1); :class:`ComputeBackend` is the seam that lets
+that kernel be swapped without touching protocol code.  Two backends
+ship:
+
+* ``pure`` — the reference implementation, delegating to the existing
+  pure-Python :class:`repro.crypto.ntt.NttContext` (and the schoolbook
+  fallback for non-NTT-friendly moduli).  Always available.
+* ``numpy`` — an exact vectorized kernel
+  (:mod:`repro.runtime.numpy_backend`).  Registered only when NumPy
+  imports; NumPy remains an optional dependency.
+
+Backends must be *bit-identical*: for the same inputs every backend
+returns the same coefficients (enforced by
+``tests/crypto/test_backend_equivalence.py``).  Selection is by name via
+:class:`repro.runtime.config.RuntimeConfig` (``"auto"`` picks the
+fastest available), the ``--backend`` CLI flag, or the
+``MYCELIUM_BACKEND`` environment variable.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Protocol, Sequence, runtime_checkable
+
+from repro.crypto import ntt
+from repro.errors import ParameterError
+from repro.runtime.config import AUTO_BACKEND
+from repro.telemetry import runtime as telemetry
+
+
+@runtime_checkable
+class ComputeBackend(Protocol):
+    """The negacyclic-NTT/polyring kernel under every HE operation.
+
+    Coefficient vectors are Python ``list[int]`` with entries in
+    ``[0, q)``; implementations must return exactly what the reference
+    backend returns for the same inputs.
+    """
+
+    name: str
+
+    def forward_ntt(self, coeffs: Sequence[int], n: int, q: int) -> list[int]:
+        """Negacyclic (psi-twisted) forward NTT; requires 2n | q - 1."""
+        ...
+
+    def inverse_ntt(self, values: Sequence[int], n: int, q: int) -> list[int]:
+        """Inverse of :meth:`forward_ntt`."""
+        ...
+
+    def negacyclic_multiply(
+        self, a: Sequence[int], b: Sequence[int], n: int, q: int
+    ) -> list[int]:
+        """Product in Z_q[x]/(x^n + 1) for *any* modulus q."""
+        ...
+
+
+class PureBackend:
+    """Reference backend: the pure-Python NTT plus schoolbook fallback."""
+
+    name = "pure"
+
+    def forward_ntt(self, coeffs: Sequence[int], n: int, q: int) -> list[int]:
+        return ntt.get_context(n, q).forward(list(coeffs))
+
+    def inverse_ntt(self, values: Sequence[int], n: int, q: int) -> list[int]:
+        return ntt.get_context(n, q).inverse(list(values))
+
+    def negacyclic_multiply(
+        self, a: Sequence[int], b: Sequence[int], n: int, q: int
+    ) -> list[int]:
+        if (q - 1) % (2 * n) == 0:
+            return ntt.get_context(n, q).multiply(list(a), list(b))
+        return ntt.negacyclic_multiply_schoolbook(list(a), list(b), q)
+
+
+_factories: dict[str, Callable[[], ComputeBackend]] = {}
+_instances: dict[str, ComputeBackend] = {}
+
+
+def register_backend(name: str, factory: Callable[[], ComputeBackend]) -> None:
+    """Add a backend factory; the instance is created lazily, once."""
+    _factories[name] = factory
+
+
+def _numpy_factory() -> ComputeBackend:
+    from repro.runtime.numpy_backend import NumpyBackend  # optional dep
+
+    return NumpyBackend()
+
+
+register_backend("pure", PureBackend)
+register_backend("numpy", _numpy_factory)
+
+
+def _instantiate(name: str) -> ComputeBackend:
+    if name not in _instances:
+        if name not in _factories:
+            raise ParameterError(
+                f"unknown compute backend {name!r}; known: {sorted(_factories)}"
+            )
+        _instances[name] = _factories[name]()
+    return _instances[name]
+
+
+def available_backends() -> list[str]:
+    """Names of backends that actually instantiate on this machine."""
+    names = []
+    for name in _factories:
+        try:
+            _instantiate(name)
+        except ImportError:
+            continue
+        names.append(name)
+    return names
+
+
+def resolve_backend(name: str = AUTO_BACKEND) -> ComputeBackend:
+    """Instantiate a backend by name; ``"auto"`` prefers the NumPy kernel."""
+    if name == AUTO_BACKEND:
+        try:
+            return _instantiate("numpy")
+        except ImportError:
+            return _instantiate("pure")
+    try:
+        return _instantiate(name)
+    except ImportError as exc:
+        raise ParameterError(
+            f"compute backend {name!r} is not available here: {exc}"
+        ) from exc
+
+
+_active: ComputeBackend = _instantiate("pure")
+
+
+def active_backend() -> ComputeBackend:
+    """The backend currently serving ring multiplications."""
+    return _active
+
+
+def activate(name: str) -> ComputeBackend:
+    """Make ``name`` (or ``"auto"``) the process-wide active backend."""
+    global _active
+    _active = resolve_backend(name)
+    return _active
+
+
+@contextlib.contextmanager
+def use_backend(name: str):
+    """Scope the active backend to a ``with`` block."""
+    global _active
+    previous = _active
+    _active = resolve_backend(name)
+    try:
+        yield _active
+    finally:
+        _active = previous
+
+
+def ring_multiply(a: Sequence[int], b: Sequence[int], n: int, q: int) -> list[int]:
+    """Dispatch one negacyclic product to the active backend.
+
+    This is the single call site :mod:`repro.crypto.polyring` uses, so
+    the ``runtime.backend.multiplies`` counter sees every ring
+    multiplication the parent process performs.
+    """
+    telemetry.count("runtime.backend.multiplies")
+    return _active.negacyclic_multiply(a, b, n, q)

@@ -1,0 +1,95 @@
+"""Runtime configuration: worker count and compute-backend selection.
+
+A :class:`RuntimeConfig` is a small immutable value that the query
+pipeline threads through to every parallelizable stage.  The process
+holds one global default (``workers=1``, ``backend="auto"``) which can
+be replaced with :func:`set_runtime_config`, scoped with
+:func:`use_runtime`, or overridden per call site.
+
+Environment overrides (read once per :func:`from_env` call, used by the
+CLI and the benchmark harness):
+
+* ``MYCELIUM_WORKERS`` — integer worker count.
+* ``MYCELIUM_BACKEND`` — backend name (``pure``, ``numpy``, ``auto``).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from dataclasses import dataclass, replace
+
+from repro.errors import ParameterError
+
+#: Backend name meaning "fastest available": resolves to the vectorized
+#: NumPy kernel when NumPy imports, else the pure-Python reference.
+AUTO_BACKEND = "auto"
+
+WORKERS_ENV = "MYCELIUM_WORKERS"
+BACKEND_ENV = "MYCELIUM_BACKEND"
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """How hot-path work is executed.
+
+    ``workers``
+        Process-pool size for :class:`repro.runtime.fabric.TaskFabric`.
+        ``1`` (the default) runs every task in-process; results are
+        bit-identical at any value.
+    ``backend``
+        Compute-backend name for the negacyclic-NTT/polyring kernel, or
+        ``"auto"`` to pick the fastest one available.
+    ``chunk_size``
+        Items per dispatched chunk.  Fixed independently of ``workers``
+        so chunk boundaries (and therefore any per-chunk derived
+        randomness) never depend on the pool size.
+    """
+
+    workers: int = 1
+    backend: str = AUTO_BACKEND
+    chunk_size: int = 8
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ParameterError("RuntimeConfig.workers must be >= 1")
+        if self.chunk_size < 1:
+            raise ParameterError("RuntimeConfig.chunk_size must be >= 1")
+
+    @classmethod
+    def from_env(cls, base: RuntimeConfig | None = None) -> RuntimeConfig:
+        """``base`` (or the default) with environment overrides applied."""
+        cfg = base if base is not None else cls()
+        workers = os.environ.get(WORKERS_ENV)
+        if workers:
+            cfg = replace(cfg, workers=int(workers))
+        backend = os.environ.get(BACKEND_ENV)
+        if backend:
+            cfg = replace(cfg, backend=backend)
+        return cfg
+
+
+_global_config = RuntimeConfig()
+
+
+def get_runtime_config() -> RuntimeConfig:
+    """The process-wide default runtime configuration."""
+    return _global_config
+
+
+def set_runtime_config(config: RuntimeConfig) -> RuntimeConfig:
+    """Replace the process-wide default; returns the previous one."""
+    global _global_config
+    previous = _global_config
+    _global_config = config
+    return previous
+
+
+@contextlib.contextmanager
+def use_runtime(config: RuntimeConfig):
+    """Scope the process-wide default to a ``with`` block."""
+    previous = set_runtime_config(config)
+    try:
+        yield config
+    finally:
+        set_runtime_config(previous)

@@ -1,0 +1,33 @@
+"""Deterministic per-item seed derivation for parallel work.
+
+Sequential code that shares one ``random.Random`` cannot be sharded:
+the i-th item's randomness would depend on how many draws every earlier
+item made, and on which worker ran it.  Instead, a stage draws a single
+*master seed* from its existing RNG (keeping whole-pipeline replay
+intact) and derives an independent seed per work item from the master
+seed and the item's stable label.  Seeds depend only on (master, label),
+never on worker count or execution order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+_DOMAIN = b"mycelium.runtime.seed.v1"
+
+
+def derive_seed(master_seed: int, *labels: object) -> int:
+    """A 64-bit seed bound to ``master_seed`` and a stable label path."""
+    h = hashlib.sha256()
+    h.update(_DOMAIN)
+    h.update(master_seed.to_bytes(16, "big", signed=False))
+    for label in labels:
+        h.update(b"\x1f")
+        h.update(str(label).encode("utf-8"))
+    return int.from_bytes(h.digest()[:8], "big")
+
+
+def derive_rng(master_seed: int, *labels: object) -> random.Random:
+    """A fresh ``random.Random`` seeded with :func:`derive_seed`."""
+    return random.Random(derive_seed(master_seed, *labels))

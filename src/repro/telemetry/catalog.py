@@ -256,6 +256,30 @@ METRICS: dict[str, MetricSpec] = _specs(
         "bulletin-board complaints attached to a query's result "
         "metadata",
     ),
+    # -- parallel runtime (repro.runtime) ----------------------------------
+    MetricSpec(
+        "runtime.tasks.total", COUNTER, "tasks",
+        "work items executed through TaskFabric.map (any worker count)",
+    ),
+    MetricSpec(
+        "runtime.chunks.total", COUNTER, "chunks",
+        "fixed-size chunks dispatched by TaskFabric.map (chunking is "
+        "worker-count independent)",
+    ),
+    MetricSpec(
+        "runtime.map.seconds", HISTOGRAM, "seconds",
+        "wall-clock duration of one TaskFabric.map fan-out",
+        buckets=TIME_BUCKETS,
+    ),
+    MetricSpec(
+        "runtime.workers", GAUGE, "processes",
+        "worker-pool size of the most recent TaskFabric.map",
+    ),
+    MetricSpec(
+        "runtime.backend.multiplies", COUNTER, "ops",
+        "negacyclic ring multiplications dispatched to the active "
+        "compute backend (parent process only; see docs/PERFORMANCE.md)",
+    ),
     # -- differential privacy ----------------------------------------------
     MetricSpec(
         "dp.budget.epsilon_spent", GAUGE, "epsilon",
@@ -313,6 +337,12 @@ SPANS: dict[str, SpanSpec] = {
         SpanSpec(
             "query.rotate", "query.run",
             "extended-VSR key handoff to the next committee",
+        ),
+        SpanSpec(
+            "runtime.map", None,
+            "one TaskFabric.map fan-out over a stage's work items; "
+            "attributes: label, items, workers (parent varies by stage, "
+            "e.g. query.execute or query.aggregate)",
         ),
         SpanSpec(
             "mixnet.send_batch", "query.execute",

@@ -1,0 +1,63 @@
+"""The shared NttContext cache: LRU bound, counters, thread safety."""
+
+import threading
+
+from repro import telemetry
+from repro.crypto import ntt
+from repro.crypto.modmath import is_prime
+
+
+def _fresh_cache():
+    ntt.clear_context_cache()
+
+
+def test_repeated_lookup_hits_cache():
+    _fresh_cache()
+    with telemetry.session() as session:
+        first = ntt.get_context(64, 7681)
+        second = ntt.get_context(64, 7681)
+        snapshot = session.snapshot()
+    assert first is second
+    assert snapshot["counters"]["ntt.cache.misses"] == 1
+    assert snapshot["counters"]["ntt.cache.hits"] == 1
+    _fresh_cache()
+
+
+def test_cache_is_lru_bounded():
+    _fresh_cache()
+    # Distinct primes p ≡ 1 (mod 4), each supporting a length-2
+    # negacyclic NTT, enough to overflow the cache.
+    primes = []
+    candidate = 5
+    while len(primes) < ntt.CONTEXT_CACHE_SIZE + 4:
+        if is_prime(candidate):
+            primes.append(candidate)
+        candidate += 4
+    for p in primes:
+        ntt.get_context(2, p)
+    assert len(ntt._CONTEXTS) == ntt.CONTEXT_CACHE_SIZE
+    # The survivors are the most recently used (insertion-ordered) tail.
+    expected = {(2, p) for p in primes[-ntt.CONTEXT_CACHE_SIZE :]}
+    assert set(ntt._CONTEXTS) == expected
+    _fresh_cache()
+
+
+def test_concurrent_get_context_returns_one_instance():
+    _fresh_cache()
+    results = []
+    barrier = threading.Barrier(8)
+
+    def worker():
+        barrier.wait()
+        results.append(ntt.get_context(128, 3329))
+
+    threads = [threading.Thread(target=worker) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    # Racing builders all converge on the single published context.
+    assert len(ntt._CONTEXTS) == 1
+    published = ntt._CONTEXTS[(128, 3329)]
+    assert all(r is published for r in results)
+    _fresh_cache()

@@ -1,0 +1,55 @@
+"""RuntimeConfig defaults, validation, and override plumbing."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.runtime import (
+    RuntimeConfig,
+    get_runtime_config,
+    set_runtime_config,
+    use_runtime,
+)
+from repro.runtime.config import BACKEND_ENV, WORKERS_ENV
+
+
+def test_defaults():
+    config = RuntimeConfig()
+    assert config.workers == 1
+    assert config.backend == "auto"
+    assert config.chunk_size == 8
+
+
+def test_validation():
+    with pytest.raises(ParameterError):
+        RuntimeConfig(workers=0)
+    with pytest.raises(ParameterError):
+        RuntimeConfig(chunk_size=0)
+
+
+def test_from_env_overrides(monkeypatch):
+    monkeypatch.setenv(WORKERS_ENV, "3")
+    monkeypatch.setenv(BACKEND_ENV, "pure")
+    config = RuntimeConfig.from_env()
+    assert config.workers == 3
+    assert config.backend == "pure"
+
+
+def test_from_env_keeps_base_without_vars(monkeypatch):
+    monkeypatch.delenv(WORKERS_ENV, raising=False)
+    monkeypatch.delenv(BACKEND_ENV, raising=False)
+    base = RuntimeConfig(workers=5, backend="pure", chunk_size=4)
+    assert RuntimeConfig.from_env(base) == base
+
+
+def test_set_and_use_runtime():
+    original = get_runtime_config()
+    scoped = RuntimeConfig(workers=2)
+    with use_runtime(scoped):
+        assert get_runtime_config() == scoped
+    assert get_runtime_config() == original
+    previous = set_runtime_config(scoped)
+    try:
+        assert previous == original
+        assert get_runtime_config() == scoped
+    finally:
+        set_runtime_config(original)
