@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench chaos docs-check
+.PHONY: test bench chaos audit docs-check
 
 test:
 	$(PYTHON) -m pytest tests/ -q
@@ -14,6 +14,13 @@ bench:
 # fault model and guarantees: docs/RESILIENCE.md.
 chaos:
 	$(PYTHON) -m pytest tests/ -m chaos -q
+
+# Seeded differential-testing / invariant-audit harness, then the
+# mutant self-test (the harness must catch every known injected bug).
+# Invariants and architecture: docs/CORRECTNESS.md.
+audit:
+	$(PYTHON) -m repro audit --seed 0 --trials 50 --shrink
+	$(PYTHON) -m repro audit --self-test
 
 # Verify docs/OBSERVABILITY.md matches the declared telemetry catalog,
 # that every declared name has a live instrumentation site, and that no

@@ -1,0 +1,42 @@
+"""Differential-testing and invariant-audit harness.
+
+One master seed drives everything: a generator draws random execution
+plans, contact graphs, fault schedules, and runtime configurations; an
+oracle runner executes each trial through the encrypted engine (across
+backends and worker counts) and the plaintext reference; and a checker
+library asserts the protocol invariants of ``docs/CORRECTNESS.md`` —
+encrypted-vs-plaintext coefficient equality (degraded under faults),
+privacy-budget conservation, static-vs-empirical sensitivity, BGV noise
+soundness, Shamir/VSR reconstruction, and mixnet delivery/complaint
+consistency.
+
+Failures shrink to a minimal reproducer and dump a replay bundle so any
+failure is one CLI command to reproduce::
+
+    python -m repro audit --seed 7 --trials 50 --shrink
+    python -m repro audit --replay audit-failure.json
+    python -m repro audit --self-test   # inject mutants, verify caught
+"""
+
+from repro.audit.cases import GraphSpec, TrialCase
+from repro.audit.checks import CheckResult
+from repro.audit.generator import generate_case
+from repro.audit.runner import (
+    AuditReport,
+    TrialOutcome,
+    run_audit,
+    run_self_test,
+    run_single_case,
+)
+
+__all__ = [
+    "AuditReport",
+    "CheckResult",
+    "GraphSpec",
+    "TrialCase",
+    "TrialOutcome",
+    "generate_case",
+    "run_audit",
+    "run_self_test",
+    "run_single_case",
+]

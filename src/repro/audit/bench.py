@@ -1,0 +1,65 @@
+"""Shared cryptographic fixtures for audit trials.
+
+Key generation dominates trial cost, and every invariant the harness
+checks is a property of *queries*, not of key material — so one bench
+(BGV keys, relinearization keys, the Groth16 setup, and a genesis-shared
+committee) is built once per process and reused across all trials.  The
+genesis secret is kept, exactly as :class:`repro.core.system.MyceliumSystem`
+keeps it, to serve as the decryption oracle the invariants compare
+against.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.core import committee as committee_mod
+from repro.crypto import bgv, zksnark
+from repro.engine.zkcircuits import build_circuits
+from repro.params import TEST, BGVProfile
+
+#: Deferred relinearization leaves a device output at degree up to its
+#: neighborhood size; the largest plan the generator draws is two hops at
+#: degree bound 3 (1 + 3 + 9 = 13 vertices).  Cover it with margin.
+RELIN_POWER = 16
+
+#: One fixed seed for the bench: trials must be a function of the *case*
+#: seed alone, so the key material is pinned rather than drawn per run.
+BENCH_SEED = 0xA0D17
+
+
+@dataclass(frozen=True)
+class AuditBench:
+    """Process-wide key material for audit trials."""
+
+    profile: BGVProfile
+    secret: bgv.SecretKey
+    public: bgv.PublicKey
+    relin_keys: bgv.RelinKeySet
+    zk: zksnark.Groth16System
+    committee: committee_mod.Committee
+
+    @property
+    def shamir_field(self) -> int:
+        """The prime field the committee's key shares live in."""
+        return self.committee.group.order
+
+
+@lru_cache(maxsize=1)
+def get_bench() -> AuditBench:
+    """Build (once) the shared bench."""
+    rng = random.Random(BENCH_SEED)
+    secret, public = bgv.keygen(TEST, rng)
+    relin_keys = bgv.make_relin_keys(secret, RELIN_POWER, rng)
+    zk = zksnark.Groth16System.setup(build_circuits(), rng)
+    committee = committee_mod.genesis_share_key(secret, [0, 1, 2], 2, rng)
+    return AuditBench(
+        profile=TEST,
+        secret=secret,
+        public=public,
+        relin_keys=relin_keys,
+        zk=zk,
+        committee=committee,
+    )

@@ -1,0 +1,47 @@
+"""Check results and small assertion helpers.
+
+Every invariant a trial asserts becomes one :class:`CheckResult` — a
+named pass/fail with enough detail to read the failure without
+re-running anything.  Trials never raise on a failed invariant; they
+return the full check list so one broken invariant doesn't mask others.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """One named invariant assertion."""
+
+    name: str
+    passed: bool
+    detail: str = ""
+
+    def __str__(self) -> str:
+        mark = "ok" if self.passed else "FAIL"
+        suffix = f" ({self.detail})" if self.detail else ""
+        return f"[{mark}] {self.name}{suffix}"
+
+
+def check(name: str, passed: bool, detail: str = "") -> CheckResult:
+    """Record an invariant; keep ``detail`` even on success so passing
+    runs are auditable too."""
+    return CheckResult(name=name, passed=bool(passed), detail=detail)
+
+
+def check_equal(name: str, got, expected) -> CheckResult:
+    passed = got == expected
+    detail = "" if passed else f"got {got!r}, expected {expected!r}"
+    return CheckResult(name=name, passed=passed, detail=detail)
+
+
+def check_le(name: str, lhs: float, rhs: float, tol: float = 0.0) -> CheckResult:
+    passed = lhs <= rhs + tol
+    detail = "" if passed else f"{lhs!r} > {rhs!r} (tol {tol!r})"
+    return CheckResult(name=name, passed=passed, detail=detail)
+
+
+def failed(results: list[CheckResult]) -> list[CheckResult]:
+    return [r for r in results if not r.passed]

@@ -1,0 +1,194 @@
+"""Draw random trial cases from one master seed.
+
+``generate_case(master_seed, index)`` is a pure function: every random
+choice comes from an RNG derived from ``(master_seed, "case", index)``
+via :func:`repro.runtime.derive_rng`, so any trial can be regenerated
+from the two integers alone — the property the replay bundle and the
+shrinker both rely on.
+
+The trial-kind schedule is a fixed function of the index so a run of N
+trials covers every invariant family at a predictable ratio (mixnet
+trials build a full onion-routing world and are the most expensive, so
+they get the smallest share).
+"""
+
+from __future__ import annotations
+
+import random
+from functools import lru_cache
+
+from repro.audit.cases import GraphSpec, TrialCase
+from repro.engine.malicious import Behavior
+from repro.params import TEST, SystemParameters
+from repro.query.randgen import random_query
+from repro.query.schema import ColumnGroup, Schema, scaled_schema
+from repro.runtime import derive_rng
+from repro.runtime.backends import available_backends
+from repro.workloads.graphgen import ContactGraph
+
+#: Degree bound for generated graphs/plans: 3 keeps two-hop plans (d^2=9
+#: multiplications) inside the TEST profile's noise budget.
+DEGREE_BOUND = 3
+
+#: Behaviours the generator draws from — everything except LIE_IN_RANGE,
+#: which is undetectable by design and has no exact oracle (§4.7).
+FAULT_BEHAVIORS = (
+    Behavior.DROP_MESSAGE,
+    Behavior.FORGED_PROOF,
+    Behavior.OVERSIZED_EXPONENT,
+    Behavior.MULTI_COEFFICIENT,
+    Behavior.LARGE_COEFFICIENT,
+    Behavior.BAD_AGGREGATION,
+)
+
+
+def audit_params() -> SystemParameters:
+    """The compilation parameters every generated plan uses."""
+    return SystemParameters(degree_bound=DEGREE_BOUND)
+
+
+def audit_schema() -> Schema:
+    """Domain-reduced schema so SUM queries fit the TEST ring."""
+    return scaled_schema(10, 5)
+
+
+@lru_cache(maxsize=1)
+def _backends() -> tuple[str, ...]:
+    return tuple(available_backends())
+
+
+def _random_attrs(
+    rng: random.Random, schema: Schema, group: ColumnGroup
+) -> dict[str, int]:
+    attrs = {}
+    for name in schema.column_names():
+        try:
+            spec = schema.lookup(group, name)
+        except Exception:
+            continue
+        attrs[name] = rng.randint(spec.low, spec.high)
+    return attrs
+
+
+def random_graph(rng: random.Random, schema: Schema | None = None) -> GraphSpec:
+    """A small random contact graph with schema-conformant attributes."""
+    schema = schema if schema is not None else audit_schema()
+    num_vertices = rng.randint(2, 8)
+    graph = ContactGraph(degree_bound=DEGREE_BOUND)
+    for _ in range(num_vertices):
+        graph.add_vertex(**_random_attrs(rng, schema, ColumnGroup.SELF))
+    pairs = [
+        (u, v)
+        for u in range(num_vertices)
+        for v in range(u + 1, num_vertices)
+    ]
+    rng.shuffle(pairs)
+    target = rng.randint(max(1, num_vertices - 1), len(pairs))
+    added = 0
+    for u, v in pairs:
+        if added >= target:
+            break
+        if graph.add_edge(u, v, **_random_attrs(rng, schema, ColumnGroup.EDGE)):
+            added += 1
+    return GraphSpec.from_graph(graph)
+
+
+def _random_faults(
+    rng: random.Random, num_vertices: int
+) -> tuple[tuple[int, ...], dict[int, str]]:
+    """Offline devices plus Byzantine behaviour assignments."""
+    if rng.random() >= 0.6:
+        return (), {}
+    offline = tuple(
+        v for v in range(num_vertices) if rng.random() < 0.15
+    )
+    behaviors = {
+        v: rng.choice(FAULT_BEHAVIORS).value
+        for v in range(num_vertices)
+        if v not in offline and rng.random() < 0.2
+    }
+    return offline, behaviors
+
+
+def _kind_for_index(index: int) -> str:
+    if index % 12 == 11:
+        return "mixnet"
+    if index % 4 == 1:
+        return "budget"
+    if index % 4 == 3:
+        return "sensitivity" if index % 8 == 3 else "shamir"
+    return "equivalence"
+
+
+def generate_case(master_seed: int, index: int) -> TrialCase:
+    """Deterministically draw trial ``index`` of a run seeded with
+    ``master_seed``."""
+    rng = derive_rng(master_seed, "case", index)
+    kind = _kind_for_index(index)
+    seed = rng.getrandbits(48)
+
+    if kind == "budget":
+        total = round(rng.uniform(0.5, 3.0), 3)
+        epsilons = tuple(
+            round(rng.choice([0.01, 0.05, 0.1, 0.25]) * rng.uniform(0.5, 2.0), 6)
+            for _ in range(rng.randint(5, 30))
+        )
+        per_query = round(
+            total * rng.choice([0.02, 0.05, 0.1, 0.5, 1.2]), 6
+        )
+        return TrialCase(
+            kind=kind,
+            seed=seed,
+            index=index,
+            total_epsilon=total,
+            epsilons=epsilons,
+            per_query_epsilon=per_query,
+            delta=1e-6,
+        )
+
+    if kind == "shamir":
+        threshold = rng.randint(2, 3)
+        return TrialCase(
+            kind=kind,
+            seed=seed,
+            index=index,
+            threshold=threshold,
+            num_shares=threshold + rng.randint(1, 2),
+        )
+
+    if kind == "mixnet":
+        return TrialCase(
+            kind=kind,
+            seed=seed,
+            index=index,
+            people=8,
+            failure=round(rng.uniform(0.05, 0.2), 3),
+        )
+
+    params = audit_params()
+    schema = audit_schema()
+    graph = random_graph(rng, schema)
+    text, plan = random_query(
+        rng,
+        params,
+        schema=schema,
+        profile=TEST,
+        ungrouped_only=(kind == "sensitivity"),
+    )
+    offline: tuple[int, ...] = ()
+    behaviors: dict[int, str] = {}
+    if kind == "equivalence" and plan.hops == 1:
+        offline, behaviors = _random_faults(rng, len(graph.vertices))
+    backend = rng.choice(_backends()) if _backends() else "pure"
+    workers = 2 if (kind == "equivalence" and rng.random() < 0.2) else 1
+    return TrialCase(
+        kind=kind,
+        seed=seed,
+        index=index,
+        query=text,
+        graph=graph,
+        offline=offline,
+        behaviors=behaviors,
+        backend=backend,
+        workers=workers,
+    )

@@ -1,0 +1,65 @@
+"""Replay bundles: a failing trial as one JSON file.
+
+A bundle records everything needed to reproduce a failure offline: the
+master seed and trial index that generated the case, the full case, and
+(when the shrinker ran) the minimal reproducer.  ``python -m repro audit
+--replay bundle.json`` re-runs it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.audit.cases import TrialCase
+
+BUNDLE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ReplayBundle:
+    """A serialized failure."""
+
+    master_seed: int
+    trial_index: int
+    case: TrialCase
+    shrunk: TrialCase | None = None
+    failed_checks: tuple[str, ...] = ()
+
+    @property
+    def reproducer(self) -> TrialCase:
+        """The case to re-run: the minimal one when available."""
+        return self.shrunk if self.shrunk is not None else self.case
+
+    def to_dict(self) -> dict:
+        return {
+            "version": BUNDLE_VERSION,
+            "master_seed": self.master_seed,
+            "trial_index": self.trial_index,
+            "case": self.case.to_dict(),
+            "shrunk": self.shrunk.to_dict() if self.shrunk else None,
+            "failed_checks": list(self.failed_checks),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> ReplayBundle:
+        shrunk = data.get("shrunk")
+        return cls(
+            master_seed=int(data["master_seed"]),
+            trial_index=int(data["trial_index"]),
+            case=TrialCase.from_dict(data["case"]),
+            shrunk=TrialCase.from_dict(shrunk) if shrunk else None,
+            failed_checks=tuple(data.get("failed_checks", ())),
+        )
+
+
+def write_bundle(path: str | Path, bundle: ReplayBundle) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(bundle.to_dict(), indent=2) + "\n")
+    return path
+
+
+def load_bundle(path: str | Path) -> ReplayBundle:
+    return ReplayBundle.from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,116 @@
+"""Greedy minimization of failing trial cases.
+
+Given a case and a "does it still fail?" predicate, repeatedly apply the
+first size-reducing transformation that preserves the failure, until no
+transformation applies or the execution budget runs out.  The
+transformations only ever shrink the case's serialized form, so the loop
+terminates; the result is the case a human actually wants to read.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+from dataclasses import replace
+
+from repro import telemetry
+from repro.audit.cases import TrialCase
+
+#: Hard cap on trial executions one shrink may spend.
+MAX_SHRINK_EXECUTIONS = 200
+
+
+def _graph_transformations(case: TrialCase) -> Iterator[TrialCase]:
+    graph = case.graph
+    if graph is None:
+        return
+    if len(graph.vertices) > 2:
+        dropped = len(graph.vertices) - 1
+        yield replace(
+            case,
+            graph=graph.drop_vertex(dropped),
+            offline=tuple(d for d in case.offline if d != dropped),
+            behaviors={
+                d: b for d, b in case.behaviors.items() if d != dropped
+            },
+        )
+    for index in range(len(graph.edges)):
+        yield replace(case, graph=graph.drop_edge(index))
+
+
+def _fault_transformations(case: TrialCase) -> Iterator[TrialCase]:
+    for device in case.behaviors:
+        yield replace(
+            case,
+            behaviors={
+                d: b for d, b in case.behaviors.items() if d != device
+            },
+        )
+    for device in case.offline:
+        yield replace(
+            case,
+            offline=tuple(d for d in case.offline if d != device),
+        )
+
+
+def _runtime_transformations(case: TrialCase) -> Iterator[TrialCase]:
+    if case.workers != 1:
+        yield replace(case, workers=1)
+    if case.backend != "pure":
+        yield replace(case, backend="pure")
+
+
+def _epsilon_transformations(case: TrialCase) -> Iterator[TrialCase]:
+    n = len(case.epsilons)
+    if n > 1:
+        yield replace(case, epsilons=case.epsilons[: n // 2])
+        yield replace(case, epsilons=case.epsilons[n // 2 :])
+    if 1 < n <= 8:
+        for index in range(n):
+            yield replace(
+                case,
+                epsilons=case.epsilons[:index] + case.epsilons[index + 1 :],
+            )
+
+
+def transformations(case: TrialCase) -> Iterator[TrialCase]:
+    """Candidate one-step reductions, most aggressive first."""
+    yield from _graph_transformations(case)
+    yield from _fault_transformations(case)
+    yield from _epsilon_transformations(case)
+    yield from _runtime_transformations(case)
+
+
+def shrink_case(
+    case: TrialCase,
+    is_failing: Callable[[TrialCase], bool],
+    max_executions: int = MAX_SHRINK_EXECUTIONS,
+) -> tuple[TrialCase, int]:
+    """Greedily minimize ``case`` while ``is_failing`` stays true.
+
+    Returns the smallest failing case found and the number of trial
+    executions spent.  ``is_failing(case)`` is assumed true on entry (the
+    caller just observed the failure) and is not re-checked.
+    """
+    executions = 0
+    current = case
+    progress = True
+    while progress and executions < max_executions:
+        progress = False
+        for candidate in transformations(current):
+            if executions >= max_executions:
+                break
+            executions += 1
+            try:
+                failing = is_failing(candidate)
+            except Exception:
+                # A transformation that makes the trial error out in a
+                # *new* way is still a failure worth keeping small, but
+                # we prefer reproducing the original; treat as not
+                # failing and move on.
+                failing = False
+            if failing:
+                current = candidate
+                progress = True
+                break
+    telemetry.count("audit.shrink.executions", executions)
+    return current, executions

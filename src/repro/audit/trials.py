@@ -1,0 +1,614 @@
+"""Trial bodies: run one case through the system and check invariants.
+
+Each trial family targets one slice of the protocol:
+
+* ``equivalence`` — the encrypted pipeline (executor → aggregator →
+  threshold decryption) against the plaintext oracle, including the
+  *degraded* oracle under offline devices and Byzantine behaviours, plus
+  BGV noise soundness on every ciphertext it produces.
+* ``budget`` — privacy-budget conservation, monotonicity, and the
+  advanced-composition admission arithmetic.
+* ``sensitivity`` — the §4.7 static sensitivity bound against the
+  empirically measured L1 influence of one device's data.
+* ``shamir`` — threshold reconstruction, VSR redistribution, and
+  committee threshold decryption against direct decryption.
+* ``mixnet`` — a full onion-routed query under injected faults must
+  either match the degraded oracle or fail with a typed error.
+
+Deliberate style point: cross-module entry points the mutant self-test
+patches (``threshold_decrypt``, ``composed_epsilon``, ``analyze``, …)
+are always called through their module object, never imported as bare
+names, so a patched module attribute is what the trial exercises.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.audit.bench import AuditBench
+from repro.audit.cases import TrialCase
+from repro.audit.checks import CheckResult, check, check_equal, check_le
+from repro.audit.generator import audit_params, audit_schema
+from repro.core import committee as committee_mod
+from repro.core.aggregator import QueryAggregator
+from repro.crypto import bgv, shamir, vsr
+from repro.dp import budget as budget_mod
+from repro.engine import histogram as histogram_mod
+from repro.engine import plaintext as plaintext_mod
+from repro.engine.encrypted import EncryptedExecutor
+from repro.engine.malicious import Behavior
+from repro.errors import MyceliumError, PrivacyBudgetExceeded
+from repro.query import sensitivity as sensitivity_mod
+from repro.query.ast import OutputKind
+from repro.query.compiler import compile_query
+from repro.query.parser import parse
+from repro.query.plans import ExecutionPlan
+from repro.params import TEST
+from repro.query.schema import ColumnGroup
+from repro.runtime import TaskFabric, backends, derive_rng
+
+
+def compile_case_plan(case: TrialCase) -> ExecutionPlan:
+    """Compile a case's query exactly as the generator did."""
+    plan = compile_query(parse(case.query), audit_params(), audit_schema())
+    plan.validate_feasible(TEST)
+    return plan
+
+
+def run_trial(case: TrialCase, bench: AuditBench) -> list[CheckResult]:
+    """Dispatch a case to its trial body; returns every check result."""
+    if case.kind == "equivalence":
+        return _run_equivalence(case, bench)
+    if case.kind == "budget":
+        return _run_budget(case)
+    if case.kind == "sensitivity":
+        return _run_sensitivity(case, bench)
+    if case.kind == "shamir":
+        return _run_shamir(case, bench)
+    if case.kind == "mixnet":
+        return _run_mixnet(case)
+    raise ValueError(f"unknown trial kind {case.kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# Equivalence: encrypted pipeline vs (degraded) plaintext oracle
+# ---------------------------------------------------------------------------
+
+
+def _noise_checks(
+    bench: AuditBench, label: str, ct: bgv.Ciphertext
+) -> list[CheckResult]:
+    """exact <= tagged (estimate soundness); tagged <= capacity when the
+    ciphertext must still decrypt correctly."""
+    exact = bgv.exact_noise_bits(bench.secret, ct)
+    capacity = bgv.noise_capacity_bits(bench.profile)
+    return [
+        check(
+            f"{label}.noise-estimate-sound",
+            exact <= ct.noise_bits,
+            f"measured {exact:.1f} bits, tagged {ct.noise_bits:.1f}",
+        ),
+        check(
+            f"{label}.noise-within-capacity",
+            ct.noise_bits <= capacity,
+            f"tagged {ct.noise_bits:.1f} bits, capacity {capacity:.1f}",
+        ),
+    ]
+
+
+def _run_equivalence(case: TrialCase, bench: AuditBench) -> list[CheckResult]:
+    results: list[CheckResult] = []
+    plan = compile_case_plan(case)
+    graph = case.graph.build()
+    behaviors = {d: Behavior(v) for d, v in case.behaviors.items()}
+    expectation = plaintext_mod.expected_under_faults(
+        plan, graph, offline=case.offline, behaviors=behaviors
+    )
+
+    with backends.use_backend(case.backend), TaskFabric(
+        workers=case.workers, chunk_size=2
+    ) as fabric:
+        executor = EncryptedExecutor(
+            plan, bench.public, bench.zk, random.Random(case.seed), fabric=fabric
+        )
+        submissions = executor.run(
+            graph, behaviors=behaviors, offline=set(case.offline)
+        )
+        aggregator = QueryAggregator(
+            zk=bench.zk, relin_keys=bench.relin_keys, fabric=fabric
+        )
+        aggregation = aggregator.aggregate(submissions)
+
+    results.append(
+        check_equal(
+            "equivalence.rejected-origins",
+            frozenset(aggregation.rejected),
+            expectation.rejected_origins,
+        )
+    )
+    expected_accepted = frozenset(
+        range(graph.num_vertices)
+    ) - frozenset(case.offline) - expectation.rejected_origins
+    results.append(
+        check_equal(
+            "equivalence.accepted-origins",
+            frozenset(aggregation.accepted),
+            expected_accepted,
+        )
+    )
+    results.append(
+        check_equal(
+            "equivalence.defaulted-pairs",
+            executor.stats.defaulted_members,
+            expectation.defaulted_pairs,
+        )
+    )
+    neighborhood = sensitivity_mod.influenced_local_queries(
+        plan.hops, plan.degree_bound
+    )
+    results.append(
+        check_le(
+            "equivalence.multiplication-bound",
+            executor.stats.multiplications,
+            graph.num_vertices * neighborhood,
+        )
+    )
+    # Device outputs are pre-relinearization (arbitrary degree): only the
+    # estimate-soundness half applies; the capacity bound is an
+    # aggregate-level property.  Report one summary check.
+    unsound = [
+        s.origin
+        for s in submissions
+        if bgv.exact_noise_bits(bench.secret, s.ciphertext)
+        > s.ciphertext.noise_bits
+    ]
+    results.append(
+        check(
+            "equivalence.submission-noise-estimates-sound",
+            not unsound,
+            f"origins with under-tagged noise: {unsound}" if unsound else "",
+        )
+    )
+
+    if aggregation.ciphertext is None:
+        results.append(
+            check(
+                "equivalence.empty-aggregate-means-zero",
+                not any(expectation.coefficients),
+                f"expected coefficients {expectation.coefficients}",
+            )
+        )
+        return results
+
+    results.extend(
+        _noise_checks(bench, "equivalence.aggregate", aggregation.ciphertext)
+    )
+    plain = committee_mod.threshold_decrypt(
+        bench.committee,
+        aggregation.ciphertext,
+        derive_rng(case.seed, "decrypt"),
+    )
+    decrypted = tuple(
+        plain.coeffs[i] for i in range(plan.layout.total_coefficients)
+    )
+    results.append(
+        check_equal(
+            "equivalence.coefficients", decrypted, expectation.coefficients
+        )
+    )
+    direct = bgv.decrypt(bench.secret, aggregation.ciphertext)
+    results.append(
+        check_equal(
+            "equivalence.threshold-matches-direct",
+            tuple(plain.coeffs),
+            tuple(direct.coeffs),
+        )
+    )
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Budget: conservation, monotonicity, admission arithmetic
+# ---------------------------------------------------------------------------
+
+
+def _run_budget(case: TrialCase) -> list[CheckResult]:
+    results: list[CheckResult] = []
+    budget = budget_mod.PrivacyBudget(case.total_epsilon)
+    ledger: list[float] = []
+    previous_remaining = budget.remaining
+    conserved = True
+    monotone = True
+    rejected_cleanly = True
+    for epsilon in case.epsilons:
+        if budget.can_afford(epsilon):
+            budget.charge(epsilon)
+            ledger.append(epsilon)
+        else:
+            try:
+                budget.charge(epsilon)
+                rejected_cleanly = False
+            except PrivacyBudgetExceeded:
+                pass
+        if budget.spent != math.fsum(ledger):
+            conserved = False
+        if math.fsum(ledger) > case.total_epsilon:
+            conserved = False
+        if budget.remaining > previous_remaining:
+            monotone = False
+        previous_remaining = budget.remaining
+    results.append(
+        check(
+            "budget.spent-equals-ledger",
+            conserved,
+            f"spent {budget.spent!r} after {len(ledger)} charges of "
+            f"{case.total_epsilon}",
+        )
+    )
+    results.append(check("budget.remaining-monotone", monotone))
+    results.append(
+        check(
+            "budget.charge-raises-when-unaffordable",
+            rejected_cleanly,
+        )
+    )
+    if ledger:
+        results.append(
+            check(
+                "budget.no-overcharge-admission",
+                not budget.can_afford(case.total_epsilon),
+                "a full-budget charge on a non-empty ledger must be refused",
+            )
+        )
+
+    # Advanced composition: the closed-form count must equal what the
+    # accountant actually admits, and the composed bound must be monotone
+    # and never worse than sequential composition.
+    adv = budget_mod.AdvancedCompositionBudget(
+        case.total_epsilon, case.per_query_epsilon, case.delta
+    )
+    admitted = 0
+    while adv.can_afford_next() and admitted <= 100_000:
+        adv.charge()
+        admitted += 1
+    supported = budget_mod.queries_supported(
+        case.total_epsilon, case.per_query_epsilon, case.delta
+    )
+    results.append(
+        check_equal("budget.supported-matches-admission", supported, admitted)
+    )
+    composed = [
+        budget_mod.composed_epsilon(case.per_query_epsilon, k, case.delta)
+        for k in range(0, 13)
+    ]
+    results.append(
+        check(
+            "budget.composed-monotone",
+            all(a <= b + 1e-12 for a, b in zip(composed, composed[1:])),
+            f"composed sequence {composed}",
+        )
+    )
+    results.append(
+        check(
+            "budget.composed-not-worse-than-sequential",
+            all(
+                composed[k] <= k * case.per_query_epsilon + 1e-12
+                for k in range(len(composed))
+            ),
+        )
+    )
+    # A budget smaller than one query's composed epsilon supports zero
+    # queries — a fixed probe for the classic off-by-one.
+    results.append(
+        check_equal(
+            "budget.zero-queries-when-nothing-fits",
+            budget_mod.queries_supported(0.5, 1.0, 1e-6),
+            0,
+        )
+    )
+    # A budget filled to exactly its limit must refuse even epsilon-dust:
+    # this is the boundary an absolute admission slack silently crosses.
+    probe = budget_mod.PrivacyBudget(1.0)
+    for _ in range(4):
+        probe.charge(0.25)
+    results.append(
+        check(
+            "budget.exhausted-refuses-epsilon-dust",
+            not probe.can_afford(1e-7),
+            "an exactly-full budget admitted a 1e-7 charge",
+        )
+    )
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Sensitivity: static bound vs measured L1 influence
+# ---------------------------------------------------------------------------
+
+
+def _released_values(plan: ExecutionPlan, coefficients: tuple[int, ...]) -> list[float]:
+    if plan.output is OutputKind.HISTO:
+        groups = histogram_mod.decode_histogram(list(coefficients), plan)
+        return [float(c) for g in groups for c in g.counts]
+    return [float(v) for v in histogram_mod.decode_gsum(list(coefficients), plan)]
+
+
+def _perturb_device(graph, device: int, rng: random.Random) -> None:
+    schema = audit_schema()
+    for name in schema.column_names():
+        try:
+            spec = schema.lookup(ColumnGroup.SELF, name)
+        except MyceliumError:
+            continue
+        graph.vertex_attrs[device][name] = rng.randint(spec.low, spec.high)
+    for neighbor in graph.neighbors(device):
+        record = graph.edge(device, neighbor)
+        for name in schema.column_names():
+            try:
+                spec = schema.lookup(ColumnGroup.EDGE, name)
+            except MyceliumError:
+                continue
+            value = rng.randint(spec.low, spec.high)
+            record[name] = value
+            graph.edge(neighbor, device)[name] = value
+
+
+def _run_sensitivity(case: TrialCase, bench: AuditBench) -> list[CheckResult]:
+    results: list[CheckResult] = []
+    plan = compile_case_plan(case)
+    report = sensitivity_mod.analyze(plan)
+
+    # Independent recomputation of the §4.7 formula.
+    influenced = 1 + sum(
+        plan.degree_bound**i for i in range(1, plan.hops + 1)
+    )
+    if plan.output is OutputKind.HISTO:
+        per_query = 2.0
+    else:
+        low, high = plan.clip
+        per_query = float(high - low) or 1.0
+    results.append(
+        check_equal(
+            "sensitivity.static-formula",
+            (report.influenced_queries, report.sensitivity),
+            (influenced, per_query * influenced),
+        )
+    )
+
+    base = plaintext_mod.run_plaintext(plan, case.graph.build())
+    base_values = _released_values(plan, base.coefficients)
+    rng = random.Random(case.seed)
+    worst = 0.0
+    for _ in range(3):
+        perturbed_graph = case.graph.build()
+        device = rng.randrange(perturbed_graph.num_vertices)
+        _perturb_device(perturbed_graph, device, rng)
+        other = plaintext_mod.run_plaintext(plan, perturbed_graph)
+        other_values = _released_values(plan, other.coefficients)
+        l1 = sum(
+            abs(a - b) for a, b in zip(base_values, other_values)
+        )
+        worst = max(worst, l1)
+    results.append(
+        check_le(
+            "sensitivity.static-bounds-empirical",
+            worst,
+            report.sensitivity,
+            tol=1e-9,
+        )
+    )
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Shamir / VSR / threshold decryption
+# ---------------------------------------------------------------------------
+
+
+def _run_shamir(case: TrialCase, bench: AuditBench) -> list[CheckResult]:
+    results: list[CheckResult] = []
+    field = bench.shamir_field
+    rng = random.Random(case.seed)
+    secret = rng.randrange(field)
+    t, n = case.threshold, case.num_shares
+    shares = shamir.share_secret(secret, t, n, field, rng)
+
+    reconstructed_ok = all(
+        shamir.reconstruct_secret(rng.sample(shares, t), field) == secret
+        for _ in range(3)
+    )
+    results.append(
+        check("shamir.threshold-reconstructs", reconstructed_ok)
+    )
+    below = shamir.reconstruct_secret(rng.sample(shares, t - 1), field)
+    results.append(
+        check(
+            "shamir.below-threshold-fails",
+            below != secret,
+            "t-1 shares interpolated the secret exactly",
+        )
+    )
+    vector = [rng.randrange(field) for _ in range(4)]
+    vector_shares = shamir.share_vector(vector, t, n, field, rng)
+    results.append(
+        check_equal(
+            "shamir.vector-roundtrip",
+            shamir.reconstruct_vector(rng.sample(vector_shares, t), field),
+            vector,
+        )
+    )
+
+    group = bench.committee.group
+    dealt = vsr.deal_initial(secret, t, n, group, rng)
+    new_n = n + 1
+    new_shares, _ = vsr.redistribute(
+        dealt.shares,
+        dealt.commitment,
+        old_threshold=t,
+        new_threshold=t,
+        new_size=new_n,
+        group=group,
+        rng=rng,
+    )
+    results.append(
+        check_equal(
+            "shamir.vsr-preserves-secret",
+            shamir.reconstruct_secret(new_shares[:t], field),
+            secret,
+        )
+    )
+    if n > t:
+        corrupt_shares, _ = vsr.redistribute(
+            dealt.shares,
+            dealt.commitment,
+            old_threshold=t,
+            new_threshold=t,
+            new_size=new_n,
+            group=group,
+            rng=rng,
+            corrupt_dealers={dealt.shares[0].index},
+        )
+        results.append(
+            check_equal(
+                "shamir.vsr-survives-corrupt-dealer",
+                shamir.reconstruct_secret(corrupt_shares[:t], field),
+                secret,
+            )
+        )
+
+    # Committee threshold decryption must agree with direct decryption.
+    exponent = rng.randrange(bench.profile.n)
+    ciphertext = bgv.encrypt_monomial(bench.public, exponent, rng)
+    plain = committee_mod.threshold_decrypt(
+        bench.committee, ciphertext, derive_rng(case.seed, "decrypt")
+    )
+    results.append(
+        check_equal(
+            "shamir.threshold-decrypt-matches-direct",
+            tuple(plain.coeffs),
+            tuple(bgv.decrypt(bench.secret, ciphertext).coeffs),
+        )
+    )
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Mixnet: onion-routed query under faults
+# ---------------------------------------------------------------------------
+
+
+def _run_mixnet(case: TrialCase) -> list[CheckResult]:
+    from repro.core.system import MyceliumSystem
+    from repro.faults import FaultInjector, FaultPlan
+    from repro.mixnet.network import MixnetWorld
+    from repro.params import SystemParameters
+    from repro.query.schema import scaled_schema
+    from repro.workloads.epidemic import run_epidemic
+    from repro.workloads.graphgen import generate_household_graph
+
+    results: list[CheckResult] = []
+    rng = random.Random(case.seed)
+    graph = generate_household_graph(
+        case.people, degree_bound=2, rng=rng, external_contacts=1
+    )
+    run_epidemic(graph, rng)
+    for u in range(graph.num_vertices):
+        for v in graph.neighbors(u):
+            edge = graph.edge(u, v)
+            edge["duration"] = min(edge["duration"], 20)
+            edge["contacts"] = min(edge["contacts"], 8)
+    params = SystemParameters(
+        num_devices=graph.num_vertices,
+        hops=2,
+        replicas=2,
+        forwarder_fraction=0.45,
+        degree_bound=2,
+        pseudonyms_per_device=2,
+        churn_fraction=min(0.9, case.failure),
+    )
+    world = MixnetWorld(
+        params,
+        num_devices=graph.num_vertices,
+        rng=rng,
+        rsa_bits=512,
+        pseudonyms_per_device=2,
+    )
+    system = MyceliumSystem.setup(
+        num_devices=graph.num_vertices,
+        rng=rng,
+        params=params,
+        schema=scaled_schema(),
+        committee_size=3,
+        committee_threshold=2,
+        total_epsilon=10.0,
+    )
+    fault_start = params.telescoping_crounds + 4
+    fault_plan = FaultPlan.generate(
+        seed=case.seed,
+        num_devices=graph.num_vertices,
+        churn_fraction=case.failure / 2,
+        churn_window_rounds=4,
+        horizon_rounds=96,
+        start_round=fault_start,
+        wire_drop_rate=case.failure / 2,
+        wire_delay_rate=case.failure / 4,
+        wire_corrupt_rate=case.failure / 4,
+        wire_fault_start=fault_start,
+    )
+    FaultInjector(fault_plan).attach(world)
+    query = "SELECT HISTO(COUNT(*)) FROM neigh(1) WHERE dest.inf"
+    try:
+        result = system.run_query(
+            query, graph, epsilon=1.0, noiseless=True, world=world
+        )
+    except MyceliumError as exc:
+        results.append(
+            check(
+                "mixnet.typed-failure",
+                True,
+                f"{type(exc).__name__}: {exc}",
+            )
+        )
+        return results
+
+    report = result.metadata.recovery
+    plan = system.compile(query)
+    expected, _ = plaintext_mod.aggregate_coefficients(
+        plan,
+        graph,
+        skipped_origins=report.skipped_origins,
+        defaulted=report.defaulted_by_origin,
+    )
+    expected_counts = [
+        [int(c) for c in g.counts]
+        for g in histogram_mod.decode_histogram(expected, plan)
+    ]
+    got_counts = [[int(round(c)) for c in g.counts] for g in result.groups]
+    results.append(
+        check_equal(
+            "mixnet.matches-degraded-oracle", got_counts, expected_counts
+        )
+    )
+    results.append(
+        check_equal(
+            "mixnet.complaint-count-consistent",
+            result.metadata.complaints,
+            len(report.complaints),
+        )
+    )
+    results.append(
+        check(
+            "mixnet.decrypt-attempts-positive",
+            report.decrypt_attempts >= 1,
+            f"attempts {report.decrypt_attempts}",
+        )
+    )
+    results.append(
+        check(
+            "mixnet.crounds-bounded",
+            0 < report.crounds <= 96 + fault_start,
+            f"crounds {report.crounds}",
+        )
+    )
+    return results

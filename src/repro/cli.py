@@ -7,13 +7,16 @@
     python -m repro figures
     python -m repro demo
     python -m repro bench --quick
+    python -m repro audit --seed 0 --trials 50 --shrink
 
 ``run`` generates a synthetic epidemic workload, stands up a deployment
 at the TEST ring, and executes the query end to end; ``figures`` prints
 the analytic series behind the paper's evaluation plots; ``demo`` runs a
 query over the real mix network; ``bench`` times the ring-multiplication
 hot path across every available compute backend and a worker sweep (see
-``docs/PERFORMANCE.md``).
+``docs/PERFORMANCE.md``); ``audit`` drives the seeded
+differential-testing and invariant-audit harness (see
+``docs/CORRECTNESS.md``).
 """
 
 from __future__ import annotations
@@ -354,6 +357,42 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if got_counts == expected_counts else 1
 
 
+def cmd_audit(args: argparse.Namespace) -> int:
+    from repro.audit.runner import run_audit, run_self_test
+
+    def log(message: str) -> None:
+        print(message, flush=True)
+
+    if args.self_test:
+        report = run_self_test(log=log)
+        print(report.summary())
+        return 0 if report.passed else 1
+    if args.replay:
+        from repro.audit.replay import load_bundle
+        from repro.audit.runner import run_single_case
+
+        bundle = load_bundle(args.replay)
+        case = bundle.reproducer
+        print(
+            f"replaying {args.replay}: seed={bundle.master_seed} "
+            f"trial={bundle.trial_index} kind={case.kind}"
+            + (" (shrunk reproducer)" if bundle.shrunk is not None else "")
+        )
+        outcome = run_single_case(case)
+        for check in outcome.checks:
+            print(f"  {check}")
+        return 0 if outcome.passed else 1
+    report = run_audit(
+        args.seed,
+        args.trials,
+        shrink=args.shrink,
+        bundle_dir=args.bundle_dir,
+        log=log,
+    )
+    print(report.summary())
+    return 0 if report.passed else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -427,6 +466,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", help="write the telemetry JSONL trace to this path"
     )
     chaos.set_defaults(fn=cmd_chaos)
+
+    audit = sub.add_parser(
+        "audit",
+        help="seeded differential-testing / invariant-audit harness "
+        "(encrypted vs plaintext oracle, budget, sensitivity, Shamir, "
+        "mixnet invariants)",
+    )
+    audit.add_argument("--seed", type=int, default=0)
+    audit.add_argument("--trials", type=int, default=50)
+    audit.add_argument(
+        "--shrink", action="store_true",
+        help="minimize any failing case to a small reproducer",
+    )
+    audit.add_argument(
+        "--bundle-dir", default=None,
+        help="write a JSON replay bundle per failure into this directory",
+    )
+    audit.add_argument(
+        "--replay", default=None, metavar="BUNDLE",
+        help="re-run the reproducer from a replay bundle and exit",
+    )
+    audit.add_argument(
+        "--self-test", action="store_true",
+        help="inject the known mutants and verify the harness catches "
+        "every one",
+    )
+    audit.set_defaults(fn=cmd_audit)
     return parser
 
 

@@ -20,10 +20,15 @@ from repro.telemetry.runtime import count as _count, set_gauge as _set_gauge
 
 @dataclass
 class PrivacyBudget:
-    """A sequential-composition budget accountant."""
+    """A sequential-composition budget accountant.
+
+    ``history`` is the ground truth; ``spent`` is always recomputed from
+    it with :func:`math.fsum` so admission decisions cannot drift away
+    from the recorded charges.  The invariant audited by
+    ``repro.audit`` is exact: ``fsum(history) <= total_epsilon``.
+    """
 
     total_epsilon: float
-    spent: float = 0.0
     history: list[tuple[str, float]] = field(default_factory=list)
 
     def __post_init__(self) -> None:
@@ -31,11 +36,25 @@ class PrivacyBudget:
             raise ParameterError("budget must be positive")
 
     @property
+    def spent(self) -> float:
+        return math.fsum(epsilon for _, epsilon in self.history)
+
+    @property
     def remaining(self) -> float:
         return max(0.0, self.total_epsilon - self.spent)
 
     def can_afford(self, epsilon: float) -> bool:
-        return epsilon <= self.remaining + 1e-12
+        """Exact admission test: would the charge keep fsum(history)
+        within ``total_epsilon``?  A running ``spent += eps`` accumulator
+        with an absolute slack admitted queries past the budget after
+        many small charges; summing the prospective history with fsum
+        makes the decision independent of charge order and count."""
+        return (
+            math.fsum(
+                [epsilon, *(amount for _, amount in self.history)]
+            )
+            <= self.total_epsilon
+        )
 
     def charge(self, epsilon: float, label: str = "") -> None:
         """Deduct a query's epsilon; raises if the budget is exhausted."""
@@ -46,7 +65,6 @@ class PrivacyBudget:
                 f"query needs epsilon={epsilon} but only "
                 f"{self.remaining:.4f} of {self.total_epsilon} remains"
             )
-        self.spent += epsilon
         self.history.append((label, epsilon))
         _count("dp.queries.total")
         _set_gauge("dp.budget.epsilon_spent", self.spent)
@@ -77,11 +95,7 @@ class AdvancedCompositionBudget:
             raise ParameterError("delta must be in (0, 1)")
 
     def composed_epsilon(self, num_queries: int) -> float:
-        if num_queries == 0:
-            return 0.0
-        if num_queries == 1:
-            return self.per_query_epsilon
-        return advanced_composition_epsilon(
+        return composed_epsilon(
             self.per_query_epsilon, num_queries, self.delta
         )
 
@@ -135,17 +149,38 @@ def advanced_composition_epsilon(
     )
 
 
+def composed_epsilon(
+    per_query_epsilon: float, num_queries: int, delta: float
+) -> float:
+    """Total privacy loss of ``num_queries`` eps-DP queries: the better
+    of sequential composition (``k * eps``, always valid) and advanced
+    composition (Thm 3.20).  Taking the min at *every* k makes the bound
+    monotone in k and never worse than sequential — the raw Thm 3.20
+    expression exceeds ``k * eps`` for large per-query epsilon, which
+    previously made ``composed_epsilon(2)`` jump past twice
+    ``composed_epsilon(1)``."""
+    if num_queries == 0:
+        return 0.0
+    return min(
+        num_queries * per_query_epsilon,
+        advanced_composition_epsilon(per_query_epsilon, num_queries, delta),
+    )
+
+
 def queries_supported(
     total_epsilon: float, per_query_epsilon: float, delta: float | None = None
 ) -> int:
     """How many queries a budget supports — sequentially, or under
-    advanced composition when a delta is given."""
+    advanced composition when a delta is given.
+
+    Returns 0 when not even one query fits (the composed epsilon of a
+    single query already exceeds the budget); the old loop started at
+    ``k = 1`` without that check and reported one phantom query.
+    """
     if delta is None:
         return int(total_epsilon / per_query_epsilon)
-    k = 1
-    while advanced_composition_epsilon(per_query_epsilon, k + 1, delta) <= (
-        total_epsilon
-    ):
+    k = 0
+    while composed_epsilon(per_query_epsilon, k + 1, delta) <= total_epsilon:
         k += 1
         if k > 10_000_000:
             break

@@ -9,13 +9,36 @@ engine, the noise-free "ground truth" in examples, and the §7 baseline
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.engine import histogram, semantics
 from repro.engine.histogram import GroupHistogram
+from repro.engine.malicious import Behavior
+from repro.errors import UnsupportedQueryError
 from repro.query.ast import OutputKind
 from repro.query.plans import ExecutionPlan
 from repro.workloads.graphgen import ContactGraph
+
+#: Behaviours that break a *leaf* contribution: the affected neighbor's
+#: term defaults to Enc(x^0) at every origin that selected it, either
+#: because nothing arrived (DROP_MESSAGE) or because the origin-side
+#: proof check filtered the response (§4.6).
+LEAF_BREAKING_BEHAVIORS = frozenset(
+    {
+        Behavior.DROP_MESSAGE,
+        Behavior.FORGED_PROOF,
+        Behavior.OVERSIZED_EXPONENT,
+        Behavior.MULTI_COEFFICIENT,
+        Behavior.LARGE_COEFFICIENT,
+    }
+)
+
+#: Behaviours that get a device's *own submission* rejected by the
+#: aggregator: its aggregation proof is forged, so the whole origin
+#: contribution is discarded (§4.6).
+ORIGIN_REJECTING_BEHAVIORS = frozenset(
+    {Behavior.FORGED_PROOF, Behavior.BAD_AGGREGATION}
+)
 
 
 @dataclass(frozen=True)
@@ -69,6 +92,92 @@ def aggregate_coefficients(
         for exponent in exponents:
             coefficients[exponent] += 1
     return coefficients, contributing
+
+
+@dataclass(frozen=True)
+class DegradedExpectation:
+    """The exact outcome a faulted-but-recovered run must produce.
+
+    ``coefficients`` is the degraded ground truth;
+    ``rejected_origins`` are the online origins whose submission the
+    aggregator must discard; ``skipped_origins`` additionally includes
+    offline origins (which never submit); ``defaulted`` maps every
+    online origin to the selected neighbors whose term must default to
+    ``Enc(x^0)`` (it covers rejected origins too, since those still run
+    their collection phase and count defaults in their stats).
+    """
+
+    coefficients: tuple[int, ...]
+    skipped_origins: frozenset[int]
+    rejected_origins: frozenset[int]
+    defaulted: dict[int, tuple[int, ...]] = field(default_factory=dict)
+
+    @property
+    def defaulted_pairs(self) -> int:
+        return sum(len(v) for v in self.defaulted.values())
+
+
+def expected_under_faults(
+    plan: ExecutionPlan,
+    graph: ContactGraph,
+    offline: frozenset[int] | set[int] | tuple[int, ...] = (),
+    behaviors: dict[int, Behavior] | None = None,
+) -> DegradedExpectation:
+    """Predict the degraded result of an encrypted run under faults.
+
+    This is the audit harness's oracle: given which devices are offline
+    and which are Byzantine, it derives — from the protocol rules alone,
+    without running any cryptography — which origins end up skipped,
+    which neighbor terms default, and therefore which coefficient vector
+    the decrypted aggregate must equal.
+
+    ``Behavior.LIE_IN_RANGE`` is rejected here: a lying-in-range device
+    is *undetectable by design* (§4.7), so no exact oracle exists for it.
+    Multi-hop plans only support the fault-free case (mid-tree churn is
+    not modelled by ``_local_exponents_multihop``).
+    """
+    offline = frozenset(offline)
+    behaviors = behaviors or {}
+    if any(b is Behavior.LIE_IN_RANGE for b in behaviors.values()):
+        raise UnsupportedQueryError(
+            "lie-in-range is undetectable by design; no exact oracle exists"
+        )
+    if plan.hops > 1 and (offline or behaviors):
+        raise UnsupportedQueryError(
+            "the degraded oracle models faults for one-hop plans only"
+        )
+    rejected = frozenset(
+        device
+        for device, behavior in behaviors.items()
+        if behavior in ORIGIN_REJECTING_BEHAVIORS and device not in offline
+    )
+    skipped = offline | rejected
+    broken = {
+        device
+        for device, behavior in behaviors.items()
+        if behavior in LEAF_BREAKING_BEHAVIORS
+    }
+    defaulted: dict[int, tuple[int, ...]] = {}
+    for origin in range(graph.num_vertices):
+        if origin in offline:
+            continue
+        decisions = semantics.origin_decisions(plan, graph, origin)
+        missing = tuple(
+            neighbor
+            for neighbor in decisions.selected_neighbors
+            if neighbor in offline or neighbor in broken
+        )
+        if missing:
+            defaulted[origin] = missing
+    coefficients, _ = aggregate_coefficients(
+        plan, graph, skipped_origins=skipped, defaulted=defaulted
+    )
+    return DegradedExpectation(
+        coefficients=tuple(coefficients),
+        skipped_origins=skipped,
+        rejected_origins=rejected,
+        defaulted=defaulted,
+    )
 
 
 def run_plaintext(plan: ExecutionPlan, graph: ContactGraph) -> PlaintextRun:

@@ -1,0 +1,134 @@
+"""Seeded random query generation for the audit harness.
+
+Draws query texts from the full surface of the grammar — aggregate kind,
+WHERE composition across evaluation sites (self, dest, edge, cross),
+GROUP BY site, CLIP ranges — and compile-checks every candidate against
+the target parameters and schema, so callers only ever see queries that
+parse, compile, and fit the HE profile.  A curated pool of known-good
+shapes guarantees the generator always terminates with a valid query
+even if every random candidate is rejected.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import MyceliumError
+from repro.params import BGVProfile, SystemParameters, TEST
+from repro.query.compiler import compile_query
+from repro.query.parser import parse
+from repro.query.plans import ExecutionPlan
+from repro.query.schema import Schema, scaled_schema
+
+#: Known-good shapes covering every plan feature the engines support:
+#: plain and SUM histograms, cross-group comparison (§4.5 sequences),
+#: self/edge/dest GROUP BY sites, ratio GSUM with CLIP, and multi-hop.
+CURATED_QUERIES = (
+    "SELECT HISTO(COUNT(*)) FROM neigh(1)",
+    "SELECT HISTO(COUNT(*)) FROM neigh(1) WHERE dest.inf",
+    "SELECT HISTO(COUNT(*)) FROM neigh(1) WHERE dest.inf AND self.inf",
+    "SELECT HISTO(SUM(edge.contacts)) FROM neigh(1) WHERE dest.inf",
+    "SELECT HISTO(COUNT(*)) FROM neigh(1) WHERE dest.tInf > self.tInf + 2",
+    "SELECT HISTO(COUNT(*)) FROM neigh(1) WHERE dest.inf GROUP BY edge.setting",
+    "SELECT HISTO(COUNT(*)) FROM neigh(1) GROUP BY stage(self.tInf)",
+    "SELECT GSUM(SUM(dest.inf)/COUNT(*)) FROM neigh(1) WHERE self.inf CLIP [0, 1]",
+    "SELECT HISTO(COUNT(*)) FROM neigh(2) WHERE dest.inf",
+)
+
+#: Queries with no GROUP BY, for trials whose oracle assumes each origin
+#: touches exactly one coefficient block (e.g. empirical sensitivity).
+CURATED_UNGROUPED_QUERIES = tuple(
+    q for q in CURATED_QUERIES if "GROUP BY" not in q
+)
+
+_AGGREGATES = (
+    "HISTO(COUNT(*))",
+    "HISTO(SUM(edge.contacts))",
+    "HISTO(SUM(dest.inf))",
+    "GSUM(SUM(dest.inf)/COUNT(*))",
+    "GSUM(SUM(edge.contacts)/COUNT(*))",
+)
+
+_WHERE_FRAGMENTS = (
+    "dest.inf",
+    "self.inf",
+    "dest.tInf > 3",
+    "self.tInf > 0",
+    "dest.age < 60",
+    "edge.duration > 3",
+    "edge.contacts > 1",
+    "edge.setting = 1",
+    "edge.location = 2",
+    "dest.tInf > self.tInf + 2",
+)
+
+_GROUP_BYS = ("edge.setting", "stage(self.tInf)")
+
+_CLIPS = ("CLIP [0, 1]", "CLIP [0, 2]")
+
+#: Multi-hop plans support plain aggregates over self/dest clauses only.
+_MULTIHOP_FRAGMENTS = (
+    "dest.inf",
+    "self.inf",
+    "dest.tInf > 3",
+    "dest.age < 60",
+)
+
+
+def _candidate(rng: random.Random) -> str:
+    if rng.random() < 0.15:
+        parts = ["SELECT HISTO(COUNT(*)) FROM neigh(2)"]
+        if rng.random() < 0.8:
+            clauses = rng.sample(_MULTIHOP_FRAGMENTS, rng.randint(1, 2))
+            parts.append("WHERE " + " AND ".join(clauses))
+        return " ".join(parts)
+    aggregate = rng.choice(_AGGREGATES)
+    parts = [f"SELECT {aggregate} FROM neigh(1)"]
+    if rng.random() < 0.85:
+        clauses = rng.sample(_WHERE_FRAGMENTS, rng.randint(1, 3))
+        parts.append("WHERE " + " AND ".join(clauses))
+    if rng.random() < 0.35:
+        parts.append("GROUP BY " + rng.choice(_GROUP_BYS))
+    if aggregate.startswith("GSUM"):
+        parts.append(rng.choice(_CLIPS))
+    return " ".join(parts)
+
+
+def random_query(
+    rng: random.Random,
+    params: SystemParameters,
+    schema: Schema | None = None,
+    profile: BGVProfile = TEST,
+    max_attempts: int = 25,
+    ungrouped_only: bool = False,
+) -> tuple[str, ExecutionPlan]:
+    """Draw one random query that compiles and fits ``profile``.
+
+    Candidates that fail to parse, compile, or pass the feasibility
+    check (noise budget, coefficient capacity) are redrawn; after
+    ``max_attempts`` rejections the curated pool is used instead, so the
+    function never fails on a valid configuration.
+    """
+    schema = schema if schema is not None else scaled_schema(10, 5)
+
+    def compiled(text: str) -> ExecutionPlan | None:
+        try:
+            plan = compile_query(parse(text), params, schema)
+            plan.validate_feasible(profile)
+        except MyceliumError:
+            return None
+        return plan
+
+    for _ in range(max_attempts):
+        text = _candidate(rng)
+        if ungrouped_only and "GROUP BY" in text:
+            continue
+        plan = compiled(text)
+        if plan is not None:
+            return text, plan
+    pool = CURATED_UNGROUPED_QUERIES if ungrouped_only else CURATED_QUERIES
+    text = rng.choice(pool)
+    plan = compiled(text)
+    if plan is None:  # pragma: no cover - curated queries always compile
+        raise MyceliumError(f"curated query failed to compile: {text}")
+    return text, plan

@@ -29,7 +29,6 @@ and the caller accounts for them parent-side; see
 
 from __future__ import annotations
 
-import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Sequence
@@ -75,7 +74,7 @@ class TaskFabric:
     @property
     def parallel(self) -> bool:
         """Whether this fabric may run work out-of-process."""
-        return self.workers > 1 and (os.cpu_count() or 1) >= 1
+        return self.workers > 1
 
     def map(
         self,
@@ -107,8 +106,17 @@ class TaskFabric:
                 pool = self._pool(context)
                 futures = [pool.submit(_run_chunk, fn, chunk) for chunk in chunks]
                 results = []
-                for future in futures:
-                    results.extend(future.result())
+                try:
+                    for future in futures:
+                        results.extend(future.result())
+                except BaseException:
+                    # A chunk raised out-of-process.  Cancel whatever has
+                    # not started (no point finishing work the caller
+                    # will never see) and surface the original exception
+                    # unchanged.
+                    for future in futures:
+                        future.cancel()
+                    raise
         telemetry.count("runtime.tasks.total", len(items))
         telemetry.count("runtime.chunks.total", len(chunks))
         telemetry.observe("runtime.map.seconds", time.perf_counter() - started)

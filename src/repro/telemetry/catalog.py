@@ -293,6 +293,28 @@ METRICS: dict[str, MetricSpec] = _specs(
         "dp.queries.total", COUNTER, "queries",
         "queries successfully charged against the budget",
     ),
+    # -- audit harness (repro.audit) ---------------------------------------
+    MetricSpec(
+        "audit.trials.total", COUNTER, "trials",
+        "seeded trials executed by the invariant-audit harness",
+    ),
+    MetricSpec(
+        "audit.checks.total", COUNTER, "checks",
+        "invariant checks asserted across all audit trials",
+    ),
+    MetricSpec(
+        "audit.checks.failed", COUNTER, "checks",
+        "invariant checks that failed (a clean tree keeps this at zero)",
+    ),
+    MetricSpec(
+        "audit.trial.seconds", HISTOGRAM, "seconds",
+        "wall-clock duration of one audit trial",
+        buckets=TIME_BUCKETS,
+    ),
+    MetricSpec(
+        "audit.shrink.executions", COUNTER, "runs",
+        "trial executions spent minimizing failing cases to reproducers",
+    ),
 )
 
 
@@ -354,6 +376,16 @@ SPANS: dict[str, SpanSpec] = {
             "reliable delivery: send waves plus bounded retransmission "
             "with exponential backoff and replica failover; "
             "attributes: sends, max_attempts",
+        ),
+        SpanSpec(
+            "audit.run", None,
+            "one invariant-audit run over N seeded trials; "
+            "attributes: seed, trials",
+        ),
+        SpanSpec(
+            "audit.trial", "audit.run",
+            "one generated trial through its oracle and checks; "
+            "attributes: kind, index",
         ),
     )
 }

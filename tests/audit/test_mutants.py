@@ -1,0 +1,46 @@
+"""The self-test contract: every known mutant is caught, and the
+mutant cases themselves pass on the clean tree (so a catch means the
+harness detected the injected bug, not a flaky baseline)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.audit.bench import get_bench
+from repro.audit.mutants import MUTANTS
+from repro.audit.runner import run_single_case
+
+
+@pytest.mark.parametrize("mutant", MUTANTS, ids=lambda m: m.name)
+class TestMutants:
+    def test_baseline_is_clean(self, mutant):
+        bench = get_bench()
+        for case in mutant.cases:
+            outcome = run_single_case(case, bench)
+            assert outcome.passed, (
+                f"{mutant.name} baseline dirty: "
+                + "; ".join(str(c) for c in outcome.failed_checks)
+            )
+
+    def test_mutant_is_caught(self, mutant):
+        bench = get_bench()
+        with mutant.patch():
+            caught = any(
+                not run_single_case(case, bench).passed
+                for case in mutant.cases
+            )
+        assert caught, f"harness missed injected bug: {mutant.name}"
+
+    def test_patch_is_reversible(self, mutant):
+        # After the context manager exits the clean behaviour is back.
+        bench = get_bench()
+        with mutant.patch():
+            pass
+        assert all(
+            run_single_case(case, bench).passed for case in mutant.cases
+        )
+
+
+def test_mutants_cover_distinct_bugs():
+    # The acceptance bar: at least six distinct injected bugs.
+    assert len({m.name for m in MUTANTS}) >= 6

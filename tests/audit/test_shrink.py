@@ -1,0 +1,104 @@
+"""Shrinker convergence: greedy minimization terminates, stays within
+its execution budget, and lands on the expected minimal reproducer.
+
+The predicates here are synthetic (pure functions of the case), so
+these tests exercise the shrink loop itself without paying for engine
+runs.
+"""
+
+from __future__ import annotations
+
+from repro.audit.cases import GraphSpec, TrialCase
+from repro.audit.shrink import MAX_SHRINK_EXECUTIONS, shrink_case
+
+
+def _dense_graph(n: int = 5) -> GraphSpec:
+    vertex = {"inf": 1, "tInf": 3, "tInfec": 3, "age": 30}
+    edge = {
+        "duration": 2,
+        "contacts": 1,
+        "last_contact": 1,
+        "location": 1,
+        "setting": 1,
+    }
+    return GraphSpec(
+        degree_bound=n - 1,
+        vertices=tuple(dict(vertex) for _ in range(n)),
+        edges=tuple(
+            (u, v, dict(edge)) for u in range(n) for v in range(u + 1, n)
+        ),
+    )
+
+
+def _case(**overrides) -> TrialCase:
+    defaults = dict(
+        kind="equivalence",
+        seed=1,
+        query="SELECT HISTO(COUNT(*)) FROM neigh(1)",
+        graph=_dense_graph(),
+        behaviors={0: "drop-message", 3: "forged-proof"},
+        offline=(1,),
+        workers=2,
+        backend="numpy",
+    )
+    defaults.update(overrides)
+    return TrialCase(**defaults)
+
+
+class TestConvergence:
+    def test_shrinks_to_minimal_graph_when_always_failing(self):
+        minimal, spent = shrink_case(_case(), lambda c: True)
+        # Vertices stop at 2 (the transformation floor), all edges and
+        # faults go, and the runtime collapses to the trivial config.
+        assert len(minimal.graph.vertices) == 2
+        assert minimal.graph.edges == ()
+        assert minimal.behaviors == {}
+        assert minimal.offline == ()
+        assert minimal.workers == 1
+        assert minimal.backend == "pure"
+        assert spent <= MAX_SHRINK_EXECUTIONS
+
+    def test_preserves_the_failure_trigger(self):
+        # Failure depends on device 0 misbehaving: the shrinker must
+        # keep that behavior while discarding everything else.
+        def is_failing(case: TrialCase) -> bool:
+            return case.behaviors.get(0) == "drop-message"
+
+        minimal, _ = shrink_case(_case(), is_failing)
+        assert minimal.behaviors == {0: "drop-message"}
+        assert minimal.offline == ()
+        assert len(minimal.graph.vertices) == 2
+
+    def test_epsilon_ledger_shrinks(self):
+        case = TrialCase(
+            kind="budget", seed=1, epsilons=(0.1,) * 16, total_epsilon=1.0
+        )
+
+        def is_failing(c: TrialCase) -> bool:
+            return len(c.epsilons) >= 1
+
+        minimal, _ = shrink_case(case, is_failing)
+        assert len(minimal.epsilons) == 1
+
+    def test_execution_budget_is_respected(self):
+        calls = 0
+
+        def is_failing(_case: TrialCase) -> bool:
+            nonlocal calls
+            calls += 1
+            return True
+
+        # The dense case needs far more than 5 steps to converge, so
+        # the cap is what stops the loop.
+        _, spent = shrink_case(_case(), is_failing, max_executions=5)
+        assert spent == calls == 5
+
+    def test_erroring_candidate_is_skipped(self):
+        # A candidate that raises counts as not-failing; the original
+        # case survives untouched when every candidate errors.
+        def is_failing(_case: TrialCase) -> bool:
+            raise RuntimeError("different failure mode")
+
+        case = _case()
+        minimal, _ = shrink_case(case, is_failing)
+        assert minimal == case

@@ -1,0 +1,109 @@
+"""Regression tests for three budget-accounting bugs (ISSUE 4 satellites).
+
+Each test fails on the pre-fix code:
+
+* ``queries_supported`` reported 1 query when not even one fit;
+* ``PrivacyBudget`` accumulated ``spent += eps`` rounding drift and its
+  absolute ``1e-12`` admission slack let a charge slip past the budget;
+* ``AdvancedCompositionBudget.composed_epsilon`` jumped from ``eps`` at
+  k=1 straight to the raw Thm 3.20 expression at k=2, which exceeds
+  ``2*eps`` for large per-query epsilon (non-monotone, worse than
+  sequential composition).
+"""
+
+import math
+
+import pytest
+
+from repro.dp.budget import (
+    AdvancedCompositionBudget,
+    PrivacyBudget,
+    advanced_composition_epsilon,
+    composed_epsilon,
+    queries_supported,
+)
+from repro.errors import PrivacyBudgetExceeded
+
+
+class TestQueriesSupportedZero:
+    def test_zero_when_one_query_does_not_fit(self):
+        # composed(1) = min(1.0, Thm 3.20 at k=1) = 1.0 > 0.5: nothing fits.
+        assert queries_supported(0.5, 1.0, delta=1e-6) == 0
+
+    def test_one_when_exactly_one_fits(self):
+        assert queries_supported(1.0, 1.0, delta=1e-6) == 1
+
+    def test_matches_accountant_admission(self):
+        # The closed-form count must agree with what the accountant
+        # actually admits, charge by charge.
+        for total, eps in [(0.5, 1.0), (1.0, 0.3), (2.0, 0.5), (10.0, 0.05)]:
+            budget = AdvancedCompositionBudget(
+                total_epsilon=total, per_query_epsilon=eps, delta=1e-6
+            )
+            admitted = 0
+            while budget.can_afford_next() and admitted < 100_000:
+                budget.charge()
+                admitted += 1
+            assert queries_supported(total, eps, delta=1e-6) == admitted
+
+
+class TestPrivacyBudgetExactness:
+    def test_no_drift_admission_after_many_small_charges(self):
+        # 10 charges of 0.1 against a budget of 1.0: the naive running
+        # accumulator lands at 0.9999999999999999, leaving phantom
+        # "remaining" that the old 1e-12 slack turned into an admission.
+        budget = PrivacyBudget(total_epsilon=1.0)
+        for _ in range(10):
+            budget.charge(0.1)
+        assert not budget.can_afford(1e-13)
+        with pytest.raises(PrivacyBudgetExceeded):
+            budget.charge(1e-13)
+
+    def test_fsum_history_never_exceeds_total(self):
+        budget = PrivacyBudget(total_epsilon=1.0)
+        charged = 0
+        for _ in range(10_000):
+            if not budget.can_afford(1e-4):
+                break
+            budget.charge(1e-4)
+            charged += 1
+        assert charged == 10_000
+        amounts = [eps for _, eps in budget.history]
+        assert math.fsum(amounts) <= budget.total_epsilon
+        assert budget.spent == math.fsum(amounts)
+
+    def test_spent_is_recomputed_from_history(self):
+        budget = PrivacyBudget(total_epsilon=2.0)
+        budget.charge(0.25, label="a")
+        budget.charge(0.5, label="b")
+        assert budget.spent == math.fsum([0.25, 0.5])
+        assert budget.history == [("a", 0.25), ("b", 0.5)]
+
+
+class TestComposedEpsilonMonotone:
+    def test_never_worse_than_sequential(self):
+        for eps in (0.05, 0.3, 1.0, 2.0):
+            for k in range(0, 50):
+                assert composed_epsilon(eps, k, 1e-6) <= k * eps + 1e-12
+
+    def test_monotone_in_k(self):
+        for eps in (0.05, 1.0, 2.0):
+            values = [composed_epsilon(eps, k, 1e-6) for k in range(0, 200)]
+            assert values == sorted(values)
+
+    def test_large_epsilon_k2_does_not_jump(self):
+        # Raw Thm 3.20 at eps=1, k=2 is ~10.9 — far past 2*eps.  The
+        # accountant must report sequential composition instead.
+        budget = AdvancedCompositionBudget(
+            total_epsilon=10.0, per_query_epsilon=1.0, delta=1e-6
+        )
+        assert budget.composed_epsilon(1) == pytest.approx(1.0)
+        assert budget.composed_epsilon(2) == pytest.approx(2.0)
+        assert advanced_composition_epsilon(1.0, 2, 1e-6) > 2.0
+
+    def test_small_epsilon_still_stretches(self):
+        # For genuinely small per-query epsilon the sqrt(k) regime must
+        # still win: many more queries than sequential composition.
+        assert queries_supported(10.0, 0.05, delta=1e-6) > queries_supported(
+            10.0, 0.05
+        )

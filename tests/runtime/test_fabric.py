@@ -1,6 +1,7 @@
 """TaskFabric: ordering, chunking, determinism, and real worker pools."""
 
 import os
+import time
 
 import pytest
 
@@ -91,6 +92,58 @@ def test_chunking_is_worker_count_independent():
             for i in range(0, len(items), fabric.chunk_size)
         ]
         assert chunks == [[0, 1, 2], [3, 4, 5], [6, 7, 8], [9]]
+
+
+def _fail_on_zero_task(context, item):
+    if item == 0:
+        raise RuntimeError("boom on item 0")
+    time.sleep(0.3)
+    return item
+
+
+def test_parallel_reflects_worker_count_only():
+    assert TaskFabric(workers=1).parallel is False
+    assert TaskFabric(workers=2).parallel is True
+
+
+def test_out_of_process_failure_reraises_original_exception():
+    with TaskFabric(workers=2, chunk_size=1) as fabric:
+        with pytest.raises(RuntimeError, match="boom on item 0"):
+            fabric.map(_fail_on_zero_task, [0, 1, 2, 3])
+
+
+def test_out_of_process_failure_cancels_pending_futures():
+    # Item 0 raises immediately; the other chunks sleep, so at the
+    # moment the failure surfaces most of them are still queued.  A
+    # clean failure cancels them rather than letting the pool grind on.
+    with TaskFabric(workers=2, chunk_size=1) as fabric:
+        pool = fabric._pool(None)
+        captured = []
+        original_submit = pool.submit
+
+        def capturing_submit(*args, **kwargs):
+            future = original_submit(*args, **kwargs)
+            captured.append(future)
+            return future
+
+        pool.submit = capturing_submit
+        with pytest.raises(RuntimeError, match="boom on item 0"):
+            fabric.map(_fail_on_zero_task, list(range(12)))
+        assert len(captured) == 12
+        assert any(future.cancelled() for future in captured)
+
+
+def test_fabric_usable_after_out_of_process_failure():
+    with TaskFabric(workers=2, chunk_size=1) as fabric:
+        with pytest.raises(RuntimeError):
+            fabric.map(_fail_on_zero_task, [0, 1])
+        assert fabric.map(_square_task, [1, 2, 3], context=0) == [1, 4, 9]
+
+
+def test_in_process_failure_propagates_too():
+    fabric = TaskFabric(workers=1)
+    with pytest.raises(RuntimeError, match="boom on item 0"):
+        fabric.map(_fail_on_zero_task, [0])
 
 
 def test_map_emits_runtime_telemetry():
