@@ -13,7 +13,9 @@ from dataclasses import dataclass, field, replace
 from repro.workloads.graphgen import ContactGraph
 
 #: The trial families the harness audits.
-TRIAL_KINDS = ("equivalence", "budget", "sensitivity", "shamir", "mixnet")
+TRIAL_KINDS = (
+    "equivalence", "budget", "sensitivity", "shamir", "mixnet", "crash",
+)
 
 
 @dataclass(frozen=True)
@@ -110,6 +112,12 @@ class TrialCase:
     # -- mixnet ------------------------------------------------------------
     people: int = 8
     failure: float = 0.1
+    # -- crash (durable campaign kill/resume) ------------------------------
+    kill_phase: str = ""
+    kill_query: int = 0
+    kill_before: bool = False
+    num_queries: int = 2
+    rotate_every: int = 1
 
     def __post_init__(self) -> None:
         if self.kind not in TRIAL_KINDS:
@@ -134,6 +142,11 @@ class TrialCase:
             "num_shares": self.num_shares,
             "people": self.people,
             "failure": self.failure,
+            "kill_phase": self.kill_phase,
+            "kill_query": self.kill_query,
+            "kill_before": self.kill_before,
+            "num_queries": self.num_queries,
+            "rotate_every": self.rotate_every,
         }
 
     @classmethod
@@ -159,4 +172,9 @@ class TrialCase:
             num_shares=int(data.get("num_shares", 3)),
             people=int(data.get("people", 8)),
             failure=float(data.get("failure", 0.1)),
+            kill_phase=data.get("kill_phase", ""),
+            kill_query=int(data.get("kill_query", 0)),
+            kill_before=bool(data.get("kill_before", False)),
+            num_queries=int(data.get("num_queries", 2)),
+            rotate_every=int(data.get("rotate_every", 1)),
         )

@@ -113,6 +113,8 @@ def _random_faults(
 def _kind_for_index(index: int) -> str:
     if index % 12 == 11:
         return "mixnet"
+    if index % 12 == 9:
+        return "crash"
     if index % 4 == 1:
         return "budget"
     if index % 4 == 3:
@@ -163,6 +165,22 @@ def generate_case(master_seed: int, index: int) -> TrialCase:
             index=index,
             people=8,
             failure=round(rng.uniform(0.05, 0.2), 3),
+        )
+
+    if kind == "crash":
+        from repro.durability.campaign import PHASES
+
+        num_queries = rng.randint(1, 2)
+        return TrialCase(
+            kind=kind,
+            seed=seed,
+            index=index,
+            people=8,
+            kill_phase=rng.choice(PHASES),
+            kill_query=rng.randrange(num_queries),
+            kill_before=rng.random() < 0.5,
+            num_queries=num_queries,
+            rotate_every=rng.choice([0, 1]),
         )
 
     params = audit_params()

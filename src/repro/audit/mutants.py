@@ -96,6 +96,21 @@ def _shamir_case(seed: int) -> TrialCase:
     return TrialCase(kind="shamir", seed=seed, threshold=2, num_shares=4)
 
 
+def _crash_case(seed: int) -> TrialCase:
+    # Kill right after the release record of query 0 so the resume path
+    # restores (rather than re-runs) the charge record — the exact path
+    # the double-apply mutant corrupts.
+    return TrialCase(
+        kind="crash",
+        seed=seed,
+        people=8,
+        kill_phase="release",
+        kill_query=0,
+        num_queries=2,
+        rotate_every=1,
+    )
+
+
 # ---------------------------------------------------------------------------
 # The mutants
 # ---------------------------------------------------------------------------
@@ -190,6 +205,19 @@ def _mutant_lagrange_shifted():
     return _patched(shamir, "lagrange_coefficients_at_zero", bad)
 
 
+def _mutant_journal_double_apply():
+    from repro.durability import campaign as campaign_mod
+
+    original = campaign_mod.CampaignRunner._restore_charge
+
+    def bad(self, query_index, data, ctx):
+        # the bug: a journaled budget charge is applied twice on resume
+        original(self, query_index, data, ctx)
+        original(self, query_index, data, ctx)
+
+    return _patched(campaign_mod.CampaignRunner, "_restore_charge", bad)
+
+
 def _mutant_aggregator_accepts_everything():
     def bad(self, submission):
         return True, 0.0, 0
@@ -263,5 +291,11 @@ MUTANTS: tuple[Mutant, ...] = (
         description="submission verification never rejects",
         patch=_mutant_aggregator_accepts_everything,
         cases=(_equivalence_case(901, behaviors={0: "bad-aggregation"}),),
+    ),
+    Mutant(
+        name="journal-double-apply",
+        description="a journaled budget charge is applied twice on resume",
+        patch=_mutant_journal_double_apply,
+        cases=(_crash_case(1001),),
     ),
 )

@@ -68,6 +68,8 @@ def run_trial(case: TrialCase, bench: AuditBench) -> list[CheckResult]:
         return _run_shamir(case, bench)
     if case.kind == "mixnet":
         return _run_mixnet(case)
+    if case.kind == "crash":
+        return _run_crash(case)
     raise ValueError(f"unknown trial kind {case.kind!r}")
 
 
@@ -490,6 +492,77 @@ def _run_shamir(case: TrialCase, bench: AuditBench) -> list[CheckResult]:
             tuple(bgv.decrypt(bench.secret, ciphertext).coeffs),
         )
     )
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Crash: kill the campaign coordinator at a phase boundary, resume, and
+# require bit-identical released results, ledger, and epoch commitments
+# ---------------------------------------------------------------------------
+
+
+def _run_crash(case: TrialCase) -> list[CheckResult]:
+    import shutil
+    import tempfile
+
+    from repro.durability import campaign as campaign_mod
+    from repro.errors import CoordinatorCrash
+    from repro.workloads.epidemic import campaign_queries
+
+    results: list[CheckResult] = []
+    config = campaign_mod.CampaignConfig(
+        master_seed=case.seed,
+        queries=campaign_queries(case.num_queries),
+        people=case.people,
+        degree=3,
+        rotate_every=case.rotate_every,
+    )
+    oracle_dir = tempfile.mkdtemp(prefix="audit-crash-oracle-")
+    victim_dir = tempfile.mkdtemp(prefix="audit-crash-victim-")
+    try:
+        oracle = campaign_mod.run_campaign(config, oracle_dir)
+        kill = campaign_mod.KillSpec(
+            phase=case.kill_phase,
+            query=case.kill_query,
+            before=case.kill_before,
+        )
+        crashed = False
+        try:
+            campaign_mod.run_campaign(config, victim_dir, kill=kill)
+        except CoordinatorCrash:
+            crashed = True
+        results.append(
+            check(
+                "crash.kill-point-fired",
+                crashed,
+                f"kill at {case.kill_phase}:{case.kill_query} "
+                f"(before={case.kill_before}) never triggered",
+            )
+        )
+        resumed = campaign_mod.resume_campaign(victim_dir)
+        results.append(
+            check_equal(
+                "crash.ledger-identical", resumed.ledger, oracle.ledger
+            )
+        )
+        results.append(
+            check_equal(
+                "crash.epochs-identical", resumed.epochs, oracle.epochs
+            )
+        )
+        results.append(
+            check_equal(
+                "crash.results-identical", resumed.results, oracle.results
+            )
+        )
+        results.append(
+            check_equal(
+                "crash.digest-identical", resumed.digest, oracle.digest
+            )
+        )
+    finally:
+        shutil.rmtree(oracle_dir, ignore_errors=True)
+        shutil.rmtree(victim_dir, ignore_errors=True)
     return results
 
 

@@ -8,6 +8,8 @@
     python -m repro demo
     python -m repro bench --quick
     python -m repro audit --seed 0 --trials 50 --shrink
+    python -m repro campaign --dir /tmp/c --num-queries 3
+    python -m repro campaign --dir /tmp/c --resume
 
 ``run`` generates a synthetic epidemic workload, stands up a deployment
 at the TEST ring, and executes the query end to end; ``figures`` prints
@@ -16,7 +18,10 @@ query over the real mix network; ``bench`` times the ring-multiplication
 hot path across every available compute backend and a worker sweep (see
 ``docs/PERFORMANCE.md``); ``audit`` drives the seeded
 differential-testing and invariant-audit harness (see
-``docs/CORRECTNESS.md``).
+``docs/CORRECTNESS.md``); ``campaign`` runs a durable multi-query
+campaign through the write-ahead journal — killable at any phase
+boundary (exit code 42) and resumable bit-identically with ``--resume``
+(see ``docs/RESILIENCE.md``).
 """
 
 from __future__ import annotations
@@ -357,6 +362,90 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if got_counts == expected_counts else 1
 
 
+#: Process exit code for a simulated coordinator crash (`campaign
+#: --kill-at`); distinct from ordinary failures so the chaos driver and
+#: the CI crash-recovery matrix can assert the kill actually fired.
+CRASH_EXIT_CODE = 42
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.durability.campaign import (
+        CampaignConfig,
+        CampaignRunner,
+        KillSpec,
+    )
+    from repro.errors import CoordinatorCrash
+    from repro.runtime import RuntimeConfig
+    from repro.workloads.epidemic import campaign_queries
+
+    base = RuntimeConfig.from_env()
+    runtime = RuntimeConfig(
+        workers=args.workers if args.workers is not None else base.workers,
+        backend=args.backend if args.backend is not None else base.backend,
+        chunk_size=base.chunk_size,
+    )
+    kill = None
+    if args.kill_at and args.kill_before:
+        print("--kill-at and --kill-before are mutually exclusive")
+        return 2
+    if args.kill_at:
+        kill = KillSpec.parse(args.kill_at, before=False)
+    elif args.kill_before:
+        kill = KillSpec.parse(args.kill_before, before=True)
+
+    if args.resume:
+        runner = CampaignRunner.resume(
+            args.dir, runtime=runtime, kill=kill, fsync=not args.no_fsync
+        )
+    else:
+        queries = tuple(
+            (q, args.epsilon) for q in args.queries
+        ) if args.queries else campaign_queries(
+            args.num_queries, args.epsilon
+        )
+        config = CampaignConfig(
+            master_seed=args.seed,
+            queries=queries,
+            people=args.people,
+            degree=args.degree,
+            total_epsilon=args.total_epsilon,
+            rotate_every=args.rotate_every,
+            churn_fraction=args.churn,
+            fault_seed=args.fault_seed,
+            committee_churn_members=args.committee_churn_members,
+            committee_churn_start=args.committee_churn_start,
+            committee_churn_rounds=args.committee_churn_rounds,
+            checkpoint_every=args.checkpoint_every,
+        )
+        runner = CampaignRunner.start(
+            config, args.dir, runtime=runtime, kill=kill,
+            fsync=not args.no_fsync,
+        )
+    try:
+        result = runner.run()
+    except CoordinatorCrash as exc:
+        print(
+            f"coordinator crashed at phase {exc.phase!r}"
+            + (
+                f" of query {exc.query_index}"
+                if exc.query_index is not None
+                else ""
+            )
+        )
+        print(f"journal is resumable: repro campaign --resume --dir {args.dir}")
+        return CRASH_EXIT_CODE
+    print(f"queries released: {len(result.results)}")
+    print(
+        "epochs: "
+        + ", ".join(f"{e['epoch']}({e['reason']})" for e in result.epochs)
+    )
+    print(f"emergency reshares: {result.emergency_reshares}")
+    print(f"quorum wait rounds: {result.quorum_wait_rounds}")
+    print(f"campaign clock: {result.clock_rounds} C-rounds")
+    print(f"digest: {result.digest}")
+    return 0
+
+
 def cmd_audit(args: argparse.Namespace) -> int:
     from repro.audit.runner import run_audit, run_self_test
 
@@ -466,6 +555,70 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", help="write the telemetry JSONL trace to this path"
     )
     chaos.set_defaults(fn=cmd_chaos)
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="durable multi-query campaign with write-ahead journal, "
+        "crash/resume, and committee epoch lifecycle",
+    )
+    campaign.add_argument(
+        "--dir", required=True,
+        help="campaign directory (holds journal.jsonl + checkpoints)",
+    )
+    campaign.add_argument(
+        "--resume", action="store_true",
+        help="resume a crashed campaign from its journal",
+    )
+    campaign.add_argument("--seed", type=int, default=7)
+    campaign.add_argument("--people", type=int, default=12)
+    campaign.add_argument("--degree", type=int, default=3)
+    campaign.add_argument(
+        "--num-queries", type=int, default=3,
+        help="length of the default epidemic campaign cycle",
+    )
+    campaign.add_argument(
+        "--queries", nargs="*", default=None,
+        help="explicit catalog ids overriding the default cycle",
+    )
+    campaign.add_argument("--epsilon", type=float, default=0.5)
+    campaign.add_argument("--total-epsilon", type=float, default=10.0)
+    campaign.add_argument(
+        "--rotate-every", type=int, default=1,
+        help="scheduled VSR handoff after every k-th query (0 = never)",
+    )
+    campaign.add_argument(
+        "--churn", type=float, default=0.0,
+        help="random device churn fraction per fault-plan window",
+    )
+    campaign.add_argument("--fault-seed", type=int, default=0)
+    campaign.add_argument(
+        "--committee-churn-members", type=int, default=0,
+        help="knock this many genesis committee members offline "
+        "(deterministic emergency-reshare scenario)",
+    )
+    campaign.add_argument("--committee-churn-start", type=int, default=0)
+    campaign.add_argument("--committee-churn-rounds", type=int, default=40)
+    campaign.add_argument(
+        "--checkpoint-every", type=int, default=1,
+        help="sidecar checkpoint cadence in completed queries (0 = never)",
+    )
+    campaign.add_argument(
+        "--kill-at", default=None, metavar="PHASE[:QUERY]",
+        help="crash the coordinator right after this phase's journal "
+        f"record is durable (exit code {CRASH_EXIT_CODE})",
+    )
+    campaign.add_argument(
+        "--kill-before", default=None, metavar="PHASE[:QUERY]",
+        help="crash after computing the phase but before its record is "
+        "written (exercises the re-run path)",
+    )
+    campaign.add_argument(
+        "--no-fsync", action="store_true",
+        help="skip the per-record fsync barrier (benchmarking only)",
+    )
+    campaign.add_argument("--backend", default=None)
+    campaign.add_argument("--workers", type=int, default=None)
+    campaign.set_defaults(fn=cmd_campaign)
 
     audit = sub.add_parser(
         "audit",

@@ -26,10 +26,10 @@ at genesis, no matter how many queries run.
 from __future__ import annotations
 
 import random
-import time
 from dataclasses import dataclass, field
 
 from repro import telemetry
+from repro.telemetry import clock
 from repro.crypto import bgv, feldman, shamir, vsr
 from repro.crypto.polyring import RingElement
 from repro.dp.laplace import sample_laplace
@@ -183,7 +183,7 @@ def threshold_decrypt(
     participating: list[int] | None = None,
 ) -> RingElement:
     """Full decryption flow with any ``threshold`` members online."""
-    start = time.perf_counter()
+    start = clock.perf_counter()
     members = committee.members
     if participating is not None:
         members = [m for m in members if m.device_id in participating]
@@ -209,7 +209,7 @@ def threshold_decrypt(
     plaintext = combine_partials(ciphertext, partials, committee.profile)
     telemetry.count("committee.decrypt.partials", len(partials))
     telemetry.observe(
-        "committee.decrypt.seconds", time.perf_counter() - start
+        "committee.decrypt.seconds", clock.perf_counter() - start
     )
     return plaintext
 
@@ -343,63 +343,206 @@ def committee_noise(
 # ---------------------------------------------------------------------------
 
 
-def rotate_committee(
+@dataclass(frozen=True)
+class RotationProposal:
+    """The *deal* half of a VSR handoff, before anything commits.
+
+    Holds every dealer's :class:`~repro.crypto.vsr.RedistributionPackage`
+    for every key coefficient.  Nothing in the old committee changes when
+    a proposal exists — the old sharing stays authoritative until
+    :func:`commit_rotation` verifies a quorum of dealers and atomically
+    swaps in the new epoch.  A coordinator that crashes mid-handoff can
+    therefore simply re-deal (the deal is a pure function of the rng) and
+    retry the commit.
+    """
+
+    new_member_ids: tuple[int, ...]
+    new_threshold: int
+    #: Device ids of the old members who actually dealt.
+    dealer_ids: tuple[int, ...]
+    #: ``packages[coeff][d]`` is dealer ``dealer_ids[d]``'s package for
+    #: key coefficient ``coeff``.
+    packages: tuple[tuple[vsr.RedistributionPackage, ...], ...]
+
+
+def deal_rotation(
     committee: Committee,
     new_member_ids: list[int],
     new_threshold: int,
     rng: random.Random,
+    dealer_ids: list[int] | None = None,
     corrupt_dealers: set[int] | None = None,
-) -> Committee:
-    """Hand the key to the next committee with extended VSR (§4.2).
+    crashed_dealers: dict[int, int] | None = None,
+) -> RotationProposal:
+    """Step 1 of the handoff: every dealer re-shares each coefficient.
 
-    Every coefficient sharing is redistributed; cheating old members are
-    detected by the Feldman checks inside :func:`repro.crypto.vsr.redistribute`
-    and excluded.
+    ``dealer_ids`` restricts dealing to a subset of the old committee
+    (emergency resharing uses only the *live* members); default is every
+    member.  ``corrupt_dealers`` deal a perturbed value (detected by the
+    Feldman checks at verify time).  ``crashed_dealers`` maps a dealer
+    device id to the number of new members its subshares reached before
+    it died — the partial packages are published as-is and must be
+    excluded by the agreement step, never half-used.
     """
-    start = time.perf_counter()
-    group = committee.group
+    dealers = [
+        m
+        for m in committee.members
+        if dealer_ids is None or m.device_id in dealer_ids
+    ]
+    if not dealers:
+        raise ProtocolError("no dealers available for the handoff")
+    corrupt = corrupt_dealers or set()
+    crashed = crashed_dealers or {}
     new_size = len(new_member_ids)
-    per_member_values: list[list[int]] = [[] for _ in new_member_ids]
-    new_commitments = []
-    for coeff_index, commitment in enumerate(committee.commitments):
-        old_shares = [
-            shamir.Share(m.share_index, m.key_share.values[coeff_index])
-            for m in committee.members
+    packages: list[tuple[vsr.RedistributionPackage, ...]] = []
+    for coeff_index in range(len(committee.commitments)):
+        row = []
+        for member in dealers:
+            share = shamir.Share(
+                member.share_index, member.key_share.values[coeff_index]
+            )
+            package = vsr.redistribute_share(
+                share, new_threshold, new_size, committee.group, rng
+            )
+            if member.device_id in corrupt:
+                # A Byzantine dealer re-shares a *different* value.
+                package = vsr.redistribute_share(
+                    shamir.Share(
+                        share.index, (share.value + 1) % committee.group.order
+                    ),
+                    new_threshold,
+                    new_size,
+                    committee.group,
+                    rng,
+                )
+            if member.device_id in crashed:
+                # The dealer died mid-send: only the first ``reached``
+                # new members (in fixed index order) hold a subshare.
+                reached = crashed[member.device_id]
+                package = vsr.RedistributionPackage(
+                    dealer_index=package.dealer_index,
+                    commitment=package.commitment,
+                    subshares={
+                        j: v
+                        for j, v in package.subshares.items()
+                        if j <= reached
+                    },
+                )
+            row.append(package)
+        packages.append(tuple(row))
+    return RotationProposal(
+        new_member_ids=tuple(new_member_ids),
+        new_threshold=new_threshold,
+        dealer_ids=tuple(m.device_id for m in dealers),
+        packages=tuple(packages),
+    )
+
+
+def agreed_dealer_sets(
+    committee: Committee, proposal: RotationProposal
+) -> list[list[vsr.RedistributionPackage]]:
+    """Step 2 of the handoff: bulletin-board agreement on the dealers.
+
+    A dealer's package counts only if **every** new member verifies it —
+    subshare present, on the committed polynomial, and consistent with
+    the old epoch commitment.  This is the torn-state guard: a dealer
+    that crashed after sending subshares to a subset of the new
+    committee is excluded for *everyone*, so all new shares lie on the
+    same combined polynomial.  Raises if any coefficient is left with
+    fewer than ``threshold`` agreed dealers.
+    """
+    new_size = len(proposal.new_member_ids)
+    agreed: list[list[vsr.RedistributionPackage]] = []
+    for coeff_index, old_commitment in enumerate(committee.commitments):
+        valid = [
+            p
+            for p in proposal.packages[coeff_index]
+            if all(
+                vsr.verify_package(p, old_commitment, j)
+                for j in range(1, new_size + 1)
+            )
         ]
-        corrupt_indices = {
-            m.share_index
-            for m in committee.members
-            if corrupt_dealers and m.device_id in corrupt_dealers
-        }
-        new_shares, new_commitment = vsr.redistribute(
-            old_shares,
-            commitment,
-            old_threshold=committee.threshold,
-            new_threshold=new_threshold,
-            new_size=new_size,
-            group=group,
-            rng=rng,
-            corrupt_dealers=corrupt_indices or None,
-        )
-        new_commitments.append(new_commitment)
-        for i, share in enumerate(new_shares):
+        if len(valid) < committee.threshold:
+            raise SecretSharingError(
+                f"coefficient {coeff_index}: only {len(valid)} dealers "
+                f"verified by all new members, need {committee.threshold}; "
+                "old committee stays authoritative"
+            )
+        agreed.append(valid)
+    return agreed
+
+
+def commit_rotation(
+    committee: Committee, proposal: RotationProposal
+) -> Committee:
+    """Steps 3-4 of the handoff: combine and atomically install.
+
+    Runs the agreement check, derives every new member's share from the
+    *same* agreed dealer set, and returns the new epoch.  Raises (and
+    leaves the old committee untouched) unless every coefficient has at
+    least ``threshold`` dealers verified by all new members — the
+    handoff either fully commits or does not happen at all.
+    """
+    agreed = agreed_dealer_sets(committee, proposal)
+    group = committee.group
+    per_member_values: list[list[int]] = [
+        [] for _ in proposal.new_member_ids
+    ]
+    new_commitments = []
+    for valid in agreed:
+        new_commitment = None
+        for i in range(len(proposal.new_member_ids)):
+            share, new_commitment = vsr.combine_packages(
+                valid, i + 1, committee.threshold, group
+            )
             per_member_values[i].append(share.value)
+        assert new_commitment is not None
+        new_commitments.append(new_commitment)
     members = [
         CommitteeMember(
             device_id=device,
             share_index=i + 1,
             key_share=shamir.VectorShare(i + 1, tuple(per_member_values[i])),
         )
-        for i, device in enumerate(new_member_ids)
+        for i, device in enumerate(proposal.new_member_ids)
     ]
     telemetry.count("committee.rotations.total")
-    telemetry.observe(
-        "committee.rotate.seconds", time.perf_counter() - start
-    )
     return Committee(
         profile=committee.profile,
         members=members,
-        threshold=new_threshold,
+        threshold=proposal.new_threshold,
         commitments=new_commitments,
         epoch=committee.epoch + 1,
     )
+
+
+def rotate_committee(
+    committee: Committee,
+    new_member_ids: list[int],
+    new_threshold: int,
+    rng: random.Random,
+    corrupt_dealers: set[int] | None = None,
+    dealer_ids: list[int] | None = None,
+    crashed_dealers: dict[int, int] | None = None,
+) -> Committee:
+    """Hand the key to the next committee with extended VSR (§4.2).
+
+    Every coefficient sharing is redistributed; cheating or crashed old
+    members are detected by the bulletin-board agreement inside
+    :func:`agreed_dealer_sets` and excluded for every new member alike.
+    """
+    start = clock.perf_counter()
+    proposal = deal_rotation(
+        committee,
+        new_member_ids,
+        new_threshold,
+        rng,
+        dealer_ids=dealer_ids,
+        corrupt_dealers=corrupt_dealers,
+        crashed_dealers=crashed_dealers,
+    )
+    new_committee = commit_rotation(committee, proposal)
+    telemetry.observe(
+        "committee.rotate.seconds", clock.perf_counter() - start
+    )
+    return new_committee

@@ -99,6 +99,29 @@ def build_schedule(
     return QuerySchedule(phases=tuple(phases), reuses_paths=reuse_paths)
 
 
+@dataclass
+class CampaignClock:
+    """The campaign's monotonic C-round clock.
+
+    A multi-query campaign lives on one shared timeline: each query's
+    schedule (:func:`build_schedule`) advances the clock by its total
+    C-rounds, and quorum waits advance it round by round.  Churn windows
+    in a :class:`repro.faults.plan.FaultPlan` are keyed to this clock,
+    so committee liveness is a pure function of (plan, clock) — which is
+    what lets a resumed campaign re-derive exactly which members were
+    alive at every past decryption.
+    """
+
+    round: int = 0
+
+    def advance(self, crounds: int) -> int:
+        """Move time forward; returns the new current round."""
+        if crounds < 0:
+            raise ValueError("the campaign clock never runs backwards")
+        self.round += crounds
+        return self.round
+
+
 def queries_per_path_epoch(
     plan: ExecutionPlan,
     params: SystemParameters,

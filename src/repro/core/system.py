@@ -218,39 +218,31 @@ class MyceliumSystem:
             query_span.set_attribute("query", label)
             self.budget.charge(epsilon, label)
 
-            with telemetry.span("query.execute"):
-                executor = EncryptedExecutor(
-                    plan, self.public_key, self.zk, self.rng, fabric=fabric
-                )
-                if world is not None:
-                    if offline is not None:
-                        raise QueryError(
-                            "offline= is the in-process transport's churn "
-                            "model; mark devices offline on the MixnetWorld"
-                        )
-                    from repro.core.transport import MixnetTransport
+            if world is not None:
+                if offline is not None:
+                    raise QueryError(
+                        "offline= is the in-process transport's churn "
+                        "model; mark devices offline on the MixnetWorld"
+                    )
+                from repro.core.transport import MixnetTransport
 
-                    transport = MixnetTransport(
-                        world=world,
-                        graph=graph,
-                        plan=plan,
-                        public_key=self.public_key,
-                        zk=self.zk,
-                        rng=self.rng,
-                    )
-                    transport_start_round = world.current_round
-                    submissions = transport.run(behaviors)
-                else:
-                    submissions = executor.run(
-                        graph, behaviors=behaviors, offline=offline
-                    )
-            with telemetry.span("query.aggregate"):
-                aggregator = QueryAggregator(
-                    zk=self.zk, relin_keys=self.relin_keys, fabric=fabric
+                transport = MixnetTransport(
+                    world=world,
+                    graph=graph,
+                    plan=plan,
+                    public_key=self.public_key,
+                    zk=self.zk,
+                    rng=self.rng,
                 )
-                aggregation = aggregator.aggregate(submissions)
-            if aggregation.ciphertext is None:
-                raise ProtocolError("no valid contributions to aggregate")
+                transport_start_round = world.current_round
+                with telemetry.span("query.execute"):
+                    submissions = transport.run(behaviors)
+            else:
+                submissions = self.submit_phase(
+                    plan, graph, self.rng, fabric,
+                    behaviors=behaviors, offline=offline,
+                )
+            aggregation = self.aggregate_phase(submissions, fabric)
 
             injector = world.fault_injector if world is not None else None
             with telemetry.span("query.decrypt"):
@@ -329,6 +321,114 @@ class MyceliumSystem:
                     self.rotate_committee()
             return result
 
+    # -- explicit query phases -----------------------------------------------
+    #
+    # The durable campaign runner (repro.durability) drives these same
+    # phase methods one at a time, journaling each boundary; run_query
+    # above is the single-shot composition.  Every method is a pure
+    # function of its arguments plus the system's long-lived state, so a
+    # resumed process that rebuilds the system and replays the journal
+    # re-enters any phase bit-identically.
+
+    def submit_phase(
+        self,
+        plan: ExecutionPlan,
+        graph: ContactGraph,
+        rng: random.Random,
+        fabric: TaskFabric,
+        behaviors: dict[int, Behavior] | None = None,
+        offline: set[int] | None = None,
+    ) -> list[OriginSubmission]:
+        """Per-origin encrypted execution over the in-process transport."""
+        with telemetry.span("query.execute"):
+            executor = EncryptedExecutor(
+                plan, self.public_key, self.zk, rng, fabric=fabric
+            )
+            return executor.run(graph, behaviors=behaviors, offline=offline)
+
+    def aggregate_phase(
+        self, submissions: list[OriginSubmission], fabric: TaskFabric
+    ):
+        """Proof verification + relinearized summation at the aggregator."""
+        with telemetry.span("query.aggregate"):
+            aggregator = QueryAggregator(
+                zk=self.zk, relin_keys=self.relin_keys, fabric=fabric
+            )
+            aggregation = aggregator.aggregate(submissions)
+        if aggregation.ciphertext is None:
+            raise ProtocolError("no valid contributions to aggregate")
+        return aggregation
+
+    def decrypt_phase(
+        self,
+        plan: ExecutionPlan,
+        ciphertext: bgv.Ciphertext,
+        rng: random.Random,
+        participating: list[int] | None = None,
+    ) -> list[int]:
+        """Threshold decryption down to the plan's coefficient vector."""
+        with telemetry.span("query.decrypt"):
+            plaintext = committee_mod.threshold_decrypt(
+                self.committee, ciphertext, rng, participating=participating
+            )
+            return [
+                plaintext.coeffs[i]
+                for i in range(plan.layout.total_coefficients)
+            ]
+
+    def compute_noise(
+        self, plan: ExecutionPlan, coefficients: list[int], scale: float
+    ) -> list[list[float]]:
+        """The committee's in-MPC Laplace draws, one list per output group.
+
+        Deterministic given the committee epoch (the member seed shares
+        are derived from device id XOR epoch), so replaying this phase
+        after a crash reproduces the exact noise.
+        """
+        if plan.output is OutputKind.HISTO:
+            groups = histogram_mod.decode_histogram(coefficients, plan)
+            return [
+                committee_mod.committee_noise(
+                    self.committee, len(group.counts), scale
+                )
+                if scale
+                else [0.0] * len(group.counts)
+                for group in groups
+            ]
+        values = histogram_mod.decode_gsum(coefficients, plan)
+        return [
+            committee_mod.committee_noise(self.committee, len(values), scale)
+            if scale
+            else [0.0] * len(values)
+        ]
+
+    def release_with_noise(
+        self,
+        plan: ExecutionPlan,
+        coefficients: list[int],
+        noise: list[list[float]],
+        metadata: QueryMetadata,
+    ) -> QueryResult:
+        """Decode the plaintext coefficients and apply precomputed noise."""
+        if plan.output is OutputKind.HISTO:
+            groups = histogram_mod.decode_histogram(coefficients, plan)
+            noised = [
+                histogram_mod.GroupHistogram(
+                    group=group.group,
+                    counts=tuple(
+                        c + n for c, n in zip(group.counts, group_noise)
+                    ),
+                    bin_edges=group.bin_edges,
+                )
+                for group, group_noise in zip(groups, noise)
+            ]
+            return HistogramResult(groups=tuple(noised), metadata=metadata)
+        values = histogram_mod.decode_gsum(coefficients, plan)
+        return GsumResult(
+            values=tuple(v + n for v, n in zip(values, noise[0])),
+            metadata=metadata,
+        )
+
     def _release(
         self,
         plan: ExecutionPlan,
@@ -337,33 +437,8 @@ class MyceliumSystem:
         metadata: QueryMetadata,
     ) -> QueryResult:
         """Committee-side final processing: decode, noise, release."""
-        if plan.output is OutputKind.HISTO:
-            groups = histogram_mod.decode_histogram(coefficients, plan)
-            noised = []
-            for group in groups:
-                noise = committee_mod.committee_noise(
-                    self.committee, len(group.counts), scale
-                ) if scale else [0.0] * len(group.counts)
-                noised.append(
-                    histogram_mod.GroupHistogram(
-                        group=group.group,
-                        counts=tuple(
-                            c + n for c, n in zip(group.counts, noise)
-                        ),
-                        bin_edges=group.bin_edges,
-                    )
-                )
-            return HistogramResult(groups=tuple(noised), metadata=metadata)
-        values = histogram_mod.decode_gsum(coefficients, plan)
-        noise = (
-            committee_mod.committee_noise(self.committee, len(values), scale)
-            if scale
-            else [0.0] * len(values)
-        )
-        return GsumResult(
-            values=tuple(v + n for v, n in zip(values, noise)),
-            metadata=metadata,
-        )
+        noise = self.compute_noise(plan, coefficients, scale)
+        return self.release_with_noise(plan, coefficients, noise, metadata)
 
     # -- committee lifecycle -----------------------------------------------------
 

@@ -195,13 +195,30 @@ def redistribute(
             )
         packages.append(package)
 
+    # Bulletin-board agreement: a dealer counts only if *every* new
+    # member verifies its package.  Deciding validity per member would
+    # let a dealer whose subshares reached only part of the committee be
+    # used by some members and not others, leaving the new shares on
+    # different combined polynomials (a torn key that can never decrypt).
+    agreed = [
+        p
+        for p in packages
+        if all(
+            verify_package(p, old_commitment, new_index)
+            for new_index in range(1, new_size + 1)
+        )
+    ]
+    if len(agreed) < old_threshold:
+        raise SecretSharingError(
+            f"only {len(agreed)} dealers verified by all new members, "
+            f"need {old_threshold}"
+        )
     new_shares = []
     epoch_commitment: PolynomialCommitment | None = None
     for new_index in range(1, new_size + 1):
-        valid = [
-            p for p in packages if verify_package(p, old_commitment, new_index)
-        ]
-        share, commitment = combine_packages(valid, new_index, old_threshold, group)
+        share, commitment = combine_packages(
+            agreed, new_index, old_threshold, group
+        )
         new_shares.append(share)
         epoch_commitment = commitment
     assert epoch_commitment is not None

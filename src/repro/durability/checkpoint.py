@@ -1,0 +1,65 @@
+"""Sidecar checkpoints: bound the replay work of a resume.
+
+A checkpoint is a redundant, self-checksummed snapshot of the campaign
+state *derived from* the journal prefix up to ``covers_seq``.  Resume
+prefers the newest valid checkpoint (restoring budget ledger, clock,
+results, and epoch facts in one read) and then applies only the journal
+records after it; a missing or corrupt checkpoint merely falls back to
+full journal replay — checkpoints are an optimization, never a source
+of truth.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro import telemetry
+from repro.durability.journal import canonical_json
+from repro.durability.serialize import digest_json
+
+CHECKPOINT_PREFIX = "checkpoint-"
+
+
+def write_checkpoint(
+    directory: str | Path, covers_seq: int, state: dict
+) -> Path:
+    """Write ``checkpoint-<seq>.json`` with an integrity digest."""
+    payload = {
+        "covers_seq": covers_seq,
+        "state": state,
+    }
+    payload["digest"] = digest_json(payload["state"])
+    path = Path(directory) / f"{CHECKPOINT_PREFIX}{covers_seq}.json"
+    path.write_text(canonical_json(payload), "utf-8")
+    telemetry.count("durability.checkpoints.written")
+    return path
+
+
+def load_latest_checkpoint(
+    directory: str | Path, max_seq: int
+) -> tuple[int, dict] | None:
+    """The newest valid checkpoint covering at most ``max_seq``.
+
+    Returns ``(covers_seq, state)`` or ``None``.  Corrupt candidates
+    are skipped (counted, not fatal) — the journal can always rebuild.
+    """
+    candidates = sorted(
+        Path(directory).glob(f"{CHECKPOINT_PREFIX}*.json"),
+        key=lambda p: p.name,
+        reverse=True,
+    )
+    best: tuple[int, dict] | None = None
+    for path in candidates:
+        try:
+            payload = json.loads(path.read_text("utf-8"))
+            covers = payload["covers_seq"]
+            state = payload["state"]
+            if payload["digest"] != digest_json(state):
+                raise ValueError("digest mismatch")
+        except (ValueError, KeyError, TypeError, json.JSONDecodeError):
+            telemetry.count("durability.checkpoints.rejected")
+            continue
+        if covers <= max_seq and (best is None or covers > best[0]):
+            best = (covers, state)
+    return best

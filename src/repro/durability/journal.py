@@ -1,0 +1,196 @@
+"""The write-ahead journal: append-only JSONL, checksummed, sequenced.
+
+One record per line::
+
+    {"seq": 17, "type": "phase", "data": {...}, "check": "ab12..."}
+
+``check`` is the sha256 of the canonical JSON of ``(seq, type, data)``
+under a fixed domain string, so a flipped bit anywhere in a record is
+detected on load.  Sequence numbers are the 0,1,2,... chain; a
+duplicate or gap means two writers or a hand-edited file, and the
+journal refuses to replay rather than guess.
+
+Crash semantics (the redo-log rule):
+
+* a crash *before* ``append`` returns leaves at worst a torn final
+  line — :func:`Journal.load` classifies that as
+  :class:`~repro.errors.JournalTruncatedError` and the caller trims it
+  with ``load(..., drop_torn_tail=True)``, re-running the phase;
+* a crash *after* ``append`` returns means the record is durable
+  (``flush`` + ``fsync`` before returning) and resume restores the
+  phase's effects from the record instead of re-running it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro import telemetry
+from repro.errors import (
+    JournalCorruptError,
+    JournalEmptyError,
+    JournalSequenceError,
+    JournalTruncatedError,
+)
+
+_DOMAIN = b"mycelium.journal.v1"
+
+#: File name inside a campaign directory.
+JOURNAL_NAME = "journal.jsonl"
+
+
+def canonical_json(obj: object) -> str:
+    """Deterministic JSON: sorted keys, no whitespace, exact floats."""
+    return json.dumps(
+        obj, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def _checksum(seq: int, record_type: str, data: object) -> str:
+    h = hashlib.sha256()
+    h.update(_DOMAIN)
+    h.update(canonical_json([seq, record_type, data]).encode("utf-8"))
+    return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One durable entry."""
+
+    seq: int
+    type: str
+    data: dict
+
+    def line(self) -> str:
+        return canonical_json(
+            {
+                "seq": self.seq,
+                "type": self.type,
+                "data": self.data,
+                "check": _checksum(self.seq, self.type, self.data),
+            }
+        )
+
+
+def _parse_line(line: str, index: int, is_last: bool) -> JournalRecord:
+    try:
+        raw = json.loads(line)
+        seq = raw["seq"]
+        record_type = raw["type"]
+        data = raw["data"]
+        check = raw["check"]
+    except (json.JSONDecodeError, KeyError, TypeError) as exc:
+        if is_last:
+            raise JournalTruncatedError(
+                f"journal line {index} is incomplete (torn tail): {exc}"
+            ) from exc
+        raise JournalCorruptError(
+            f"journal line {index} is unparseable mid-file: {exc}"
+        ) from exc
+    if _checksum(seq, record_type, data) != check:
+        raise JournalCorruptError(
+            f"journal line {index} (seq {seq}) fails its checksum"
+        )
+    return JournalRecord(seq=seq, type=record_type, data=data)
+
+
+def load_records(
+    directory: str | Path, drop_torn_tail: bool = False
+) -> list[JournalRecord]:
+    """Read and validate every record in a campaign directory.
+
+    Raises the typed :class:`~repro.errors.JournalError` subclasses on
+    any defect.  ``drop_torn_tail=True`` forgives exactly one torn
+    final line (the legitimate crash-during-append case) and returns
+    the records before it.
+    """
+    path = Path(directory) / JOURNAL_NAME
+    if not path.exists():
+        raise JournalEmptyError(f"no journal at {path}")
+    lines = [
+        line for line in path.read_text("utf-8").splitlines() if line.strip()
+    ]
+    if not lines:
+        raise JournalEmptyError(f"journal at {path} has no records")
+    records: list[JournalRecord] = []
+    for index, line in enumerate(lines):
+        try:
+            record = _parse_line(line, index, is_last=index == len(lines) - 1)
+        except JournalTruncatedError:
+            if drop_torn_tail and records:
+                break
+            raise
+        expected = index
+        if any(record.seq == r.seq for r in records):
+            raise JournalSequenceError(
+                f"duplicate sequence number {record.seq} at line {index}"
+            )
+        if record.seq != expected:
+            raise JournalSequenceError(
+                f"sequence gap: expected {expected}, found {record.seq} "
+                f"at line {index}"
+            )
+        records.append(record)
+    return records
+
+
+class Journal:
+    """Append handle over a campaign directory's journal file."""
+
+    def __init__(self, directory: str | Path, fsync: bool = True):
+        self.directory = Path(directory)
+        self.path = self.directory / JOURNAL_NAME
+        self.fsync = fsync
+        self._next_seq = 0
+
+    @classmethod
+    def create(cls, directory: str | Path, fsync: bool = True) -> Journal:
+        """Start a fresh journal (the directory may not contain one)."""
+        journal = cls(directory, fsync=fsync)
+        journal.directory.mkdir(parents=True, exist_ok=True)
+        if journal.path.exists():
+            raise JournalCorruptError(
+                f"refusing to overwrite existing journal at {journal.path}"
+            )
+        journal.path.touch()
+        return journal
+
+    @classmethod
+    def resume(
+        cls, directory: str | Path, fsync: bool = True
+    ) -> tuple[Journal, list[JournalRecord]]:
+        """Validate the existing journal and position for appends.
+
+        A torn final line (crash during append) is trimmed from the
+        file — the interrupted phase simply re-runs; any other defect
+        raises.
+        """
+        records = load_records(directory, drop_torn_tail=True)
+        journal = cls(directory, fsync=fsync)
+        journal._next_seq = len(records)
+        # Physically trim a torn tail so future appends extend a clean
+        # prefix.
+        content = "".join(r.line() + "\n" for r in records)
+        journal.path.write_text(content, "utf-8")
+        return journal, records
+
+    def append(self, record_type: str, data: dict) -> JournalRecord:
+        """Durably add one record; returns once it is on disk."""
+        record = JournalRecord(
+            seq=self._next_seq, type=record_type, data=data
+        )
+        line = record.line() + "\n"
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(line)
+            fh.flush()
+            if self.fsync:
+                os.fsync(fh.fileno())
+                telemetry.count("durability.journal.fsyncs")
+        self._next_seq += 1
+        telemetry.count("durability.journal.appends")
+        telemetry.count("durability.journal.bytes", len(line))
+        return record

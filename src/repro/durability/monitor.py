@@ -1,0 +1,82 @@
+"""Committee health monitoring: liveness pings + emergency resharing.
+
+§6.5: "If there aren't enough members for liveness, we simply have to
+wait for some amount of time before enough members are back."  A
+long-lived campaign cannot only wait, though — if churn keeps eating
+members, the committee must hand the key to a healthier one *while it
+still has a decryption quorum*.  The monitor pings every member through
+the fault injector's churn windows (a pure function of the plan and the
+campaign clock, hence replayable) and reports:
+
+* ``quorate`` — at least ``threshold`` members live: decryption can run;
+* ``needs_reshare`` — live membership has decayed to the threshold (no
+  slack left): trigger an emergency reshare now, with the live members
+  as dealers, before the next member loss makes the key unreachable
+  until churn reverses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import telemetry
+from repro.core.committee import Committee
+from repro.faults.injector import FaultInjector
+
+
+@dataclass(frozen=True)
+class HealthReport:
+    """One round's ping sweep over the committee."""
+
+    round: int
+    live: tuple[int, ...]
+    down: tuple[int, ...]
+    threshold: int
+
+    @property
+    def quorate(self) -> bool:
+        return len(self.live) >= self.threshold
+
+    @property
+    def needs_reshare(self) -> bool:
+        """Live membership is at (or below) the liveness threshold —
+        one more loss and the key is unreachable until churn reverses."""
+        return bool(self.down) and len(self.live) <= self.threshold
+
+
+class CommitteeHealthMonitor:
+    """Pings committee members against the fault plan's churn windows."""
+
+    def __init__(self, injector: FaultInjector | None):
+        self.injector = injector
+
+    def ping(self, committee: Committee, round_number: int) -> HealthReport:
+        member_ids = [m.device_id for m in committee.members]
+        if self.injector is None:
+            live, down = member_ids, []
+        else:
+            telemetry.count("durability.monitor.pings", len(member_ids))
+            live = [
+                d
+                for d in member_ids
+                if self.injector.device_online(d, round_number)
+            ]
+            down = [d for d in member_ids if d not in live]
+        return HealthReport(
+            round=round_number,
+            live=tuple(live),
+            down=tuple(down),
+            threshold=committee.threshold,
+        )
+
+    def live_devices(
+        self, num_devices: int, round_number: int
+    ) -> list[int]:
+        """All live devices — the electorate for an emergency reshare."""
+        if self.injector is None:
+            return list(range(num_devices))
+        return [
+            d
+            for d in range(num_devices)
+            if self.injector.device_online(d, round_number)
+        ]

@@ -74,3 +74,47 @@ class UnsupportedQueryError(QueryError):
 class PrivacyBudgetExceeded(MyceliumError):
     """Running the query would exceed the remaining differential-privacy
     budget."""
+
+
+class DurabilityError(MyceliumError):
+    """The write-ahead journal or campaign recovery layer failed."""
+
+
+class JournalError(DurabilityError):
+    """The on-disk journal is unusable in its current form."""
+
+
+class JournalEmptyError(JournalError):
+    """The journal file is missing or contains no records."""
+
+
+class JournalTruncatedError(JournalError):
+    """The final journal record is incomplete (torn write at crash)."""
+
+
+class JournalCorruptError(JournalError):
+    """A non-final record is unparseable or fails its checksum."""
+
+
+class JournalSequenceError(JournalError):
+    """Record sequence numbers are not the expected 0,1,2,... chain
+    (duplicate or gap), so the journal cannot be replayed."""
+
+
+class CampaignResumeError(DurabilityError):
+    """Replaying the journal produced state inconsistent with the
+    recorded digests — the journal and the code disagree."""
+
+
+class CoordinatorCrash(MyceliumError):
+    """A simulated coordinator process kill (fault injection / --kill-at).
+
+    Raised *after* any in-flight journal record is durable, so a resumed
+    campaign continues from exactly this boundary.
+    """
+
+    def __init__(self, phase: str, query_index: int | None = None):
+        self.phase = phase
+        self.query_index = query_index
+        where = phase if query_index is None else f"{phase} (query {query_index})"
+        super().__init__(f"coordinator killed at {where}")

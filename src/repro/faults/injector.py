@@ -184,3 +184,26 @@ class FaultInjector:
             self._record(FaultKind.COMMITTEE_CORRUPT, len(corrupt))
             telemetry.count("faults.committee.dropouts", len(corrupt))
         return corrupt
+
+    # -- liveness pings (campaign health monitor) ---------------------------
+
+    def device_online(self, device_id: int, round_number: int) -> bool:
+        """One liveness ping: is the device inside any of its churn
+        windows at this round?  Pure function of (plan, round), so a
+        resumed campaign re-derives the same answer."""
+        return not any(
+            w.covers(round_number)
+            for w in self._windows.get(device_id, ())
+        )
+
+    # -- process-level coordinator faults -----------------------------------
+
+    def coordinator_crash_due(self, query_index: int, phase: str) -> bool:
+        """Whether the plan kills the coordinator at this boundary.
+        Recording is the caller's job (via :meth:`record_coordinator_crash`)
+        once the crash actually fires — a resumed run consults the journal
+        and skips boundaries it already died at."""
+        return self.plan.kills_coordinator_at(query_index, phase)
+
+    def record_coordinator_crash(self) -> None:
+        self._record(FaultKind.COORDINATOR_CRASH)

@@ -33,6 +33,7 @@ class FaultKind(enum.Enum):
     WIRE_CORRUPT = "wire-corrupt"
     COMMITTEE_DROPOUT = "committee-dropout"
     COMMITTEE_CORRUPT = "committee-corrupt"
+    COORDINATOR_CRASH = "coordinator-crash"
 
 
 @dataclass(frozen=True)
@@ -74,6 +75,11 @@ class FaultPlan:
     #: Committee members that return corrupted partial decryptions,
     #: routed into ``robust_threshold_decrypt`` (§5).
     corrupt_committee: tuple[int, ...] = ()
+    #: Process-level coordinator kills: ``(query_index, phase)`` pairs.
+    #: The campaign runner raises :class:`repro.errors.CoordinatorCrash`
+    #: right after that phase's journal record is durable; a resumed run
+    #: sees the record in the journal and does not crash again.
+    coordinator_kills: tuple[tuple[int, str], ...] = ()
 
     def __post_init__(self) -> None:
         total = self.wire_drop_rate + self.wire_delay_rate + self.wire_corrupt_rate
@@ -105,6 +111,10 @@ class FaultPlan:
         """Devices whose ``online`` flag the injector owns."""
         return frozenset(w.device_id for w in self.churn_windows)
 
+    def kills_coordinator_at(self, query_index: int, phase: str) -> bool:
+        """Whether the coordinator process dies at this phase boundary."""
+        return (query_index, phase) in self.coordinator_kills
+
     @classmethod
     def generate(
         cls,
@@ -127,6 +137,7 @@ class FaultPlan:
         committee_dropouts: tuple[int, ...] = (),
         committee_offline_attempts: int = 2,
         corrupt_committee: tuple[int, ...] = (),
+        coordinator_kills: tuple[tuple[int, str], ...] = (),
     ) -> FaultPlan:
         """Sample a plan: iid per-window churn plus the given wire rates.
 
@@ -178,4 +189,5 @@ class FaultPlan:
             committee_dropouts=tuple(committee_dropouts),
             committee_offline_attempts=committee_offline_attempts,
             corrupt_committee=tuple(corrupt_committee),
+            coordinator_kills=tuple(coordinator_kills),
         )

@@ -315,6 +315,62 @@ METRICS: dict[str, MetricSpec] = _specs(
         "audit.shrink.executions", COUNTER, "runs",
         "trial executions spent minimizing failing cases to reproducers",
     ),
+    # -- durable campaign runtime (repro.durability) -----------------------
+    MetricSpec(
+        "durability.journal.appends", COUNTER, "records",
+        "records durably appended to a campaign's write-ahead journal",
+    ),
+    MetricSpec(
+        "durability.journal.bytes", COUNTER, "bytes",
+        "bytes written to the write-ahead journal (checksummed lines)",
+    ),
+    MetricSpec(
+        "durability.journal.fsyncs", COUNTER, "syncs",
+        "fsync barriers issued by journal appends (one per record "
+        "unless fsync is disabled for benchmarking)",
+    ),
+    MetricSpec(
+        "durability.resume.replayed", COUNTER, "records",
+        "journaled phases restored (not re-run) while resuming a "
+        "crashed campaign",
+    ),
+    MetricSpec(
+        "durability.checkpoints.written", COUNTER, "checkpoints",
+        "sidecar checkpoint snapshots written between queries",
+    ),
+    MetricSpec(
+        "durability.checkpoints.rejected", COUNTER, "checkpoints",
+        "corrupt or unreadable checkpoint candidates skipped on resume "
+        "(resume falls back to full journal replay)",
+    ),
+    MetricSpec(
+        "durability.campaign.queries", COUNTER, "queries",
+        "campaign queries driven to release through the phase loop",
+    ),
+    MetricSpec(
+        "durability.campaign.crashes", COUNTER, "crashes",
+        "coordinator kills taken at phase boundaries (KillSpec or "
+        "fault-plan driven)",
+    ),
+    MetricSpec(
+        "durability.handoffs.committed", COUNTER, "handoffs",
+        "epoch handoffs atomically committed through the journal "
+        "(scheduled rotations plus emergency reshares)",
+    ),
+    MetricSpec(
+        "durability.reshares.emergency", COUNTER, "reshares",
+        "handoffs triggered by the health monitor because live "
+        "committee membership decayed to the liveness threshold",
+    ),
+    MetricSpec(
+        "durability.monitor.pings", COUNTER, "pings",
+        "committee liveness pings issued through the fault injector",
+    ),
+    MetricSpec(
+        "durability.monitor.quorum_wait_rounds", COUNTER, "C-rounds",
+        "C-rounds the campaign clock advanced while waiting for a "
+        "decryption or dealer quorum (§6.5 wait-and-retry)",
+    ),
 )
 
 
@@ -386,6 +442,21 @@ SPANS: dict[str, SpanSpec] = {
             "audit.trial", "audit.run",
             "one generated trial through its oracle and checks; "
             "attributes: kind, index",
+        ),
+        SpanSpec(
+            "campaign.run", None,
+            "one durable campaign execution (fresh or resumed) through "
+            "the write-ahead journal; attributes: queries, resumed",
+        ),
+        SpanSpec(
+            "campaign.resume", "campaign.run",
+            "journal validation, checkpoint fast-forward, and seeded "
+            "state replay before the phase loop continues",
+        ),
+        SpanSpec(
+            "campaign.phase", "campaign.run",
+            "one journaled phase of one campaign query (run live or "
+            "restored from its record); attributes: query, phase",
         ),
     )
 }

@@ -1,0 +1,65 @@
+"""Injectable wall clock for protocol code paths.
+
+Protocol modules must never read ``time.perf_counter()`` directly: a
+journal replay or an audit trial that re-runs a phase would observe a
+*different* wall-clock reading than the original run, which turns
+timing telemetry into a replay-nondeterminism seam.  Instead they call
+:func:`perf_counter` here, and replay/audit harnesses install a
+deterministic clock for the duration of the re-execution::
+
+    from repro.telemetry import clock
+
+    with clock.fixed(step=0.0):
+        ...  # committee.decrypt.seconds observes 0.0, bit-identical
+
+The default clock is the real ``time.perf_counter`` — live runs keep
+meaningful timing histograms.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+_clock: Callable[[], float] = time.perf_counter
+
+
+def perf_counter() -> float:
+    """The current (possibly injected) monotonic reading, in seconds."""
+    return _clock()
+
+
+def set_clock(fn: Callable[[], float]) -> None:
+    """Install ``fn`` as the clock source (tests/replay only)."""
+    global _clock
+    _clock = fn
+
+
+def reset_clock() -> None:
+    """Restore the real ``time.perf_counter``."""
+    global _clock
+    _clock = time.perf_counter
+
+
+@contextmanager
+def fixed(start: float = 0.0, step: float = 0.0) -> Iterator[None]:
+    """Deterministic clock: reading i returns ``start + i * step``.
+
+    With the default ``step=0.0`` every duration computed from two
+    readings is exactly ``0.0`` — the bit-identical choice for journal
+    replay and audit trials.
+    """
+    ticks = {"n": 0}
+
+    def fake() -> float:
+        value = start + ticks["n"] * step
+        ticks["n"] += 1
+        return value
+
+    previous = _clock
+    set_clock(fake)
+    try:
+        yield
+    finally:
+        set_clock(previous)

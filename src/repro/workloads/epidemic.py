@@ -74,3 +74,50 @@ def run_epidemic(
         "infected": len(infection_day),
         "transmissions": transmissions,
     }
+
+
+# ---------------------------------------------------------------------------
+# Campaign workloads (repro.durability)
+# ---------------------------------------------------------------------------
+
+#: The epidemic surveillance campaign: a rotating sequence of cheap
+#: 1-hop catalog queries a health authority would run day after day over
+#: the same contact graph.  Catalog ids are resolved by the campaign
+#: runner; the cycle keeps every campaign length covered by feasible
+#: TEST-profile queries.
+CAMPAIGN_QUERY_CYCLE: tuple[str, ...] = ("Q5", "Q4", "Q2")
+
+
+def campaign_queries(
+    num_queries: int, epsilon: float = 0.5
+) -> tuple[tuple[str, float], ...]:
+    """The default epidemic campaign: ``num_queries`` (query, epsilon)
+    pairs cycling through :data:`CAMPAIGN_QUERY_CYCLE`."""
+    return tuple(
+        (CAMPAIGN_QUERY_CYCLE[i % len(CAMPAIGN_QUERY_CYCLE)], epsilon)
+        for i in range(num_queries)
+    )
+
+
+def build_campaign_graph(
+    people: int, degree: int, rng: random.Random
+) -> ContactGraph:
+    """The campaign's contact graph: households plus an epidemic, with
+    edge attributes clamped into the TEST schema's value ranges.
+
+    Deterministic given ``rng`` — the campaign runner derives it from
+    the master seed (``derive_rng(master, "workload")``) so a resumed
+    process rebuilds the identical graph.
+    """
+    from repro.workloads.graphgen import generate_household_graph
+
+    graph = generate_household_graph(
+        people, degree_bound=degree, rng=rng, external_contacts=1
+    )
+    run_epidemic(graph, rng)
+    for u in range(graph.num_vertices):
+        for v in graph.neighbors(u):
+            edge = graph.edge(u, v)
+            edge["duration"] = min(edge["duration"], 20)
+            edge["contacts"] = min(edge["contacts"], 8)
+    return graph
