@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench chaos audit docs-check
+.PHONY: test bench chaos audit docs-check cli-docs
 
 test:
 	$(PYTHON) -m pytest tests/ -q
@@ -21,6 +21,11 @@ chaos:
 audit:
 	$(PYTHON) -m repro audit --seed 0 --trials 50 --shrink
 	$(PYTHON) -m repro audit --self-test
+
+# Regenerate docs/CLI.md from the live argparse tree.
+# tests/cli/test_cli_docs.py fails CI when this file is stale.
+cli-docs:
+	$(PYTHON) -m repro.clidocs
 
 # Verify docs/OBSERVABILITY.md matches the declared telemetry catalog,
 # that every declared name has a live instrumentation site, and that no

@@ -1,0 +1,175 @@
+"""Sustained multi-client traffic through the query service.
+
+The service promises goodput under concurrency *without* budget
+over-admission (``docs/SERVICE.md``).  This benchmark opens several
+``ServiceClient`` socket connections against one in-process
+``QueryService`` and drives a seeded closed-loop stream: each client
+submits its next query as soon as the previous one resolves, so the
+admission queue, the round batcher, and the frame protocol all stay
+under continuous load.  It reports queries/sec plus the p50/p90/p99
+latency the ``ResultStream`` computed, and asserts the two service
+invariants — every submission accounted for, epsilon ledger conserved.
+
+Quick mode (the CI smoke) shrinks the stream to finish in well under
+30 seconds::
+
+    PYTHONPATH=src python benchmarks/bench_service_traffic.py --quick
+
+Both modes write the usual ``BENCH_*.json`` (schema v2) record with the
+``service.*`` telemetry snapshot alongside the report lines.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import os
+import sys
+import time
+from pathlib import Path
+
+if __package__ in (None, ""):  # invoked as a script: --quick smoke
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+from benchmarks.conftest import format_table
+from repro.service import QueryService, ServiceConfig
+from repro.service.client import ServiceClient
+from repro.workloads.epidemic import campaign_queries
+
+PEOPLE, DEGREE, SEED = 8, 3, 7
+EPSILON_PER_QUERY = 0.1
+
+
+def _quick() -> bool:
+    return os.environ.get("MYCELIUM_BENCH_QUICK") == "1"
+
+
+def _load() -> tuple[int, int]:
+    """(clients, submissions per client) for the selected mode."""
+    return (2, 3) if _quick() else (4, 6)
+
+
+async def _drive(tmp_path) -> dict:
+    clients, per_client = _load()
+    total = clients * per_client
+    config = ServiceConfig(
+        master_seed=SEED,
+        people=PEOPLE,
+        degree=DEGREE,
+        # Sized so the whole stream is admissible: goodput is measured
+        # on successes; rejection behaviour is covered by tests/service.
+        total_epsilon=total * EPSILON_PER_QUERY + 1.0,
+        max_batch=4,
+        max_inflight=total,
+        directory=str(tmp_path),
+        fsync=False,  # price the service, not the disk
+    )
+    service = QueryService(config)
+    server = await service.serve(port=0)
+    port = server.sockets[0].getsockname()[1]
+    stream = campaign_queries(per_client)
+
+    async def one_client(index: int) -> list[dict]:
+        client = await ServiceClient.connect(port=port)
+        outcomes = []
+        try:
+            for turn, (name, _eps) in enumerate(stream):
+                outcomes.append(
+                    await client.submit(
+                        name,
+                        EPSILON_PER_QUERY,
+                        label=f"c{index}-t{turn}-{name}",
+                    )
+                )
+        finally:
+            await client.close()
+        return outcomes
+
+    started = time.perf_counter()
+    per_client_outcomes = await asyncio.gather(
+        *(one_client(i) for i in range(clients))
+    )
+    wall = time.perf_counter() - started
+    stats = service.stats()
+    await service.shutdown()
+    outcomes = [o for group in per_client_outcomes for o in group]
+    return {
+        "clients": clients,
+        "total": total,
+        "wall": wall,
+        "outcomes": outcomes,
+        "stats": stats,
+    }
+
+
+def test_sustained_traffic(benchmark, report, tmp_path):
+    run: dict = {}
+
+    def drive():
+        run.update(asyncio.run(_drive(tmp_path)))
+        return run
+
+    benchmark.pedantic(drive, rounds=1, iterations=1)
+
+    stats = run["stats"]
+    summary = stats["results"]
+    qps = run["total"] / run["wall"]
+    mode = "quick" if _quick() else "full"
+    report(
+        *format_table(
+            f"Service traffic ({mode}: {run['clients']} clients x "
+            f"{run['total'] // run['clients']} queries, {PEOPLE} devices, "
+            f"TEST ring)",
+            ["metric", "value"],
+            [
+                ["completed queries", summary["completed"]],
+                ["wall seconds", run["wall"]],
+                ["goodput (queries/s)", qps],
+                ["rounds", stats["scheduler"]["rounds"]],
+                ["p50 latency (s)", summary["p50_seconds"]],
+                ["p90 latency (s)", summary["p90_seconds"]],
+                ["p99 latency (s)", summary["p99_seconds"]],
+            ],
+        ),
+        f"ledger: spent {stats['budget']['spent']:.3f} / "
+        f"{stats['budget']['total_epsilon']:.3f} epsilon, "
+        f"conserved={stats['budget']['conserved']}",
+    )
+
+    # Every submission resolved with a payload and a round assignment.
+    assert len(run["outcomes"]) == run["total"]
+    assert summary["completed"] == run["total"]
+    assert summary["failed"] == 0
+    assert all("result" in o and "round" in o for o in run["outcomes"])
+
+    # Zero over-admission: the ledger is conserved, matches the stream
+    # exactly, and stayed within the deployment's epsilon.
+    budget = stats["budget"]
+    assert budget["conserved"]
+    expected = math.fsum([EPSILON_PER_QUERY] * run["total"])
+    assert budget["spent"] == expected
+    assert budget["spent"] <= budget["total_epsilon"]
+    assert stats["admitted"] == run["total"]
+    assert stats["rejected_budget"] == 0
+
+    # Batching happened: fewer rounds than queries (the §3.4 win).
+    assert 0 < stats["scheduler"]["rounds"] < run["total"]
+
+
+if __name__ == "__main__":
+    import argparse
+
+    import pytest
+
+    parser = argparse.ArgumentParser(
+        description="sustained service traffic benchmark"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="shrunken stream for CI smoke (finishes in <30s)",
+    )
+    cli_args = parser.parse_args()
+    if cli_args.quick:
+        os.environ["MYCELIUM_BENCH_QUICK"] = "1"
+    raise SystemExit(pytest.main([__file__, "-q"]))

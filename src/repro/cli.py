@@ -10,6 +10,7 @@
     python -m repro audit --seed 0 --trials 50 --shrink
     python -m repro campaign --dir /tmp/c --num-queries 3
     python -m repro campaign --dir /tmp/c --resume
+    python -m repro serve --port 7844 --max-inflight 64
 
 ``run`` generates a synthetic epidemic workload, stands up a deployment
 at the TEST ring, and executes the query end to end; ``figures`` prints
@@ -21,7 +22,13 @@ differential-testing and invariant-audit harness (see
 ``docs/CORRECTNESS.md``); ``campaign`` runs a durable multi-query
 campaign through the write-ahead journal — killable at any phase
 boundary (exit code 42) and resumable bit-identically with ``--resume``
-(see ``docs/RESILIENCE.md``).
+(see ``docs/RESILIENCE.md``); ``serve`` runs the long-lived asyncio
+query service with DP admission control over a localhost socket (see
+``docs/SERVICE.md``).
+
+The full generated reference for every subcommand lives in
+``docs/CLI.md`` (regenerate with ``make cli-docs``; a test keeps it in
+sync).
 """
 
 from __future__ import annotations
@@ -446,6 +453,67 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.runtime import RuntimeConfig
+    from repro.service import QueryService, ServiceConfig
+
+    base = RuntimeConfig.from_env()
+    runtime = RuntimeConfig(
+        workers=args.workers if args.workers is not None else base.workers,
+        backend=args.backend if args.backend is not None else base.backend,
+        chunk_size=base.chunk_size,
+    )
+    config = ServiceConfig(
+        master_seed=args.seed,
+        people=args.people,
+        degree=args.degree,
+        total_epsilon=args.total_epsilon,
+        rotate_every=args.rotate_every,
+        max_batch=args.max_batch,
+        max_inflight=args.max_inflight,
+        directory=args.dir,
+        fsync=not args.no_fsync,
+    )
+
+    async def main() -> int:
+        service = QueryService(config, runtime=runtime)
+        server = await service.serve(args.host, args.port)
+        host, port = server.sockets[0].getsockname()[:2]
+        print(f"mycelium query service on {host}:{port}")
+        print(
+            f"  deployment: people={config.people} "
+            f"epsilon-budget={config.total_epsilon} "
+            f"max-batch={config.max_batch} "
+            f"max-inflight={config.max_inflight}"
+        )
+        print(f"  round journals under {service.directory}")
+        print("  Ctrl-C drains in-flight rounds and exits")
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            print("draining…")
+            await service.shutdown()
+            stats = service.stats()
+            budget = stats["budget"]
+            print(
+                f"served {stats['admitted']} queries over "
+                f"{stats['scheduler']['rounds']} rounds; "
+                f"epsilon spent {budget['spent']:.3f}/"
+                f"{budget['total_epsilon']} "
+                f"(ledger conserved: {budget['conserved']})"
+            )
+        return 0
+
+    try:
+        return asyncio.run(main())
+    except KeyboardInterrupt:
+        return 0
+
+
 def cmd_audit(args: argparse.Namespace) -> int:
     from repro.audit.runner import run_audit, run_self_test
 
@@ -619,6 +687,49 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--backend", default=None)
     campaign.add_argument("--workers", type=int, default=None)
     campaign.set_defaults(fn=cmd_campaign)
+
+    serve = sub.add_parser(
+        "serve",
+        help="long-lived asyncio query service: budget-gated admission, "
+        "batched journaled rounds, localhost frame protocol "
+        "(docs/SERVICE.md)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=7844,
+        help="listening port (0 picks a free port and prints it)",
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=64,
+        help="bound of the admission queue; submissions past this get a "
+        "queue_full rejection (backpressure)",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=4,
+        help="most submissions batched into one scheduled round",
+    )
+    serve.add_argument("--seed", type=int, default=7)
+    serve.add_argument("--people", type=int, default=8)
+    serve.add_argument("--degree", type=int, default=3)
+    serve.add_argument(
+        "--total-epsilon", type=float, default=10.0,
+        help="the deployment's epsilon ledger; admission rejects past it",
+    )
+    serve.add_argument(
+        "--rotate-every", type=int, default=0,
+        help="VSR handoff cadence inside each round's campaign (0 = never)",
+    )
+    serve.add_argument(
+        "--dir", default=None,
+        help="root for per-round campaign journals (default: a tempdir)",
+    )
+    serve.add_argument(
+        "--no-fsync", action="store_true",
+        help="skip per-record journal fsync (benchmarking only)",
+    )
+    serve.add_argument("--backend", default=None)
+    serve.add_argument("--workers", type=int, default=None)
+    serve.set_defaults(fn=cmd_serve)
 
     audit = sub.add_parser(
         "audit",

@@ -1,0 +1,98 @@
+"""Generate ``docs/CLI.md`` from the live argparse tree.
+
+The CLI reference is *generated*, never hand-edited: this module renders
+``python -m repro --help`` plus every subcommand's ``--help`` into one
+markdown document, deterministically (help text wraps at a pinned
+terminal width, so the output is byte-stable across machines).
+
+* ``make cli-docs`` — regenerate ``docs/CLI.md`` in place;
+* ``tests/cli/test_cli_docs.py`` — asserts the committed file matches a
+  fresh render, so a CLI change that forgets to regenerate fails CI.
+
+Keeping the reference generated is what keeps it honest: the argparse
+tree in :mod:`repro.cli` is the single source of truth, and the doc can
+never describe a flag that does not exist.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro.cli import build_parser
+
+#: Pinned help-text wrap width; argparse consults COLUMNS, so rendering
+#: must not depend on the invoking terminal.
+RENDER_COLUMNS = 80
+
+HEADER = """\
+# CLI reference
+
+<!-- GENERATED FILE - DO NOT EDIT.
+     Regenerate with `make cli-docs` (python -m repro.clidocs).
+     tests/cli/test_cli_docs.py fails if this file is stale. -->
+
+Every command below is `python -m repro <command>`.  This file is
+rendered from the live argparse definitions in `src/repro/cli.py`;
+see `src/repro/clidocs.py` for the generator.
+"""
+
+
+def _render_help(parser) -> str:
+    import os
+
+    saved = os.environ.get("COLUMNS")
+    os.environ["COLUMNS"] = str(RENDER_COLUMNS)
+    try:
+        return parser.format_help()
+    finally:
+        if saved is None:
+            os.environ.pop("COLUMNS", None)
+        else:
+            os.environ["COLUMNS"] = saved
+
+
+def render_cli_reference() -> str:
+    """The full markdown document, as a string."""
+    parser = build_parser()
+    sections = [HEADER]
+    sections.append(
+        "## repro\n\n```text\n" + _render_help(parser).rstrip() + "\n```\n"
+    )
+    subparsers = [
+        action
+        for action in parser._subparsers._group_actions  # noqa: SLF001
+        if hasattr(action, "choices")
+    ]
+    seen: set[int] = set()
+    for action in subparsers:
+        for name, sub in action.choices.items():
+            if id(sub) in seen:  # aliases share one parser object
+                continue
+            seen.add(id(sub))
+            sections.append(
+                f"## repro {name}\n\n```text\n"
+                + _render_help(sub).rstrip()
+                + "\n```\n"
+            )
+    return "\n".join(sections)
+
+
+def main(argv: list[str] | None = None) -> int:
+    target = Path(__file__).resolve().parents[2] / "docs" / "CLI.md"
+    if argv and argv[0] == "--check":
+        current = target.read_text() if target.exists() else ""
+        if current != render_cli_reference():
+            print(
+                f"{target} is stale; run `make cli-docs`", file=sys.stderr
+            )
+            return 1
+        print(f"{target} is up to date")
+        return 0
+    target.write_text(render_cli_reference())
+    print(f"wrote {target}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -106,6 +106,39 @@ class CampaignResumeError(DurabilityError):
     recorded digests — the journal and the code disagree."""
 
 
+class ServiceError(MyceliumError):
+    """The long-lived query service failed or refused a request."""
+
+
+class AdmissionRejected(ServiceError):
+    """A submission was refused at the service's admission gate.
+
+    Subclasses say why; every rejection is returned to the client as a
+    typed error frame (``docs/SERVICE.md``) instead of entering the
+    scheduler.  The privacy-budget ledger is never charged for a
+    rejected submission.
+    """
+
+
+class BudgetRejected(AdmissionRejected):
+    """Admitting the submission would push the epsilon ledger past the
+    service's total budget (checked and charged atomically by the
+    :class:`repro.service.admission.AdmissionController`)."""
+
+
+class QueueFullRejected(AdmissionRejected):
+    """The bounded admission queue is full — backpressure: retry later."""
+
+
+class ServiceShutdown(ServiceError):
+    """The service is draining or stopped and accepts no new work."""
+
+
+class FrameError(ServiceError):
+    """A wire frame violated the length-prefixed JSON protocol
+    (oversized, truncated, or not a JSON object)."""
+
+
 class CoordinatorCrash(MyceliumError):
     """A simulated coordinator process kill (fault injection / --kill-at).
 

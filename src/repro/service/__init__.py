@@ -1,0 +1,41 @@
+"""The long-lived asyncio query service (ROADMAP item 1).
+
+This package turns the one-shot ``run_query()`` / ``CampaignRunner``
+pipeline into a persistent, budget-gated service boundary:
+
+* :mod:`repro.service.service` — :class:`QueryService`: the asyncio
+  orchestrator, its in-process client API, and the localhost socket
+  server;
+* :mod:`repro.service.admission` — :class:`AdmissionController`: atomic
+  DP admission against the deployment's epsilon ledger;
+* :mod:`repro.service.scheduler` — :class:`Scheduler`: bounded-queue
+  batching of compatible queries into journaled campaign rounds;
+* :mod:`repro.service.results` — :class:`ResultStream`: per-query
+  results plus latency/goodput percentiles;
+* :mod:`repro.service.protocol` — the length-prefixed JSON frame
+  protocol;
+* :mod:`repro.service.client` — :class:`ServiceClient`, the reference
+  socket client.
+
+Operator and client documentation: ``docs/SERVICE.md``.  Run a server
+with ``python -m repro serve``; measure sustained traffic with
+``benchmarks/bench_service_traffic.py``.
+"""
+
+from repro.service.admission import AdmissionController
+from repro.service.client import ServiceClient
+from repro.service.results import CompletedQuery, ResultStream, percentile
+from repro.service.scheduler import Scheduler, Submission
+from repro.service.service import QueryService, ServiceConfig
+
+__all__ = [
+    "AdmissionController",
+    "CompletedQuery",
+    "QueryService",
+    "ResultStream",
+    "Scheduler",
+    "ServiceClient",
+    "ServiceConfig",
+    "Submission",
+    "percentile",
+]

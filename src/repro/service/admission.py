@@ -1,0 +1,115 @@
+"""DP admission control: the atomic gate in front of the scheduler.
+
+The controller owns the service's :class:`repro.dp.PrivacyBudget` — the
+*authoritative* epsilon ledger for the whole deployment — and makes the
+admit-or-reject decision for every submission.  The decision and the
+ledger charge are one atomic step under an :class:`asyncio.Lock`: the
+affordability check, the charge, and the enqueue into the scheduler's
+bounded queue all happen inside the same critical section, so two
+submissions racing through ``asyncio.gather`` can never both be admitted
+when only one fits the remaining budget.
+
+The bug class this guards against is real: an earlier draft checked
+``can_afford`` at submission time and charged at round-formation time,
+with scheduler awaits in between — two concurrent submissions both saw
+the full remaining budget and both got an "admitted" reply, and the
+loser later died deep inside the round with a raw
+:class:`~repro.errors.PrivacyBudgetExceeded` instead of a clean
+rejection.  ``tests/service/test_admission.py`` keeps the regression
+pinned: it widens the check-to-charge window with :attr:`race_window`
+and asserts exactly one of two simultaneous submissions is admitted.
+
+Rejections are typed (``docs/SERVICE.md`` documents the client-visible
+contract): :class:`~repro.errors.BudgetRejected` when the ledger cannot
+afford the epsilon, :class:`~repro.errors.QueueFullRejected` when the
+bounded queue pushes back — in which case the just-made charge is rolled
+back, keeping the ledger conserved.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+from typing import Awaitable, Callable
+
+from repro import telemetry
+from repro.dp.budget import PrivacyBudget
+from repro.errors import BudgetRejected
+
+
+class AdmissionController:
+    """Atomic check-charge-enqueue admission against one epsilon ledger."""
+
+    def __init__(self, budget: PrivacyBudget):
+        self.budget = budget
+        self._lock = asyncio.Lock()
+        self.admitted = 0
+        self.rejected_budget = 0
+        #: Test hook: an awaitable factory awaited between the
+        #: affordability check and the charge, *inside* the lock.  The
+        #: atomicity regression test sets this to ``asyncio.sleep(0)``
+        #: to widen the race window that an unlocked implementation
+        #: loses; production leaves it ``None``.
+        self.race_window: Callable[[], Awaitable[None]] | None = None
+
+    @property
+    def remaining(self) -> float:
+        return self.budget.remaining
+
+    @property
+    def spent(self) -> float:
+        return self.budget.spent
+
+    def ledger(self) -> list[tuple[str, float]]:
+        """A copy of the charge history ``(label, epsilon)``."""
+        return list(self.budget.history)
+
+    def conserved(self) -> bool:
+        """The audited invariant: ``fsum(history) <= total_epsilon``."""
+        return (
+            math.fsum(eps for _, eps in self.budget.history)
+            <= self.budget.total_epsilon
+        )
+
+    async def admit(
+        self,
+        epsilon: float,
+        label: str,
+        enqueue: Callable[[], None] | None = None,
+    ) -> None:
+        """Admit one submission or raise a typed rejection.
+
+        ``enqueue`` (if given) runs inside the critical section after
+        the charge; if it raises — the scheduler queue is full — the
+        charge is rolled back before the exception propagates, so a
+        rejected submission never leaves a ledger entry behind.
+        """
+        async with self._lock:
+            with telemetry.span("service.admit", epsilon=epsilon):
+                if self.race_window is not None:
+                    await self.race_window()
+                if not self.budget.can_afford(epsilon):
+                    self.rejected_budget += 1
+                    telemetry.count("service.rejected.budget")
+                    raise BudgetRejected(
+                        f"query {label!r} needs epsilon={epsilon} but only "
+                        f"{self.budget.remaining:.4f} of "
+                        f"{self.budget.total_epsilon} remains"
+                    )
+                self.budget.charge(epsilon, label)
+                if enqueue is not None:
+                    try:
+                        enqueue()
+                    except Exception:
+                        self._rollback(label, epsilon)
+                        raise
+                self.admitted += 1
+                telemetry.count("service.admitted.total")
+
+    def _rollback(self, label: str, epsilon: float) -> None:
+        """Undo the charge just made in this critical section."""
+        assert self.budget.history and self.budget.history[-1] == (
+            label,
+            epsilon,
+        ), "rollback outside the admitting critical section"
+        self.budget.history.pop()

@@ -1,0 +1,136 @@
+"""The reference frame-protocol client for the query service.
+
+``ServiceClient`` multiplexes any number of concurrent ``submit`` calls
+over one localhost connection: every request carries a client-assigned
+``id``, a background reader task dispatches response frames to the
+matching awaiting future, and server-side error frames are re-raised as
+the same typed exceptions the in-process API throws (see
+:data:`repro.service.protocol.ERROR_CODES`).
+
+Usage (also in ``docs/SERVICE.md``)::
+
+    client = await ServiceClient.connect("127.0.0.1", 7844)
+    try:
+        outcome = await client.submit("Q5", epsilon=0.5)
+        print(outcome["result"], outcome["latency_seconds"])
+    finally:
+        await client.close()
+
+Because responses are matched by id, a batch of submissions can ride
+one connection::
+
+    outcomes = await asyncio.gather(
+        *(client.submit("Q5", epsilon=0.25) for _ in range(4)),
+        return_exceptions=True,   # budget rejections arrive as exceptions
+    )
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+
+from repro.errors import ServiceError
+from repro.service import protocol
+
+
+class ServiceClient:
+    """One multiplexed frame-protocol connection to a QueryService."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ):
+        self._reader = reader
+        self._writer = writer
+        self._ids = itertools.count(1)
+        self._pending: dict[int, asyncio.Future] = {}
+        self._write_lock = asyncio.Lock()
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+
+    @classmethod
+    async def connect(
+        cls, host: str = "127.0.0.1", port: int = 7844
+    ) -> "ServiceClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    # -- request plumbing ----------------------------------------------------
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                frame = await protocol.read_frame(self._reader)
+                if frame is None:
+                    break
+                future = self._pending.pop(frame.get("id"), None)
+                if future is None or future.done():
+                    continue
+                if frame.get("type") == "error":
+                    future.set_exception(
+                        protocol.exception_for_code(
+                            frame.get("code", "service_error"),
+                            frame.get("message", ""),
+                        )
+                    )
+                else:
+                    future.set_result(frame)
+        except Exception as exc:  # noqa: BLE001 - fan out to waiters
+            self._fail_pending(exc)
+        else:
+            self._fail_pending(
+                ServiceError("connection closed by the server")
+            )
+
+    def _fail_pending(self, exc: Exception) -> None:
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(exc)
+        self._pending.clear()
+
+    async def _request(self, payload: dict) -> dict:
+        request_id = next(self._ids)
+        payload = {**payload, "id": request_id}
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        async with self._write_lock:
+            await protocol.write_frame(self._writer, payload)
+        return await future
+
+    # -- the client surface --------------------------------------------------
+
+    async def submit(
+        self, query: str, epsilon: float, label: str | None = None
+    ) -> dict:
+        """Submit one query; returns the same outcome dict as
+        :meth:`repro.service.service.QueryService.submit`, or raises the
+        typed rejection the server sent."""
+        payload = {"type": "submit", "query": query, "epsilon": epsilon}
+        if label is not None:
+            payload["label"] = label
+        frame = await self._request(payload)
+        return {
+            "result": frame["result"],
+            "latency_seconds": frame["latency_seconds"],
+            "round": frame["round"],
+        }
+
+    async def stats(self) -> dict:
+        """The server's operator snapshot (ledger, rounds, percentiles)."""
+        frame = await self._request({"type": "stats"})
+        return frame["stats"]
+
+    async def ping(self) -> bool:
+        frame = await self._request({"type": "ping"})
+        return frame.get("type") == "pong"
+
+    async def close(self) -> None:
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except (asyncio.CancelledError, Exception):  # noqa: BLE001
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass

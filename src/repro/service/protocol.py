@@ -1,0 +1,140 @@
+"""The service's localhost wire protocol: length-prefixed JSON frames.
+
+One frame is a 4-byte big-endian unsigned length followed by exactly
+that many bytes of UTF-8 JSON encoding a single object.  The framing is
+deliberately minimal — the same shape HoneyBadgerMPC's ``ipc.py`` uses
+for its party sockets — so any language can speak it with a dozen lines
+of code.  ``docs/SERVICE.md`` is the normative description of the frame
+vocabulary; this module is the reference implementation used by both
+:class:`repro.service.service.QueryService` (server side) and
+:class:`repro.service.client.ServiceClient`.
+
+Request frames (client → server)::
+
+    {"type": "submit", "id": <any>, "query": "Q5", "epsilon": 0.5}
+    {"type": "stats",  "id": <any>}
+    {"type": "ping",   "id": <any>}
+
+Response frames (server → client), matched to requests by ``id``::
+
+    {"type": "result", "id": ..., "result": {...}, "latency_seconds": ...,
+     "round": <int>}
+    {"type": "stats",  "id": ..., "stats": {...}}
+    {"type": "pong",   "id": ...}
+    {"type": "error",  "id": ..., "code": "<code>", "message": "..."}
+
+Error codes map one-to-one onto the typed exceptions in
+:mod:`repro.errors` (see :data:`ERROR_CODES`), so a
+:class:`~repro.service.client.ServiceClient` re-raises exactly the
+exception the server raised.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+
+from repro.errors import (
+    AdmissionRejected,
+    BudgetRejected,
+    FrameError,
+    QueryError,
+    QueueFullRejected,
+    ServiceError,
+    ServiceShutdown,
+)
+
+#: Frame length prefix: 4-byte big-endian unsigned int.
+_LENGTH = struct.Struct(">I")
+
+#: Hard ceiling on one frame's payload; a released histogram result for
+#: the TEST ring is a few KiB, so anything near this is a protocol bug.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+#: Wire error code → exception type.  The server picks the most derived
+#: matching code via :func:`code_for_exception`; the client re-raises
+#: with :func:`exception_for_code`.
+ERROR_CODES: dict[str, type[Exception]] = {
+    "budget_rejected": BudgetRejected,
+    "queue_full": QueueFullRejected,
+    "admission_rejected": AdmissionRejected,
+    "shutdown": ServiceShutdown,
+    "bad_query": QueryError,
+    "bad_request": FrameError,
+    "service_error": ServiceError,
+}
+
+
+def encode_frame(payload: dict) -> bytes:
+    """Serialize one frame: length prefix plus compact JSON body."""
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"frame of {len(body)} bytes exceeds {MAX_FRAME_BYTES}"
+        )
+    return _LENGTH.pack(len(body)) + body
+
+
+def decode_body(body: bytes) -> dict:
+    """Parse one frame body; the payload must be a JSON object."""
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FrameError(f"frame body is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise FrameError("frame payload must be a JSON object")
+    return payload
+
+
+async def read_frame(reader: asyncio.StreamReader) -> dict | None:
+    """Read one frame; returns ``None`` on clean EOF at a frame boundary."""
+    try:
+        prefix = await reader.readexactly(_LENGTH.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise FrameError("connection closed mid length prefix") from exc
+    (length,) = _LENGTH.unpack(prefix)
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(
+            f"announced frame of {length} bytes exceeds {MAX_FRAME_BYTES}"
+        )
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise FrameError("connection closed mid frame body") from exc
+    return decode_body(body)
+
+
+async def write_frame(writer: asyncio.StreamWriter, payload: dict) -> None:
+    """Write one frame and drain the transport."""
+    writer.write(encode_frame(payload))
+    await writer.drain()
+
+
+def code_for_exception(exc: Exception) -> str:
+    """The most specific wire code for ``exc`` (its exact class first,
+    then the nearest registered base class)."""
+    for code, exc_type in ERROR_CODES.items():
+        if type(exc) is exc_type:
+            return code
+    for code, exc_type in ERROR_CODES.items():
+        if isinstance(exc, exc_type):
+            return code
+    return "service_error"
+
+
+def exception_for_code(code: str, message: str) -> Exception:
+    """Rebuild the typed exception a server-side error frame encodes."""
+    return ERROR_CODES.get(code, ServiceError)(message)
+
+
+def error_frame(request_id: object, exc: Exception) -> dict:
+    """The error response for one failed request."""
+    return {
+        "type": "error",
+        "id": request_id,
+        "code": code_for_exception(exc),
+        "message": str(exc),
+    }

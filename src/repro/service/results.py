@@ -1,0 +1,120 @@
+"""The service's result feed and its latency/goodput accounting.
+
+Every query the scheduler completes (or fails) is recorded here with
+its end-to-end latency — submission arrival to result resolution, on
+the telemetry clock (:mod:`repro.telemetry.clock`, so tests can inject
+virtual time).  The stream serves three consumers:
+
+* in-process callers awaiting :meth:`QueryService.submit` get their
+  result directly from the submission future — the stream is the
+  *service-wide* record;
+* subscribers iterate completions as they happen
+  (:meth:`ResultStream.subscribe`);
+* operators and the sustained-traffic benchmark read
+  :meth:`ResultStream.summary`: completed/failed counts, queries per
+  second over the observation window, and p50/p90/p99 latency, the
+  numbers ``benchmarks/bench_service_traffic.py`` writes into
+  ``BENCH_*.json``.
+
+Latencies are also observed into the ``service.query.seconds``
+telemetry histogram, so a JSONL trace carries the same distribution the
+summary reports.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+from repro import telemetry
+from repro.telemetry import clock
+
+#: Percentiles reported by :meth:`ResultStream.summary`.
+PERCENTILES = (50, 90, 99)
+
+
+@dataclass(frozen=True)
+class CompletedQuery:
+    """One finished submission: payload on success, error on failure."""
+
+    label: str
+    round_index: int
+    latency_seconds: float
+    result: dict | None = None
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def percentile(samples: list[float], p: float) -> float:
+    """Nearest-rank percentile (inclusive) of a non-empty sample list."""
+    if not samples:
+        raise ValueError("no samples")
+    ordered = sorted(samples)
+    rank = max(1, -(-len(ordered) * p // 100))  # ceil(n * p / 100)
+    return ordered[int(rank) - 1]
+
+
+@dataclass
+class ResultStream:
+    """Accumulates completions and computes the service's SLO numbers."""
+
+    completed: list[CompletedQuery] = field(default_factory=list)
+    _subscribers: list[asyncio.Queue] = field(default_factory=list)
+    _started_at: float | None = None
+    _last_at: float | None = None
+
+    def record(self, entry: CompletedQuery) -> None:
+        now = clock.perf_counter()
+        if self._started_at is None:
+            self._started_at = now
+        self._last_at = now
+        self.completed.append(entry)
+        telemetry.observe("service.query.seconds", entry.latency_seconds)
+        for queue in self._subscribers:
+            queue.put_nowait(entry)
+
+    def subscribe(self) -> asyncio.Queue:
+        """A queue receiving every completion recorded from now on."""
+        queue: asyncio.Queue = asyncio.Queue()
+        self._subscribers.append(queue)
+        return queue
+
+    # -- accounting ----------------------------------------------------------
+
+    @property
+    def ok_count(self) -> int:
+        return sum(1 for e in self.completed if e.ok)
+
+    @property
+    def failed_count(self) -> int:
+        return sum(1 for e in self.completed if not e.ok)
+
+    def latencies(self) -> list[float]:
+        return [e.latency_seconds for e in self.completed if e.ok]
+
+    def goodput_qps(self) -> float:
+        """Successful queries per second over the observation window
+        (first recorded completion to the last)."""
+        if self._started_at is None or self._last_at is None:
+            return 0.0
+        window = self._last_at - self._started_at
+        if window <= 0:
+            return float(self.ok_count)
+        return self.ok_count / window
+
+    def summary(self) -> dict:
+        """The operator-facing numbers (also the benchmark's record)."""
+        latencies = self.latencies()
+        out = {
+            "completed": self.ok_count,
+            "failed": self.failed_count,
+            "goodput_qps": self.goodput_qps(),
+        }
+        for p in PERCENTILES:
+            out[f"p{p}_seconds"] = (
+                percentile(latencies, p) if latencies else None
+            )
+        return out

@@ -1,0 +1,201 @@
+"""Round scheduling: batch admitted submissions, run each batch as a
+journaled campaign.
+
+The scheduler consumes the bounded admission queue and forms *rounds*:
+FIFO batches of up to ``max_batch`` already-admitted submissions.  A
+round executes as one :class:`repro.durability.CampaignRunner` campaign
+in a worker thread — every round is therefore write-ahead journaled
+under ``<service dir>/round-NNNN/``, and a crashed round is resumable
+with the ordinary ``python -m repro campaign --resume`` machinery.
+Queries batched into one round share the campaign's telescoping paths
+(`reuse_paths` applies from the second query on), which is the §3.4
+amortization that makes batching worth doing.
+
+Determinism: round ``n`` of a service seeded with ``master_seed`` runs
+its campaign with ``derive_seed(master_seed, "service", n)``, so a
+seeded submission stream drained by the scheduler produces bit-identical
+batches, campaigns, and results on every run — the property
+``tests/service/test_scheduler.py`` pins.
+
+Rounds run strictly one at a time.  That keeps the telemetry tracer's
+span stack coherent (one campaign thread at a time) and makes admission
+order the only scheduling freedom; concurrency lives in the *clients*,
+whose submissions overlap the in-flight round through the queue.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro import telemetry
+from repro.durability.campaign import CampaignConfig, CampaignRunner
+from repro.runtime import RuntimeConfig
+from repro.runtime.seeding import derive_seed
+from repro.service.results import CompletedQuery, ResultStream
+from repro.telemetry import clock
+
+#: Queue sentinel: drain what remains, then exit the scheduler loop.
+SHUTDOWN = object()
+
+
+@dataclass
+class Submission:
+    """One admitted query waiting for (or riding in) a round."""
+
+    text: str
+    epsilon: float
+    label: str
+    future: asyncio.Future
+    submitted_at: float = field(default_factory=clock.perf_counter)
+
+    def resolve(self, round_index: int, payload: dict) -> CompletedQuery:
+        latency = clock.perf_counter() - self.submitted_at
+        entry = CompletedQuery(
+            label=self.label,
+            round_index=round_index,
+            latency_seconds=latency,
+            result=payload,
+        )
+        if not self.future.done():
+            self.future.set_result(
+                {
+                    "result": payload,
+                    "latency_seconds": latency,
+                    "round": round_index,
+                }
+            )
+        return entry
+
+    def fail(self, round_index: int, exc: Exception) -> CompletedQuery:
+        latency = clock.perf_counter() - self.submitted_at
+        if not self.future.done():
+            self.future.set_exception(exc)
+        return CompletedQuery(
+            label=self.label,
+            round_index=round_index,
+            latency_seconds=latency,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+
+
+class Scheduler:
+    """Drains the admission queue into sequential journaled rounds."""
+
+    def __init__(
+        self,
+        queue: asyncio.Queue,
+        stream: ResultStream,
+        directory: Path,
+        *,
+        master_seed: int,
+        people: int,
+        degree: int,
+        committee_size: int = 3,
+        committee_threshold: int = 2,
+        rotate_every: int = 0,
+        max_batch: int = 4,
+        fsync: bool = True,
+        runtime: RuntimeConfig | None = None,
+    ):
+        self.queue = queue
+        self.stream = stream
+        self.directory = Path(directory)
+        self.master_seed = master_seed
+        self.people = people
+        self.degree = degree
+        self.committee_size = committee_size
+        self.committee_threshold = committee_threshold
+        self.rotate_every = rotate_every
+        self.max_batch = max(1, max_batch)
+        self.fsync = fsync
+        self.runtime = runtime
+        self.rounds_run = 0
+        self.batch_log: list[list[str]] = []
+
+    async def run(self) -> None:
+        """The scheduler loop: block for work, drain a batch, execute."""
+        stopping = False
+        while not stopping:
+            head = await self.queue.get()
+            if head is SHUTDOWN:
+                break
+            batch = [head]
+            while len(batch) < self.max_batch:
+                try:
+                    item = self.queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if item is SHUTDOWN:
+                    stopping = True
+                    break
+                batch.append(item)
+            await self._execute_round(batch)
+
+    # -- one round -----------------------------------------------------------
+
+    def _campaign_config(self, batch: list[Submission]) -> CampaignConfig:
+        return CampaignConfig(
+            master_seed=derive_seed(
+                self.master_seed, "service", self.rounds_run
+            ),
+            queries=tuple((s.text, s.epsilon) for s in batch),
+            people=self.people,
+            degree=self.degree,
+            # The service ledger already charged these epsilons; the
+            # campaign's internal budget only needs to admit exactly
+            # this batch (fsum matches can_afford's exact arithmetic).
+            total_epsilon=math.fsum(s.epsilon for s in batch),
+            committee_size=self.committee_size,
+            committee_threshold=self.committee_threshold,
+            rotate_every=self.rotate_every,
+            checkpoint_every=0,
+        )
+
+    def _run_campaign(self, config: CampaignConfig, directory: Path):
+        """Executed in a worker thread; the only place service spans may
+        open, so they nest cleanly around the campaign's own spans."""
+        with telemetry.span(
+            "service.round",
+            round=self.rounds_run,
+            batch=len(config.queries),
+        ):
+            runner = CampaignRunner.start(
+                config, directory, runtime=self.runtime, fsync=self.fsync
+            )
+            return runner.run()
+
+    async def _execute_round(self, batch: list[Submission]) -> None:
+        round_index = self.rounds_run
+        config = self._campaign_config(batch)
+        directory = self.directory / f"round-{round_index:04d}"
+        self.batch_log.append([s.label for s in batch])
+        telemetry.count("service.rounds.total")
+        telemetry.observe("service.batch.size", float(len(batch)))
+        loop = asyncio.get_running_loop()
+        try:
+            result = await loop.run_in_executor(
+                None, self._run_campaign, config, directory
+            )
+        except Exception as exc:  # noqa: BLE001 - forwarded to clients
+            for submission in batch:
+                self.stream.record(submission.fail(round_index, exc))
+        else:
+            for submission, payload in zip(batch, result.results):
+                self.stream.record(
+                    submission.resolve(round_index, payload)
+                )
+        finally:
+            self.rounds_run += 1
+
+    # -- introspection -------------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "rounds": self.rounds_run,
+            "max_batch": self.max_batch,
+            "batches": [list(b) for b in self.batch_log],
+        }

@@ -37,6 +37,9 @@ CROUND_BUCKETS = (1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0)
 #: Boundaries for per-payload delivery attempts under reliable sends.
 ATTEMPT_BUCKETS = (1.0, 2.0, 3.0, 4.0, 6.0, 8.0)
 
+#: Boundaries for per-round batch sizes in the query service.
+BATCH_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0)
+
 
 @dataclass(frozen=True)
 class MetricSpec:
@@ -371,6 +374,45 @@ METRICS: dict[str, MetricSpec] = _specs(
         "C-rounds the campaign clock advanced while waiting for a "
         "decryption or dealer quorum (§6.5 wait-and-retry)",
     ),
+    # -- query service (repro.service) --------------------------------------
+    MetricSpec(
+        "service.submissions.total", COUNTER, "queries",
+        "query submissions received by the service (in-process API or "
+        "socket protocol), before admission",
+    ),
+    MetricSpec(
+        "service.admitted.total", COUNTER, "queries",
+        "submissions atomically admitted and charged against the "
+        "privacy-budget ledger",
+    ),
+    MetricSpec(
+        "service.rejected.budget", COUNTER, "queries",
+        "submissions rejected because the epsilon ledger could not "
+        "afford them (BudgetRejected)",
+    ),
+    MetricSpec(
+        "service.rejected.queue_full", COUNTER, "queries",
+        "submissions rejected by bounded-queue backpressure "
+        "(QueueFullRejected); the ledger is rolled back",
+    ),
+    MetricSpec(
+        "service.rounds.total", COUNTER, "rounds",
+        "scheduled rounds executed, each as one journaled campaign",
+    ),
+    MetricSpec(
+        "service.batch.size", HISTOGRAM, "queries",
+        "admitted submissions batched into one scheduled round",
+        buckets=BATCH_BUCKETS,
+    ),
+    MetricSpec(
+        "service.query.seconds", HISTOGRAM, "seconds",
+        "end-to-end latency of one served query, submission to result",
+        buckets=TIME_BUCKETS,
+    ),
+    MetricSpec(
+        "service.inflight", GAUGE, "queries",
+        "admitted submissions currently queued or executing",
+    ),
 )
 
 
@@ -457,6 +499,17 @@ SPANS: dict[str, SpanSpec] = {
             "campaign.phase", "campaign.run",
             "one journaled phase of one campaign query (run live or "
             "restored from its record); attributes: query, phase",
+        ),
+        SpanSpec(
+            "service.round", None,
+            "one scheduled round of the query service, executed as a "
+            "journaled campaign (campaign.run is its child); "
+            "attributes: round, batch",
+        ),
+        SpanSpec(
+            "service.admit", None,
+            "one atomic admission decision: budget check, charge, and "
+            "enqueue under the admission lock; attributes: epsilon",
         ),
     )
 }

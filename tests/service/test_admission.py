@@ -1,0 +1,116 @@
+"""Admission atomicity: the check-charge-enqueue critical section.
+
+The headline regression here (`test_concurrent_submissions_cannot_both_be_admitted`)
+pins the bug class described in :mod:`repro.service.admission`: an
+admission path with an await between the affordability check and the
+ledger charge lets two racing submissions both see the full remaining
+budget.  The controller exposes ``race_window`` — an awaitable injected
+*inside* the lock between check and charge — so the test genuinely
+re-opens that window; only the lock keeps the decision atomic.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+
+import pytest
+
+from repro.dp.budget import PrivacyBudget
+from repro.errors import BudgetRejected, QueueFullRejected
+from repro.service import AdmissionController
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def test_concurrent_submissions_cannot_both_be_admitted():
+    """Two simultaneous submissions of 0.8 against a 1.0 ledger: exactly
+    one is admitted, the other gets a typed BudgetRejected — never both
+    (the pre-fix failure), never neither."""
+
+    async def scenario():
+        controller = AdmissionController(PrivacyBudget(total_epsilon=1.0))
+        # Re-open the race window an unlocked implementation loses: yield
+        # to the event loop between the affordability check and the
+        # charge.  With the lock this is harmless; without it, both
+        # submissions pass the check before either charges.
+        controller.race_window = lambda: asyncio.sleep(0)
+        outcomes = await asyncio.gather(
+            controller.admit(0.8, "racer-a"),
+            controller.admit(0.8, "racer-b"),
+            return_exceptions=True,
+        )
+        return controller, outcomes
+
+    controller, outcomes = run(scenario())
+    admitted = [o for o in outcomes if o is None]
+    rejected = [o for o in outcomes if isinstance(o, BudgetRejected)]
+    assert len(admitted) == 1, f"expected exactly one admission: {outcomes}"
+    assert len(rejected) == 1, f"expected a typed rejection: {outcomes}"
+    # The ledger charged the winner only, and stayed conserved.
+    assert controller.admitted == 1
+    assert controller.rejected_budget == 1
+    assert controller.spent == 0.8
+    assert controller.conserved()
+    assert len(controller.ledger()) == 1
+
+
+def test_many_way_race_admits_exactly_what_fits():
+    """Ten racing submissions of 0.3 against 1.0: exactly three admitted
+    regardless of interleaving, ledger exactly 0.9."""
+
+    async def scenario():
+        controller = AdmissionController(PrivacyBudget(total_epsilon=1.0))
+        controller.race_window = lambda: asyncio.sleep(0)
+        outcomes = await asyncio.gather(
+            *(controller.admit(0.3, f"q{i}") for i in range(10)),
+            return_exceptions=True,
+        )
+        return controller, outcomes
+
+    controller, outcomes = run(scenario())
+    assert sum(1 for o in outcomes if o is None) == 3
+    assert sum(1 for o in outcomes if isinstance(o, BudgetRejected)) == 7
+    assert controller.spent == pytest.approx(0.9)
+    assert controller.conserved()
+
+
+def test_queue_full_rolls_back_the_charge():
+    """A charge whose enqueue fails must be refunded: a rejected
+    submission never leaves a ledger entry behind."""
+
+    async def scenario():
+        controller = AdmissionController(PrivacyBudget(total_epsilon=1.0))
+
+        def full_queue():
+            raise QueueFullRejected("queue is full")
+
+        with pytest.raises(QueueFullRejected):
+            await controller.admit(0.4, "victim", enqueue=full_queue)
+        # Rolled back: nothing admitted, nothing spent.
+        assert controller.admitted == 0
+        assert controller.spent == 0.0
+        assert controller.ledger() == []
+        # The freed budget is still admittable afterwards.
+        await controller.admit(0.4, "retry")
+        assert controller.ledger() == [("retry", 0.4)]
+
+    run(scenario())
+
+
+def test_float_accumulation_is_exact():
+    """Admission uses the budget's fsum arithmetic: ten charges of 0.1
+    exactly exhaust a 1.0 ledger (naive accumulation would drift)."""
+
+    async def scenario():
+        controller = AdmissionController(PrivacyBudget(total_epsilon=1.0))
+        for i in range(10):
+            await controller.admit(0.1, f"q{i}")
+        assert math.fsum(e for _, e in controller.ledger()) == 1.0
+        assert controller.conserved()
+        with pytest.raises(BudgetRejected):
+            await controller.admit(1e-9, "one too many")
+
+    run(scenario())

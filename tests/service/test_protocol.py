@@ -1,0 +1,125 @@
+"""The frame protocol: framing, limits, and the typed-error mapping."""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+
+import pytest
+
+from repro.errors import (
+    AdmissionRejected,
+    BudgetRejected,
+    FrameError,
+    QueryError,
+    QueueFullRejected,
+    ServiceError,
+    ServiceShutdown,
+)
+from repro.service import protocol
+
+
+def reader_with(data: bytes) -> asyncio.StreamReader:
+    # Must run inside a loop: StreamReader binds the running event loop.
+    reader = asyncio.StreamReader()
+    if data:
+        reader.feed_data(data)
+    reader.feed_eof()
+    return reader
+
+
+def read_one(data: bytes):
+    async def go():
+        return await protocol.read_frame(reader_with(data))
+
+    return asyncio.run(go())
+
+
+def test_roundtrip():
+    payload = {"type": "submit", "id": 3, "query": "Q5", "epsilon": 0.5}
+    assert read_one(protocol.encode_frame(payload)) == payload
+
+
+def test_multiple_frames_on_one_stream():
+    frames = [{"type": "ping", "id": i} for i in range(3)]
+    data = b"".join(protocol.encode_frame(f) for f in frames)
+
+    async def drain():
+        reader = reader_with(data)  # inside the loop
+        out = []
+        while (frame := await protocol.read_frame(reader)) is not None:
+            out.append(frame)
+        return out
+
+    assert asyncio.run(drain()) == frames
+
+
+def test_clean_eof_returns_none():
+    assert read_one(b"") is None
+
+
+def test_eof_mid_prefix_is_a_frame_error():
+    with pytest.raises(FrameError, match="mid length prefix"):
+        read_one(b"\x00\x00")
+
+
+def test_eof_mid_body_is_a_frame_error():
+    data = protocol.encode_frame({"type": "ping", "id": 1})[:-2]
+    with pytest.raises(FrameError, match="mid frame body"):
+        read_one(data)
+
+
+def test_oversize_announcement_is_rejected_before_reading():
+    huge = struct.pack(">I", protocol.MAX_FRAME_BYTES + 1)
+    with pytest.raises(FrameError, match="exceeds"):
+        read_one(huge)
+
+
+def test_non_json_body_is_a_frame_error():
+    body = b"\xff\xfenot json"
+    data = struct.pack(">I", len(body)) + body
+    with pytest.raises(FrameError, match="not valid JSON"):
+        read_one(data)
+
+
+def test_non_object_payload_is_a_frame_error():
+    body = b"[1,2,3]"
+    data = struct.pack(">I", len(body)) + body
+    with pytest.raises(FrameError, match="JSON object"):
+        read_one(data)
+
+
+@pytest.mark.parametrize(
+    ("exc", "code"),
+    [
+        (BudgetRejected("e"), "budget_rejected"),
+        (QueueFullRejected("e"), "queue_full"),
+        (AdmissionRejected("e"), "admission_rejected"),
+        (ServiceShutdown("e"), "shutdown"),
+        (QueryError("e"), "bad_query"),
+        (FrameError("e"), "bad_request"),
+        (ServiceError("e"), "service_error"),
+        (RuntimeError("e"), "service_error"),
+    ],
+)
+def test_code_for_exception_picks_most_derived(exc, code):
+    assert protocol.code_for_exception(exc) == code
+
+
+def test_error_roundtrip_rebuilds_the_typed_exception():
+    frame = protocol.error_frame(7, BudgetRejected("over budget"))
+    assert frame == {
+        "type": "error",
+        "id": 7,
+        "code": "budget_rejected",
+        "message": "over budget",
+    }
+    rebuilt = protocol.exception_for_code(frame["code"], frame["message"])
+    assert type(rebuilt) is BudgetRejected
+    assert str(rebuilt) == "over budget"
+
+
+def test_unknown_code_degrades_to_service_error():
+    assert (
+        type(protocol.exception_for_code("martian", "m")) is ServiceError
+    )

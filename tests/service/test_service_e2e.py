@@ -1,0 +1,147 @@
+"""End-to-end service tests: real campaigns, real sockets.
+
+These run the full stack — ``QueryService`` listening on a localhost
+port, ``ServiceClient`` speaking the frame protocol, rounds executing as
+genuine journaled campaigns — and audit the acceptance invariant from
+the ROADMAP: a seeded multi-client stream with zero budget
+over-admission, ledger conservation checked against the charge history.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+
+import pytest
+
+from repro.errors import (
+    BudgetRejected,
+    FrameError,
+    QueryError,
+    ServiceShutdown,
+)
+from repro.service import QueryService, ServiceClient, ServiceConfig
+
+
+def test_multi_client_stream_no_over_admission(tmp_path):
+    """Three concurrent socket clients race eight submissions of 0.4
+    against a 1.0 epsilon ledger: exactly two are admitted (the most
+    that fit), the rest get typed BudgetRejected frames, and the ledger
+    is conserved."""
+
+    async def scenario():
+        service = QueryService(
+            ServiceConfig(
+                master_seed=7,
+                total_epsilon=1.0,
+                max_batch=4,
+                directory=str(tmp_path),
+                fsync=False,
+            )
+        )
+        server = await service.serve(port=0)
+        port = server.sockets[0].getsockname()[1]
+
+        async def one_client(index: int, submissions: int):
+            client = await ServiceClient.connect(port=port)
+            try:
+                return await asyncio.gather(
+                    *(
+                        client.submit("Q1", 0.4, label=f"c{index}-{j}")
+                        for j in range(submissions)
+                    ),
+                    return_exceptions=True,
+                )
+            finally:
+                await client.close()
+
+        per_client = await asyncio.gather(
+            one_client(0, 3), one_client(1, 3), one_client(2, 2)
+        )
+        outcomes = [o for group in per_client for o in group]
+        stats = service.stats()
+        await service.shutdown()
+        return service, outcomes, stats
+
+    service, outcomes, stats = asyncio.run(scenario())
+    admitted = [o for o in outcomes if isinstance(o, dict)]
+    rejected = [o for o in outcomes if isinstance(o, BudgetRejected)]
+    assert len(outcomes) == 8
+    assert len(admitted) == 2  # floor(1.0 / 0.4)
+    assert len(rejected) == 6
+    # Admitted submissions got real released results with latencies.
+    for outcome in admitted:
+        assert outcome["result"]["kind"]
+        assert outcome["latency_seconds"] > 0
+        assert outcome["round"] >= 0
+    # Zero over-admission, audited against the charge history itself.
+    budget = stats["budget"]
+    assert budget["conserved"]
+    assert budget["spent"] == math.fsum([0.4, 0.4])
+    assert budget["spent"] <= budget["total_epsilon"]
+    assert len(budget["ledger"]) == 2
+    assert stats["admitted"] == 2
+    assert stats["rejected_budget"] == 6
+    assert stats["submissions"] == 8
+    # The rounds journaled to disk like any campaign.
+    assert (tmp_path / "round-0000").is_dir()
+
+
+def test_wire_protocol_surface(tmp_path):
+    """ping, stats, malformed submissions, and unknown frame types all
+    answer over one connection without wedging it."""
+
+    async def scenario():
+        service = QueryService(
+            ServiceConfig(
+                total_epsilon=5.0, directory=str(tmp_path), fsync=False
+            )
+        )
+        server = await service.serve(port=0)
+        port = server.sockets[0].getsockname()[1]
+        client = await ServiceClient.connect(port=port)
+        try:
+            assert await client.ping()
+            # An unsupported query is rejected at the door, typed, with
+            # the ledger untouched...
+            with pytest.raises(QueryError):
+                await client.submit("NOT_A_QUERY", 0.5)
+            # ...and an unknown frame type errors without killing the
+            # connection.
+            with pytest.raises(FrameError):
+                await client._request({"type": "martian"})
+            # The connection still works: submit for real, then stats.
+            outcome = await client.submit("Q2", 0.5)
+            assert outcome["round"] == 0
+            stats = await client.stats()
+            assert stats["accepting"] is True
+            assert stats["admitted"] == 1
+            assert stats["budget"]["spent"] == 0.5
+            assert stats["budget"]["conserved"] is True
+            assert stats["results"]["completed"] == 1
+            assert stats["results"]["p50_seconds"] > 0
+            assert stats["scheduler"]["batches"] == [["Q2"]]
+        finally:
+            await client.close()
+        await service.shutdown()
+        return service
+
+    service = asyncio.run(scenario())
+    # Rejected/invalid submissions never touched the ledger.
+    assert [label for label, _ in service.admission.ledger()] == ["Q2"]
+
+
+def test_shutdown_is_visible_in_process(tmp_path):
+    """After shutdown() the in-process API raises the typed shutdown
+    error instead of queueing work that will never run."""
+
+    async def scenario():
+        service = QueryService(
+            ServiceConfig(directory=str(tmp_path), fsync=False)
+        )
+        await service.start()
+        await service.shutdown()
+        with pytest.raises(ServiceShutdown):
+            await service.submit("Q1", 0.1)
+
+    asyncio.run(scenario())
