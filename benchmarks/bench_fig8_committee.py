@@ -4,7 +4,16 @@
 reconstruct the key (privacy failure); (b) probability that enough are
 online to decrypt (liveness).  Larger committees are safer but cost
 more bandwidth — the §6.5 cost model quantifies the other side.
+
+Plus the robust-decode axis: actively-secure decryption used to cost
+one full decryption per threshold-sized member subset (C(n, t) rounds,
+majority vote); single-pass Reed-Solomon decoding does it in one round
+regardless of committee size.
 """
+
+import random
+import time
+from itertools import combinations
 
 from benchmarks.conftest import format_table
 from repro.analysis.committee_model import (
@@ -15,6 +24,10 @@ from repro.analysis.committee_model import (
     mpc_minutes,
     privacy_failure_probability,
 )
+from repro.core import committee as committee_mod
+from repro.crypto import bgv, shamir
+from repro.crypto.polyring import RingElement
+from repro.params import TEST
 
 
 def test_fig8a_privacy_failure(benchmark, report):
@@ -67,3 +80,111 @@ def test_fig8_cost_side(benchmark, report):
     )
     assert costs[0][1] == 3.0
     assert costs[0][2] == 4.5
+
+
+def _subset_enumeration_decrypt(committee, ciphertext, rng, corrupt):
+    """The pre-robust baseline, preserved here for comparison: decrypt
+    with every threshold-sized member subset and majority-vote.  One
+    "round" is one full combine — C(n, t) of them."""
+    profile = committee.profile
+    votes: dict[tuple, int] = {}
+    rounds = 0
+    for subset in combinations(committee.members, committee.threshold):
+        rounds += 1
+        indices = [m.share_index for m in subset]
+        lagrange = shamir.lagrange_coefficients_at_zero(
+            indices, profile.q
+        )
+        partials = []
+        for member in subset:
+            partial = committee_mod.partial_decrypt(
+                member, ciphertext, profile,
+                lagrange[member.share_index], rng,
+            )
+            if member.device_id in corrupt:
+                partial = committee_mod.PartialDecryption(
+                    partial.share_index,
+                    partial.value
+                    + RingElement.constant(profile.ring, 1),
+                )
+            partials.append(partial)
+        plaintext = committee_mod.combine_partials(
+            ciphertext, partials, profile
+        )
+        votes[plaintext.coeffs] = votes.get(plaintext.coeffs, 0) + 1
+    majority = max(votes, key=lambda k: votes[k])
+    return RingElement(profile.plaintext_ring, majority), rounds
+
+
+def test_robust_decode_vs_subset_enumeration(benchmark, report):
+    """The robust-decode axis: wall time and round count, old vs new,
+    one corrupt member in every committee."""
+    setup = random.Random(88)
+    secret, public = bgv.keygen(TEST, setup)
+    ciphertext = bgv.encrypt_monomial(public, 6, setup)
+    oracle = tuple(bgv.decrypt(secret, ciphertext).coeffs)
+
+    rows = []
+    timings = {}
+    for size in (5, 7, 9):
+        committee = committee_mod.genesis_share_key(
+            secret, member_ids=list(range(1, size + 1)), threshold=2,
+            rng=random.Random(size),
+        )
+        corrupt = {committee.members[0].device_id}
+
+        start = time.perf_counter()
+        old_plain, old_rounds = _subset_enumeration_decrypt(
+            committee, ciphertext, random.Random(7), corrupt
+        )
+        old_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        new_plain, flagged = committee_mod.robust_threshold_decrypt(
+            committee, ciphertext, random.Random(7),
+            corrupt_members=corrupt,
+        )
+        new_seconds = time.perf_counter() - start
+
+        assert tuple(old_plain.coeffs) == oracle
+        assert tuple(new_plain.coeffs) == oracle
+        assert flagged == corrupt
+        timings[size] = (old_seconds, new_seconds)
+        rows.append([
+            size,
+            old_rounds,
+            1,
+            f"{old_seconds * 1e3:.1f}",
+            f"{new_seconds * 1e3:.1f}",
+            f"{old_seconds / new_seconds:.1f}x",
+        ])
+
+    # One steady-state measurement for the BENCH record's span metrics.
+    committee = committee_mod.genesis_share_key(
+        secret, member_ids=list(range(1, 10)), threshold=2,
+        rng=random.Random(9),
+    )
+    benchmark(
+        lambda: committee_mod.robust_threshold_decrypt(
+            committee, ciphertext, random.Random(7),
+            corrupt_members={committee.members[0].device_id},
+        )
+    )
+    report(
+        *format_table(
+            "Robust decode vs subset enumeration (threshold 2, one liar)",
+            [
+                "committee size", "rounds (subset)", "rounds (robust)",
+                "subset ms", "robust ms", "speedup",
+            ],
+            rows,
+        )
+    )
+    # The single-pass decode must never lose to C(n, t) enumeration
+    # once the committee is big enough for the gap to dominate jitter.
+    for size, (old_seconds, new_seconds) in timings.items():
+        if size >= 7:
+            assert new_seconds <= old_seconds, (
+                f"robust decode slower than subset enumeration at "
+                f"n={size}: {new_seconds:.4f}s vs {old_seconds:.4f}s"
+            )

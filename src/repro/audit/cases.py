@@ -15,6 +15,7 @@ from repro.workloads.graphgen import ContactGraph
 #: The trial families the harness audits.
 TRIAL_KINDS = (
     "equivalence", "budget", "sensitivity", "shamir", "mixnet", "crash",
+    "robust", "flagging",
 )
 
 
@@ -106,9 +107,13 @@ class TrialCase:
     epsilons: tuple[float, ...] = ()
     per_query_epsilon: float = 0.1
     delta: float = 1e-6
-    # -- shamir / vsr ------------------------------------------------------
+    # -- shamir / vsr / robust ---------------------------------------------
     threshold: int = 2
     num_shares: int = 3
+    #: Member positions (0-based, into the trial committee's member
+    #: list) whose partial decryptions are corrupted — robust decode
+    #: must correct through them and flag exactly these members.
+    corrupt: tuple[int, ...] = ()
     # -- mixnet ------------------------------------------------------------
     people: int = 8
     failure: float = 0.1
@@ -140,6 +145,7 @@ class TrialCase:
             "delta": self.delta,
             "threshold": self.threshold,
             "num_shares": self.num_shares,
+            "corrupt": list(self.corrupt),
             "people": self.people,
             "failure": self.failure,
             "kill_phase": self.kill_phase,
@@ -170,6 +176,7 @@ class TrialCase:
             delta=float(data.get("delta", 1e-6)),
             threshold=int(data.get("threshold", 2)),
             num_shares=int(data.get("num_shares", 3)),
+            corrupt=tuple(int(c) for c in data.get("corrupt", ())),
             people=int(data.get("people", 8)),
             failure=float(data.get("failure", 0.1)),
             kill_phase=data.get("kill_phase", ""),

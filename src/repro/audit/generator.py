@@ -115,6 +115,10 @@ def _kind_for_index(index: int) -> str:
         return "mixnet"
     if index % 12 == 9:
         return "crash"
+    if index % 12 == 6:
+        return "robust"
+    if index % 12 == 10:
+        return "flagging"
     if index % 4 == 1:
         return "budget"
     if index % 4 == 3:
@@ -156,6 +160,28 @@ def generate_case(master_seed: int, index: int) -> TrialCase:
             index=index,
             threshold=threshold,
             num_shares=threshold + rng.randint(1, 2),
+        )
+
+    if kind in ("robust", "flagging"):
+        # A committee large enough to *correct* errors: with threshold 2
+        # and n in 4..7 the unique-decoding radius (n - 2) // 2 is 1..2.
+        threshold = 2
+        num_shares = rng.randint(4, 7)
+        radius = (num_shares - threshold) // 2
+        if kind == "robust":
+            num_corrupt = rng.randint(0, radius)
+        else:
+            num_corrupt = radius
+        corrupt = tuple(
+            sorted(rng.sample(range(num_shares), num_corrupt))
+        )
+        return TrialCase(
+            kind=kind,
+            seed=seed,
+            index=index,
+            threshold=threshold,
+            num_shares=num_shares,
+            corrupt=corrupt,
         )
 
     if kind == "mixnet":

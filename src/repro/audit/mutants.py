@@ -96,6 +96,19 @@ def _shamir_case(seed: int) -> TrialCase:
     return TrialCase(kind="shamir", seed=seed, threshold=2, num_shares=4)
 
 
+def _flagging_case(seed: int) -> TrialCase:
+    # No injected corruption: the honest-run-flags-nobody check is what
+    # exposes a partial-decryption computation that silently perturbs a
+    # share (the decoder *corrects* the lie, so oracle equality passes).
+    return TrialCase(kind="flagging", seed=seed, threshold=2, num_shares=6)
+
+
+def _robust_case(seed: int) -> TrialCase:
+    return TrialCase(
+        kind="robust", seed=seed, threshold=2, num_shares=6, corrupt=(1,)
+    )
+
+
 def _crash_case(seed: int) -> TrialCase:
     # Kill right after the release record of query 0 so the resume path
     # restores (rather than re-runs) the charge record — the exact path
@@ -205,6 +218,22 @@ def _mutant_lagrange_shifted():
     return _patched(shamir, "lagrange_coefficients_at_zero", bad)
 
 
+def _mutant_wrong_share():
+    original = committee_mod.robust_partial_decrypt
+
+    def bad(member, ciphertext, profile, smudge_share):
+        partial = original(member, ciphertext, profile, smudge_share)
+        if member.share_index == 1:
+            # the bug: one member's partial decryption is off by one
+            return committee_mod.PartialDecryption(
+                partial.share_index,
+                partial.value + RingElement.constant(profile.ring, 1),
+            )
+        return partial
+
+    return _patched(committee_mod, "robust_partial_decrypt", bad)
+
+
 def _mutant_journal_double_apply():
     from repro.durability import campaign as campaign_mod
 
@@ -291,6 +320,12 @@ MUTANTS: tuple[Mutant, ...] = (
         description="submission verification never rejects",
         patch=_mutant_aggregator_accepts_everything,
         cases=(_equivalence_case(901, behaviors={0: "bad-aggregation"}),),
+    ),
+    Mutant(
+        name="wrong_share",
+        description="one member's robust partial decryption is off by one",
+        patch=_mutant_wrong_share,
+        cases=(_flagging_case(1101), _robust_case(1102)),
     ),
     Mutant(
         name="journal-double-apply",

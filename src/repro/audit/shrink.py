@@ -72,11 +72,24 @@ def _epsilon_transformations(case: TrialCase) -> Iterator[TrialCase]:
             )
 
 
+def _committee_transformations(case: TrialCase) -> Iterator[TrialCase]:
+    for index in range(len(case.corrupt)):
+        yield replace(
+            case,
+            corrupt=case.corrupt[:index] + case.corrupt[index + 1 :],
+        )
+    if case.num_shares > case.threshold + 1 and all(
+        p < case.num_shares - 1 for p in case.corrupt
+    ):
+        yield replace(case, num_shares=case.num_shares - 1)
+
+
 def transformations(case: TrialCase) -> Iterator[TrialCase]:
     """Candidate one-step reductions, most aggressive first."""
     yield from _graph_transformations(case)
     yield from _fault_transformations(case)
     yield from _epsilon_transformations(case)
+    yield from _committee_transformations(case)
     yield from _runtime_transformations(case)
 
 

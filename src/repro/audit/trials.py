@@ -70,6 +70,10 @@ def run_trial(case: TrialCase, bench: AuditBench) -> list[CheckResult]:
         return _run_mixnet(case)
     if case.kind == "crash":
         return _run_crash(case)
+    if case.kind == "robust":
+        return _run_robust(case, bench)
+    if case.kind == "flagging":
+        return _run_flagging(case, bench)
     raise ValueError(f"unknown trial kind {case.kind!r}")
 
 
@@ -492,6 +496,170 @@ def _run_shamir(case: TrialCase, bench: AuditBench) -> list[CheckResult]:
             tuple(bgv.decrypt(bench.secret, ciphertext).coeffs),
         )
     )
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Robust decode: single-pass Reed-Solomon decryption vs the honest oracle
+# ---------------------------------------------------------------------------
+
+
+def _robust_committee(case: TrialCase, bench: AuditBench, rng: random.Random):
+    """A trial-sized committee sharing the bench secret key.
+
+    The bench committee (3 members, threshold 2) has a unique-decoding
+    radius of 0, so robust trials deal their own larger committee —
+    cheap next to keygen, and the bench secret stays the oracle.
+    """
+    member_ids = sorted(rng.sample(range(100), case.num_shares))
+    trial_committee = committee_mod.genesis_share_key(
+        bench.secret, member_ids, case.threshold, rng
+    )
+    corrupt_ids = {member_ids[p] for p in case.corrupt}
+    return trial_committee, corrupt_ids
+
+
+def _run_robust(case: TrialCase, bench: AuditBench) -> list[CheckResult]:
+    results: list[CheckResult] = []
+    rng = random.Random(case.seed)
+    trial_committee, corrupt_ids = _robust_committee(case, bench, rng)
+    exponent = rng.randrange(bench.profile.n)
+    ciphertext = bgv.encrypt_monomial(bench.public, exponent, rng)
+    oracle = bgv.decrypt(bench.secret, ciphertext)
+
+    plain, flagged = committee_mod.robust_threshold_decrypt(
+        trial_committee,
+        ciphertext,
+        derive_rng(case.seed, "decrypt"),
+        corrupt_members=corrupt_ids,
+    )
+    results.append(
+        check_equal(
+            "robust.decode-matches-oracle",
+            tuple(plain.coeffs),
+            tuple(oracle.coeffs),
+        )
+    )
+    results.append(
+        check_equal("robust.flags-exactly-corrupt", flagged, corrupt_ids)
+    )
+
+    # Field-level batch opening: many codewords on one index set must
+    # cost exactly one error-locator computation.
+    from repro.crypto import robust as robust_mod
+
+    field = bench.shamir_field
+    vector = [rng.randrange(field) for _ in range(8)]
+    vector_shares = shamir.share_vector(
+        vector, case.threshold, case.num_shares, field, rng
+    )
+    indices = [s.index for s in vector_shares]
+    rows = [
+        [s.values[j] for s in vector_shares] for j in range(len(vector))
+    ]
+    for p in case.corrupt:
+        for j in range(len(rows)):
+            rows[j][p] = (rows[j][p] + 1 + p) % field
+    secrets, flagged_idx, stats = robust_mod.batch_robust_reconstruct(
+        indices, rows, case.threshold, field
+    )
+    results.append(
+        check_equal("robust.batch-secrets", secrets, vector)
+    )
+    results.append(
+        check_equal(
+            "robust.batch-flags-exactly-corrupt",
+            flagged_idx,
+            {indices[p] for p in case.corrupt},
+        )
+    )
+    results.append(
+        check_equal(
+            "robust.batch-single-locator", stats.locator_computations, 1
+        )
+    )
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Flagging: soundness — flagged members are a subset of the actual liars
+# ---------------------------------------------------------------------------
+
+
+def _run_flagging(case: TrialCase, bench: AuditBench) -> list[CheckResult]:
+    from repro.errors import RobustDecodingError
+
+    results: list[CheckResult] = []
+    rng = random.Random(case.seed)
+    trial_committee, corrupt_ids = _robust_committee(case, bench, rng)
+    exponent = rng.randrange(bench.profile.n)
+    ciphertext = bgv.encrypt_monomial(bench.public, exponent, rng)
+    oracle = bgv.decrypt(bench.secret, ciphertext)
+
+    # An all-honest committee must flag nobody — a decoder (or a partial
+    # computation) that silently perturbs a share is caught right here.
+    plain, flagged = committee_mod.robust_threshold_decrypt(
+        trial_committee,
+        ciphertext,
+        derive_rng(case.seed, "decrypt"),
+    )
+    results.append(
+        check_equal(
+            "flagging.honest-run-matches-oracle",
+            tuple(plain.coeffs),
+            tuple(oracle.coeffs),
+        )
+    )
+    results.append(
+        check_equal("flagging.honest-run-flags-nobody", flagged, set())
+    )
+
+    # At the full decoding radius, every flagged member must really be
+    # corrupt (soundness) and the plaintext must still be exact.
+    plain, flagged = committee_mod.robust_threshold_decrypt(
+        trial_committee,
+        ciphertext,
+        derive_rng(case.seed, "decrypt", "corrupt"),
+        corrupt_members=corrupt_ids,
+    )
+    results.append(
+        check(
+            "flagging.flagged-subset-of-corrupt",
+            flagged <= corrupt_ids,
+            f"flagged {sorted(flagged)} vs corrupt {sorted(corrupt_ids)}",
+        )
+    )
+    results.append(
+        check_equal(
+            "flagging.radius-decode-matches-oracle",
+            tuple(plain.coeffs),
+            tuple(oracle.coeffs),
+        )
+    )
+
+    # One liar past the radius: the decoder must refuse (typed error) or
+    # still land on the exact plaintext — never a silently wrong one.
+    radius = (case.num_shares - case.threshold) // 2
+    overload = {
+        m.device_id for m in trial_committee.members[: radius + 1]
+    }
+    try:
+        plain, _ = committee_mod.robust_threshold_decrypt(
+            trial_committee,
+            ciphertext,
+            derive_rng(case.seed, "decrypt", "overload"),
+            corrupt_members=overload,
+        )
+    except RobustDecodingError:
+        results.append(check("flagging.overload-never-wrong", True))
+    else:
+        results.append(
+            check(
+                "flagging.overload-never-wrong",
+                tuple(plain.coeffs) == tuple(oracle.coeffs),
+                "decode past the radius returned a wrong plaintext",
+            )
+        )
     return results
 
 

@@ -422,6 +422,9 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             committee_churn_members=args.committee_churn_members,
             committee_churn_start=args.committee_churn_start,
             committee_churn_rounds=args.committee_churn_rounds,
+            committee_size=args.committee_size,
+            committee_threshold=args.committee_threshold,
+            committee_corrupt_members=args.committee_corrupt_members,
             checkpoint_every=args.checkpoint_every,
         )
         runner = CampaignRunner.start(
@@ -666,6 +669,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     campaign.add_argument("--committee-churn-start", type=int, default=0)
     campaign.add_argument("--committee-churn-rounds", type=int, default=40)
+    campaign.add_argument(
+        "--committee-size", type=int, default=3,
+        help="members per committee epoch",
+    )
+    campaign.add_argument(
+        "--committee-threshold", type=int, default=2,
+        help="Shamir threshold for the committee key sharing",
+    )
+    campaign.add_argument(
+        "--committee-corrupt-members", type=int, default=0,
+        help="make this many genesis committee members submit corrupted "
+        "partial decryptions (robust decode corrects and flags them)",
+    )
     campaign.add_argument(
         "--checkpoint-every", type=int, default=1,
         help="sidecar checkpoint cadence in completed queries (0 = never)",

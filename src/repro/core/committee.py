@@ -30,10 +30,14 @@ from dataclasses import dataclass, field
 
 from repro import telemetry
 from repro.telemetry import clock
-from repro.crypto import bgv, feldman, shamir, vsr
+from repro.crypto import bgv, feldman, robust, shamir, vsr
 from repro.crypto.polyring import RingElement
 from repro.dp.laplace import sample_laplace
-from repro.errors import ProtocolError, SecretSharingError
+from repro.errors import (
+    LivenessQuorumError,
+    ProtocolError,
+    SecretSharingError,
+)
 from repro.params import BGVProfile
 
 
@@ -188,7 +192,7 @@ def threshold_decrypt(
     if participating is not None:
         members = [m for m in members if m.device_id in participating]
     if len(members) < committee.threshold:
-        raise ProtocolError(
+        raise LivenessQuorumError(
             f"only {len(members)} members available, need "
             f"{committee.threshold} for liveness"
         )
@@ -225,21 +229,89 @@ def decrypt_with_liveness_retry(
     and retry the computation."
 
     ``availability_schedule[i]`` lists the member device ids online in
-    attempt i.  Returns (plaintext, attempts used); raises if the
-    schedule ends without a quorum.
+    attempt i.  Returns (plaintext, attempts used); raises
+    :class:`~repro.errors.LivenessQuorumError` if the schedule ends
+    without a quorum.
+
+    Only liveness misses are retried.  Any *other* ``ProtocolError`` —
+    a malformed ciphertext, a decode failure under corruption —
+    propagates immediately: retrying with the same members cannot fix a
+    lie, and silently waiting would mask a Byzantine fault as churn.
     """
     for attempt, online in enumerate(availability_schedule, start=1):
         try:
             plaintext = threshold_decrypt(
                 committee, ciphertext, rng, participating=online
             )
-        except ProtocolError:
+        except LivenessQuorumError:
             continue
         return plaintext, attempt
-    raise ProtocolError(
+    raise LivenessQuorumError(
         "no attempt reached the liveness quorum of "
         f"{committee.threshold} members"
     )
+
+
+def shared_smudge_shares(
+    members: list[CommitteeMember],
+    profile: BGVProfile,
+    threshold: int,
+    rng: random.Random,
+) -> dict[int, RingElement]:
+    """Shamir shares of one jointly-sampled smudging element.
+
+    For robust decoding the partials themselves must form a Reed-Solomon
+    codeword, so per-member *independent* smudging noise is out — it
+    would add a random offset at every index and look like n errors.
+    Instead the committee samples the smudge **inside the MPC** (the
+    paper's SCALE-MAMBA committee already runs joint sampling for the
+    Laplace noise, §5): one small ring element E plus ``threshold - 1``
+    uniform masking elements U_d define the share polynomial
+    ``E + sum_d U_d * x^d`` per ring coefficient, and member i holds its
+    evaluation at ``x = share_index_i``.  The shares stay uniform below
+    the threshold while the codeword property — degree < threshold with
+    constant term E — is preserved.  We simulate the joint sampling with
+    the coordinator's seeded rng.
+    """
+    ring = profile.ring
+    q = profile.q
+    small = RingElement.random_bounded(ring, profile.error_bound, rng)
+    masks = [
+        RingElement.random_uniform(ring, rng) for _ in range(threshold - 1)
+    ]
+    shares: dict[int, RingElement] = {}
+    for member in members:
+        acc = small
+        x = member.share_index
+        for d, mask in enumerate(masks, start=1):
+            acc = acc + mask.scale(pow(x, d, q))
+        shares[member.share_index] = acc
+    return shares
+
+
+def robust_partial_decrypt(
+    member: CommitteeMember,
+    ciphertext: bgv.Ciphertext,
+    profile: BGVProfile,
+    smudge_share: RingElement,
+) -> PartialDecryption:
+    """One member's *codeword* partial: ``c1 * s_i + t * e_i``.
+
+    Unlike :func:`partial_decrypt` no Lagrange coefficient is applied —
+    the robust decoder interpolates through the raw share evaluations,
+    so coefficient j of the returned value is h_j(share_index) for the
+    degree-(t-1) polynomial h_j with h_j(0) = (c1*s)_j + t*E_j.
+    """
+    if ciphertext.degree != 1:
+        raise ProtocolError(
+            "threshold decryption needs a relinearized (degree-1) ciphertext"
+        )
+    ring = profile.ring
+    share_poly = RingElement.from_coeffs(ring, list(member.key_share.values))
+    value = (ciphertext.components[1] * share_poly) + smudge_share.scale(
+        profile.t
+    )
+    return PartialDecryption(share_index=member.share_index, value=value)
 
 
 def robust_threshold_decrypt(
@@ -247,66 +319,132 @@ def robust_threshold_decrypt(
     ciphertext: bgv.Ciphertext,
     rng: random.Random,
     corrupt_members: set[int] | None = None,
+    corrupt=None,
+    participating: list[int] | None = None,
 ) -> tuple[RingElement, set[int]]:
-    """Actively-secure decryption: detect and exclude wrong partials.
+    """Actively-secure decryption in a single pass (§5).
 
-    §5: with Shamir sharing at threshold t < C/2, "c + 1 honest nodes
-    can detect any errors introduced by dishonest nodes" — the secret is
-    over-determined, so decryptions from different member subsets must
-    agree.  We decrypt with every threshold-sized subset of the
-    participating members and take the majority plaintext; members that
-    only ever appear in minority subsets are flagged as corrupt.
+    With Shamir sharing at threshold t < C/2 the secret is
+    over-determined: each ring coefficient of the members' partials is a
+    Reed-Solomon codeword, so Gao decoding reconstructs the plaintext
+    through up to ``(n - t) // 2`` wrong partials and identifies exactly
+    the lying members — no subset enumeration, no identification
+    round-trip.  All ``ring.n`` coefficients are opened as one batch
+    against the same share-index set, paying for a single error-locator
+    computation (:func:`repro.crypto.robust.batch_robust_reconstruct`).
 
-    ``corrupt_members`` injects the fault: those members return partials
-    computed from a perturbed share.  Returns (plaintext, flagged set).
+    ``corrupt_members`` injects a simple deterministic perturbation for
+    those device ids (tests); ``corrupt`` is an injector-style callable
+    ``(device_id, value) -> value`` applied to every partial — the
+    :meth:`repro.faults.injector.FaultInjector.corrupt_partial` fault
+    kind.  Returns ``(plaintext, flagged device ids)``; raises
+    :class:`~repro.errors.RobustDecodingError` if more members lie than
+    the code can correct (never a wrong plaintext).
     """
-    from itertools import combinations
-
-    corrupt = corrupt_members or set()
+    start = clock.perf_counter()
     members = committee.members
+    if participating is not None:
+        members = [m for m in members if m.device_id in participating]
     if len(members) < committee.threshold + 1:
         raise ProtocolError(
             "error detection needs more members than the threshold"
         )
-
-    def partial_for(member: CommitteeMember, coefficient: int) -> PartialDecryption:
-        if member.device_id in corrupt:
-            bad_values = tuple(
-                (v + 1) % committee.profile.q for v in member.key_share.values
-            )
-            member = CommitteeMember(
-                device_id=member.device_id,
-                share_index=member.share_index,
-                key_share=shamir.VectorShare(member.share_index, bad_values),
-            )
-        return partial_decrypt(
-            member, ciphertext, committee.profile, coefficient, rng
+    profile = committee.profile
+    ring = profile.ring
+    with telemetry.span(
+        "committee.robust_decode",
+        members=len(members),
+        width=ring.n,
+    ):
+        smudges = shared_smudge_shares(
+            members, profile, committee.threshold, rng
         )
-
-    outcomes: dict[tuple[int, ...], tuple[int, ...]] = {}
-    votes: dict[tuple[int, ...], list[frozenset[int]]] = {}
-    for subset in combinations(members, committee.threshold):
-        indices = [m.share_index for m in subset]
-        lagrange = shamir.lagrange_coefficients_at_zero(
-            indices, committee.profile.q
-        )
-        partials = [
-            partial_for(member, lagrange[member.share_index])
-            for member in subset
+        bad = corrupt_members or set()
+        partials: list[PartialDecryption] = []
+        for member in members:
+            partial = robust_partial_decrypt(
+                member, ciphertext, profile, smudges[member.share_index]
+            )
+            value = partial.value
+            if member.device_id in bad:
+                value = value + RingElement.constant(
+                    ring, member.device_id + 1
+                )
+            if corrupt is not None:
+                value = corrupt(member.device_id, value)
+            partials.append(
+                PartialDecryption(member.share_index, value)
+            )
+        indices = [p.share_index for p in partials]
+        rows = [
+            [p.value.coeffs[j] for p in partials] for j in range(ring.n)
         ]
-        plaintext = combine_partials(ciphertext, partials, committee.profile)
-        key = plaintext.coeffs
-        outcomes[key] = key
-        votes.setdefault(key, []).append(
-            frozenset(m.device_id for m in subset)
+        secrets, flagged_indices, stats = robust.batch_robust_reconstruct(
+            indices, rows, committee.threshold, profile.q
         )
-    majority_key = max(votes, key=lambda k: len(votes[k]))
-    agreeing: set[int] = set()
-    for subset_members in votes[majority_key]:
-        agreeing |= subset_members
-    flagged = {m.device_id for m in members} - agreeing
-    ring = committee.profile.plaintext_ring
-    return RingElement(ring, majority_key), flagged
+        coeffs = [
+            (c0 + s) % profile.q
+            for c0, s in zip(ciphertext.components[0].coeffs, secrets)
+        ]
+        plain = RingElement.from_coeffs(ring, coeffs).lift_mod(profile.t)
+        plaintext = RingElement.from_coeffs(profile.plaintext_ring, plain)
+        device_by_index = {m.share_index: m.device_id for m in members}
+        flagged = {device_by_index[i] for i in flagged_indices}
+        telemetry.count("committee.decrypt.partials", len(partials))
+        telemetry.count(
+            "committee.robust.errors", stats.errors_corrected
+        )
+        telemetry.observe("committee.robust.batch_width", stats.width)
+        if stats.locator_computations > 1:
+            telemetry.count(
+                "committee.robust.fallbacks",
+                stats.locator_computations - 1,
+            )
+        telemetry.observe(
+            "committee.robust.decode.seconds", clock.perf_counter() - start
+        )
+    return plaintext, flagged
+
+
+def robust_decrypt_with_liveness_retry(
+    committee: Committee,
+    ciphertext: bgv.Ciphertext,
+    rng: random.Random,
+    availability_schedule: list[list[int]],
+    corrupt=None,
+) -> tuple[RingElement, int, set[int]]:
+    """Liveness retry *and* corruption tolerance in one loop.
+
+    Each attempt needs ``threshold + 1`` members online (error
+    detection needs redundancy); attempts short of that are liveness
+    misses and simply wait (§6.5).  Once a quorum is present the robust
+    decode runs: lying members are corrected through and flagged — the
+    emergency-reshare trigger's input — while a
+    :class:`~repro.errors.RobustDecodingError` (too many liars among
+    the *present* members) propagates immediately instead of being
+    retried as if it were churn.  Returns
+    ``(plaintext, attempts, flagged device ids)``.
+    """
+    needed = committee.threshold + 1
+    for attempt, online in enumerate(availability_schedule, start=1):
+        present = [
+            m.device_id
+            for m in committee.members
+            if m.device_id in online
+        ]
+        if len(present) < needed:
+            continue
+        plaintext, flagged = robust_threshold_decrypt(
+            committee,
+            ciphertext,
+            rng,
+            corrupt=corrupt,
+            participating=present,
+        )
+        return plaintext, attempt, flagged
+    raise LivenessQuorumError(
+        f"no attempt reached the robust quorum of {needed} members"
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -450,18 +588,32 @@ def agreed_dealer_sets(
     committee is excluded for *everyone*, so all new shares lie on the
     same combined polynomial.  Raises if any coefficient is left with
     fewer than ``threshold`` agreed dealers.
+
+    Verification is batched: the member-index set is identical for
+    every dealer and every key coefficient, so one
+    :class:`~repro.crypto.robust.BatchOpener` amortizes the Lagrange
+    setup across the whole proposal and
+    :func:`repro.crypto.vsr.batch_verify_packages` replaces the
+    per-member Feldman loop with two group checks per dealer.
     """
     new_size = len(proposal.new_member_ids)
+    opener = robust.BatchOpener(
+        range(1, new_size + 1),
+        proposal.new_threshold,
+        committee.group.order,
+    )
     agreed: list[list[vsr.RedistributionPackage]] = []
     for coeff_index, old_commitment in enumerate(committee.commitments):
-        valid = [
-            p
-            for p in proposal.packages[coeff_index]
-            if all(
-                vsr.verify_package(p, old_commitment, j)
-                for j in range(1, new_size + 1)
-            )
-        ]
+        row = list(proposal.packages[coeff_index])
+        verdicts = vsr.batch_verify_packages(
+            row,
+            old_commitment,
+            new_size,
+            proposal.new_threshold,
+            committee.group,
+            opener=opener,
+        )
+        valid = [p for p, ok in zip(row, verdicts) if ok]
         if len(valid) < committee.threshold:
             raise SecretSharingError(
                 f"coefficient {coeff_index}: only {len(valid)} dealers "

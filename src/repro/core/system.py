@@ -250,12 +250,32 @@ class MyceliumSystem:
                 decrypt_attempts = 1
                 flagged: set[int] = set()
                 if injector is not None and injector.plan.corrupt_committee:
-                    plaintext, flagged = committee_mod.robust_threshold_decrypt(
-                        self.committee,
-                        aggregation.ciphertext,
-                        self.rng,
-                        corrupt_members=injector.corrupt_members(member_ids),
-                    )
+                    injector.corrupt_members(member_ids)
+                    if injector.plan.committee_dropouts:
+                        schedule = injector.committee_schedule(member_ids)
+                        plaintext, decrypt_attempts, flagged = (
+                            committee_mod.robust_decrypt_with_liveness_retry(
+                                self.committee,
+                                aggregation.ciphertext,
+                                self.rng,
+                                schedule,
+                                corrupt=injector.corrupt_partial,
+                            )
+                        )
+                        if decrypt_attempts > 1:
+                            telemetry.count(
+                                "committee.decrypt.retries",
+                                decrypt_attempts - 1,
+                            )
+                    else:
+                        plaintext, flagged = (
+                            committee_mod.robust_threshold_decrypt(
+                                self.committee,
+                                aggregation.ciphertext,
+                                self.rng,
+                                corrupt=injector.corrupt_partial,
+                            )
+                        )
                 elif injector is not None and injector.plan.committee_dropouts:
                     schedule = injector.committee_schedule(member_ids)
                     plaintext, decrypt_attempts = (
@@ -375,6 +395,30 @@ class MyceliumSystem:
                 plaintext.coeffs[i]
                 for i in range(plan.layout.total_coefficients)
             ]
+
+    def robust_decrypt_phase(
+        self,
+        plan: ExecutionPlan,
+        ciphertext: bgv.Ciphertext,
+        rng: random.Random,
+        participating: list[int] | None = None,
+        corrupt=None,
+    ) -> tuple[list[int], set[int]]:
+        """Single-pass robust decryption: same coefficients as
+        :meth:`decrypt_phase` plus the flagged (lying) device ids.
+        ``corrupt`` is the injector's per-value corruption hook."""
+        with telemetry.span("query.decrypt"):
+            plaintext, flagged = committee_mod.robust_threshold_decrypt(
+                self.committee,
+                ciphertext,
+                rng,
+                corrupt=corrupt,
+                participating=participating,
+            )
+            return [
+                plaintext.coeffs[i]
+                for i in range(plan.layout.total_coefficients)
+            ], flagged
 
     def compute_noise(
         self, plan: ExecutionPlan, coefficients: list[int], scale: float

@@ -30,6 +30,8 @@ import random
 from dataclasses import dataclass
 
 from repro.crypto.feldman import CommitmentGroup, PolynomialCommitment
+from repro.crypto.hashes import hash_to_int
+from repro.crypto.robust import BatchOpener
 from repro.crypto.shamir import (
     Share,
     lagrange_coefficients_at_zero,
@@ -116,6 +118,102 @@ def verify_package(
         return False
     expected = old_commitment.expected_share_commitment(package.dealer_index)
     return package.commitment.secret_commitment == expected
+
+
+def _batch_challenge(
+    packages: list[RedistributionPackage],
+    old_commitment: PolynomialCommitment,
+    new_size: int,
+    order: int,
+) -> int:
+    """Fiat-Shamir evaluation point for batch verification.
+
+    Derived from the full public transcript (old commitment plus every
+    dealer's commitment), so no dealer can choose its polynomial after
+    seeing the point.  Re-drawn until it avoids 0 and the member
+    indices, where the check would degenerate into one the dealer
+    already had to pass.
+    """
+    parts = [b"vsr-batch-verify", new_size.to_bytes(4, "big")]
+    for c in old_commitment.commitments:
+        parts.append(c.to_bytes((c.bit_length() + 7) // 8 or 1, "big"))
+    for package in packages:
+        parts.append(package.dealer_index.to_bytes(8, "big"))
+        for c in package.commitment.commitments:
+            parts.append(c.to_bytes((c.bit_length() + 7) // 8 or 1, "big"))
+    counter = 0
+    while True:
+        r = hash_to_int(*parts, counter.to_bytes(4, "big")) % order
+        if r != 0 and r > new_size:
+            return r
+        counter += 1
+
+
+def batch_verify_packages(
+    packages: list[RedistributionPackage],
+    old_commitment: PolynomialCommitment,
+    new_size: int,
+    new_threshold: int,
+    group: CommitmentGroup,
+    opener: BatchOpener | None = None,
+) -> list[bool]:
+    """Step 2, amortized: verify every dealer's package in one batch.
+
+    Per-member verification costs ``new_size`` Feldman checks per
+    dealer, each a (degree+1)-term multi-exponentiation.  Batch opening
+    replaces them: the subshares of an honest dealer are evaluations of
+    a degree < ``new_threshold`` polynomial — a Reed-Solomon codeword
+    over the member indices — so one shared
+    :class:`~repro.crypto.robust.BatchOpener` (reused across dealers
+    *and* key coefficients, since the index set never changes) checks
+
+    1. completeness: every new member got a subshare (a dealer that
+       crashed mid-send is excluded for everyone — the torn-key guard);
+    2. degree: every extra subshare matches the base interpolation
+       (field arithmetic only, no group operations);
+    3. binding: ``g^{f(0)}`` equals the *old* commitment's expected
+       share for this dealer (the dealer re-shared its true share);
+    4. consistency: ``g^{f(r)}`` equals the dealer's published
+       commitment evaluated at a Fiat-Shamir point ``r`` — so the
+       commitment the next epoch inherits matches the subshares
+       everywhere, not just where we looked.
+
+    Accepts and rejects exactly the packages :func:`verify_package`
+    would (honest, corrupt, crashed, and tampered dealers alike, up to
+    the negligible soundness error of the random-point check).  Returns
+    one verdict per package, same order.
+    """
+    if opener is None:
+        opener = BatchOpener(
+            range(1, new_size + 1), new_threshold, group.order
+        )
+    q = group.order
+    r = _batch_challenge(packages, old_commitment, new_size, q)
+    verdicts = []
+    for package in packages:
+        if any(
+            j not in package.subshares for j in range(1, new_size + 1)
+        ):
+            verdicts.append(False)
+            continue
+        base_values = [package.subshares[x] % q for x in opener.base]
+        if any(
+            opener.eval_at(base_values, x) != package.subshares[x] % q
+            for x in opener.extras
+        ):
+            verdicts.append(False)
+            continue
+        expected = old_commitment.expected_share_commitment(
+            package.dealer_index
+        )
+        if group.commit(opener.open(base_values)) != expected:
+            verdicts.append(False)
+            continue
+        verdicts.append(
+            group.commit(opener.eval_at(base_values, r))
+            == package.commitment.expected_share_commitment(r)
+        )
+    return verdicts
 
 
 def combine_packages(

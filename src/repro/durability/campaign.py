@@ -152,6 +152,11 @@ class CampaignConfig:
     committee_churn_members: int = 0
     committee_churn_start: int = 0
     committee_churn_rounds: int = 0
+    #: Byzantine committee members: the first ``committee_corrupt_members``
+    #: members of the *genesis* committee submit corrupt-partial faults at
+    #: every decryption — the robust decoder must correct and flag them
+    #: without changing any released result (§5).
+    committee_corrupt_members: int = 0
     #: Plan-driven process kills: ``(query_index, phase)`` pairs.
     coordinator_kills: tuple[tuple[int, str], ...] = ()
     #: Sidecar checkpoint cadence, in completed queries (0 = never).
@@ -379,15 +384,23 @@ class CampaignRunner:
         if not (
             cfg.churn_fraction
             or cfg.committee_churn_members
+            or cfg.committee_corrupt_members
             or cfg.coordinator_kills
         ):
             return
+        corrupt_committee = tuple(
+            m.device_id
+            for m in self.system.committee.members[
+                : cfg.committee_corrupt_members
+            ]
+        )
         plan = FaultPlan.generate(
             cfg.fault_seed,
             num_devices=cfg.people,
             churn_fraction=cfg.churn_fraction,
             churn_window_rounds=cfg.churn_window_rounds,
             horizon_rounds=256,
+            corrupt_committee=corrupt_committee,
             coordinator_kills=cfg.coordinator_kills,
         )
         if cfg.committee_churn_members:
@@ -822,16 +835,30 @@ class CampaignRunner:
         rng = derive_rng(
             self.config.master_seed, "query", query_index, "decrypt"
         )
-        coefficients = self.system.decrypt_phase(
-            ctx["plan"],
-            ctx["aggregation"].ciphertext,
-            rng,
-            participating=list(report.live),
-        )
+        flagged: set[int] = set()
+        if (
+            self.injector is not None
+            and self.injector.plan.corrupt_committee
+        ):
+            coefficients, flagged = self.system.robust_decrypt_phase(
+                ctx["plan"],
+                ctx["aggregation"].ciphertext,
+                rng,
+                participating=list(report.live),
+                corrupt=self.injector.corrupt_partial,
+            )
+        else:
+            coefficients = self.system.decrypt_phase(
+                ctx["plan"],
+                ctx["aggregation"].ciphertext,
+                rng,
+                participating=list(report.live),
+            )
         ctx["coefficients"] = coefficients
         return {
             "coefficients": coefficients,
             "participating": list(report.live),
+            "flagged": sorted(flagged),
             "waited": waited,
             "round": self.clock.round,
         }

@@ -41,12 +41,27 @@ class SecretSharingError(CryptoError):
     """Secret-sharing reconstruction or verification failed."""
 
 
+class RobustDecodingError(SecretSharingError):
+    """Reed-Solomon robust decoding could not recover the secret: more
+    than ``(n - t) // 2`` shares are wrong, so no polynomial of degree
+    < t agrees with enough of the received word.  Raised instead of
+    ever returning a wrong secret."""
+
+
 class MerkleError(CryptoError):
     """A Merkle inclusion proof is malformed or inconsistent."""
 
 
 class ProtocolError(MyceliumError):
     """A participant observed a violation of the Mycelium protocol."""
+
+
+class LivenessQuorumError(ProtocolError):
+    """Too few committee members were online to reach the decryption
+    threshold (§6.5).  Distinct from a decode failure under corruption:
+    a liveness miss is safely retried once members return, while a
+    :class:`RobustDecodingError` means the *present* members are lying
+    and a retry with the same set cannot help."""
 
 
 class EquivocationError(ProtocolError):

@@ -18,7 +18,8 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro import telemetry
-from repro.crypto.hashes import hash_fraction, protocol_hash
+from repro.crypto.hashes import hash_fraction, hash_to_int, protocol_hash
+from repro.crypto.polyring import RingElement
 from repro.faults.plan import ChurnWindow, FaultKind, FaultPlan
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -184,6 +185,33 @@ class FaultInjector:
             self._record(FaultKind.COMMITTEE_CORRUPT, len(corrupt))
             telemetry.count("faults.committee.dropouts", len(corrupt))
         return corrupt
+
+    def corrupt_partial(
+        self, device_id: int, value: RingElement
+    ) -> RingElement:
+        """Per-value corruption hook for ``robust_threshold_decrypt``.
+
+        Members named in ``plan.corrupt_committee`` have every partial
+        decryption perturbed by a seed-derived nonzero constant, so the
+        robust decoder must correct *and* flag them; everyone else's
+        value passes through untouched.  Deterministic in
+        ``(plan.seed, device_id)`` — a resumed campaign injects the
+        exact same lie and reproduces the same flagged set.
+        """
+        if device_id not in self.plan.corrupt_committee:
+            return value
+        q = value.params.q
+        offset = (
+            hash_to_int(
+                self._seed_bytes,
+                b"corrupt-partial",
+                device_id.to_bytes(8, "big", signed=False),
+            )
+            % (q - 1)
+        ) + 1
+        self._record(FaultKind.CORRUPT_PARTIAL)
+        telemetry.count("faults.committee.corrupted")
+        return value + RingElement.constant(value.params, offset)
 
     # -- liveness pings (campaign health monitor) ---------------------------
 

@@ -33,6 +33,10 @@ class FaultKind(enum.Enum):
     WIRE_CORRUPT = "wire-corrupt"
     COMMITTEE_DROPOUT = "committee-dropout"
     COMMITTEE_CORRUPT = "committee-corrupt"
+    #: One member's partial decryption perturbed on the wire — the
+    #: per-value fault :meth:`FaultInjector.corrupt_partial` applies
+    #: inside the robust-decode path (§5).
+    CORRUPT_PARTIAL = "corrupt-partial"
     COORDINATOR_CRASH = "coordinator-crash"
 
 

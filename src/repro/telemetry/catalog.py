@@ -159,6 +159,11 @@ METRICS: dict[str, MetricSpec] = _specs(
         "committee members made unavailable or corrupt at decryption "
         "time",
     ),
+    MetricSpec(
+        "faults.committee.corrupted", COUNTER, "partials",
+        "partial decryptions perturbed by the corrupt-partial fault "
+        "kind (robust decode must correct and flag each one)",
+    ),
     # -- BGV / NTT ---------------------------------------------------------
     MetricSpec(
         "bgv.encrypt.count", COUNTER, "ops", "fresh BGV encryptions",
@@ -246,6 +251,28 @@ METRICS: dict[str, MetricSpec] = _specs(
         "committee.decrypt.retries", COUNTER, "attempts",
         "extra threshold-decryption attempts forced by committee "
         "dropouts (§6.5 liveness retry)",
+    ),
+    MetricSpec(
+        "committee.robust.errors", COUNTER, "values",
+        "wrong share values corrected by Reed-Solomon robust decoding "
+        "(summed over all coefficients of a batch)",
+    ),
+    MetricSpec(
+        "committee.robust.batch_width", HISTOGRAM, "codewords",
+        "codewords (ring coefficients) opened per robust batch decode "
+        "against one share-index set",
+        buckets=(1.0, 16.0, 64.0, 256.0, 1024.0, 4096.0),
+    ),
+    MetricSpec(
+        "committee.robust.decode.seconds", HISTOGRAM, "seconds",
+        "wall-clock duration of one robust batch decode (partials, "
+        "error locator, and batch opening)",
+        buckets=TIME_BUCKETS,
+    ),
+    MetricSpec(
+        "committee.robust.fallbacks", COUNTER, "rows",
+        "batch rows that failed the shared-locator consistency check "
+        "and needed their own Gao decode (extra error locators)",
     ),
     # -- engine ------------------------------------------------------------
     MetricSpec(
@@ -449,6 +476,13 @@ SPANS: dict[str, SpanSpec] = {
         SpanSpec(
             "query.decrypt", "query.run",
             "committee threshold decryption of the global ciphertext",
+        ),
+        SpanSpec(
+            "committee.robust_decode", "query.decrypt",
+            "single-pass Reed-Solomon robust decode of all ring "
+            "coefficients as one batch: codeword partials, shared error "
+            "locator, flagged-member identification; "
+            "attributes: members, width",
         ),
         SpanSpec(
             "query.release", "query.run",

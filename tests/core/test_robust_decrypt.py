@@ -1,5 +1,6 @@
-"""Actively-secure threshold decryption: wrong partials are detected
-and outvoted (§5's error-detection property)."""
+"""Actively-secure threshold decryption: wrong partials are corrected
+and their authors flagged in one Reed-Solomon decoding pass (§5's
+error-detection property)."""
 
 import random
 
@@ -7,7 +8,11 @@ import pytest
 
 from repro.core import committee as committee_mod
 from repro.crypto import bgv
-from repro.errors import ProtocolError
+from repro.errors import (
+    LivenessQuorumError,
+    ProtocolError,
+    RobustDecodingError,
+)
 from repro.params import TEST
 
 
@@ -40,9 +45,9 @@ class TestRobustDecryption:
         assert flagged == {4}
 
     def test_corrupt_minority_outvoted(self, shared):
-        """With 4 members at threshold 2 there are 6 subsets; the single
-        honest-honest pair family still forms the majority against one
-        corrupt member — and the answer is always the true plaintext."""
+        """With 4 members at threshold 2 the unique-decoding radius is
+        (4 - 2) // 2 = 1: one lying member is corrected through — and
+        the answer is always the true plaintext."""
         rng, secret, _, committee, ct = shared
         plaintext, flagged = committee_mod.robust_threshold_decrypt(
             committee, ct, rng, corrupt_members={9}
@@ -82,4 +87,80 @@ class TestLivenessRetry:
         with pytest.raises(ProtocolError):
             committee_mod.decrypt_with_liveness_retry(
                 committee, ct, rng, [[1], [9], []]
+            )
+
+    def test_exhausted_schedule_raises_quorum_error(self, shared):
+        """The exhausted-schedule failure is the *liveness* error, so
+        callers can distinguish churn from corruption."""
+        rng, _, _, committee, ct = shared
+        with pytest.raises(LivenessQuorumError):
+            committee_mod.decrypt_with_liveness_retry(
+                committee, ct, rng, [[1], [9], []]
+            )
+
+    def test_non_liveness_error_propagates(self, shared, monkeypatch):
+        """Regression: the retry loop used to swallow *every*
+        ProtocolError, so a corruption-induced decode failure looked
+        identical to a liveness miss and was silently retried.  A
+        ProtocolError that is not a quorum miss must escape on the
+        first attempt — this test fails against the old
+        ``except ProtocolError: continue`` behaviour."""
+        rng, _, _, committee, ct = shared
+
+        def poisoned(committee, ciphertext, rng, participating=None):
+            raise ProtocolError("decode failed under corruption")
+
+        monkeypatch.setattr(
+            committee_mod, "threshold_decrypt", poisoned
+        )
+        with pytest.raises(ProtocolError, match="corruption") as info:
+            committee_mod.decrypt_with_liveness_retry(
+                committee, ct, rng, [[1, 4], [1, 4, 7, 9]]
+            )
+        assert not isinstance(info.value, LivenessQuorumError)
+
+
+class TestRobustLivenessRetry:
+    def test_waits_for_redundant_quorum_then_flags(self, shared):
+        """Robust retry needs threshold + 1 present (redundancy for
+        error detection); once a quorum shows up the liar is corrected
+        and flagged in the same pass."""
+        rng, secret, _, committee, ct = shared
+        schedule = [[1, 4], [1, 4, 7, 9]]  # t members is not enough
+        plaintext, attempts, flagged = (
+            committee_mod.robust_decrypt_with_liveness_retry(
+                committee, ct, rng, schedule,
+                corrupt=lambda d, v: v + type(v).constant(v.params, 3)
+                if d == 7 else v,
+            )
+        )
+        assert attempts == 2
+        assert flagged == {7}
+        assert plaintext.coeffs == bgv.decrypt(secret, ct).coeffs
+
+    def test_corruption_failure_is_not_retried(self, shared):
+        """Two liars among four members exceed the radius: the decode
+        failure must propagate instead of being retried as churn."""
+        rng, _, _, committee, ct = shared
+        calls = []
+
+        def corrupt(device_id, value):
+            if device_id in (4, 9):
+                calls.append(device_id)
+                return value + type(value).constant(value.params, 5)
+            return value
+
+        with pytest.raises(RobustDecodingError):
+            committee_mod.robust_decrypt_with_liveness_retry(
+                committee, ct, rng,
+                [[1, 4, 7, 9], [1, 4, 7, 9]],
+                corrupt=corrupt,
+            )
+        assert len(calls) == 2  # each liar poisoned once: no second attempt
+
+    def test_exhausted_schedule_raises_quorum_error(self, shared):
+        rng, _, _, committee, ct = shared
+        with pytest.raises(LivenessQuorumError):
+            committee_mod.robust_decrypt_with_liveness_retry(
+                committee, ct, rng, [[1], [4, 7]]
             )

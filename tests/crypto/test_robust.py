@@ -1,0 +1,220 @@
+"""Reed-Solomon robust decoding over the Shamir code: edge cases.
+
+The decoder's contract is sharp — correct through exactly
+``(n - t) // 2`` wrong shares and flag their indices, *raise* (never
+answer wrongly) past that radius, reject malformed index sets, and
+amortize the error-locator work to one Gao run per batch regardless of
+width.
+"""
+
+import random
+
+import pytest
+
+from repro.core import committee as committee_mod
+from repro.crypto import bgv, robust, shamir
+from repro.errors import RobustDecodingError, SecretSharingError
+from repro.params import TEST
+from repro.runtime import TaskFabric, backends
+
+#: A small prime large enough that random collisions cannot fake a
+#: successful decode.
+FIELD = (1 << 61) - 1
+
+
+def _shares(secret, threshold, n, rng):
+    return shamir.share_secret(secret, threshold, n, FIELD, rng)
+
+
+class TestUniqueDecodingRadius:
+    @pytest.mark.parametrize("n,threshold", [(5, 2), (7, 3), (9, 3)])
+    def test_exactly_radius_errors_corrected(self, n, threshold):
+        rng = random.Random(n * 100 + threshold)
+        radius = robust.max_correctable_errors(n, threshold)
+        for _ in range(10):
+            secret = rng.randrange(FIELD)
+            shares = _shares(secret, threshold, n, rng)
+            bad = rng.sample(range(n), radius)
+            corrupted = [
+                (s.index, (s.value + rng.randrange(1, FIELD)) % FIELD)
+                if i in bad
+                else (s.index, s.value)
+                for i, s in enumerate(shares)
+            ]
+            decoded, flagged = robust.robust_reconstruct(
+                corrupted, threshold, FIELD
+            )
+            assert decoded == secret
+            assert flagged == {shares[i].index for i in bad}
+
+    @pytest.mark.parametrize("n,threshold", [(5, 2), (7, 3), (9, 3)])
+    def test_radius_plus_one_errors_never_wrong(self, n, threshold):
+        """One error past the radius: the decoder must raise or (if the
+        received word happens to still be decodable) return the true
+        secret — a wrong answer is the one forbidden outcome."""
+        rng = random.Random(n * 200 + threshold)
+        radius = robust.max_correctable_errors(n, threshold)
+        raised = 0
+        for _ in range(20):
+            secret = rng.randrange(FIELD)
+            shares = _shares(secret, threshold, n, rng)
+            bad = rng.sample(range(n), radius + 1)
+            corrupted = [
+                (s.index, (s.value + rng.randrange(1, FIELD)) % FIELD)
+                if i in bad
+                else (s.index, s.value)
+                for i, s in enumerate(shares)
+            ]
+            try:
+                decoded, _ = robust.robust_reconstruct(
+                    corrupted, threshold, FIELD
+                )
+            except RobustDecodingError:
+                raised += 1
+            else:
+                assert decoded == secret
+        assert raised > 0
+
+    def test_guaranteed_failure_raises(self):
+        """Five points split 3/2 between two distinct lines: no
+        polynomial of degree < 2 agrees with 4 of them, so Gao must
+        refuse outright."""
+        a, b = (3, 7), (11, 4)  # two different degree-1 polynomials
+        points = [
+            (x, (a[0] + a[1] * x) % FIELD) for x in (1, 2, 3)
+        ] + [(x, (b[0] + b[1] * x) % FIELD) for x in (4, 5)]
+        with pytest.raises(RobustDecodingError):
+            robust.robust_reconstruct(points, 2, FIELD)
+
+    def test_honest_shares_flag_nothing(self):
+        rng = random.Random(17)
+        secret = rng.randrange(FIELD)
+        shares = _shares(secret, 3, 8, rng)
+        decoded, flagged = robust.robust_reconstruct(shares, 3, FIELD)
+        assert decoded == secret
+        assert flagged == set()
+
+
+class TestDegenerateIndexSets:
+    def test_duplicate_indices_rejected(self):
+        with pytest.raises(SecretSharingError):
+            robust.robust_reconstruct(
+                [(1, 5), (2, 6), (2, 7), (4, 8)], 2, FIELD
+            )
+
+    def test_zero_index_rejected(self):
+        """Index 0 would place a share at the secret's own evaluation
+        point."""
+        with pytest.raises(SecretSharingError):
+            robust.robust_reconstruct(
+                [(0, 5), (1, 6), (2, 7)], 2, FIELD
+            )
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(SecretSharingError):
+            robust.robust_reconstruct(
+                [(-1, 5), (1, 6), (2, 7)], 2, FIELD
+            )
+
+    def test_too_few_shares_raise_decoding_error(self):
+        with pytest.raises(RobustDecodingError):
+            robust.robust_reconstruct([(1, 5)], 2, FIELD)
+
+    def test_batch_duplicate_indices_rejected(self):
+        with pytest.raises(SecretSharingError):
+            robust.batch_robust_reconstruct(
+                [1, 2, 2, 4], [[1, 2, 3, 4]], 2, FIELD
+            )
+
+    def test_batch_row_length_mismatch_rejected(self):
+        with pytest.raises(SecretSharingError):
+            robust.batch_robust_reconstruct(
+                [1, 2, 3, 4], [[1, 2, 3]], 2, FIELD
+            )
+
+
+class TestBatchOpening:
+    def _batch(self, width, n, threshold, num_corrupt, seed):
+        rng = random.Random(seed)
+        secrets = [rng.randrange(FIELD) for _ in range(width)]
+        vector_shares = shamir.share_vector(
+            secrets, threshold, n, FIELD, rng
+        )
+        indices = [s.index for s in vector_shares]
+        rows = [
+            [s.values[j] for s in vector_shares] for j in range(width)
+        ]
+        bad = rng.sample(range(n), num_corrupt)
+        for p in bad:
+            for j in range(width):
+                rows[j][p] = (rows[j][p] + rng.randrange(1, FIELD)) % FIELD
+        return secrets, indices, rows, {indices[p] for p in bad}
+
+    def test_width_one(self):
+        secrets, indices, rows, bad = self._batch(1, 7, 3, 2, seed=23)
+        decoded, flagged, stats = robust.batch_robust_reconstruct(
+            indices, rows, 3, FIELD
+        )
+        assert decoded == secrets
+        assert flagged == bad
+        assert stats.width == 1
+        assert stats.locator_computations == 1
+
+    def test_width_4096_single_locator(self):
+        """The headline amortization: 4096 codewords on one index set
+        cost exactly one error-locator (Gao) computation."""
+        secrets, indices, rows, bad = self._batch(4096, 9, 3, 3, seed=29)
+        decoded, flagged, stats = robust.batch_robust_reconstruct(
+            indices, rows, 3, FIELD
+        )
+        assert decoded == secrets
+        assert flagged == bad
+        assert stats.width == 4096
+        assert stats.locator_computations == 1
+        assert stats.errors_corrected == 3 * 4096
+
+    def test_empty_batch(self):
+        decoded, flagged, stats = robust.batch_robust_reconstruct(
+            [1, 2, 3], [], 2, FIELD
+        )
+        assert decoded == []
+        assert flagged == set()
+        assert stats.width == 0
+
+    def test_too_many_liars_raise(self):
+        _, indices, rows, _ = self._batch(16, 5, 2, 2, seed=31)
+        with pytest.raises(RobustDecodingError):
+            robust.batch_robust_reconstruct(indices, rows, 2, FIELD)
+
+
+class TestCrossBackendDeterminism:
+    def test_bit_identical_across_backends_and_workers(self):
+        """The full robust decryption path — partials, smudging, batch
+        decode — must produce the same plaintext bits and flagged set
+        on every compute backend at every worker count."""
+        setup = random.Random(643)
+        secret, public = bgv.keygen(TEST, setup)
+        committee = committee_mod.genesis_share_key(
+            secret, member_ids=[2, 3, 5, 8, 13], threshold=2, rng=setup
+        )
+        ct = bgv.encrypt_monomial(public, 9, setup)
+
+        outcomes = []
+        for backend in backends.available_backends():
+            for workers in (1, 2):
+                with backends.use_backend(backend), TaskFabric(
+                    workers=workers, chunk_size=2
+                ):
+                    plaintext, flagged = (
+                        committee_mod.robust_threshold_decrypt(
+                            committee,
+                            ct,
+                            random.Random(99),
+                            corrupt_members={5},
+                        )
+                    )
+                outcomes.append((tuple(plaintext.coeffs), flagged))
+        assert len(outcomes) >= 2
+        assert all(o == outcomes[0] for o in outcomes)
+        assert outcomes[0][1] == {5}
+        assert outcomes[0][0] == tuple(bgv.decrypt(secret, ct).coeffs)
