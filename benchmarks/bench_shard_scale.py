@@ -1,0 +1,221 @@
+"""Devices × shards sweep of the sharded live simulation.
+
+The tentpole claim behind ``src/repro/sharding`` (``docs/SHARDING.md``)
+is that the live simulation scales past one resident world: device
+state streams through per-shard iterators, so peak RSS is bounded by
+the *shard* size while wall-clock stays linear in the *device* count,
+and the decrypted histogram is bit-identical at any shard layout.
+
+Each sweep cell runs in its own subprocess so ``ru_maxrss`` measures
+that cell alone.  The sweep then fits the devices→seconds and
+shard-size→RSS lines (:mod:`repro.analysis.sharding_model`) and
+re-validates the measured slope against the Figure 9(b) aggregator
+compute model at 10^6..10^9 devices.
+
+Quick mode (the CI smoke) tops out at 10^4 devices::
+
+    PYTHONPATH=src python benchmarks/bench_shard_scale.py --quick
+
+Full mode sweeps to 10^6 devices and additionally asserts the RSS
+bound: the K=64 cell must peak strictly below the K=1 cell at the same
+population.  Both modes write the usual ``BENCH_*.json`` (schema v2)
+record.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+if __package__ in (None, ""):  # invoked as a script: --quick / --cell
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+from benchmarks.conftest import format_table
+from repro.analysis.sharding_model import (
+    ShardScalePoint,
+    figure_9b_cross_check,
+    fit_peak_rss,
+    fit_wall_clock,
+)
+from repro.sharding import run_live_simulation
+
+SEED = 11
+
+
+def _quick() -> bool:
+    return os.environ.get("MYCELIUM_BENCH_QUICK") == "1"
+
+
+def _cells() -> list[tuple[int, int]]:
+    """(devices, shards) sweep cells for the selected mode."""
+    if _quick():
+        return [(2_500, 1), (5_000, 1), (10_000, 1), (10_000, 8)]
+    return [
+        (10**5, 1),
+        (3 * 10**5, 1),
+        (10**6, 1),
+        (10**6, 4),
+        (10**6, 16),
+        (10**6, 64),
+    ]
+
+
+def run_cell(devices: int, shards: int) -> dict:
+    """One sweep cell, executed inside its own interpreter."""
+    import resource
+
+    started = time.perf_counter()
+    outcome = run_live_simulation(
+        devices, num_shards=shards, master_seed=SEED
+    )
+    wall = time.perf_counter() - started
+    rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return {
+        "devices": devices,
+        "shards": shards,
+        "wall_seconds": wall,
+        "peak_rss_bytes": rss_kb * 1024,  # ru_maxrss is KiB on Linux
+        "histogram": list(outcome.histogram),
+        "correct": outcome.correct,
+        "max_shard_size": outcome.max_shard_size,
+    }
+
+
+def _run_cell_subprocess(devices: int, shards: int) -> dict:
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[1] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    completed = subprocess.run(
+        [
+            sys.executable,
+            str(Path(__file__).resolve()),
+            "--cell",
+            str(devices),
+            str(shards),
+        ],
+        check=True,
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    return json.loads(completed.stdout.splitlines()[-1])
+
+
+def test_shard_scale_sweep(report):
+    # A tiny in-process run first, so the sharding.* counters and the
+    # reduction span land in this entry's telemetry snapshot.
+    warm = run_live_simulation(600, num_shards=3, master_seed=SEED)
+    assert warm.correct
+
+    cells = [_run_cell_subprocess(d, k) for d, k in _cells()]
+    points = [
+        ShardScalePoint(
+            devices=c["devices"],
+            shards=c["shards"],
+            wall_seconds=c["wall_seconds"],
+            peak_rss_bytes=c["peak_rss_bytes"],
+        )
+        for c in cells
+    ]
+
+    # Every cell decrypts to its plaintext oracle, and the histogram is
+    # layout-invariant: all shard counts at one population agree.
+    assert all(c["correct"] for c in cells)
+    histograms: dict[int, set] = {}
+    for c in cells:
+        histograms.setdefault(c["devices"], set()).add(
+            tuple(c["histogram"])
+        )
+    assert all(len(h) == 1 for h in histograms.values())
+
+    wall_fit = fit_wall_clock(points)
+    rss_fit = fit_peak_rss(points)
+    assert wall_fit.slope > 0
+
+    mode = "quick" if _quick() else "full"
+    report(
+        *format_table(
+            f"Sharded live simulation ({mode}, LIVESIM ring, seed {SEED})",
+            ["devices", "shards", "max shard", "wall (s)", "peak RSS (MB)"],
+            [
+                [
+                    c["devices"],
+                    c["shards"],
+                    c["max_shard_size"],
+                    c["wall_seconds"],
+                    c["peak_rss_bytes"] / 1e6,
+                ]
+                for c in cells
+            ],
+        ),
+        f"wall-clock fit: {wall_fit.slope * 1e6:.3g} us/device "
+        f"+ {wall_fit.intercept:.3g} s",
+        f"peak-RSS fit: {rss_fit.slope:.3g} bytes/shard-device "
+        f"+ {rss_fit.intercept / 1e6:.3g} MB",
+    )
+
+    # Figure 9(b) re-validation: the measured slope and the paper's
+    # per-device anchor are both linear models, so their ratio must be
+    # one constant at every extrapolated population.
+    cross = figure_9b_cross_check(wall_fit.slope)
+    ratios = {round(row["ratio_to_paper"], 9) for row in cross}
+    assert len(ratios) == 1
+    report(
+        *format_table(
+            "Extrapolation vs Figure 9(b) aggregation model",
+            ["devices", "measured (s)", "paper (s)", "shards @ deadline"],
+            [
+                [
+                    int(row["devices"]),
+                    row["measured_seconds"],
+                    row["paper_seconds"],
+                    int(row["shards_required"]),
+                ]
+                for row in cross
+            ],
+        ),
+    )
+
+    if not _quick():
+        # The memory-bounded streaming claim, measured: at 10^6 devices
+        # the 64-shard layout must peak strictly below the flat one.
+        flat = next(
+            c for c in cells if c["devices"] == 10**6 and c["shards"] == 1
+        )
+        sharded = next(
+            c for c in cells if c["devices"] == 10**6 and c["shards"] == 64
+        )
+        assert sharded["peak_rss_bytes"] < flat["peak_rss_bytes"]
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="sharded live-simulation scaling sweep"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="10^4-device sweep for CI smoke (finishes in <60s)",
+    )
+    parser.add_argument(
+        "--cell",
+        nargs=2,
+        type=int,
+        metavar=("DEVICES", "SHARDS"),
+        help=argparse.SUPPRESS,
+    )
+    cli_args = parser.parse_args()
+    if cli_args.cell:
+        print(json.dumps(run_cell(*cli_args.cell)))
+        raise SystemExit(0)
+    if cli_args.quick:
+        os.environ["MYCELIUM_BENCH_QUICK"] = "1"
+    import pytest
+
+    raise SystemExit(pytest.main([__file__, "-q"]))

@@ -15,7 +15,7 @@ from repro.workloads.graphgen import ContactGraph
 #: The trial families the harness audits.
 TRIAL_KINDS = (
     "equivalence", "budget", "sensitivity", "shamir", "mixnet", "crash",
-    "robust", "flagging",
+    "robust", "flagging", "shard_equivalence",
 )
 
 
@@ -102,6 +102,9 @@ class TrialCase:
     behaviors: dict[int, str] = field(default_factory=dict)
     backend: str = "pure"
     workers: int = 1
+    #: Shard count for shard_equivalence trials: the sharded aggregation
+    #: at this K must be bit-identical to the flat aggregator.
+    shards: int = 1
     # -- budget ------------------------------------------------------------
     total_epsilon: float = 1.0
     epsilons: tuple[float, ...] = ()
@@ -139,6 +142,7 @@ class TrialCase:
             "behaviors": {str(k): v for k, v in self.behaviors.items()},
             "backend": self.backend,
             "workers": self.workers,
+            "shards": self.shards,
             "total_epsilon": self.total_epsilon,
             "epsilons": list(self.epsilons),
             "per_query_epsilon": self.per_query_epsilon,
@@ -170,6 +174,7 @@ class TrialCase:
             },
             backend=data.get("backend", "pure"),
             workers=int(data.get("workers", 1)),
+            shards=int(data.get("shards", 1)),
             total_epsilon=float(data.get("total_epsilon", 1.0)),
             epsilons=tuple(float(e) for e in data.get("epsilons", ())),
             per_query_epsilon=float(data.get("per_query_epsilon", 0.1)),

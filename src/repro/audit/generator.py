@@ -119,6 +119,8 @@ def _kind_for_index(index: int) -> str:
         return "robust"
     if index % 12 == 10:
         return "flagging"
+    if index % 12 == 2:
+        return "shard_equivalence"
     if index % 4 == 1:
         return "budget"
     if index % 4 == 3:
@@ -221,10 +223,13 @@ def generate_case(master_seed: int, index: int) -> TrialCase:
     )
     offline: tuple[int, ...] = ()
     behaviors: dict[int, str] = {}
-    if kind == "equivalence" and plan.hops == 1:
+    if kind in ("equivalence", "shard_equivalence") and plan.hops == 1:
         offline, behaviors = _random_faults(rng, len(graph.vertices))
     backend = rng.choice(_backends()) if _backends() else "pure"
     workers = 2 if (kind == "equivalence" and rng.random() < 0.2) else 1
+    # Deliberately allowed to exceed the vertex count: trailing empty
+    # shards must be a no-op at the reduction root.
+    shards = rng.choice((2, 3, 5, 8)) if kind == "shard_equivalence" else 1
     return TrialCase(
         kind=kind,
         seed=seed,
@@ -235,4 +240,5 @@ def generate_case(master_seed: int, index: int) -> TrialCase:
         behaviors=behaviors,
         backend=backend,
         workers=workers,
+        shards=shards,
     )

@@ -25,6 +25,7 @@ from repro.crypto.polyring import RingElement
 from repro.dp import budget as budget_mod
 from repro.errors import PrivacyBudgetExceeded
 from repro.query import sensitivity as sensitivity_mod
+from repro.sharding import aggregate as shard_aggregate_mod
 
 
 @contextmanager
@@ -106,6 +107,16 @@ def _flagging_case(seed: int) -> TrialCase:
 def _robust_case(seed: int) -> TrialCase:
     return TrialCase(
         kind="robust", seed=seed, threshold=2, num_shares=6, corrupt=(1,)
+    )
+
+
+def _shard_equivalence_case(seed: int, shards: int = 3) -> TrialCase:
+    return TrialCase(
+        kind="shard_equivalence",
+        seed=seed,
+        query="SELECT HISTO(COUNT(*)) FROM neigh(1)",
+        graph=_k4_graph(),
+        shards=shards,
     )
 
 
@@ -247,6 +258,20 @@ def _mutant_journal_double_apply():
     return _patched(campaign_mod.CampaignRunner, "_restore_charge", bad)
 
 
+def _mutant_colluding_shard():
+    original = shard_aggregate_mod.shard_claimed_partial
+
+    def bad(chunk_partials):
+        claimed = original(chunk_partials)
+        if claimed is not None:
+            # the bug: a colluding shard aggregator replays its first
+            # chunk into the claimed partial, inflating those bins
+            return bgv.add(claimed, list(chunk_partials)[0])
+        return claimed
+
+    return _patched(shard_aggregate_mod, "shard_claimed_partial", bad)
+
+
 def _mutant_aggregator_accepts_everything():
     def bad(self, submission):
         return True, 0.0, 0
@@ -326,6 +351,12 @@ MUTANTS: tuple[Mutant, ...] = (
         description="one member's robust partial decryption is off by one",
         patch=_mutant_wrong_share,
         cases=(_flagging_case(1101), _robust_case(1102)),
+    ),
+    Mutant(
+        name="colluding-shard",
+        description="a shard aggregator tampers its claimed partial sum",
+        patch=_mutant_colluding_shard,
+        cases=(_shard_equivalence_case(1201),),
     ),
     Mutant(
         name="journal-double-apply",

@@ -57,6 +57,10 @@ def _runtime_transformations(case: TrialCase) -> Iterator[TrialCase]:
         yield replace(case, workers=1)
     if case.backend != "pure":
         yield replace(case, backend="pure")
+    # Keep at least two shards so the case still exercises the sharded
+    # aggregation path rather than degenerating to the flat one.
+    if case.shards > 2:
+        yield replace(case, shards=2)
 
 
 def _epsilon_transformations(case: TrialCase) -> Iterator[TrialCase]:

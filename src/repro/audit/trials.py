@@ -14,6 +14,10 @@ Each trial family targets one slice of the protocol:
   committee threshold decryption against direct decryption.
 * ``mixnet`` — a full onion-routed query under injected faults must
   either match the degraded oracle or fail with a typed error.
+* ``shard_equivalence`` — the sharded aggregation path (per-shard
+  partial sums claim-checked at the reduction root) must be
+  bit-identical to the flat aggregator at any shard count, including
+  under Byzantine submissions.
 
 Deliberate style point: cross-module entry points the mutant self-test
 patches (``threshold_decrypt``, ``composed_epsilon``, ``analyze``, …)
@@ -74,6 +78,8 @@ def run_trial(case: TrialCase, bench: AuditBench) -> list[CheckResult]:
         return _run_robust(case, bench)
     if case.kind == "flagging":
         return _run_flagging(case, bench)
+    if case.kind == "shard_equivalence":
+        return _run_shard_equivalence(case, bench)
     raise ValueError(f"unknown trial kind {case.kind!r}")
 
 
@@ -209,6 +215,142 @@ def _run_equivalence(case: TrialCase, bench: AuditBench) -> list[CheckResult]:
             "equivalence.threshold-matches-direct",
             tuple(plain.coeffs),
             tuple(direct.coeffs),
+        )
+    )
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Shard equivalence: sharded aggregation vs the flat aggregator
+# ---------------------------------------------------------------------------
+
+
+def _run_shard_equivalence(
+    case: TrialCase, bench: AuditBench
+) -> list[CheckResult]:
+    from repro import sharding as sharding_mod
+    from repro.errors import ShardIntegrityError
+
+    results: list[CheckResult] = []
+    plan = compile_case_plan(case)
+    graph = case.graph.build()
+    behaviors = {d: Behavior(v) for d, v in case.behaviors.items()}
+    expectation = plaintext_mod.expected_under_faults(
+        plan, graph, offline=case.offline, behaviors=behaviors
+    )
+
+    with backends.use_backend(case.backend), TaskFabric(
+        workers=case.workers, chunk_size=2
+    ) as fabric:
+        executor = EncryptedExecutor(
+            plan, bench.public, bench.zk, random.Random(case.seed), fabric=fabric
+        )
+        submissions = executor.run(
+            graph, behaviors=behaviors, offline=set(case.offline)
+        )
+        flat = QueryAggregator(
+            zk=bench.zk, relin_keys=bench.relin_keys, fabric=fabric
+        ).aggregate(submissions)
+        try:
+            sharded = sharding_mod.ShardedAggregator(
+                zk=bench.zk,
+                relin_keys=bench.relin_keys,
+                num_shards=case.shards,
+                fabric=fabric,
+            ).aggregate(submissions)
+        except ShardIntegrityError as exc:
+            # An honest run must never trip the root's claim check — a
+            # shard aggregator lying about its partial sum lands here.
+            results.append(
+                check(
+                    "shard-equivalence.root-accepts-honest-partials",
+                    False,
+                    f"{type(exc).__name__}: {exc}",
+                )
+            )
+            return results
+    results.append(
+        check("shard-equivalence.root-accepts-honest-partials", True)
+    )
+
+    results.append(
+        check_equal(
+            "shard-equivalence.accepted",
+            tuple(sharded.accepted),
+            tuple(flat.accepted),
+        )
+    )
+    results.append(
+        check_equal(
+            "shard-equivalence.rejected",
+            tuple(sharded.rejected),
+            tuple(flat.rejected),
+        )
+    )
+    results.append(
+        check_equal(
+            "shard-equivalence.rejected-match-oracle",
+            frozenset(sharded.rejected),
+            expectation.rejected_origins,
+        )
+    )
+    results.append(
+        check_equal(
+            "shard-equivalence.summation-root",
+            sharded.summation_root,
+            flat.summation_root,
+        )
+    )
+    # Exact float equality: the sharded path replays the flat left fold
+    # in global submission order.
+    results.append(
+        check_equal(
+            "shard-equivalence.verification-seconds",
+            sharded.verification_seconds,
+            flat.verification_seconds,
+        )
+    )
+    results.append(
+        check_equal(
+            "shard-equivalence.proofs-verified",
+            sharded.proofs_verified,
+            flat.proofs_verified,
+        )
+    )
+
+    if flat.ciphertext is None or sharded.ciphertext is None:
+        results.append(
+            check(
+                "shard-equivalence.both-empty",
+                flat.ciphertext is None and sharded.ciphertext is None,
+                "one path produced a ciphertext and the other none",
+            )
+        )
+        return results
+
+    results.append(
+        check(
+            "shard-equivalence.ciphertext-bit-identical",
+            sharded.ciphertext.serialize() == flat.ciphertext.serialize(),
+            f"K={case.shards} components diverge from the flat fold",
+        )
+    )
+    results.extend(
+        _noise_checks(bench, "shard-equivalence.aggregate", sharded.ciphertext)
+    )
+    plain = committee_mod.threshold_decrypt(
+        bench.committee,
+        sharded.ciphertext,
+        derive_rng(case.seed, "decrypt"),
+    )
+    decrypted = tuple(
+        plain.coeffs[i] for i in range(plan.layout.total_coefficients)
+    )
+    results.append(
+        check_equal(
+            "shard-equivalence.coefficients",
+            decrypted,
+            expectation.coefficients,
         )
     )
     return results

@@ -84,6 +84,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         workers=args.workers if args.workers is not None else base.workers,
         backend=args.backend if args.backend is not None else base.backend,
         chunk_size=base.chunk_size,
+        shards=base.shards,
     )
     query = CATALOG[args.query] if args.query in CATALOG else args.query
     graph, rng = _build_workload(args.people, args.degree, args.seed)
@@ -390,6 +391,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         workers=args.workers if args.workers is not None else base.workers,
         backend=args.backend if args.backend is not None else base.backend,
         chunk_size=base.chunk_size,
+        shards=args.shards if args.shards is not None else base.shards,
     )
     kill = None
     if args.kill_at and args.kill_before:
@@ -467,6 +469,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         workers=args.workers if args.workers is not None else base.workers,
         backend=args.backend if args.backend is not None else base.backend,
         chunk_size=base.chunk_size,
+        shards=args.shards if args.shards is not None else base.shards,
     )
     config = ServiceConfig(
         master_seed=args.seed,
@@ -702,6 +705,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     campaign.add_argument("--backend", default=None)
     campaign.add_argument("--workers", type=int, default=None)
+    campaign.add_argument(
+        "--shards", type=int, default=None,
+        help="aggregator shard count (K): verify/sum origins in K "
+        "independent shards with a claim-checked root reduction; "
+        "results are bit-identical at any K (docs/SHARDING.md)",
+    )
     campaign.set_defaults(fn=cmd_campaign)
 
     serve = sub.add_parser(
@@ -745,6 +754,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--backend", default=None)
     serve.add_argument("--workers", type=int, default=None)
+    serve.add_argument(
+        "--shards", type=int, default=None,
+        help="aggregator shard count for every served round "
+        "(docs/SHARDING.md); results are bit-identical at any K",
+    )
     serve.set_defaults(fn=cmd_serve)
 
     audit = sub.add_parser(

@@ -196,7 +196,7 @@ class MyceliumSystem:
         ) as fabric:
             return self._run_query_with_fabric(
                 query, graph, epsilon, behaviors, offline, rotate,
-                noiseless, world, fabric,
+                noiseless, world, fabric, shards=config.shards,
             )
 
     def _run_query_with_fabric(
@@ -210,6 +210,7 @@ class MyceliumSystem:
         noiseless: bool,
         world: MixnetWorld | None,
         fabric: TaskFabric,
+        shards: int = 1,
     ) -> QueryResult:
         with telemetry.span("query.run", epsilon=epsilon) as query_span:
             with telemetry.span("query.compile"):
@@ -242,7 +243,7 @@ class MyceliumSystem:
                     plan, graph, self.rng, fabric,
                     behaviors=behaviors, offline=offline,
                 )
-            aggregation = self.aggregate_phase(submissions, fabric)
+            aggregation = self.aggregate_phase(submissions, fabric, shards)
 
             injector = world.fault_injector if world is not None else None
             with telemetry.span("query.decrypt"):
@@ -367,13 +368,33 @@ class MyceliumSystem:
             return executor.run(graph, behaviors=behaviors, offline=offline)
 
     def aggregate_phase(
-        self, submissions: list[OriginSubmission], fabric: TaskFabric
+        self,
+        submissions: list[OriginSubmission],
+        fabric: TaskFabric,
+        shards: int = 1,
     ):
-        """Proof verification + relinearized summation at the aggregator."""
+        """Proof verification + relinearized summation at the aggregator.
+
+        ``shards > 1`` routes through K independent shard aggregators
+        and the claim-checked root reduction (docs/SHARDING.md); the
+        result is bit-identical to the flat path at any K, so the shard
+        count — like the worker count and backend — is a runtime knob,
+        never part of a query's identity.
+        """
         with telemetry.span("query.aggregate"):
-            aggregator = QueryAggregator(
-                zk=self.zk, relin_keys=self.relin_keys, fabric=fabric
-            )
+            if shards > 1:
+                from repro.sharding import ShardedAggregator
+
+                aggregator = ShardedAggregator(
+                    zk=self.zk,
+                    relin_keys=self.relin_keys,
+                    num_shards=shards,
+                    fabric=fabric,
+                )
+            else:
+                aggregator = QueryAggregator(
+                    zk=self.zk, relin_keys=self.relin_keys, fabric=fabric
+                )
             aggregation = aggregator.aggregate(submissions)
         if aggregation.ciphertext is None:
             raise ProtocolError("no valid contributions to aggregate")

@@ -258,6 +258,11 @@ class CampaignRunner:
         self.quorum_wait_rounds = 0
         self._start_query = 0
         self._active_fabric: TaskFabric | None = None
+        # Shard count of the *current process*, taken from the runtime
+        # config in run().  Deliberately not journaled: like workers and
+        # backend, the shard layout never affects results, so a campaign
+        # may crash under one K and resume under another bit-identically.
+        self._active_shards = 1
 
     # -- construction -------------------------------------------------------
 
@@ -568,6 +573,7 @@ class CampaignRunner:
         runtime = (
             self.runtime if self.runtime is not None else get_runtime_config()
         )
+        self._active_shards = runtime.shards
         with telemetry.span(
             "campaign.run",
             queries=len(self.config.queries),
@@ -777,7 +783,9 @@ class CampaignRunner:
 
     def _phase_aggregate(self, query_index, ctx, fabric) -> dict:
         assert self.system is not None
-        aggregation = self.system.aggregate_phase(ctx["submissions"], fabric)
+        aggregation = self.system.aggregate_phase(
+            ctx["submissions"], fabric, self._active_shards
+        )
         ctx["aggregation"] = aggregation
         return {
             "ciphertext": serialize.ciphertext_to_json(

@@ -68,6 +68,13 @@ class EquivocationError(ProtocolError):
     """The aggregator presented inconsistent views to different devices."""
 
 
+class ShardIntegrityError(ProtocolError):
+    """A shard aggregator's claimed partial sum does not equal the
+    reduction of its own chunk evidence.  Raised by the root
+    :class:`repro.sharding.ReductionTree` before the bad partial can
+    contaminate the committee's single decryption (docs/SHARDING.md)."""
+
+
 class MessageDroppedError(ProtocolError):
     """The aggregator (or a forwarder) dropped a message it had accepted."""
 

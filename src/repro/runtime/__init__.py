@@ -29,6 +29,7 @@ from repro.runtime.backends import (
     ComputeBackend,
     active_backend,
     available_backends,
+    known_backends,
     resolve_backend,
     use_backend,
 )
@@ -50,6 +51,7 @@ __all__ = [
     "derive_rng",
     "derive_seed",
     "get_runtime_config",
+    "known_backends",
     "resolve_backend",
     "set_runtime_config",
     "use_backend",

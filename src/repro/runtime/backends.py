@@ -105,6 +105,14 @@ def _instantiate(name: str) -> ComputeBackend:
     return _instances[name]
 
 
+def known_backends() -> list[str]:
+    """Every acceptable backend *name*: registered factories plus
+    ``"auto"``.  Unlike :func:`available_backends` this does not try to
+    instantiate anything — it is the validation set for configuration
+    (``MYCELIUM_BACKEND``, ``--backend``)."""
+    return sorted(_factories) + [AUTO_BACKEND]
+
+
 def available_backends() -> list[str]:
     """Names of backends that actually instantiate on this machine."""
     names = []

@@ -1,0 +1,204 @@
+"""Sharded verification + hierarchical aggregation.
+
+K shard aggregator instances each verify and relinearize their
+contiguous slice of the submission order independently (sharding the
+proof-checking that dominates aggregator compute, Figure 9b), fold their
+accepted ciphertexts through the fixed-shape SUM_CHUNK tree, and hand a
+:class:`~repro.sharding.reduce.ShardPartial` to the root
+:class:`~repro.sharding.reduce.ReductionTree`, which verifies each claim
+against its chunk evidence and reduces the partials into the one
+ciphertext the committee decrypts.
+
+Bit-identity contract (tests/sharding/, docs/SHARDING.md): for any K,
+:meth:`ShardedAggregator.aggregate` returns an
+:class:`~repro.core.aggregator.AggregationResult` whose ciphertext
+*components* (serialization, digest), accepted/rejected lists, summation
+root, verification seconds, and proof counts are bit-identical to the
+unsharded :class:`~repro.core.aggregator.QueryAggregator` — homomorphic
+addition is exact and associative, contiguous shards preserve the global
+submission order, and the verification-seconds accumulator replays the
+flat path's exact float fold.  At K=1 even the noise-bit *metadata*
+matches; at K>1 the analytic noise tag differs by the (sound,
+shape-dependent) regrouping of the tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from repro import telemetry
+from repro.core.aggregator import (
+    AggregationResult,
+    QueryAggregator,
+    _pairwise_sum,
+    _verify_relin_task,
+)
+from repro.crypto import bgv, zksnark
+from repro.crypto.merkle import InclusionProof, MerkleTree, verify_inclusion
+from repro.engine.encrypted import OriginSubmission
+from repro.errors import ProtocolError
+from repro.runtime import TaskFabric
+from repro.sharding.planner import Shard, plan_shards
+from repro.sharding.reduce import ReductionTree, ShardPartial, chunked_partials
+
+
+def shard_claimed_partial(
+    chunk_partials: Sequence[bgv.Ciphertext],
+) -> bgv.Ciphertext | None:
+    """The partial sum a shard aggregator *claims* for its chunk
+    evidence.  A module-level seam on purpose: the audit self-test's
+    colluding-shard mutant patches this to tamper, and the root's
+    independent recomputation must catch it."""
+    if not chunk_partials:
+        return None
+    return _pairwise_sum(list(chunk_partials))
+
+
+def aggregate_shard(
+    shard: Shard,
+    submissions: list[OriginSubmission],
+    zk: zksnark.Groth16System,
+    relin_keys: bgv.RelinKeySet,
+    fabric: TaskFabric | None = None,
+) -> ShardPartial:
+    """One shard aggregator: verify, relinearize, fold, claim.
+
+    Verification + relinearization of distinct submissions shards
+    across the fabric exactly as the flat aggregator does (full
+    verification is a pure function of the submission); the shard's
+    accepted ciphertexts then fold through the SUM_CHUNK tree.
+    """
+    telemetry.count("sharding.shard.submissions", len(submissions))
+    if fabric is not None:
+        results = fabric.map(
+            _verify_relin_task,
+            submissions,
+            context=(zk, relin_keys),
+            label="aggregator.verify",
+        )
+    else:
+        checker = QueryAggregator(zk=zk, relin_keys=relin_keys)
+        results = []
+        for submission in submissions:
+            ok, seconds, proofs = checker.verify_submission(submission)
+            relin = (
+                bgv.relinearize(submission.ciphertext, relin_keys)
+                if ok
+                else None
+            )
+            results.append((ok, seconds, proofs, relin))
+    accepted: list[int] = []
+    rejected: list[int] = []
+    digests: list[bytes] = []
+    seconds_list: list[float] = []
+    proofs_list: list[int] = []
+    relinearized: list[bgv.Ciphertext] = []
+    for submission, (ok, seconds, proofs, relin) in zip(submissions, results):
+        telemetry.count("aggregator.proofs.verified", proofs)
+        telemetry.observe("aggregator.verify.seconds", seconds)
+        seconds_list.append(seconds)
+        proofs_list.append(proofs)
+        if not ok:
+            rejected.append(submission.origin)
+            continue
+        accepted.append(submission.origin)
+        relinearized.append(relin)
+        digests.append(relin.digest())
+    chunk_partials = tuple(chunked_partials(relinearized, fabric))
+    return ShardPartial(
+        shard_index=shard.index,
+        accepted=tuple(accepted),
+        rejected=tuple(rejected),
+        accepted_digests=tuple(digests),
+        seconds=tuple(seconds_list),
+        proofs=tuple(proofs_list),
+        chunk_partials=chunk_partials,
+        partial=shard_claimed_partial(chunk_partials),
+    )
+
+
+@dataclass
+class ShardedAggregator:
+    """K independent shard aggregators plus the root reduction.
+
+    Always verifies every proof (the flat aggregator's spot-check mode
+    consumes a shared sequential RNG, which cannot shard); submissions
+    are split by the deterministic contiguous planner, so the layout is
+    a pure function of ``(submission count, num_shards, master_seed)``.
+    """
+
+    zk: zksnark.Groth16System
+    relin_keys: bgv.RelinKeySet
+    num_shards: int = 1
+    fabric: TaskFabric | None = None
+    master_seed: int = 0
+    _tree: MerkleTree | None = field(default=None, init=False)
+
+    def __post_init__(self) -> None:
+        if self.num_shards < 1:
+            raise ProtocolError("ShardedAggregator.num_shards must be >= 1")
+
+    def aggregate(
+        self, submissions: list[OriginSubmission]
+    ) -> AggregationResult:
+        """Verify, relinearize, and sum all submissions across K shards."""
+        plan = plan_shards(
+            len(submissions), self.num_shards, self.master_seed
+        )
+        telemetry.count("sharding.shards.planned", plan.num_shards)
+        return self.aggregate_stream(plan.split(submissions))
+
+    def aggregate_stream(
+        self,
+        shard_streams: Iterator[tuple[Shard, Iterable[OriginSubmission]]],
+    ) -> AggregationResult:
+        """Memory-bounded form: shards are consumed one at a time, so
+        peak residency is one shard's submissions plus O(K) partials."""
+        root_tree = ReductionTree(fabric=self.fabric)
+        accepted: list[int] = []
+        rejected: list[int] = []
+        digests: list[bytes] = []
+        total_seconds = 0.0
+        total_proofs = 0
+        for shard, stream in shard_streams:
+            partial = aggregate_shard(
+                shard, list(stream), self.zk, self.relin_keys, self.fabric
+            )
+            root_tree.add(partial)
+            accepted.extend(partial.accepted)
+            rejected.extend(partial.rejected)
+            digests.extend(partial.accepted_digests)
+            # Same left fold, same order as the flat aggregator: shard
+            # slices are contiguous, so concatenation is submission order.
+            for seconds in partial.seconds:
+                total_seconds += seconds
+            for proofs in partial.proofs:
+                total_proofs += proofs
+        global_ct = root_tree.reduce()
+        telemetry.count("aggregator.submissions.accepted", len(accepted))
+        telemetry.count("aggregator.submissions.rejected", len(rejected))
+        self._tree = MerkleTree(digests or [b"empty"])
+        return AggregationResult(
+            ciphertext=global_ct,
+            accepted=accepted,
+            rejected=rejected,
+            summation_root=self._tree.root,
+            verification_seconds=total_seconds,
+            proofs_verified=total_proofs,
+        )
+
+    def inclusion_proof(self, position: int) -> InclusionProof:
+        """Summation-tree inclusion proof for an accepted contribution —
+        the same include-exactly-once check the flat aggregator serves,
+        over the identical global leaf order."""
+        if self._tree is None:
+            raise ProtocolError("no aggregation has run")
+        return self._tree.prove(position)
+
+    def verify_inclusion(
+        self, position: int, digest: bytes, proof: InclusionProof
+    ) -> bool:
+        if self._tree is None:
+            raise ProtocolError("no aggregation has run")
+        return verify_inclusion(self._tree.root, digest, proof)

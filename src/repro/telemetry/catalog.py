@@ -401,6 +401,42 @@ METRICS: dict[str, MetricSpec] = _specs(
         "C-rounds the campaign clock advanced while waiting for a "
         "decryption or dealer quorum (§6.5 wait-and-retry)",
     ),
+    # -- sharded aggregation (repro.sharding) --------------------------------
+    MetricSpec(
+        "sharding.shards.planned", COUNTER, "shards",
+        "shards laid out by the deterministic planner for one sharded "
+        "aggregation or live-simulation run",
+    ),
+    MetricSpec(
+        "sharding.shard.submissions", COUNTER, "submissions",
+        "origin submissions routed to a shard aggregator for "
+        "verification",
+    ),
+    MetricSpec(
+        "sharding.partials.verified", COUNTER, "partials",
+        "shard partial sums whose claim matched the root's independent "
+        "recomputation from chunk evidence",
+    ),
+    MetricSpec(
+        "sharding.integrity.failures", COUNTER, "partials",
+        "shard partial sums rejected because the claim did not reduce "
+        "from the shard's own chunk evidence (ShardIntegrityError)",
+    ),
+    MetricSpec(
+        "sharding.partials.reduced", COUNTER, "partials",
+        "verified shard partials combined by the root reduction tree",
+    ),
+    MetricSpec(
+        "sharding.reduce.seconds", HISTOGRAM, "seconds",
+        "wall-clock duration of the root reduction over verified shard "
+        "partials",
+        buckets=TIME_BUCKETS,
+    ),
+    MetricSpec(
+        "sharding.worlds.built", COUNTER, "worlds",
+        "per-shard mixnet worlds constructed (one at a time; peak "
+        "mixnet residency is bounded by the largest shard)",
+    ),
     # -- query service (repro.service) --------------------------------------
     MetricSpec(
         "service.submissions.total", COUNTER, "queries",
@@ -508,6 +544,13 @@ SPANS: dict[str, SpanSpec] = {
             "reliable delivery: send waves plus bounded retransmission "
             "with exponential backoff and replica failover; "
             "attributes: sends, max_attempts",
+        ),
+        SpanSpec(
+            "sharding.reduce", "query.aggregate",
+            "root reduction: claim-checked shard partials combined "
+            "through the fixed-shape summation tree into the one "
+            "ciphertext handed to the committee; "
+            "attributes: shards, partials",
         ),
         SpanSpec(
             "audit.run", None,

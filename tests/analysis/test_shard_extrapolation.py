@@ -1,0 +1,126 @@
+"""The sharded-aggregation scaling model: exact fits, deadline shard
+counts, and consistency with the Figure 9(b) aggregator model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.aggregator_model import (
+    AGGREGATION_SECONDS_PER_DEVICE,
+    DEADLINE_HOURS,
+)
+from repro.analysis.sharding_model import (
+    LinearFit,
+    ShardScalePoint,
+    figure_9b_cross_check,
+    fit_line,
+    fit_peak_rss,
+    fit_wall_clock,
+    shards_required,
+)
+from repro.errors import ParameterError
+
+
+def test_fit_line_recovers_exact_line():
+    fit = fit_line([1.0, 2.0, 4.0], [5.0, 7.0, 11.0])
+    assert fit.slope == pytest.approx(2.0)
+    assert fit.intercept == pytest.approx(3.0)
+    assert fit.predict(10.0) == pytest.approx(23.0)
+
+
+def test_fit_line_rejects_degenerate_input():
+    with pytest.raises(ParameterError):
+        fit_line([1.0], [2.0])
+    with pytest.raises(ParameterError):
+        fit_line([1.0, 2.0], [1.0])
+    with pytest.raises(ParameterError):
+        fit_line([3.0, 3.0], [1.0, 2.0])
+
+
+def _sweep(seconds_per_device: float, bytes_per_device: float, base_rss: float):
+    """Synthetic measurements following the model's own assumptions:
+    wall ~ devices (layout-independent), RSS ~ max shard size."""
+    points = []
+    for devices, shards in [
+        (10_000, 1),
+        (30_000, 1),
+        (100_000, 1),
+        (100_000, 4),
+        (100_000, 16),
+    ]:
+        shard_size = -(-devices // shards)
+        points.append(
+            ShardScalePoint(
+                devices=devices,
+                shards=shards,
+                wall_seconds=0.5 + devices * seconds_per_device,
+                peak_rss_bytes=int(base_rss + shard_size * bytes_per_device),
+            )
+        )
+    return points
+
+
+def test_wall_clock_fit_is_layout_independent():
+    points = _sweep(4e-5, 400.0, 3e7)
+    fit = fit_wall_clock(points)
+    assert fit.slope == pytest.approx(4e-5, rel=1e-6)
+    assert fit.intercept == pytest.approx(0.5, rel=1e-3)
+
+
+def test_peak_rss_fit_tracks_shard_size():
+    points = _sweep(4e-5, 400.0, 3e7)
+    fit = fit_peak_rss(points)
+    assert fit.slope == pytest.approx(400.0, rel=1e-6)
+    assert fit.intercept == pytest.approx(3e7, rel=1e-3)
+    # The bounded-memory claim in model form: a 64-shard planetary run
+    # peaks far below the flat layout's extrapolated footprint.
+    flat = fit.predict(10**9)
+    sharded = fit.predict(-(-(10**9) // 64))
+    assert sharded < flat / 10
+
+
+def test_shards_required_hand_computed():
+    # 10^9 devices at 42 us each = 42,000 s of work; a 10-hour deadline
+    # is 36,000 s, so two parallel shard aggregators suffice.
+    assert shards_required(10**9, 4.2e-5, deadline_hours=10.0) == 2
+    assert shards_required(100, 4.2e-5) == 1  # never below one
+    assert shards_required(0, 1.0) == 1
+
+
+def test_shards_required_monotone_in_devices():
+    counts = [
+        shards_required(n, 1e-3, deadline_hours=1.0)
+        for n in (10**4, 10**6, 10**8, 10**9)
+    ]
+    assert counts == sorted(counts)
+    assert counts[-1] > counts[0]
+
+
+def test_shards_required_validates_parameters():
+    with pytest.raises(ParameterError):
+        shards_required(-1, 1e-3)
+    with pytest.raises(ParameterError):
+        shards_required(10, 0.0)
+    with pytest.raises(ParameterError):
+        shards_required(10, 1e-3, deadline_hours=0.0)
+
+
+def test_cross_check_ratio_is_constant_and_anchored():
+    seconds_per_device = 1e-4
+    rows = figure_9b_cross_check(seconds_per_device)
+    assert [int(r["devices"]) for r in rows] == [10**6, 10**7, 10**8, 10**9]
+    expected_ratio = seconds_per_device / AGGREGATION_SECONDS_PER_DEVICE
+    for row in rows:
+        assert row["ratio_to_paper"] == pytest.approx(expected_ratio)
+        assert row["paper_seconds"] == pytest.approx(
+            row["devices"] * AGGREGATION_SECONDS_PER_DEVICE
+        )
+        assert row["shards_required"] == shards_required(
+            int(row["devices"]), seconds_per_device, DEADLINE_HOURS
+        )
+
+
+def test_linear_fit_predict_is_linear():
+    fit = LinearFit(slope=2.5, intercept=-1.0)
+    assert fit.predict(0.0) == -1.0
+    assert fit.predict(4.0) - fit.predict(2.0) == pytest.approx(5.0)

@@ -31,6 +31,19 @@ class TestCoverage:
         kinds = {generate_case(0, i).kind for i in range(12)}
         assert kinds == set(TRIAL_KINDS)
 
+    def test_shard_cases_use_plural_layouts(self):
+        # Every generated shard_equivalence case must actually shard:
+        # K=1 would collapse to the flat path and test nothing.
+        seen = 0
+        for i in range(48):
+            case = generate_case(2, i)
+            if case.kind != "shard_equivalence":
+                assert case.shards == 1
+                continue
+            seen += 1
+            assert case.shards >= 2
+        assert seen == 4  # one slot per 12-index cycle
+
     def test_graphs_are_valid(self):
         for i in range(24):
             case = generate_case(3, i)

@@ -1,0 +1,83 @@
+"""Shard layouts and the durability layer: kill/resume must stay
+bit-identical across shard counts — including crashing under one K and
+resuming under another — because the shard layout, like the worker count
+and the backend, is a runtime knob that never reaches the journal."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.durability.campaign import (
+    CampaignConfig,
+    CampaignRunner,
+    KillSpec,
+    resume_campaign,
+    run_campaign,
+)
+from repro.errors import CoordinatorCrash
+from repro.runtime import RuntimeConfig
+from repro.workloads.epidemic import campaign_queries
+
+
+def small_config() -> CampaignConfig:
+    return CampaignConfig(
+        master_seed=7,
+        queries=campaign_queries(2),
+        people=8,
+        degree=3,
+    )
+
+
+@pytest.fixture(scope="module")
+def oracle(tmp_path_factory):
+    """The unsharded, uninterrupted reference run."""
+    directory = tmp_path_factory.mktemp("oracle")
+    return run_campaign(small_config(), directory)
+
+
+@pytest.mark.parametrize("shards", [2, 3, 8])
+def test_sharded_campaign_matches_unsharded_digest(
+    oracle, tmp_path, shards
+):
+    result = run_campaign(
+        small_config(), tmp_path, runtime=RuntimeConfig(shards=shards)
+    )
+    assert result.digest == oracle.digest
+    assert result.results == oracle.results
+    assert result.ledger == oracle.ledger
+
+
+@pytest.mark.parametrize("kill_shards,resume_shards", [(3, 8), (8, 1), (1, 3)])
+def test_kill_at_reduction_boundary_resumes_across_layouts(
+    oracle, tmp_path, kill_shards, resume_shards
+):
+    """Crash right after the aggregate record (the reduction boundary)
+    under one layout, resume under a different one: same digest."""
+    with pytest.raises(CoordinatorCrash):
+        run_campaign(
+            small_config(),
+            tmp_path,
+            kill=KillSpec(phase="aggregate", query=1),
+            runtime=RuntimeConfig(shards=kill_shards),
+        )
+    resumed = resume_campaign(
+        tmp_path, runtime=RuntimeConfig(shards=resume_shards)
+    )
+    assert resumed.digest == oracle.digest
+    assert resumed.results == oracle.results
+    assert resumed.epochs == oracle.epochs
+
+
+def test_kill_before_aggregate_reruns_sharded(oracle, tmp_path):
+    """--kill-before style: the aggregate record is NOT durable, so the
+    resumed process re-runs the sharded aggregation from the replayed
+    submissions."""
+    with pytest.raises(CoordinatorCrash):
+        run_campaign(
+            small_config(),
+            tmp_path,
+            kill=KillSpec(phase="aggregate", query=0, before=True),
+            runtime=RuntimeConfig(shards=3),
+        )
+    resumed = resume_campaign(tmp_path, runtime=RuntimeConfig(shards=5))
+    assert resumed.digest == oracle.digest

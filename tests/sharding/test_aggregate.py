@@ -1,0 +1,146 @@
+"""ShardedAggregator bit-identity with the flat QueryAggregator.
+
+The contract under test (docs/SHARDING.md): at ANY shard count — K=1,
+K dividing the submissions, K uneven, K exceeding the device count —
+the sharded path reproduces the flat aggregator's ciphertext
+components, accepted/rejected lists, Merkle summation root,
+verification-seconds float fold, and proof counts, including when
+Byzantine submissions are rejected mid-stream.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.aggregator import QueryAggregator
+from repro.engine.malicious import Behavior
+from repro.errors import ProtocolError
+from repro.runtime import RuntimeConfig, TaskFabric, backends
+from repro.sharding import ShardedAggregator, aggregate_shard, plan_shards
+from tests.conftest import build_epidemic_graph, build_system
+
+
+@pytest.fixture(scope="module")
+def submissions():
+    """Real per-origin submissions, two of them Byzantine."""
+    system = build_system(people=12)
+    graph = build_epidemic_graph(people=12)
+    plan = system.compile(
+        "SELECT HISTO(COUNT(*)) FROM neigh(1) WHERE dest.inf AND self.inf"
+    )
+    config = RuntimeConfig()
+    with backends.use_backend(config.backend), TaskFabric.from_config(
+        config
+    ) as fabric:
+        subs = system.submit_phase(
+            plan,
+            graph,
+            random.Random(11),
+            fabric,
+            behaviors={
+                3: Behavior.FORGED_PROOF,
+                7: Behavior.OVERSIZED_EXPONENT,
+            },
+        )
+    return system, subs
+
+
+@pytest.fixture(scope="module")
+def flat(submissions):
+    system, subs = submissions
+    aggregator = QueryAggregator(zk=system.zk, relin_keys=system.relin_keys)
+    return aggregator.aggregate(subs)
+
+
+@pytest.mark.parametrize("num_shards", [1, 2, 3, 5, 8, 64])
+def test_bit_identical_to_flat_at_any_k(submissions, flat, num_shards):
+    system, subs = submissions
+    sharded = ShardedAggregator(
+        zk=system.zk, relin_keys=system.relin_keys, num_shards=num_shards
+    ).aggregate(subs)
+    assert sharded.ciphertext.serialize() == flat.ciphertext.serialize()
+    assert sharded.accepted == flat.accepted
+    assert sharded.rejected == flat.rejected
+    assert sharded.summation_root == flat.summation_root
+    # Exact float equality: the sharded path replays the same left fold
+    # in the same global submission order.
+    assert sharded.verification_seconds == flat.verification_seconds
+    assert sharded.proofs_verified == flat.proofs_verified
+
+
+def test_k1_matches_flat_noise_metadata_too(submissions, flat):
+    system, subs = submissions
+    sharded = ShardedAggregator(
+        zk=system.zk, relin_keys=system.relin_keys, num_shards=1
+    ).aggregate(subs)
+    assert sharded.ciphertext.noise_bits == flat.ciphertext.noise_bits
+
+
+def test_fabric_path_matches_sequential(submissions, flat):
+    system, subs = submissions
+    config = RuntimeConfig(workers=2, chunk_size=2)
+    with backends.use_backend(config.backend), TaskFabric.from_config(
+        config
+    ) as fabric:
+        sharded = ShardedAggregator(
+            zk=system.zk,
+            relin_keys=system.relin_keys,
+            num_shards=3,
+            fabric=fabric,
+        ).aggregate(subs)
+    assert sharded.ciphertext.serialize() == flat.ciphertext.serialize()
+    assert sharded.accepted == flat.accepted
+    assert sharded.verification_seconds == flat.verification_seconds
+
+
+def test_inclusion_proofs_cover_global_leaf_order(submissions, flat):
+    system, subs = submissions
+    aggregator = ShardedAggregator(
+        zk=system.zk, relin_keys=system.relin_keys, num_shards=3
+    )
+    with pytest.raises(ProtocolError):
+        aggregator.inclusion_proof(0)
+    result = aggregator.aggregate(subs)
+    flat_aggregator = QueryAggregator(
+        zk=system.zk, relin_keys=system.relin_keys
+    )
+    flat_aggregator.aggregate(subs)
+    for position in range(len(result.accepted)):
+        proof = aggregator.inclusion_proof(position)
+        digest = flat_aggregator._accepted_digests[position]
+        assert aggregator.verify_inclusion(position, digest, proof)
+
+
+def test_shard_partial_bookkeeping_is_contiguous(submissions):
+    system, subs = submissions
+    plan = plan_shards(len(subs), 3)
+    reassembled = []
+    for shard, chunk in plan.split(subs):
+        partial = aggregate_shard(
+            shard, list(chunk), system.zk, system.relin_keys
+        )
+        assert partial.num_submissions == shard.size
+        reassembled.extend(partial.accepted)
+        reassembled.extend(partial.rejected)
+    assert sorted(reassembled) == sorted(s.origin for s in subs)
+
+
+def test_rejects_nonpositive_shard_count(submissions):
+    system, _ = submissions
+    with pytest.raises(ProtocolError):
+        ShardedAggregator(
+            zk=system.zk, relin_keys=system.relin_keys, num_shards=0
+        )
+
+
+def test_system_aggregate_phase_routes_by_shards(submissions, flat):
+    system, subs = submissions
+    config = RuntimeConfig(shards=4)
+    with backends.use_backend(config.backend), TaskFabric.from_config(
+        config
+    ) as fabric:
+        sharded = system.aggregate_phase(subs, fabric, shards=config.shards)
+    assert sharded.ciphertext.serialize() == flat.ciphertext.serialize()
+    assert sharded.summation_root == flat.summation_root

@@ -1,0 +1,86 @@
+"""Streaming live simulation: correctness against the plaintext oracle
+and invariance of the decrypted histogram across shard layouts."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.sharding import ContributionBank, plan_shards, run_live_simulation
+from repro.sharding.livesim import (
+    LIVESIM_PROFILE,
+    DeviceState,
+    fold_shard,
+    shard_devices,
+)
+
+
+def test_histogram_matches_plaintext_oracle():
+    report = run_live_simulation(150, num_shards=4, master_seed=3)
+    assert report.correct
+    assert sum(report.histogram) == 150
+    assert report.num_shards == 4
+    assert report.max_shard_size == 38  # ceil(150 / 4)
+
+
+@pytest.mark.parametrize("num_shards", [2, 3, 7, 200])
+def test_histogram_is_shard_layout_invariant(num_shards):
+    baseline = run_live_simulation(97, num_shards=1, master_seed=8)
+    sharded = run_live_simulation(97, num_shards=num_shards, master_seed=8)
+    assert sharded.histogram == baseline.histogram
+    assert sharded.expected == baseline.expected
+
+
+def test_device_state_is_a_function_of_global_id_only():
+    """Shard 1 of a K=3 layout and the covering K=1 shard materialize
+    the same devices for the overlapping range."""
+    plan3 = plan_shards(30, 3, master_seed=4)
+    plan1 = plan_shards(30, 1, master_seed=4)
+    shard = plan3.shards[1]
+    narrow = shard_devices(shard, master_seed=4, domain=8)
+    wide = shard_devices(plan1.shards[0], master_seed=4, domain=8)
+    assert narrow == wide[shard.start : shard.stop]
+    device = narrow[0]
+    assert len(device.pseudonyms) == 4
+    assert all(len(p) == 32 for p in device.pseudonyms)
+
+
+def test_fold_shard_streams_to_the_tree_sum(public_key):
+    rng = random.Random(5)
+    bank = ContributionBank.build(public_key, 4, 3, rng)
+    devices = [
+        DeviceState(global_id=i, value=i % 4, pseudonyms=())
+        for i in range(13)
+    ]
+    folded = fold_shard(devices, bank)
+    # Oracle: the same leaves summed with plain repeated addition give
+    # the same components (addition is exact and associative).
+    from repro.crypto import bgv
+
+    total = None
+    for device in devices:
+        leaf = bank.leaf(device)
+        total = leaf if total is None else bgv.add(total, leaf)
+    assert folded.serialize() == total.serialize()
+    assert fold_shard([], bank) is None
+
+
+def test_bank_validates_parameters(public_key):
+    rng = random.Random(6)
+    with pytest.raises(ParameterError):
+        ContributionBank.build(public_key, 0, 4, rng)
+    with pytest.raises(ParameterError):
+        ContributionBank.build(
+            public_key, public_key.profile.n + 1, 4, rng
+        )
+    with pytest.raises(ParameterError):
+        ContributionBank.build(public_key, 4, 0, rng)
+    with pytest.raises(ParameterError):
+        run_live_simulation(0)
+
+
+def test_livesim_profile_counts_a_million_devices_per_bin():
+    assert LIVESIM_PROFILE.t > 2_000_000
+    assert LIVESIM_PROFILE.n >= 8

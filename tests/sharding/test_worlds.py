@@ -1,0 +1,90 @@
+"""Per-shard mixnet worlds: determinism, id mapping, induced subgraphs."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.params import SystemParameters
+from repro.sharding import (
+    build_shard_world,
+    iter_shard_worlds,
+    plan_shards,
+    shard_subgraph,
+)
+from repro.workloads.graphgen import generate_random_graph
+
+PARAMS = SystemParameters(
+    num_devices=9,
+    hops=2,
+    replicas=1,
+    forwarder_fraction=0.5,
+    committee_size=3,
+    degree_bound=3,
+    pseudonyms_per_device=2,
+)
+
+
+def test_shard_world_sizes_and_mapping():
+    plan = plan_shards(9, 3)
+    worlds = list(iter_shard_worlds(plan, PARAMS, rsa_bits=256))
+    assert [sw.shard.index for sw in worlds] == [0, 1, 2]
+    for sw in worlds:
+        assert len(sw.world.devices) == sw.shard.size
+        assert sw.to_local(sw.shard.start) == 0
+        assert sw.to_global(0) == sw.shard.start
+        with pytest.raises(ParameterError):
+            sw.to_local(sw.shard.stop)
+        with pytest.raises(ParameterError):
+            sw.to_global(sw.shard.size)
+
+
+def test_worlds_are_seeded_from_shard_seed_only():
+    """The same shard yields the same world regardless of how many other
+    shards exist — directories and pseudonym handles are bit-identical."""
+    shard_a = plan_shards(9, 3, master_seed=5).shards[1]
+    shard_b = plan_shards(9, 3, master_seed=5).shards[1]
+    world_a = build_shard_world(shard_a, PARAMS, rsa_bits=256)
+    world_b = build_shard_world(shard_b, PARAMS, rsa_bits=256)
+    assert world_a.world.m1_root == world_b.world.m1_root
+    assert world_a.world.m2_root == world_b.world.m2_root
+    assert sorted(world_a.world.handle_owner) == sorted(
+        world_b.world.handle_owner
+    )
+    # Different shard index => different seed => different identities.
+    other = build_shard_world(
+        plan_shards(9, 3, master_seed=5).shards[0], PARAMS, rsa_bits=256
+    )
+    assert other.world.m1_root != world_a.world.m1_root
+
+
+def test_empty_shards_are_skipped_and_rejected():
+    plan = plan_shards(2, 4)
+    worlds = list(iter_shard_worlds(plan, PARAMS, rsa_bits=256))
+    assert len(worlds) == 2
+    with pytest.raises(ParameterError):
+        build_shard_world(plan.shards[3], PARAMS, rsa_bits=256)
+
+
+def test_shard_subgraph_induces_local_view():
+    graph = generate_random_graph(12, 2.0, 4, random.Random(3))
+    plan = plan_shards(12, 3)
+    total_local_edges = 0
+    total_cut = 0
+    for shard in plan.shards:
+        local, cut = shard_subgraph(graph, shard)
+        assert local.num_vertices == shard.size
+        for lv in range(local.num_vertices):
+            gv = lv + shard.start
+            assert local.vertex_attrs[lv] == graph.vertex_attrs[gv]
+            for lu in local.neighbors(lv):
+                gu = lu + shard.start
+                # Shared edge record, referenced not copied.
+                assert local.edge(lv, lu) is graph.edge(gv, gu)
+        total_local_edges += local.num_edges()
+        total_cut += cut
+    # Every global edge is either inside exactly one shard or counted
+    # once per endpoint's shard as a cut edge.
+    assert total_local_edges + total_cut // 2 == graph.num_edges()
