@@ -15,7 +15,7 @@ from repro.workloads.graphgen import ContactGraph
 #: The trial families the harness audits.
 TRIAL_KINDS = (
     "equivalence", "budget", "sensitivity", "shamir", "mixnet", "crash",
-    "robust", "flagging", "shard_equivalence",
+    "robust", "flagging", "shard_equivalence", "offline_equivalence",
 )
 
 
@@ -105,6 +105,10 @@ class TrialCase:
     #: Shard count for shard_equivalence trials: the sharded aggregation
     #: at this K must be bit-identical to the flat aggregator.
     shards: int = 1
+    #: Pool size for offline_equivalence trials — deliberately small so
+    #: some trials exhaust their pools and exercise the same-chain
+    #: refill path mid-run.
+    pool_entries: int = 4
     # -- budget ------------------------------------------------------------
     total_epsilon: float = 1.0
     epsilons: tuple[float, ...] = ()
@@ -143,6 +147,7 @@ class TrialCase:
             "backend": self.backend,
             "workers": self.workers,
             "shards": self.shards,
+            "pool_entries": self.pool_entries,
             "total_epsilon": self.total_epsilon,
             "epsilons": list(self.epsilons),
             "per_query_epsilon": self.per_query_epsilon,
@@ -175,6 +180,7 @@ class TrialCase:
             backend=data.get("backend", "pure"),
             workers=int(data.get("workers", 1)),
             shards=int(data.get("shards", 1)),
+            pool_entries=int(data.get("pool_entries", 4)),
             total_epsilon=float(data.get("total_epsilon", 1.0)),
             epsilons=tuple(float(e) for e in data.get("epsilons", ())),
             per_query_epsilon=float(data.get("per_query_epsilon", 0.1)),

@@ -18,6 +18,12 @@ Each trial family targets one slice of the protocol:
   partial sums claim-checked at the reduction root) must be
   bit-identical to the flat aggregator at any shard count, including
   under Byzantine submissions.
+* ``offline_equivalence`` — the offline/online split: a run consuming
+  precomputed encryption-randomness pools and prepared relin keys must
+  serialize bit-identically to the inline run on the same derivation
+  chain, including when small pools exhaust and refill mid-run.  Only
+  a serialization comparison can catch a stale pool — wrong-seed
+  entries still produce valid encryptions, proofs, and decryptions.
 
 Deliberate style point: cross-module entry points the mutant self-test
 patches (``threshold_decrypt``, ``composed_epsilon``, ``analyze``, …)
@@ -80,6 +86,8 @@ def run_trial(case: TrialCase, bench: AuditBench) -> list[CheckResult]:
         return _run_flagging(case, bench)
     if case.kind == "shard_equivalence":
         return _run_shard_equivalence(case, bench)
+    if case.kind == "offline_equivalence":
+        return _run_offline_equivalence(case, bench)
     raise ValueError(f"unknown trial kind {case.kind!r}")
 
 
@@ -351,6 +359,109 @@ def _run_shard_equivalence(
             "shard-equivalence.coefficients",
             decrypted,
             expectation.coefficients,
+        )
+    )
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Offline equivalence: precomputed pools vs the inline derivation chain
+# ---------------------------------------------------------------------------
+
+
+def _run_offline_equivalence(
+    case: TrialCase, bench: AuditBench
+) -> list[CheckResult]:
+    from repro.durability.serialize import submissions_digest
+    from repro.offline import store as offline_store_mod
+
+    results: list[CheckResult] = []
+    plan = compile_case_plan(case)
+    graph = case.graph.build()
+    behaviors = {d: Behavior(v) for d, v in case.behaviors.items()}
+    master = derive_rng(case.seed, "offline-audit").getrandbits(64)
+
+    with backends.use_backend(case.backend), TaskFabric(
+        workers=case.workers, chunk_size=2
+    ) as fabric:
+        inline = EncryptedExecutor(
+            plan, bench.public, bench.zk, random.Random(case.seed), fabric=fabric
+        ).run(
+            graph,
+            behaviors=behaviors,
+            offline=set(case.offline),
+            master_seed=master,
+        )
+        # The offline phase: pools derived through the store module so
+        # the stale-pool mutant can poison the derivation chain.
+        store = offline_store_mod.OfflineStore(bench.public)
+        store.ensure_encryption_pools(
+            bench.public, master, range(graph.num_vertices), case.pool_entries
+        )
+        pooled_executor = EncryptedExecutor(
+            plan,
+            bench.public,
+            bench.zk,
+            random.Random(case.seed),
+            fabric=fabric,
+            offline_store=store,
+        )
+        pooled = pooled_executor.run(
+            graph,
+            behaviors=behaviors,
+            offline=set(case.offline),
+            master_seed=master,
+        )
+        stats = pooled_executor.stats
+
+        flat = QueryAggregator(
+            zk=bench.zk, relin_keys=bench.relin_keys, fabric=fabric
+        ).aggregate(inline)
+        prepared = QueryAggregator(
+            zk=bench.zk,
+            relin_keys=store.relin_for(bench.relin_keys),
+            fabric=fabric,
+        ).aggregate(pooled)
+
+    # Every online origin gets a pool, so every draw must be a pool hit
+    # (hits may be zero only when nothing was encrypted at all — e.g.
+    # every vertex offline).
+    results.append(
+        check(
+            "offline-equivalence.pool-consumed",
+            stats.pool_misses == 0,
+            f"hits={stats.pool_hits} misses={stats.pool_misses} — "
+            "draws bypassed the precomputed pools",
+        )
+    )
+    results.append(
+        check_equal(
+            "offline-equivalence.submissions-digest",
+            submissions_digest(pooled),
+            submissions_digest(inline),
+        )
+    )
+    results.append(
+        check_equal(
+            "offline-equivalence.rejected",
+            tuple(prepared.rejected),
+            tuple(flat.rejected),
+        )
+    )
+    if flat.ciphertext is None or prepared.ciphertext is None:
+        results.append(
+            check(
+                "offline-equivalence.both-empty",
+                flat.ciphertext is None and prepared.ciphertext is None,
+                "one path produced a ciphertext and the other none",
+            )
+        )
+        return results
+    results.append(
+        check(
+            "offline-equivalence.aggregate-bit-identical",
+            prepared.ciphertext.serialize() == flat.ciphertext.serialize(),
+            "prepared relinearization diverges from the sequential fold",
         )
     )
     return results

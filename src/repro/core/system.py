@@ -169,6 +169,8 @@ class MyceliumSystem:
         noiseless: bool = False,
         world: MixnetWorld | None = None,
         runtime: RuntimeConfig | None = None,
+        offline_store=None,
+        submission_seed: int | None = None,
     ) -> QueryResult:
         """Execute one query end to end and release the noisy answer.
 
@@ -197,6 +199,7 @@ class MyceliumSystem:
             return self._run_query_with_fabric(
                 query, graph, epsilon, behaviors, offline, rotate,
                 noiseless, world, fabric, shards=config.shards,
+                offline_store=offline_store, submission_seed=submission_seed,
             )
 
     def _run_query_with_fabric(
@@ -211,6 +214,8 @@ class MyceliumSystem:
         world: MixnetWorld | None,
         fabric: TaskFabric,
         shards: int = 1,
+        offline_store=None,
+        submission_seed: int | None = None,
     ) -> QueryResult:
         with telemetry.span("query.run", epsilon=epsilon) as query_span:
             with telemetry.span("query.compile"):
@@ -242,8 +247,12 @@ class MyceliumSystem:
                 submissions = self.submit_phase(
                     plan, graph, self.rng, fabric,
                     behaviors=behaviors, offline=offline,
+                    offline_store=offline_store,
+                    submission_seed=submission_seed,
                 )
-            aggregation = self.aggregate_phase(submissions, fabric, shards)
+            aggregation = self.aggregate_phase(
+                submissions, fabric, shards, offline_store=offline_store
+            )
 
             injector = world.fault_injector if world is not None else None
             with telemetry.span("query.decrypt"):
@@ -359,19 +368,39 @@ class MyceliumSystem:
         fabric: TaskFabric,
         behaviors: dict[int, Behavior] | None = None,
         offline: set[int] | None = None,
+        offline_store=None,
+        submission_seed: int | None = None,
     ) -> list[OriginSubmission]:
-        """Per-origin encrypted execution over the in-process transport."""
+        """Per-origin encrypted execution over the in-process transport.
+
+        ``offline_store`` supplies precomputed leaf-encryption pools
+        (:mod:`repro.offline`); ``submission_seed`` pins the run's master
+        seed so a caller holding the offline phase's seed prediction can
+        bind the run to its pools.  Both default to the inline path,
+        which is bit-identical.
+        """
         with telemetry.span("query.execute"):
             executor = EncryptedExecutor(
-                plan, self.public_key, self.zk, rng, fabric=fabric
+                plan,
+                self.public_key,
+                self.zk,
+                rng,
+                fabric=fabric,
+                offline_store=offline_store,
             )
-            return executor.run(graph, behaviors=behaviors, offline=offline)
+            return executor.run(
+                graph,
+                behaviors=behaviors,
+                offline=offline,
+                master_seed=submission_seed,
+            )
 
     def aggregate_phase(
         self,
         submissions: list[OriginSubmission],
         fabric: TaskFabric,
         shards: int = 1,
+        offline_store=None,
     ):
         """Proof verification + relinearized summation at the aggregator.
 
@@ -380,20 +409,28 @@ class MyceliumSystem:
         result is bit-identical to the flat path at any K, so the shard
         count — like the worker count and backend — is a runtime knob,
         never part of a query's identity.
+
+        ``offline_store`` swaps the relinearization keys for their
+        :class:`~repro.crypto.bgv.PreparedRelinKeySet` wrapper, whose
+        forward-transformed pieces the offline phase warmed — same
+        ciphertext bytes, fewer online transforms.
         """
+        relin_keys = self.relin_keys
+        if offline_store is not None:
+            relin_keys = offline_store.relin_for(relin_keys)
         with telemetry.span("query.aggregate"):
             if shards > 1:
                 from repro.sharding import ShardedAggregator
 
                 aggregator = ShardedAggregator(
                     zk=self.zk,
-                    relin_keys=self.relin_keys,
+                    relin_keys=relin_keys,
                     num_shards=shards,
                     fabric=fabric,
                 )
             else:
                 aggregator = QueryAggregator(
-                    zk=self.zk, relin_keys=self.relin_keys, fabric=fabric
+                    zk=self.zk, relin_keys=relin_keys, fabric=fabric
                 )
             aggregation = aggregator.aggregate(submissions)
         if aggregation.ciphertext is None:

@@ -30,11 +30,13 @@ import hashlib
 import math
 import random
 import struct
+import threading
 from dataclasses import dataclass, field
 
 from repro.crypto.polyring import RingElement, RingParams
 from repro.errors import CryptoError, NoiseBudgetExceeded, ParameterError
 from repro.params import BGVProfile
+from repro.runtime import backends
 from repro.telemetry.runtime import count as _count
 
 
@@ -82,6 +84,77 @@ class RelinKeySet:
     @property
     def max_power(self) -> int:
         return max(self.keys) if self.keys else 1
+
+
+class PreparedRelinKeySet:
+    """A :class:`RelinKeySet` with its pieces forward-transformed for the
+    evaluation-domain fold.
+
+    Key pieces are fixed across every relinearization, so the offline
+    phase transforms each ``(b_i, a_i)`` once and :func:`relinearize`
+    then pays one transform per *digit* polynomial instead of one full
+    ring multiplication per piece half.  Prepared operands are
+    backend-specific opaque values, cached lazily per backend name (a
+    fabric worker re-prepares once per process — the cache is dropped on
+    pickling rather than shipped).
+    """
+
+    def __init__(self, rlk: RelinKeySet):
+        self.rlk = rlk
+        self._prepared: dict[tuple[str, int], tuple] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def profile(self) -> BGVProfile:
+        return self.rlk.profile
+
+    @property
+    def keys(self) -> dict[int, RelinKey]:
+        return self.rlk.keys
+
+    @property
+    def max_power(self) -> int:
+        return self.rlk.max_power
+
+    def prepared_pieces(self, power: int) -> tuple:
+        """``((b̂_i, â_i), ...)`` for the active backend, cached."""
+        name = backends.active_backend().name
+        cache_key = (name, power)
+        with self._lock:
+            cached = self._prepared.get(cache_key)
+        if cached is not None:
+            return cached
+        profile = self.rlk.profile
+        n, q = profile.n, profile.q
+        pairs = tuple(
+            (
+                backends.prepare_operand(b_i.coeffs, n, q),
+                backends.prepare_operand(a_i.coeffs, n, q),
+            )
+            for b_i, a_i in self.rlk.keys[power].pieces
+        )
+        with self._lock:
+            self._prepared.setdefault(cache_key, pairs)
+            return self._prepared[cache_key]
+
+    def warm(self, powers=None) -> int:
+        """Eagerly prepare pieces for ``powers`` (default: every power in
+        the set) on the *active* backend, so the first online
+        relinearization does not pay the transform cost lazily.  Returns
+        the number of powers now resident for this backend."""
+        name = backends.active_backend().name
+        chosen = sorted(powers) if powers is not None else sorted(self.rlk.keys)
+        for power in chosen:
+            self.prepared_pieces(power)
+        return sum(1 for key_name, _ in self._prepared if key_name == name)
+
+    def __getstate__(self) -> dict:
+        return {"rlk": self.rlk}
+
+    def __setstate__(self, state: dict) -> None:
+        self.rlk = state["rlk"]
+        self._prepared = {}
+        self._lock = threading.Lock()
 
 
 @dataclass(frozen=True)
@@ -230,8 +303,16 @@ def encrypt(
     ring = profile.ring
     rand = randomness or EncryptionRandomness.generate(profile, rng)
     m_lifted = RingElement.from_coeffs(ring, [c % profile.t for c in plaintext.coeffs])
-    c0 = pk.pk0 * rand.u + rand.e0.scale(profile.t) + m_lifted
-    c1 = pk.pk1 * rand.u + rand.e1.scale(profile.t)
+    if isinstance(rand, PreparedRandomness):
+        # The pk-dependent masks were computed offline; addition is
+        # associative mod q, so this is bit-identical to the inline
+        # expression below with zero online ring multiplications.
+        _count("bgv.encrypt.prepared")
+        c0 = rand.mask0 + m_lifted
+        c1 = rand.mask1
+    else:
+        c0 = pk.pk0 * rand.u + rand.e0.scale(profile.t) + m_lifted
+        c1 = pk.pk1 * rand.u + rand.e1.scale(profile.t)
     return Ciphertext(
         profile, (c0, c1), noise_bits=_fresh_noise_bits(profile), fresh_factors=1
     )
@@ -253,6 +334,36 @@ class EncryptionRandomness:
             u=RingElement.random_ternary(ring, rng),
             e0=RingElement.random_bounded(ring, profile.error_bound, rng),
             e1=RingElement.random_bounded(ring, profile.error_bound, rng),
+        )
+
+
+@dataclass(frozen=True)
+class PreparedRandomness(EncryptionRandomness):
+    """Encryption randomness with its pk-dependent masks precomputed.
+
+    ``mask0 = pk0*u + t*e0`` and ``mask1 = pk1*u + t*e1`` are *derived*
+    from ``(u, e0, e1)`` by :meth:`prepare` — never free inputs — so a
+    ciphertext built from the masks is exactly the ciphertext the plain
+    path would build, and a leaf witness carrying this object replays to
+    the identical bytes.  Encrypting with it costs one ring addition
+    instead of two ring multiplications; the offline phase fills pools
+    of these per origin.
+    """
+
+    mask0: RingElement
+    mask1: RingElement
+
+    @classmethod
+    def prepare(
+        cls, pk: PublicKey, rand: EncryptionRandomness
+    ) -> PreparedRandomness:
+        t = pk.profile.t
+        return cls(
+            u=rand.u,
+            e0=rand.e0,
+            e1=rand.e1,
+            mask0=pk.pk0 * rand.u + rand.e0.scale(t),
+            mask1=pk.pk1 * rand.u + rand.e1.scale(t),
         )
 
 
@@ -438,11 +549,18 @@ def encrypt_zero_like(pk: PublicKey, rng: random.Random) -> Ciphertext:
     return encrypt(pk, RingElement.zero(pk.profile.plaintext_ring), rng)
 
 
-def relinearize(ct: Ciphertext, rlk: RelinKeySet) -> Ciphertext:
+def relinearize(ct: Ciphertext, rlk: RelinKeySet | PreparedRelinKeySet) -> Ciphertext:
     """Reduce an arbitrary-degree ciphertext to degree 1.
 
     Performed once by the aggregator during global aggregation (§5).
     Folds the highest component repeatedly using the key for that power.
+
+    With a :class:`PreparedRelinKeySet` (an offline-phase artifact) and a
+    fold-capable backend, each fold runs in the evaluation domain: one
+    forward transform per digit polynomial, pointwise multiply-accumulate
+    against the pre-transformed key pieces, and a single inverse per
+    output component — bit-identical to the sequential per-piece products
+    because the NTT is linear mod q.
     """
     if ct.degree <= 1:
         return ct
@@ -457,6 +575,12 @@ def relinearize(ct: Ciphertext, rlk: RelinKeySet) -> Ciphertext:
     mask = (1 << base_bits) - 1
     components = list(ct.components)
     noise = ct.noise_bits
+    ring = profile.ring
+    use_fold = (
+        isinstance(rlk, PreparedRelinKeySet)
+        and base_bits <= backends.MAX_FOLD_DIGIT_BITS
+        and backends.supports_fold(profile.n, profile.q)
+    )
     while len(components) > 2:
         power = len(components) - 1
         top = components.pop()
@@ -468,11 +592,18 @@ def relinearize(ct: Ciphertext, rlk: RelinKeySet) -> Ciphertext:
         for _ in key.pieces:
             digits_per_piece.append([c & mask for c in remaining])
             remaining = [c >> base_bits for c in remaining]
-        ring = profile.ring
-        for (b_i, a_i), digits in zip(key.pieces, digits_per_piece):
-            digit_poly = RingElement.from_coeffs(ring, digits)
-            components[0] = components[0] + b_i * digit_poly
-            components[1] = components[1] + a_i * digit_poly
+        if use_fold:
+            _count("bgv.relinearize.fused")
+            d0, d1 = backends.fold_multiply_accumulate(
+                rlk.prepared_pieces(power), digits_per_piece, profile.n, profile.q
+            )
+            components[0] = components[0] + RingElement.from_coeffs(ring, d0)
+            components[1] = components[1] + RingElement.from_coeffs(ring, d1)
+        else:
+            for (b_i, a_i), digits in zip(key.pieces, digits_per_piece):
+                digit_poly = RingElement.from_coeffs(ring, digits)
+                components[0] = components[0] + b_i * digit_poly
+                components[1] = components[1] + a_i * digit_poly
         # Each fold adds t * sum_i d_i * e_i: bounded by l * n * T * B.
         added = (
             math.log2(profile.t)

@@ -13,6 +13,11 @@ import random
 
 from repro.errors import ParameterError
 
+try:  # NumPy is an optional dependency (see repro.runtime.backends).
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-less installs
+    _np = None
+
 # Deterministic Miller-Rabin witness sets. For n < 3.3e24 the first set is a
 # *proof* of primality; for larger n we add random witnesses.
 _SMALL_PRIMES = (
@@ -154,15 +159,141 @@ def crt_combine(residues: list[int], moduli: list[int]) -> int:
     """Combine residues via the Chinese Remainder Theorem.
 
     Moduli must be pairwise coprime; the result is reduced modulo their
-    product.
+    product.  Residues are normalized into ``[0, m)`` first, so negative
+    inputs and residues equal to (or exceeding) their modulus combine to
+    the same canonical value as their reduced forms — without the
+    normalization, ``r == m`` contributes a full extra basis weight and
+    negative residues blow up the intermediate product before the final
+    reduction.
     """
     if len(residues) != len(moduli):
         raise ParameterError("residues and moduli must have equal length")
-    total = 0
-    product = 1
-    for m in moduli:
-        product *= m
-    for r, m in zip(residues, moduli):
-        partial = product // m
-        total += r * partial * invmod(partial % m, m)
-    return total % product
+    return CrtBasis(moduli).combine(residues)
+
+
+class CrtBasis:
+    """Precomputed CRT recombination weights for a fixed modulus list.
+
+    ``weights[i]`` is the canonical basis element that is 1 modulo
+    ``moduli[i]`` and 0 modulo every other modulus, so combining is a
+    single weighted sum.  Reusing one basis across many combines (RNS
+    reconstruction recombines every coefficient of a polynomial against
+    the same primes) amortizes the modular inversions.
+    """
+
+    __slots__ = ("moduli", "product", "weights")
+
+    def __init__(self, moduli: list[int]):
+        if not moduli:
+            raise ParameterError("CRT needs at least one modulus")
+        product = 1
+        for m in moduli:
+            product *= m
+        self.moduli = tuple(moduli)
+        self.product = product
+        self.weights = tuple(
+            (product // m) * invmod((product // m) % m, m) % product
+            for m in moduli
+        )
+
+    def combine(self, residues: list[int]) -> int:
+        if len(residues) != len(self.moduli):
+            raise ParameterError("residues and moduli must have equal length")
+        total = 0
+        for r, m, w in zip(residues, self.moduli, self.weights):
+            total += (r % m) * w
+        return total % self.product
+
+    def combine_many(self, rows: list[list[int]]) -> list[int]:
+        """Combine many residue vectors against the same basis.
+
+        Vectorized via :func:`weighted_sums_mod` when NumPy is present
+        (RNS reconstruction recombines every polynomial coefficient
+        against the same primes, so the batch is the hot shape); exact
+        either way.
+        """
+        k = len(self.moduli)
+        for row in rows:
+            if len(row) != k:
+                raise ParameterError("residues and moduli must have equal length")
+        vectors = [
+            [row[i] % m for row in rows]
+            for i, m in enumerate(self.moduli)
+        ]
+        return weighted_sums_mod(vectors, list(self.weights), self.product)
+
+
+def weighted_sums_mod(
+    vectors: list[list[int]], weights: list[int], modulus: int
+) -> list[int]:
+    """``[sum_k weights[k] * vectors[k][i] mod modulus for each i]`` — the
+    weighted big-int row sum under both RNS CRT recombination and Shamir
+    vector reconstruction.
+
+    With NumPy available the products run as exact 16-bit limb
+    convolutions: limb products are < 2^32 and at most ``k * words``
+    accumulate per output limb, so float64 sums stay far below 2^53 and
+    the int64 carry propagation recovers the exact integer before one
+    final reduction per element.  Falls back to plain big-int arithmetic
+    otherwise; both paths return identical values.
+    """
+    if len(vectors) != len(weights):
+        raise ParameterError("vectors and weights must have equal length")
+    if not vectors:
+        raise ParameterError("weighted sum needs at least one vector")
+    length = len(vectors[0])
+    if any(len(v) != length for v in vectors):
+        raise ParameterError("vectors have inconsistent lengths")
+    if length == 0:
+        return []
+    weights = [w % modulus for w in weights]
+    if _np is not None and length > 1 and all(min(v) >= 0 for v in vectors):
+        value_words = max(
+            1, (max(max(v) for v in vectors).bit_length() + 15) // 16
+        )
+        weight_words = max(1, (modulus.bit_length() + 15) // 16)
+        # Exactness bound for float64 accumulation of 16x16-bit products.
+        if len(vectors) * value_words * (1 << 32) < (1 << 53):
+            return _weighted_sums_limbs(
+                vectors, weights, modulus, value_words, weight_words
+            )
+    return [
+        sum(w * v[i] for w, v in zip(weights, vectors)) % modulus
+        for i in range(length)
+    ]
+
+
+def _weighted_sums_limbs(
+    vectors: list[list[int]],
+    weights: list[int],
+    modulus: int,
+    value_words: int,
+    weight_words: int,
+) -> list[int]:
+    length = len(vectors[0])
+    out_words = value_words + weight_words + 1
+    acc = _np.zeros((length, out_words), dtype=_np.float64)
+    width = 2 * value_words
+    for weight, vector in zip(weights, vectors):
+        buf = b"".join(int(v).to_bytes(width, "little") for v in vector)
+        limbs = (
+            _np.frombuffer(buf, dtype="<u2")
+            .reshape(length, value_words)
+            .astype(_np.float64)
+        )
+        for j in range(weight_words):
+            w_limb = (weight >> (16 * j)) & 0xFFFF
+            if w_limb:
+                acc[:, j : j + value_words] += limbs * float(w_limb)
+    limbs = acc.astype(_np.int64)
+    while (limbs >> 16).any():
+        carry = limbs >> 16
+        limbs &= 0xFFFF
+        limbs[:, 1:] += carry[:, :-1]
+    packed = limbs.astype("<u2").tobytes()
+    row_bytes = 2 * out_words
+    return [
+        int.from_bytes(packed[i * row_bytes : (i + 1) * row_bytes], "little")
+        % modulus
+        for i in range(length)
+    ]

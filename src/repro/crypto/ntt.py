@@ -14,6 +14,7 @@ transform.
 
 from __future__ import annotations
 
+import os
 import threading
 from collections import OrderedDict
 
@@ -125,6 +126,24 @@ CONTEXT_CACHE_SIZE = 32
 
 _CONTEXTS: OrderedDict[tuple[int, int], NttContext] = OrderedDict()
 _CONTEXTS_LOCK = threading.Lock()
+_CONTEXTS_PID = os.getpid()
+
+
+def _reset_if_forked() -> None:
+    """Drop cache state inherited through fork (must hold the lock).
+
+    A forked ``TaskFabric`` worker starts with a copy of the parent's
+    populated cache: its hit/miss counters then describe the parent's
+    warm-up, not the worker's own behaviour, and a parent cache already
+    at the LRU bound makes every worker start at the bound too.  Each
+    process owns its cache, so the first lookup in a new pid starts
+    empty and counts an honest miss.
+    """
+    global _CONTEXTS_PID
+    pid = os.getpid()
+    if pid != _CONTEXTS_PID:
+        _CONTEXTS.clear()
+        _CONTEXTS_PID = pid
 
 
 def get_context(n: int, q: int) -> NttContext:
@@ -139,10 +158,12 @@ def get_context(n: int, q: int) -> NttContext:
     hit/miss counters stay accurate, and the cache is LRU-bounded at
     :data:`CONTEXT_CACHE_SIZE` entries.  Table construction itself runs
     outside the lock; two racing builders may both construct, but only
-    one context is published and counted as the miss.
+    one context is published and counted as the miss.  Entries inherited
+    through ``fork`` are discarded on first use in the child process.
     """
     key = (n, q)
     with _CONTEXTS_LOCK:
+        _reset_if_forked()
         context = _CONTEXTS.get(key)
         if context is not None:
             _CONTEXTS.move_to_end(key)
@@ -150,6 +171,7 @@ def get_context(n: int, q: int) -> NttContext:
             return context
     built = NttContext(n, q)  # potentially slow: keep outside the lock
     with _CONTEXTS_LOCK:
+        _reset_if_forked()
         context = _CONTEXTS.get(key)
         if context is not None:
             # Another caller published while we were building; theirs
@@ -165,9 +187,12 @@ def get_context(n: int, q: int) -> NttContext:
 
 
 def clear_context_cache() -> None:
-    """Drop all cached contexts (tests and memory-pressure hooks)."""
+    """Drop all cached contexts (tests, memory-pressure hooks, and the
+    per-worker reset installed by :mod:`repro.runtime.fabric`)."""
+    global _CONTEXTS_PID
     with _CONTEXTS_LOCK:
         _CONTEXTS.clear()
+        _CONTEXTS_PID = os.getpid()
 
 
 def negacyclic_multiply_schoolbook(a: list[int], b: list[int], q: int) -> list[int]:

@@ -14,7 +14,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
-from repro.crypto.modmath import invmod
+from repro.crypto.modmath import invmod, weighted_sums_mod
 from repro.errors import SecretSharingError
 
 
@@ -130,15 +130,24 @@ def share_vector(
 
 
 def reconstruct_vector(shares: list[VectorShare], field: int) -> list[int]:
-    """Recombine a vector secret from vector shares."""
+    """Recombine a vector secret from vector shares.
+
+    Every coefficient recombines against the same Lagrange weights, so
+    the whole vector runs as one exact limb-vectorized weighted sum
+    (:func:`repro.crypto.modmath.weighted_sums_mod`) — bit-identical to
+    the per-coefficient big-int arithmetic it replaces.
+    """
     if not shares:
         raise SecretSharingError("no shares given")
     length = len(shares[0].values)
     if any(len(s.values) != length for s in shares):
         raise SecretSharingError("vector shares have inconsistent lengths")
+    if length == 0:
+        return []
     indices = [s.index for s in shares]
     lagrange = lagrange_coefficients_at_zero(indices, field)
-    return [
-        sum(lagrange[s.index] * s.values[c] for s in shares) % field
-        for c in range(length)
-    ]
+    return weighted_sums_mod(
+        [[v % field for v in s.values] for s in shares],
+        [lagrange[s.index] for s in shares],
+        field,
+    )

@@ -233,12 +233,18 @@ class CampaignRunner:
         records: list[JournalRecord],
         runtime: RuntimeConfig | None = None,
         kill: KillSpec | None = None,
+        offline_store=None,
     ):
         self.config = config
         self.directory = Path(directory)
         self.journal = journal
         self.runtime = runtime
         self.kill = kill
+        #: Optional repro.offline.store.OfflineStore of precomputed
+        #: pools.  Never journaled: journaled digests are identical with
+        #: and without it, so a campaign may crash with a store and
+        #: resume without one (or vice versa) bit-identically.
+        self.offline_store = offline_store
         self.resumed = bool(records[1:])  # anything beyond campaign-start
         #: Index of already-durable records, keyed by identity.
         self._existing: dict[tuple, JournalRecord] = {}
@@ -285,12 +291,15 @@ class CampaignRunner:
         runtime: RuntimeConfig | None = None,
         kill: KillSpec | None = None,
         fsync: bool = True,
+        offline_store=None,
     ) -> CampaignRunner:
         journal = Journal.create(directory, fsync=fsync)
         record = journal.append(
             "campaign-start", {"version": 1, "config": config.to_json()}
         )
-        return cls(config, directory, journal, [record], runtime, kill)
+        return cls(
+            config, directory, journal, [record], runtime, kill, offline_store
+        )
 
     @classmethod
     def resume(
@@ -299,6 +308,7 @@ class CampaignRunner:
         runtime: RuntimeConfig | None = None,
         kill: KillSpec | None = None,
         fsync: bool = True,
+        offline_store=None,
     ) -> CampaignRunner:
         journal, records = Journal.resume(directory, fsync=fsync)
         if not records or records[0].type != "campaign-start":
@@ -306,7 +316,9 @@ class CampaignRunner:
                 "journal does not begin with a campaign-start record"
             )
         config = CampaignConfig.from_json(records[0].data["config"])
-        return cls(config, directory, journal, records, runtime, kill)
+        return cls(
+            config, directory, journal, records, runtime, kill, offline_store
+        )
 
     # -- journal plumbing ---------------------------------------------------
 
@@ -755,6 +767,7 @@ class CampaignRunner:
             rng,
             fabric,
             offline=offline or None,
+            offline_store=self.offline_store,
         )
         ctx["submissions"] = submissions
         return {
@@ -784,7 +797,10 @@ class CampaignRunner:
     def _phase_aggregate(self, query_index, ctx, fabric) -> dict:
         assert self.system is not None
         aggregation = self.system.aggregate_phase(
-            ctx["submissions"], fabric, self._active_shards
+            ctx["submissions"],
+            fabric,
+            self._active_shards,
+            offline_store=self.offline_store,
         )
         ctx["aggregation"] = aggregation
         return {
@@ -1070,10 +1086,12 @@ def run_campaign(
     runtime: RuntimeConfig | None = None,
     kill: KillSpec | None = None,
     fsync: bool = True,
+    offline_store=None,
 ) -> CampaignResult:
     """Convenience one-shot: start and run a fresh campaign."""
     return CampaignRunner.start(
-        config, directory, runtime=runtime, kill=kill, fsync=fsync
+        config, directory, runtime=runtime, kill=kill, fsync=fsync,
+        offline_store=offline_store,
     ).run()
 
 
@@ -1082,8 +1100,10 @@ def resume_campaign(
     runtime: RuntimeConfig | None = None,
     kill: KillSpec | None = None,
     fsync: bool = True,
+    offline_store=None,
 ) -> CampaignResult:
     """Convenience one-shot: resume a crashed campaign to completion."""
     return CampaignRunner.resume(
-        directory, runtime=runtime, kill=kill, fsync=fsync
+        directory, runtime=runtime, kill=kill, fsync=fsync,
+        offline_store=offline_store,
     ).run()

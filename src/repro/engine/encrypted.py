@@ -24,6 +24,7 @@ from repro.crypto.polyring import RingElement
 from repro.engine import semantics, zkcircuits
 from repro.engine.malicious import Behavior
 from repro.errors import ProofError, ProtocolError
+from repro.offline.pools import LeafRandomnessSource
 from repro.query import ast
 from repro.query.plans import ExecutionPlan
 from repro.runtime import TaskFabric, derive_rng
@@ -76,6 +77,12 @@ class RunStats:
     origin_filtered_leaves: int = 0
     #: Selected neighbors whose term defaulted to Enc(x^0) (§4.4).
     defaulted_members: int = 0
+    #: Leaf-randomness pool traffic (offline/online split; see
+    #: :mod:`repro.offline.pools`).  Accumulated here because fabric
+    #: workers run with telemetry inactive; the parent counts them once.
+    pool_hits: int = 0
+    pool_misses: int = 0
+    pool_refills: int = 0
     behaviors_applied: dict[str, int] = field(default_factory=dict)
 
 
@@ -131,13 +138,18 @@ def _encrypt_leaf(
     rng: random.Random,
     behavior: Behavior,
     max_exponent: int,
+    randomness: bgv.EncryptionRandomness | None = None,
 ) -> tuple[bgv.Ciphertext, int, bgv.EncryptionRandomness, bool]:
     """Encrypt one contribution, applying a Byzantine behaviour.
 
     Returns (ciphertext, claimed exponent, randomness, needs_forgery):
     behaviours that break well-formedness cannot produce honest proofs.
+    ``randomness`` lets a leaf-randomness source supply the ephemeral
+    values (possibly mask-prepared by the offline phase); the default
+    draws them from ``rng`` as the standalone path always has.
     """
-    randomness = bgv.EncryptionRandomness.generate(pk.profile, rng)
+    if randomness is None:
+        randomness = bgv.EncryptionRandomness.generate(pk.profile, rng)
     if behavior is Behavior.OVERSIZED_EXPONENT:
         bad = min(pk.profile.n - 1, max_exponent + 5)
         ct = bgv.encrypt_monomial(pk, bad, rng, randomness=randomness)
@@ -169,11 +181,15 @@ def dest_compute(
     neighbor: int,
     rng: random.Random,
     behavior: Behavior = Behavior.HONEST,
+    leaf_source=None,
 ) -> DestResponse | None:
     """The destination's answer for one neighbor slot (§4.3, §4.5).
 
     Returns None for :attr:`Behavior.DROP_MESSAGE` (and for offline
-    devices, which callers model the same way).
+    devices, which callers model the same way).  ``leaf_source`` is a
+    :class:`repro.offline.pools.LeafRandomnessSource` supplying each
+    leaf's encryption randomness from a seed-stable chain; without one,
+    randomness comes from ``rng`` (the historical stream).
     """
     if behavior is Behavior.DROP_MESSAGE:
         return None
@@ -189,7 +205,12 @@ def dest_compute(
         ]
     for exponent in exponents:
         ct, claimed, randomness, forge = _encrypt_leaf(
-            pk, exponent, rng, behavior, max_exponent
+            pk,
+            exponent,
+            rng,
+            behavior,
+            max_exponent,
+            randomness=leaf_source.next() if leaf_source is not None else None,
         )
         messages.append(
             _prove_leaf(
@@ -385,15 +406,34 @@ def _run_origin_task(
     master seed and the origin id, so the submission is a pure function
     of ``(context, origin)`` — independent of worker count, execution
     order, and of how much randomness other origins consumed.
+
+    Leaf encryption randomness always flows through a
+    :class:`~repro.offline.pools.LeafRandomnessSource` on the
+    ``(master_seed, origin)`` chain: with an offline store the entries
+    come precomputed (mask-prepared), without one they derive lazily —
+    the two are bit-identical by construction.
     """
-    plan, pk, zk, graph, behaviors, offline, master_seed = context
+    plan, pk, zk, graph, behaviors, offline, master_seed, store = context
+    pool = (
+        store.encryption_pool(master_seed, origin)
+        if store is not None
+        else None
+    )
+    source = LeafRandomnessSource(pk.profile, master_seed, origin, pool=pool)
     worker = EncryptedExecutor(
-        plan, pk, zk, derive_rng(master_seed, "origin", origin)
+        plan,
+        pk,
+        zk,
+        derive_rng(master_seed, "origin", origin),
+        leaf_source=source,
     )
     if plan.hops == 1:
         submission = worker._run_one_hop(graph, origin, behaviors, offline)
     else:
         submission = worker._run_multi_hop(graph, origin, behaviors, offline)
+    worker.stats.pool_hits = source.hits
+    worker.stats.pool_misses = source.misses
+    worker.stats.pool_refills = source.refills
     return submission, worker.stats
 
 
@@ -407,12 +447,20 @@ class EncryptedExecutor:
         zk: zksnark.Groth16System,
         rng: random.Random,
         fabric: TaskFabric | None = None,
+        offline_store=None,
+        leaf_source=None,
     ):
         self.plan = plan
         self.pk = pk
         self.zk = zk
         self.rng = rng
         self.fabric = fabric if fabric is not None else TaskFabric()
+        #: :class:`repro.offline.store.OfflineStore` of precomputed
+        #: artifacts for :meth:`run`, or None for the inline path.
+        self.offline_store = offline_store
+        #: Per-origin leaf randomness stream (set on worker executors by
+        #: :func:`_run_origin_task`); None means draw from ``rng``.
+        self.leaf_source = leaf_source
         self.stats = RunStats()
 
     def _behavior(self, behaviors, device: int) -> Behavior:
@@ -423,6 +471,9 @@ class EncryptedExecutor:
         self.stats.multiplications += other.multiplications
         self.stats.origin_filtered_leaves += other.origin_filtered_leaves
         self.stats.defaulted_members += other.defaulted_members
+        self.stats.pool_hits += other.pool_hits
+        self.stats.pool_misses += other.pool_misses
+        self.stats.pool_refills += other.pool_refills
         for name, hits in other.behaviors_applied.items():
             self.stats.behaviors_applied[name] = (
                 self.stats.behaviors_applied.get(name, 0) + hits
@@ -433,6 +484,7 @@ class EncryptedExecutor:
         graph: ContactGraph,
         behaviors: dict[int, Behavior] | None = None,
         offline: set[int] | None = None,
+        master_seed: int | None = None,
     ) -> list[OriginSubmission]:
         """Produce every origin's submission (one per online vertex).
 
@@ -441,7 +493,10 @@ class EncryptedExecutor:
         each origin works from an RNG derived from (master seed, origin
         id): the output is bit-identical at any worker count, and the
         whole run stays a deterministic function of the executor's RNG
-        state, exactly as the sequential implementation was.
+        state, exactly as the sequential implementation was.  Passing
+        ``master_seed`` pins that draw instead (the offline phase pools
+        randomness for a seed it predicts, so callers that hold the
+        prediction can make the run an explicit function of it).
         """
         behaviors = behaviors or {}
         offline = offline or set()
@@ -450,24 +505,39 @@ class EncryptedExecutor:
             for origin in range(graph.num_vertices)
             if origin not in offline
         ]
-        master_seed = self.rng.getrandbits(64)
+        if master_seed is None:
+            master_seed = self.rng.getrandbits(64)
         context = (
-            self.plan, self.pk, self.zk, graph, behaviors, offline, master_seed,
+            self.plan, self.pk, self.zk, graph, behaviors, offline,
+            master_seed, self.offline_store,
         )
         results = self.fabric.map(
             _run_origin_task, origins, context=context, label="engine.origins"
         )
         submissions = []
         defaulted = 0
+        pool_hits = pool_misses = pool_refills = 0
         for submission, stats in results:
             submissions.append(submission)
             self._merge_stats(stats)
             defaulted += stats.defaulted_members
+            pool_hits += stats.pool_hits
+            pool_misses += stats.pool_misses
+            pool_refills += stats.pool_refills
         if self.fabric.last_out_of_process and defaulted:
             # Worker processes run with telemetry inactive; account for
             # their defaulted-contribution counts here.  The in-process
             # path already counted them inside build_origin_submission.
             telemetry.count("engine.defaults.total", defaulted)
+        # Pool traffic is never counted in workers (their telemetry is
+        # inactive and in-process sources only track attributes), so the
+        # parent is the single point of accounting.
+        if pool_hits:
+            telemetry.count("offline.pool.hits", pool_hits)
+        if pool_misses:
+            telemetry.count("offline.pool.misses", pool_misses)
+        if pool_refills:
+            telemetry.count("offline.pool.refills", pool_refills)
         return submissions
 
     def _collect_leaf(
@@ -487,7 +557,15 @@ class EncryptedExecutor:
                 self.stats.behaviors_applied.get(name, 0) + 1
             )
         return dest_compute(
-            self.plan, self.pk, self.zk, graph, origin, neighbor, self.rng, behavior
+            self.plan,
+            self.pk,
+            self.zk,
+            graph,
+            origin,
+            neighbor,
+            self.rng,
+            behavior,
+            leaf_source=self.leaf_source,
         )
 
     def _filter_leaves(
@@ -619,7 +697,16 @@ class EncryptedExecutor:
             else:
                 exponent = 0
             ct, claimed, randomness, forge = _encrypt_leaf(
-                self.pk, exponent, self.rng, behavior, max_exponent
+                self.pk,
+                exponent,
+                self.rng,
+                behavior,
+                max_exponent,
+                randomness=(
+                    self.leaf_source.next()
+                    if self.leaf_source is not None
+                    else None
+                ),
             )
             message = _prove_leaf(
                 self.zk,

@@ -1,0 +1,237 @@
+"""Query-independent crypto pools and their derivation chains.
+
+The online hot path spends most of its time on work that does not
+depend on the query: sampling encryption randomness and multiplying it
+by the public key, and generating dummy-onion bodies for traffic-shape
+padding.  Both are pure functions of a seed and a stable label path
+(:func:`repro.runtime.seeding.derive_rng`), so the offline phase can
+materialize them ahead of time and the online phase merely *indexes*
+into them.
+
+The bit-identity contract: entry ``i`` of a pool is exactly what the
+inline path derives for index ``i``.  A run that consumes from a pool
+and a run that derives lazily therefore produce the same ciphertexts
+and the same wire bytes — and a pool that runs dry extends itself along
+the *same* derivation chain (block-and-refill) instead of falling back
+to a differently-seeded RNG, so exhaustion mid-batch cannot change a
+single output bit.
+"""
+
+from __future__ import annotations
+
+from repro import telemetry
+from repro.crypto import bgv
+from repro.params import BGVProfile
+from repro.runtime.seeding import derive_rng
+
+#: Bytes per derived dummy block.  A module constant: the block layout
+#: is part of the derivation chain, so it must not vary per run.
+DUMMY_BLOCK_BYTES = 4096
+
+
+# ---------------------------------------------------------------------------
+# Leaf-encryption randomness
+# ---------------------------------------------------------------------------
+
+
+def leaf_randomness(
+    profile: BGVProfile, master_seed: int, origin: int, index: int
+) -> bgv.EncryptionRandomness:
+    """Entry ``index`` of one origin's leaf-randomness stream.
+
+    Stateless: derived from ``(master_seed, origin, index)`` alone, so
+    the inline path, the precomputed pool, and a pool refill after
+    exhaustion all land on the same values.
+    """
+    rng = derive_rng(master_seed, "origin", origin, "leaf-enc", index)
+    return bgv.EncryptionRandomness.generate(profile, rng)
+
+
+def prepared_leaf_randomness(
+    pk: bgv.PublicKey, master_seed: int, origin: int, index: int
+) -> bgv.PreparedRandomness:
+    """:func:`leaf_randomness` with its public-key masks precomputed."""
+    return bgv.PreparedRandomness.prepare(
+        pk, leaf_randomness(pk.profile, master_seed, origin, index)
+    )
+
+
+class EncryptionPool:
+    """Precomputed :class:`~repro.crypto.bgv.PreparedRandomness` entries
+    for one ``(submission seed, origin)`` stream.
+
+    Indexing past the materialized prefix *refills* the pool by deriving
+    (and mask-preparing) further entries of the same chain; the refill
+    count is exposed so exhaustion is observable, but the returned
+    entries are indistinguishable from precomputed ones.
+    """
+
+    def __init__(
+        self,
+        public_key: bgv.PublicKey,
+        master_seed: int,
+        origin: int,
+        entries: tuple[bgv.PreparedRandomness, ...] = (),
+    ):
+        self.public_key = public_key
+        self.master_seed = master_seed
+        self.origin = origin
+        self.entries: list[bgv.PreparedRandomness] = list(entries)
+        self.refills = 0
+
+    @classmethod
+    def fill(
+        cls,
+        public_key: bgv.PublicKey,
+        master_seed: int,
+        origin: int,
+        count: int,
+    ) -> "EncryptionPool":
+        pool = cls(public_key, master_seed, origin)
+        pool.extend_to(count)
+        pool.refills = 0  # initial fill is not a refill
+        return pool
+
+    @property
+    def level(self) -> int:
+        return len(self.entries)
+
+    def extend_to(self, count: int) -> None:
+        """Materialize entries up to ``count`` along the chain."""
+        while len(self.entries) < count:
+            self.entries.append(
+                prepared_leaf_randomness(
+                    self.public_key,
+                    self.master_seed,
+                    self.origin,
+                    len(self.entries),
+                )
+            )
+            self.refills += 1
+
+    def entry(self, index: int) -> bgv.PreparedRandomness:
+        if index >= len(self.entries):
+            self.extend_to(index + 1)
+        return self.entries[index]
+
+
+class LeafRandomnessSource:
+    """The per-origin stream the encrypted engine consumes.
+
+    With a pool, entries come back mask-prepared (the cheap encryption
+    path); without one, they are derived lazily from the same chain.
+    Consumption statistics accumulate on the source — fabric workers run
+    with telemetry inactive, so the executor lifts them into its
+    :class:`~repro.engine.encrypted.RunStats` instead.
+    """
+
+    def __init__(
+        self,
+        profile: BGVProfile,
+        master_seed: int,
+        origin: int,
+        pool: EncryptionPool | None = None,
+    ):
+        self.profile = profile
+        self.master_seed = master_seed
+        self.origin = origin
+        self.pool = pool
+        self.index = 0
+        self.hits = 0
+        self.misses = 0
+        self.refills = 0
+
+    def next(self) -> bgv.EncryptionRandomness:
+        index = self.index
+        self.index += 1
+        if self.pool is not None:
+            before = self.pool.refills
+            entry = self.pool.entry(index)
+            self.refills += self.pool.refills - before
+            self.hits += 1
+            return entry
+        self.misses += 1
+        return leaf_randomness(
+            self.profile, self.master_seed, self.origin, index
+        )
+
+
+# ---------------------------------------------------------------------------
+# Dummy-onion bodies
+# ---------------------------------------------------------------------------
+
+
+def dummy_block(
+    dummy_seed: int, device_id: int, index: int, block_bytes: int
+) -> bytes:
+    """Block ``index`` of one device's dummy byte stream."""
+    rng = derive_rng(dummy_seed, "dummy", device_id, index)
+    return rng.randbytes(block_bytes)
+
+
+class DummyStream:
+    """A device's supply of dummy-onion body bytes.
+
+    ``take(length)`` slices the next ``length`` bytes off a stream of
+    derived blocks; blocks past the materialized prefix are derived on
+    demand (block-and-refill on the same chain), counted under
+    ``offline.pool.refills``.  Devices run in the coordinator process,
+    so the stream counts telemetry directly.
+    """
+
+    def __init__(
+        self,
+        dummy_seed: int,
+        device_id: int,
+        block_bytes: int = DUMMY_BLOCK_BYTES,
+        blocks: tuple[bytes, ...] = (),
+    ):
+        for block in blocks:
+            if len(block) != block_bytes:
+                raise ValueError("materialized blocks must be block-sized")
+        self.dummy_seed = dummy_seed
+        self.device_id = device_id
+        self.block_bytes = block_bytes
+        self.blocks: list[bytes] = list(blocks)
+        self.offset = 0  # global byte offset consumed so far
+        self.refills = 0
+
+    @classmethod
+    def fill(
+        cls,
+        dummy_seed: int,
+        device_id: int,
+        num_blocks: int,
+        block_bytes: int = DUMMY_BLOCK_BYTES,
+    ) -> "DummyStream":
+        blocks = tuple(
+            dummy_block(dummy_seed, device_id, i, block_bytes)
+            for i in range(num_blocks)
+        )
+        return cls(dummy_seed, device_id, block_bytes, blocks)
+
+    def _ensure_block(self, index: int) -> None:
+        while index >= len(self.blocks):
+            self.blocks.append(
+                dummy_block(
+                    self.dummy_seed,
+                    self.device_id,
+                    len(self.blocks),
+                    self.block_bytes,
+                )
+            )
+            self.refills += 1
+            telemetry.count("offline.pool.refills")
+
+    def take(self, length: int) -> bytes:
+        """The next ``length`` bytes of the stream."""
+        out = bytearray()
+        while len(out) < length:
+            block_index, within = divmod(self.offset, self.block_bytes)
+            self._ensure_block(block_index)
+            chunk = self.blocks[block_index][
+                within : within + (length - len(out))
+            ]
+            out.extend(chunk)
+            self.offset += len(chunk)
+        return bytes(out)

@@ -23,12 +23,22 @@ fastest available), the ``--backend`` CLI flag, or the
 from __future__ import annotations
 
 import contextlib
+import threading
+from collections import OrderedDict
 from typing import Callable, Protocol, Sequence, runtime_checkable
 
 from repro.crypto import ntt
 from repro.errors import ParameterError
 from repro.runtime.config import AUTO_BACKEND
 from repro.telemetry import runtime as telemetry
+
+#: Upper bound (log2) on one relinearization digit the fused fold
+#: accepts.  Every shipped profile decomposes in base 2^32;
+#: :func:`repro.crypto.bgv.relinearize` falls back to the sequential
+#: per-piece path (bit-identical) for wider bases, which lets backends
+#: size fold-specific tables — e.g. the NumPy kernel's narrow RNS
+#: basis — against this bound instead of the full q×q product.
+MAX_FOLD_DIGIT_BITS = 64
 
 
 @runtime_checkable
@@ -74,6 +84,42 @@ class PureBackend:
         if (q - 1) % (2 * n) == 0:
             return ntt.get_context(n, q).multiply(list(a), list(b))
         return ntt.negacyclic_multiply_schoolbook(list(a), list(b), q)
+
+    # -- evaluation-domain fold (prepared multiply-accumulate) ------------
+
+    def supports_fold(self, n: int, q: int) -> bool:
+        return (q - 1) % (2 * n) == 0
+
+    def prepare_operand(self, coeffs: Sequence[int], n: int, q: int):
+        """Forward-transform a fixed operand for repeated products."""
+        return ntt.get_context(n, q).forward(list(coeffs))
+
+    def fold_multiply_accumulate(
+        self,
+        prepared_pairs: Sequence[tuple],
+        digit_polys: Sequence[Sequence[int]],
+        n: int,
+        q: int,
+    ) -> tuple[list[int], list[int]]:
+        """Compute ``(sum_i b_i*d_i, sum_i a_i*d_i)`` in one pass.
+
+        ``prepared_pairs[i]`` is ``(prepare_operand(b_i), prepare_operand(a_i))``
+        and ``digit_polys[i]`` the coefficients of ``d_i``.  Each digit
+        poly is transformed once, multiply-accumulated pointwise against
+        both prepared key halves, and a single inverse per accumulator
+        closes the fold — the NTT is linear mod q, so the result is
+        bit-identical to summing the individual products.
+        """
+        ctx = ntt.get_context(n, q)
+        acc0 = [0] * n
+        acc1 = [0] * n
+        for (fb, fa), digits in zip(prepared_pairs, digit_polys):
+            fd = ctx.forward(list(digits))
+            for j in range(n):
+                d = fd[j]
+                acc0[j] = (acc0[j] + fb[j] * d) % q
+                acc1[j] = (acc1[j] + fa[j] * d) % q
+        return ctx.inverse(acc0), ctx.inverse(acc1)
 
 
 _factories: dict[str, Callable[[], ComputeBackend]] = {}
@@ -167,12 +213,82 @@ def use_backend(name: str):
         _active = previous
 
 
+#: Entries kept in the content-keyed product cache.  Keys hold operand
+#: *references* (tuples of the caller's int objects), so an entry costs
+#: little beyond the cached result coefficients; 128 entries bounds the
+#: worst case to tens of MB even at the SMALL ring.
+_MULTIPLY_CACHE_SIZE = 128
+
+_multiply_cache: OrderedDict[tuple, tuple[int, ...]] = OrderedDict()
+_multiply_lock = threading.Lock()
+
+
+def clear_multiply_cache() -> None:
+    """Drop every memoized ring product (benchmark/test isolation)."""
+    with _multiply_lock:
+        _multiply_cache.clear()
+
+
 def ring_multiply(a: Sequence[int], b: Sequence[int], n: int, q: int) -> list[int]:
     """Dispatch one negacyclic product to the active backend.
 
     This is the single call site :mod:`repro.crypto.polyring` uses, so
     the ``runtime.backend.multiplies`` counter sees every ring
     multiplication the parent process performs.
+
+    Products are memoized by operand content (canonicalized for
+    commutativity, keyed per backend so the equivalence tests still
+    exercise each kernel).  The online phase repeats many exact
+    products — the ZK aggregate proof replays the origin compute — and
+    a hit returns the cached coefficients without touching the backend.
     """
     telemetry.count("runtime.backend.multiplies")
-    return _active.negacyclic_multiply(a, b, n, q)
+    ka, kb = tuple(a), tuple(b)
+    if kb < ka:
+        ka, kb = kb, ka  # the ring product commutes
+    key = (_active.name, n, q, ka, kb)
+    with _multiply_lock:
+        hit = _multiply_cache.get(key)
+        if hit is not None:
+            _multiply_cache.move_to_end(key)
+    if hit is not None:
+        telemetry.count("runtime.backend.multiply_cache_hits")
+        return list(hit)
+    result = _active.negacyclic_multiply(a, b, n, q)
+    with _multiply_lock:
+        _multiply_cache[key] = tuple(result)
+        _multiply_cache.move_to_end(key)
+        while len(_multiply_cache) > _MULTIPLY_CACHE_SIZE:
+            _multiply_cache.popitem(last=False)
+    return result
+
+
+def supports_fold(n: int, q: int) -> bool:
+    """Whether the active backend can run the prepared evaluation-domain
+    fold for this ring (all shipped backends can when q is NTT-friendly)."""
+    probe = getattr(_active, "supports_fold", None)
+    return bool(probe is not None and probe(n, q))
+
+
+def prepare_operand(coeffs: Sequence[int], n: int, q: int):
+    """Forward-transform a fixed operand on the active backend.
+
+    The returned value is backend-specific and only meaningful when fed
+    back to :func:`fold_multiply_accumulate` on the *same* backend.
+    """
+    return _active.prepare_operand(coeffs, n, q)
+
+
+def fold_multiply_accumulate(
+    prepared_pairs: Sequence[tuple],
+    digit_polys: Sequence[Sequence[int]],
+    n: int,
+    q: int,
+) -> tuple[list[int], list[int]]:
+    """Dispatch one prepared multiply-accumulate fold to the active backend.
+
+    Counts ``runtime.backend.fold_products`` — the products a sequential
+    relinearization would have paid as full ring multiplications.
+    """
+    telemetry.count("runtime.backend.fold_products", 2 * len(digit_polys))
+    return _active.fold_multiply_accumulate(prepared_pairs, digit_polys, n, q)

@@ -46,6 +46,14 @@ def _init_worker(context: Any, backend_name: str) -> None:
     global _WORKER_CONTEXT
     _WORKER_CONTEXT = context
     backends.activate(backend_name)
+    # A forked worker inherits the parent's populated NTT context cache;
+    # its hit/miss counters would then describe the parent's warm-up and
+    # a parent cache at the LRU bound would start every worker at the
+    # bound.  Start each worker cold (ntt.get_context also self-heals on
+    # pid change, but the explicit reset keeps spawn/fork symmetric).
+    from repro.crypto import ntt
+
+    ntt.clear_context_cache()
 
 
 def _run_chunk(fn: Callable[[Any, Any], Any], chunk: list[Any]) -> list[Any]:

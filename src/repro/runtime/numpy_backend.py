@@ -46,6 +46,7 @@ import numpy as np
 from repro.crypto import ntt
 from repro.crypto.modmath import is_prime
 from repro.errors import ParameterError
+from repro.runtime.backends import MAX_FOLD_DIGIT_BITS
 
 #: Largest modulus the direct int64 transform can serve: butterfly
 #: products must stay below 2^63.
@@ -57,15 +58,17 @@ MAX_RNS_PRIME = 1 << 28
 
 _PLAN_CACHE_SIZE = 16
 
+#: Log2 of the maximum number of digit polynomials accumulated per fold.
+_FOLD_ACCUM_BITS = 10
+
 
 def _is_pow2(n: int) -> bool:
     return n >= 2 and (n & (n - 1)) == 0
 
 
-def _rns_primes(n: int, q: int) -> list[int]:
-    """28-bit primes ``p ≡ 1 (mod 2n)`` with product > ``2·n·q²``."""
+def _rns_primes(n: int, q: int, need_bits: int) -> list[int]:
+    """28-bit primes ``p ≡ 1 (mod 2n)`` with product > ``2^need_bits``."""
     two_n = 2 * n
-    need_bits = 2 * q.bit_length() + n.bit_length() + 2
     primes: list[int] = []
     got_bits = 0
     c = (MAX_RNS_PRIME - 2) // two_n
@@ -83,15 +86,29 @@ def _rns_primes(n: int, q: int) -> list[int]:
 
 
 class _Plan:
-    """Precomputed tables for one ``(n, q)`` pair."""
+    """Precomputed tables for one ``(n, q)`` pair.
 
-    def __init__(self, n: int, q: int):
+    ``product_bits`` sizes the RNS basis: the product of basis primes
+    must exceed ``2^product_bits``.  The default covers the worst-case
+    centered negacyclic product of two full-size operands
+    (``2·n·q²``); callers whose operands are provably smaller (the
+    relinearization fold's digit polynomials) may pass a tighter bound
+    and get a proportionally smaller — and faster — basis.
+    """
+
+    def __init__(self, n: int, q: int, product_bits: int | None = None):
         self.n = n
         self.q = q
         self.direct = (
             q < MAX_DIRECT_MODULUS and (q - 1) % (2 * n) == 0 and is_prime(q)
         )
-        primes = [q] if self.direct else _rns_primes(n, q)
+        general_bits = 2 * q.bit_length() + n.bit_length() + 2
+        need_bits = (
+            general_bits
+            if product_bits is None
+            else min(product_bits, general_bits)
+        )
+        primes = [q] if self.direct else _rns_primes(n, q, need_bits)
         self.primes = np.asarray(primes, dtype=np.int64)
         k = len(primes)
         self.p_col = self.primes.reshape(k, 1, 1)
@@ -141,68 +158,74 @@ class _Plan:
     # -- batched transforms (one row per RNS prime) -----------------------
 
     def forward(self, a: np.ndarray) -> np.ndarray:
-        """Cooley-Tukey negacyclic NTT on every row of ``a`` (k, n)."""
+        """Cooley-Tukey negacyclic NTT on every row of ``a``.
+
+        Accepts ``(k, n)`` or a batch ``(..., k, n)``; leading axes ride
+        through the butterfly stages in one set of vectorized ops, which
+        is what makes the fused relinearization fold cheap (one batched
+        transform for all digit polynomials instead of one call each).
+        """
         return self._forward_direct(a) if self.direct else self._forward_lazy(a)
 
     def inverse(self, a: np.ndarray) -> np.ndarray:
-        """Gentleman-Sande inverse of :meth:`forward`, rows of (k, n)."""
+        """Gentleman-Sande inverse of :meth:`forward`, ``(..., k, n)``."""
         return self._inverse_direct(a) if self.direct else self._inverse_lazy(a)
 
     def _forward_direct(self, a: np.ndarray) -> np.ndarray:
-        k, n = a.shape
+        *lead, k, n = a.shape
         p = self.p_col
         t, m = n, 1
         while m < n:
             t //= 2
-            a = a.reshape(k, m, 2, t)
+            a = a.reshape(*lead, k, m, 2, t)
             s = self.psi_rev[:, m : 2 * m].reshape(k, m, 1)
-            u = a[:, :, 0, :]
-            v = (a[:, :, 1, :] * s) % p
+            u = a[..., 0, :]
+            v = (a[..., 1, :] * s) % p
             lo = (u + v) % p
             hi = (u - v) % p
-            a[:, :, 0, :] = lo
-            a[:, :, 1, :] = hi
-            a = a.reshape(k, n)
+            a[..., 0, :] = lo
+            a[..., 1, :] = hi
+            a = a.reshape(*lead, k, n)
             m *= 2
         return a
 
     def _inverse_direct(self, a: np.ndarray) -> np.ndarray:
-        k, n = a.shape
+        *lead, k, n = a.shape
         p = self.p_col
         t, m = 1, n
         while m > 1:
             h = m // 2
-            a = a.reshape(k, h, 2, t)
+            a = a.reshape(*lead, k, h, 2, t)
             s = self.psi_inv_rev[:, h : 2 * h].reshape(k, h, 1)
-            u = a[:, :, 0, :]
-            v = a[:, :, 1, :]
+            u = a[..., 0, :]
+            v = a[..., 1, :]
             lo = (u + v) % p
             hi = ((u - v) * s) % p
-            a[:, :, 0, :] = lo
-            a[:, :, 1, :] = hi
-            a = a.reshape(k, n)
+            a[..., 0, :] = lo
+            a[..., 1, :] = hi
+            a = a.reshape(*lead, k, n)
             t *= 2
             m = h
         return (a * self.n_inv) % self.p_flat
 
     def _forward_lazy(self, a: np.ndarray) -> np.ndarray:
         """Harvey CT butterflies: inputs < p, invariant < 4p, output < p."""
-        k, n = a.shape
+        *lead, k, n = a.shape
         p = self.p_col
         two_p = 2 * p
         t, m = n, 1
         while m < n:
             t //= 2
-            a = a.reshape(k, m, 2, t)
+            a = a.reshape(*lead, k, m, 2, t)
             s = self.psi_rev[:, m : 2 * m].reshape(k, m, 1)
             s_sh = self.psi_rev_shoup[:, m : 2 * m].reshape(k, m, 1)
-            u = a[:, :, 0, :]
+            u = a[..., 0, :]
             u = u - two_p * (u >= two_p)  # now < 2p
-            x = a[:, :, 1, :]
+            x = a[..., 1, :]
             v = x * s - ((x * s_sh) >> 32) * p  # Shoup: < 2p
-            a[:, :, 0, :] = u + v  # < 4p
-            a[:, :, 1, :] = u - v + two_p  # < 4p
-            a = a.reshape(k, n)
+            a[..., 0, :] = u + v  # < 4p
+            a[..., 1, :] = u - v + two_p  # < 4p
+            a = a.reshape(*lead, k, n)
             m *= 2
         p2 = 2 * self.p_flat
         a = a - p2 * (a >= p2)
@@ -210,24 +233,24 @@ class _Plan:
 
     def _inverse_lazy(self, a: np.ndarray) -> np.ndarray:
         """Harvey GS butterflies: inputs < p, invariant < 2p, output < p."""
-        k, n = a.shape
+        *lead, k, n = a.shape
         p = self.p_col
         two_p = 2 * p
         t, m = 1, n
         while m > 1:
             h = m // 2
-            a = a.reshape(k, h, 2, t)
+            a = a.reshape(*lead, k, h, 2, t)
             s = self.psi_inv_rev[:, h : 2 * h].reshape(k, h, 1)
             s_sh = self.psi_inv_rev_shoup[:, h : 2 * h].reshape(k, h, 1)
-            u = a[:, :, 0, :]
-            v = a[:, :, 1, :]
+            u = a[..., 0, :]
+            v = a[..., 1, :]
             lo = u + v
             lo = lo - two_p * (lo >= two_p)  # < 2p
             w = u - v + two_p  # < 4p, still < 2^30
             hi = w * s - ((w * s_sh) >> 32) * p  # Shoup: < 2p
-            a[:, :, 0, :] = lo
-            a[:, :, 1, :] = hi
-            a = a.reshape(k, n)
+            a[..., 0, :] = lo
+            a[..., 1, :] = hi
+            a = a.reshape(*lead, k, n)
             t *= 2
             m = h
         ninv = self.n_inv
@@ -290,23 +313,41 @@ class NumpyBackend:
     name = "numpy"
 
     def __init__(self) -> None:
-        self._plans: OrderedDict[tuple[int, int], _Plan] = OrderedDict()
+        self._plans: OrderedDict[tuple, _Plan] = OrderedDict()
         self._lock = threading.Lock()
 
-    def _plan(self, n: int, q: int) -> _Plan:
-        key = (n, q)
+    def _plan_for(self, key: tuple, n: int, q: int, product_bits=None) -> _Plan:
         with self._lock:
             plan = self._plans.get(key)
             if plan is not None:
                 self._plans.move_to_end(key)
                 return plan
-        plan = _Plan(n, q)  # built outside the lock; tables are read-only
+        # Built outside the lock; tables are read-only.
+        plan = _Plan(n, q, product_bits=product_bits)
         with self._lock:
             self._plans[key] = plan
             self._plans.move_to_end(key)
             while len(self._plans) > _PLAN_CACHE_SIZE:
                 self._plans.popitem(last=False)
         return plan
+
+    def _plan(self, n: int, q: int) -> _Plan:
+        return self._plan_for((n, q), n, q)
+
+    def _fold_plan(self, n: int, q: int) -> _Plan:
+        """Tables for the relinearization fold: one operand is a digit
+        polynomial below ``2^MAX_FOLD_DIGIT_BITS``, so the RNS basis only
+        needs to cover ``2·n·q·2^64`` times the accumulation width —
+        roughly half the primes (and half the transform time) of the
+        general q×q basis."""
+        bits = (
+            q.bit_length()
+            + MAX_FOLD_DIGIT_BITS
+            + n.bit_length()
+            + _FOLD_ACCUM_BITS
+            + 2
+        )
+        return self._plan_for(("fold", n, q), n, q, product_bits=bits)
 
     def _directable(self, n: int, q: int) -> bool:
         return (
@@ -340,3 +381,45 @@ class NumpyBackend:
         fb = plan.forward(plan.to_residues(b))
         prod = (fa * fb) % plan.p_flat
         return plan.from_residues(plan.inverse(prod))
+
+    # -- evaluation-domain fold (prepared multiply-accumulate) ------------
+
+    def supports_fold(self, n: int, q: int) -> bool:
+        return _is_pow2(n)
+
+    def prepare_operand(self, coeffs: Sequence[int], n: int, q: int) -> np.ndarray:
+        plan = self._fold_plan(n, q)
+        return plan.forward(plan.to_residues(coeffs))
+
+    def fold_multiply_accumulate(
+        self,
+        prepared_pairs: Sequence[tuple],
+        digit_polys: Sequence[Sequence[int]],
+        n: int,
+        q: int,
+    ) -> tuple[list[int], list[int]]:
+        """One transform per digit poly on the *narrow fold basis*,
+        pointwise accumulate against the prepared key halves, one
+        inverse + CRT reconstruction per output.
+
+        Exactness: residues stay below 2^28, so each pointwise product
+        fits int64 (< 2^56) and the per-step ``% p`` keeps accumulators
+        below p.  The fold basis bound ``M > 2·n·q·2^(64+10)`` exceeds
+        the true magnitude of the accumulated sum (each term is a digit
+        below 2^64 times a key coefficient below q, convolved over n
+        positions, summed over at most 2^10 pieces), so the centered CRT
+        lift of the sum is exact and the result matches the sequential
+        per-piece products bit for bit.
+        """
+        plan = self._fold_plan(n, q)
+        shape = plan.p_flat.shape[0], n
+        acc0 = np.zeros(shape, dtype=np.int64)
+        acc1 = np.zeros(shape, dtype=np.int64)
+        for (fb, fa), digits in zip(prepared_pairs, digit_polys):
+            fd = plan.forward(plan.to_residues(digits))
+            acc0 = (acc0 + fb * fd) % plan.p_flat
+            acc1 = (acc1 + fa * fd) % plan.p_flat
+        return (
+            plan.from_residues(plan.inverse(acc0)),
+            plan.from_residues(plan.inverse(acc1)),
+        )

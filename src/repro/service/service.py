@@ -45,6 +45,7 @@ from typing import Any
 from repro import telemetry
 from repro.dp.budget import PrivacyBudget
 from repro.errors import QueueFullRejected, ServiceShutdown
+from repro.offline.store import OfflineStore
 from repro.params import SystemParameters
 from repro.query.catalog import CATALOG
 from repro.query.compiler import compile_query
@@ -80,6 +81,12 @@ class ServiceConfig:
     directory: str | None = None
     #: Per-record fsync in the round journals (disable for benchmarks).
     fsync: bool = True
+    #: Precompute ``pool_entries`` leaf-randomness entries per (query,
+    #: origin) before each round (the offline/online split; see
+    #: docs/PERFORMANCE.md).  The scheduler blocks the round on the
+    #: refill and retires consumed pools afterwards.
+    offline_pools: bool = False
+    pool_entries: int = 8
 
 
 class QueryService:
@@ -116,6 +123,10 @@ class QueryService:
             max_batch=self.config.max_batch,
             fsync=self.config.fsync,
             runtime=runtime,
+            offline_store=(
+                OfflineStore() if self.config.offline_pools else None
+            ),
+            pool_entries=self.config.pool_entries,
         )
         self._params = SystemParameters(
             num_devices=self.config.people,

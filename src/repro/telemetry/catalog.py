@@ -169,6 +169,12 @@ METRICS: dict[str, MetricSpec] = _specs(
         "bgv.encrypt.count", COUNTER, "ops", "fresh BGV encryptions",
     ),
     MetricSpec(
+        "bgv.encrypt.prepared", COUNTER, "ops",
+        "encryptions served by precomputed public-key masks (the "
+        "offline fast path: one ring addition instead of two "
+        "multiplies)",
+    ),
+    MetricSpec(
         "bgv.decrypt.count", COUNTER, "ops", "secret-key decryptions",
     ),
     MetricSpec(
@@ -188,6 +194,11 @@ METRICS: dict[str, MetricSpec] = _specs(
     MetricSpec(
         "bgv.relinearize.count", COUNTER, "ops",
         "relinearizations of degree>1 ciphertexts back to degree 1",
+    ),
+    MetricSpec(
+        "bgv.relinearize.fused", COUNTER, "ops",
+        "relinearizations served by prepared key pieces through the "
+        "backend's fused multiply-accumulate fold",
     ),
     MetricSpec(
         "ntt.forward.count", COUNTER, "transforms",
@@ -309,6 +320,17 @@ METRICS: dict[str, MetricSpec] = _specs(
         "runtime.backend.multiplies", COUNTER, "ops",
         "negacyclic ring multiplications dispatched to the active "
         "compute backend (parent process only; see docs/PERFORMANCE.md)",
+    ),
+    MetricSpec(
+        "runtime.backend.fold_products", COUNTER, "ops",
+        "ring products a fused multiply-accumulate fold replaced (the "
+        "sequential relinearization cost it avoided)",
+    ),
+    MetricSpec(
+        "runtime.backend.multiply_cache_hits", COUNTER, "ops",
+        "ring products served from the content-keyed product cache "
+        "instead of the backend kernel (e.g. the ZK aggregate proof "
+        "replaying the origin compute)",
     ),
     # -- differential privacy ----------------------------------------------
     MetricSpec(
@@ -476,6 +498,44 @@ METRICS: dict[str, MetricSpec] = _specs(
         "service.inflight", GAUGE, "queries",
         "admitted submissions currently queued or executing",
     ),
+    # -- offline precomputation (repro.offline) ------------------------------
+    MetricSpec(
+        "offline.pool.hits", COUNTER, "entries",
+        "leaf-encryption randomness served from a precomputed pool "
+        "(masked fast-path encryptions)",
+    ),
+    MetricSpec(
+        "offline.pool.misses", COUNTER, "entries",
+        "leaf-encryption randomness derived inline because no pool "
+        "covered the run's submission seed",
+    ),
+    MetricSpec(
+        "offline.pool.refills", COUNTER, "entries",
+        "pool entries derived on demand after exhaustion — the "
+        "block-and-refill path that continues the pool's own derivation "
+        "chain instead of falling back to a differently-seeded RNG",
+    ),
+    MetricSpec(
+        "offline.pool.level", HISTOGRAM, "entries",
+        "pool fill level observed when the service scheduler checks "
+        "pools before a round",
+        buckets=(0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0),
+    ),
+    MetricSpec(
+        "offline.pool.low", COUNTER, "pools",
+        "pools found below the scheduler's low watermark before a "
+        "round (each triggers a blocking refill)",
+    ),
+    MetricSpec(
+        "offline.precompute.units", COUNTER, "units",
+        "precompute units (NTT warm, relin prep, encryption pool, "
+        "dummy stream) journaled as durable by the offline phase",
+    ),
+    MetricSpec(
+        "offline.precompute.resumed", COUNTER, "units",
+        "units restored from journaled artifacts (not re-derived) "
+        "while resuming a crashed offline phase",
+    ),
 )
 
 
@@ -587,6 +647,11 @@ SPANS: dict[str, SpanSpec] = {
             "service.admit", None,
             "one atomic admission decision: budget check, charge, and "
             "enqueue under the admission lock; attributes: epsilon",
+        ),
+        SpanSpec(
+            "offline.precompute", None,
+            "one journaled offline-precomputation pass (fresh, resumed, "
+            "or a between-round pool refill); attributes: units",
         ),
     )
 }

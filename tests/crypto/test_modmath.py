@@ -104,3 +104,50 @@ class TestCrt:
     def test_mismatched_lengths(self):
         with pytest.raises(ParameterError):
             modmath.crt_combine([1, 2], [3])
+
+    def test_negative_residues_normalized(self):
+        # Regression: unnormalized negative residues used to feed huge
+        # signed intermediates into the basis sum; they must combine to
+        # the same value as their canonical forms.
+        moduli = [15, 77, 13]
+        x = 4242
+        residues = [(x % m) - m for m in moduli]
+        assert modmath.crt_combine(residues, moduli) == x
+
+    def test_zero_residues(self):
+        assert modmath.crt_combine([0, 0, 0], [15, 77, 13]) == 0
+
+    def test_residue_equal_to_modulus(self):
+        # r == m is congruent to zero and must not contribute a full
+        # basis weight.
+        moduli = [15, 77, 13]
+        assert modmath.crt_combine([15, 77, 13], moduli) == 0
+        x = 999
+        residues = [x % m for m in moduli]
+        shifted = [r + m for r, m in zip(residues, moduli)]
+        assert modmath.crt_combine(shifted, moduli) == x
+
+    def test_single_modulus(self):
+        assert modmath.crt_combine([5], [11]) == 5
+        assert modmath.crt_combine([-3], [11]) == 8
+        assert modmath.crt_combine([11], [11]) == 0
+
+    @given(st.integers(min_value=-10**9, max_value=10**9))
+    def test_crt_congruence_property(self, x):
+        moduli = [15, 77, 13]
+        residues = [x % m for m in moduli]
+        combined = modmath.crt_combine(residues, moduli)
+        for r, m in zip(residues, moduli):
+            assert combined % m == r % m
+
+    def test_basis_combine_many_matches_scalar(self):
+        moduli = [15, 77, 13]
+        basis = modmath.CrtBasis(moduli)
+        rows = [[x % m for m in moduli] for x in (0, 1, 999, 15 * 77 * 13 - 1)]
+        assert basis.combine_many(rows) == [
+            modmath.crt_combine(row, moduli) for row in rows
+        ]
+
+    def test_basis_rejects_empty(self):
+        with pytest.raises(ParameterError):
+            modmath.CrtBasis([])

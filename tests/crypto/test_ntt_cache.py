@@ -1,6 +1,9 @@
 """The shared NttContext cache: LRU bound, counters, thread safety."""
 
+import multiprocessing
 import threading
+
+import pytest
 
 from repro import telemetry
 from repro.crypto import ntt
@@ -39,6 +42,60 @@ def test_cache_is_lru_bounded():
     # The survivors are the most recently used (insertion-ordered) tail.
     expected = {(2, p) for p in primes[-ntt.CONTEXT_CACHE_SIZE :]}
     assert set(ntt._CONTEXTS) == expected
+    _fresh_cache()
+
+
+def _forked_child_probe(queue):
+    """Runs in a forked child: report what the inherited cache looks like
+    from the child's perspective after one lookup."""
+    with telemetry.session() as session:
+        ntt.get_context(64, 7681)
+        snapshot = session.snapshot()
+    queue.put(
+        {
+            "misses": snapshot["counters"].get("ntt.cache.misses", 0),
+            "hits": snapshot["counters"].get("ntt.cache.hits", 0),
+            "entries": len(ntt._CONTEXTS),
+        }
+    )
+
+
+@pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="requires fork start method",
+)
+def test_forked_worker_does_not_inherit_parent_cache():
+    """Regression: a cache warmed in the parent used to be silently
+    shared into forked TaskFabric workers, so the child's first lookup
+    counted a hit against tables it never built (and a parent cache at
+    the LRU bound made every child start at the bound).  Each process
+    must start cold and count its own miss."""
+    _fresh_cache()
+    # Warm the parent cache well past a single entry.
+    primes = []
+    candidate = 5
+    while len(primes) < 6:
+        if is_prime(candidate):
+            primes.append(candidate)
+        candidate += 4
+    ntt.get_context(64, 7681)
+    for p in primes:
+        ntt.get_context(2, p)
+    assert len(ntt._CONTEXTS) == 7
+    ctx = multiprocessing.get_context("fork")
+    queue = ctx.Queue()
+    child = ctx.Process(target=_forked_child_probe, args=(queue,))
+    child.start()
+    report = queue.get(timeout=30)
+    child.join(timeout=30)
+    assert child.exitcode == 0
+    # The child's first lookup is an honest miss on a cache of its own,
+    # not a hit against the parent's inherited tables.
+    assert report["misses"] == 1
+    assert report["hits"] == 0
+    assert report["entries"] == 1
+    # The parent's cache is untouched by the child's reset.
+    assert len(ntt._CONTEXTS) == 7
     _fresh_cache()
 
 

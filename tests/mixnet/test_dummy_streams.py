@@ -1,0 +1,96 @@
+"""Seed-chained dummy-onion supplies (offline phase, §3.5 padding).
+
+Dummy bodies only have to be traffic-shaped noise, but the offline
+split adds a determinism contract on top: a device drawing from a
+precomputed ``DummyStream`` and one deriving the stream lazily must
+deposit byte-identical dummies, so the mixnet's observable wire
+behavior is independent of whether the offline phase ran.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.mixnet.forwarding import ForwardingDriver, SendRequest
+from repro.mixnet.network import MixnetWorld
+from repro.mixnet.telescope import TelescopeDriver
+from repro.offline.pools import DummyStream
+from repro.offline.store import OfflineStore
+from repro.params import SystemParameters
+
+DUMMY_SEED = 0xD0D0
+
+
+def make_world(seed=7, num_devices=20):
+    params = SystemParameters(
+        num_devices=num_devices,
+        hops=2,
+        replicas=1,
+        forwarder_fraction=0.4,
+        degree_bound=2,
+        pseudonyms_per_device=2,
+    )
+    return MixnetWorld(
+        params,
+        num_devices=num_devices,
+        rng=random.Random(seed),
+        rsa_bits=512,
+        pseudonyms_per_device=2,
+    )
+
+
+def drive_with_dropped_path(world) -> list:
+    """Establish two paths, send on only one: the silent path's hops
+    must emit dummies in their forwarding rounds.  Returns deposit_log."""
+    driver = TelescopeDriver(world)
+    dst5 = world.devices[5].identity.primary().handle
+    dst9 = world.devices[9].identity.primary().handle
+    driver.setup_paths([(0, 0, 0, dst5), (3, 0, 0, dst9)])
+    fw = ForwardingDriver(world)
+    fw.send_batch([SendRequest(0, (0, 0), b"ping")], payload_bytes=8)
+    return world.deposit_log
+
+
+class TestInstallDummyStreams:
+    def test_every_device_gets_a_stream(self):
+        world = make_world()
+        world.install_dummy_streams(DUMMY_SEED)
+        for device_id, device in world.devices.items():
+            assert isinstance(device.dummy_source, DummyStream)
+            assert device.dummy_source.device_id == device_id
+
+    def test_store_streams_preferred_over_lazy(self):
+        world = make_world()
+        store = OfflineStore()
+        prefilled = DummyStream.fill(DUMMY_SEED, 3, 2)
+        store.add_dummy_stream(prefilled)
+        world.install_dummy_streams(DUMMY_SEED, store=store)
+        assert world.devices[3].dummy_source is prefilled
+        assert world.devices[4].dummy_source is not None
+        assert world.devices[4].dummy_source.blocks == []  # lazy
+
+    def test_lazy_and_pooled_deposits_identical(self):
+        """The §3.5 wire contract: two same-seeded worlds, one drawing
+        dummies lazily, one from precomputed streams, must produce
+        byte-identical mailbox deposit logs."""
+        lazy_world = make_world()
+        lazy_world.install_dummy_streams(DUMMY_SEED)
+        lazy_log = drive_with_dropped_path(lazy_world)
+
+        pooled_world = make_world()
+        store = OfflineStore()
+        for device_id in pooled_world.devices:
+            store.add_dummy_stream(DummyStream.fill(DUMMY_SEED, device_id, 1))
+        pooled_world.install_dummy_streams(DUMMY_SEED, store=store)
+        pooled_log = drive_with_dropped_path(pooled_world)
+
+        assert lazy_log == pooled_log
+        assert len(pooled_log) > 0
+        # The silent path really did exercise the dummy supply — the
+        # identity above is not vacuous.
+        consumed = [
+            d.dummy_source.offset
+            for d in pooled_world.devices.values()
+            if d.dummy_source.offset
+        ]
+        assert consumed
