@@ -1,0 +1,125 @@
+"""Goodput under seeded Byzantine attack: intensity vs survival.
+
+The robustness claim (``docs/RESILIENCE.md``) is that an attacked
+deployment degrades like a benign-churn one: the honest workload still
+completes exactly, quarantine only ever hits real attackers, and honest
+goodput stays at or above the Figure 5c model evaluated at the
+equivalent effective loss.  This benchmark sweeps the ``combined``
+attack profile (malformed wave + committee equivocation + claim
+tampering + phase-locked churn) across intensities with
+:func:`repro.adversary.run_survivability` and prints the goodput curve
+next to the model, asserting survival at every point.
+
+Quick mode (the CI smoke) shrinks the sweep to finish in well under a
+minute::
+
+    PYTHONPATH=src python benchmarks/bench_adversary_goodput.py --quick
+
+Both modes write the usual ``BENCH_*.json`` (schema v2) record with the
+``adversary.*`` telemetry snapshot alongside the report lines.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from pathlib import Path
+
+if __package__ in (None, ""):  # invoked as a script: --quick smoke
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+from benchmarks.conftest import format_table
+from repro.adversary import get_profile, run_survivability
+
+SEED = 7
+
+
+def _quick() -> bool:
+    return os.environ.get("MYCELIUM_BENCH_QUICK") == "1"
+
+
+def _load() -> tuple[int, int, tuple[float, ...]]:
+    """(devices, queries per point, intensities) for the selected mode."""
+    if _quick():
+        return 8, 2, (0.0, 1.0)
+    return 10, 3, (0.0, 0.5, 1.0, 1.5)
+
+
+def test_adversary_goodput(benchmark, report):
+    devices, queries, intensities = _load()
+    profile = get_profile("combined")
+    run: dict = {}
+
+    def drive():
+        started = time.perf_counter()
+        run["report"] = run_survivability(
+            profile,
+            seed=SEED,
+            num_devices=devices,
+            num_queries=queries,
+            intensities=intensities,
+        )
+        run["wall"] = time.perf_counter() - started
+        return run
+
+    benchmark.pedantic(drive, rounds=1, iterations=1)
+
+    survivability = run["report"]
+    mode = "quick" if _quick() else "full"
+    report(
+        *format_table(
+            f"Adversary goodput ({mode}: profile={profile.name}, "
+            f"{devices} devices, {queries} queries/point, TEST ring)",
+            ["intensity", "attackers", "quarantined", "goodput", "model",
+             "exact"],
+            [
+                [
+                    point.intensity,
+                    len(point.attackers),
+                    len(point.quarantined),
+                    point.goodput,
+                    point.model_goodput,
+                    f"{point.queries_exact}/{point.queries_total}",
+                ]
+                for point in survivability.points
+            ],
+        ),
+        f"wall seconds: {run['wall']:.2f}",
+    )
+
+    # Survival at every intensity: honest workload completes exactly,
+    # quarantine stays inside the attacker set, and goodput is at or
+    # above the Figure 5c model at the equivalent effective loss.
+    for point in survivability.points:
+        assert point.survived, f"intensity {point.intensity} failed"
+        assert point.queries_completed == point.queries_total
+        assert point.goodput >= point.model_goodput - 1e-12
+    assert survivability.survived
+
+    # The zero-intensity point is the benign baseline: nobody attacks,
+    # nobody is quarantined, goodput is exactly 1.
+    baseline = survivability.points[0]
+    assert baseline.intensity == 0.0
+    assert not baseline.attackers
+    assert not baseline.quarantined
+    assert baseline.goodput == 1.0
+
+
+if __name__ == "__main__":
+    import argparse
+
+    import pytest
+
+    parser = argparse.ArgumentParser(
+        description="goodput under seeded Byzantine attack"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="shrunken sweep for CI smoke (finishes in <60s)",
+    )
+    cli_args = parser.parse_args()
+    if cli_args.quick:
+        os.environ["MYCELIUM_BENCH_QUICK"] = "1"
+    raise SystemExit(pytest.main([__file__, "-q"]))

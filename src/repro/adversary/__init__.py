@@ -1,0 +1,33 @@
+"""Seeded Byzantine adversary engine and the defenses that survive it.
+
+* :mod:`repro.adversary.profiles` — composable attack profiles
+  (malformed-proof waves, equivocating committee partials, claim
+  tampering, phase-locked churn bursts), all derived from one seed and
+  expressible as :class:`repro.faults.FaultPlan` schedules.
+* :mod:`repro.adversary.quarantine` — the per-origin suspicion ledger
+  that demotes repeat proof-failers to quarantine.
+* :mod:`repro.adversary.survivability` — the intensity sweep producing
+  a :class:`SurvivabilityReport` (goodput/accuracy vs attack intensity)
+  behind ``python -m repro adversary``.
+
+See docs/RESILIENCE.md for the threat-model table mapping each
+adversary class to its defense, guarantee, and audit trial kind.
+"""
+
+from repro.adversary.profiles import PROFILES, AttackProfile, get_profile
+from repro.adversary.quarantine import SuspicionLedger
+from repro.adversary.survivability import (
+    SurvivabilityPoint,
+    SurvivabilityReport,
+    run_survivability,
+)
+
+__all__ = [
+    "PROFILES",
+    "AttackProfile",
+    "get_profile",
+    "SuspicionLedger",
+    "SurvivabilityPoint",
+    "SurvivabilityReport",
+    "run_survivability",
+]

@@ -1,0 +1,231 @@
+"""Composable, seeded Byzantine attack profiles.
+
+An :class:`AttackProfile` is pure data: which fraction of devices turns
+malicious (and with which behaviours), how many committee members
+equivocate in their partial decryptions, and how churn bursts are
+phase-locked to round boundaries.  Every concrete schedule is derived
+from ``(seed, profile name)`` via :func:`repro.runtime.derive_rng`, and
+the churn/committee side is expressed as a plain
+:class:`repro.faults.FaultPlan` — so an attack run replays bit-for-bit
+through the exact same injector machinery as the benign chaos layer
+(PR 2), and profiles compose with wire faults by construction.
+
+The built-in profiles (``PROFILES``) cover the ISSUE's four adversary
+classes: malformed/invalid-proof device waves, equivocating committee
+partials, colluding aggregators tampering their claims, and adversarial
+churn bursts timed against epoch handoffs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.engine.malicious import Behavior
+from repro.errors import ParameterError
+from repro.faults.plan import ChurnWindow, FaultKind, FaultPlan
+from repro.runtime import derive_rng
+
+#: Behaviours a malformed-wave attacker may be assigned.  All are
+#: detectable (the ZKP layer rejects them); LIE_IN_RANGE is excluded
+#: because it is undetectable by design and has no exact oracle (§4.7).
+MALFORMED_POOL = (
+    Behavior.FORGED_PROOF,
+    Behavior.OVERSIZED_EXPONENT,
+    Behavior.MULTI_COEFFICIENT,
+    Behavior.LARGE_COEFFICIENT,
+)
+
+
+@dataclass(frozen=True)
+class AttackProfile:
+    """One composable adversary configuration.
+
+    ``intensity`` scales the attack linearly (fractions and committee
+    corruption multiply by it, capped so at least one honest device and
+    a decodable committee always remain — the adversary controls *at
+    most* the MC-assumption share, never the whole population).
+    """
+
+    name: str
+    description: str
+    #: Fraction of devices that turn Byzantine (at intensity 1.0).
+    malformed_fraction: float = 0.0
+    #: Behaviours drawn (seeded, uniformly) for each attacker.
+    behaviors_pool: tuple[Behavior, ...] = ()
+    #: Committee members returning equivocating (corrupted) partials.
+    equivocating_committee: int = 0
+    #: Fraction of devices yanked offline in each churn burst.
+    churn_burst_fraction: float = 0.0
+    #: How many C-rounds each phase-locked burst lasts.
+    churn_burst_rounds: int = 0
+    intensity: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.intensity < 0:
+            raise ParameterError("attack intensity must be >= 0")
+        for fraction in (self.malformed_fraction, self.churn_burst_fraction):
+            if not 0.0 <= fraction <= 1.0:
+                raise ParameterError(f"fraction {fraction} outside [0, 1]")
+
+    def scaled(self, intensity: float) -> AttackProfile:
+        """The same attack at a different intensity."""
+        return dataclasses.replace(self, intensity=intensity)
+
+    # -- device-level attacks ------------------------------------------------
+
+    def num_attackers(self, num_devices: int) -> int:
+        """Attacker head-count: scaled fraction, at least one honest
+        device always left standing."""
+        effective = min(1.0, self.malformed_fraction * self.intensity)
+        count = round(effective * num_devices)
+        if effective > 0 and count == 0:
+            count = 1
+        return min(count, max(0, num_devices - 1))
+
+    def behaviors_for(self, seed: int, num_devices: int) -> dict[int, Behavior]:
+        """Seeded attacker assignment: which devices misbehave, and how."""
+        if not self.behaviors_pool:
+            return {}
+        count = self.num_attackers(num_devices)
+        if count == 0:
+            return {}
+        rng = derive_rng(seed, "adversary", self.name, "devices")
+        attackers = sorted(rng.sample(range(num_devices), count))
+        return {
+            device: rng.choice(self.behaviors_pool) for device in attackers
+        }
+
+    # -- churn + committee, expressed as a FaultPlan -------------------------
+
+    def churn_for_round(
+        self, seed: int, round_index: int, candidates: tuple[int, ...]
+    ) -> tuple[int, ...]:
+        """Seeded per-round churn burst over ``candidates`` (honest
+        devices, typically) — the in-process analogue of the
+        phase-locked :class:`ChurnWindow` schedule."""
+        effective = min(0.9, self.churn_burst_fraction * self.intensity)
+        if effective <= 0 or not candidates:
+            return ()
+        rng = derive_rng(seed, "adversary", self.name, "churn", round_index)
+        churned = tuple(d for d in candidates if rng.random() < effective)
+        # Never churn the entire candidate set: the MC assumption keeps
+        # a majority of devices honest *and online*.
+        if len(churned) == len(candidates):
+            churned = churned[:-1]
+        return churned
+
+    def corrupt_members(self, committee_members: tuple[int, ...]) -> tuple[int, ...]:
+        """Which committee members equivocate — capped below the unique
+        decoding radius is the *defense's* job, not the adversary's."""
+        count = min(
+            round(self.equivocating_committee * max(self.intensity, 0.0)),
+            len(committee_members),
+        )
+        if self.equivocating_committee > 0 and self.intensity > 0:
+            count = max(count, 1)
+        return tuple(committee_members[:count])
+
+    def fault_plan(
+        self,
+        seed: int,
+        num_devices: int,
+        round_boundaries: tuple[int, ...] = (),
+        committee_members: tuple[int, ...] = (),
+    ) -> FaultPlan:
+        """The profile as a replayable fault schedule.
+
+        Churn bursts open exactly at each round boundary (epoch handoff
+        / campaign round start) and last ``churn_burst_rounds`` C-rounds
+        — the adversary times its churn against the protocol's own
+        schedule instead of drizzling it iid like the benign model.
+        """
+        plan_seed = derive_rng(seed, "adversary", self.name, "plan").getrandbits(48)
+        windows: list[ChurnWindow] = []
+        effective = min(0.9, self.churn_burst_fraction * self.intensity)
+        if effective > 0 and self.churn_burst_rounds > 0:
+            rng = derive_rng(seed, "adversary", self.name, "windows")
+            for boundary in round_boundaries:
+                for device_id in range(num_devices):
+                    if rng.random() < effective:
+                        windows.append(
+                            ChurnWindow(
+                                device_id=device_id,
+                                start_round=boundary,
+                                end_round=boundary + self.churn_burst_rounds,
+                                kind=FaultKind.CHURN,
+                            )
+                        )
+        return FaultPlan(
+            seed=plan_seed,
+            churn_windows=tuple(windows),
+            corrupt_committee=self.corrupt_members(committee_members),
+        )
+
+
+#: The built-in attack library, keyed by profile name.
+PROFILES: dict[str, AttackProfile] = {
+    p.name: p
+    for p in (
+        AttackProfile(
+            name="malformed-wave",
+            description=(
+                "A wave of devices submits malformed ciphertexts and "
+                "invalid proofs (oversized exponents, multi-coefficient "
+                "payloads, forged proofs)."
+            ),
+            malformed_fraction=0.25,
+            behaviors_pool=MALFORMED_POOL,
+        ),
+        AttackProfile(
+            name="equivocating-committee",
+            description=(
+                "A committee member returns equivocating partial "
+                "decryptions; robust decode must flag it and still land "
+                "on the exact plaintext."
+            ),
+            equivocating_committee=1,
+        ),
+        AttackProfile(
+            name="claim-tamper",
+            description=(
+                "Colluding aggregator-side origins tamper their "
+                "aggregation claims (submitted ciphertext is not the "
+                "product of the declared inputs)."
+            ),
+            malformed_fraction=0.2,
+            behaviors_pool=(Behavior.BAD_AGGREGATION,),
+        ),
+        AttackProfile(
+            name="churn-burst",
+            description=(
+                "Adversarial churn bursts phase-locked to epoch "
+                "handoffs and round boundaries."
+            ),
+            churn_burst_fraction=0.3,
+            churn_burst_rounds=4,
+        ),
+        AttackProfile(
+            name="combined",
+            description=(
+                "All of the above at once: malformed wave + committee "
+                "equivocation + claim tampering + phase-locked churn."
+            ),
+            malformed_fraction=0.2,
+            behaviors_pool=MALFORMED_POOL + (Behavior.BAD_AGGREGATION,),
+            equivocating_committee=1,
+            churn_burst_fraction=0.2,
+            churn_burst_rounds=4,
+        ),
+    )
+}
+
+
+def get_profile(name: str) -> AttackProfile:
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise ParameterError(
+            f"unknown attack profile {name!r}; "
+            f"known: {', '.join(sorted(PROFILES))}"
+        ) from None

@@ -1,0 +1,76 @@
+"""Per-origin suspicion ledger and quarantine (docs/RESILIENCE.md).
+
+The aggregator already rejects a submission whose aggregation proof
+fails (§4.6) — but rejection alone lets a Byzantine device burn
+verification time on every query forever.  The suspicion ledger closes
+the loop: each rejection increments the origin's suspicion count, and
+an origin rejected ``threshold`` times is *quarantined* — subsequent
+queries treat it as offline, so its contribution defaults to
+``Enc(x^0)`` and the aggregator never sees (or verifies) its proofs
+again.  Quarantined origins are reported in ``QueryResult`` metadata.
+
+Soundness matters more than liveness here: an honest device's proofs
+always verify, so an honest origin is *never* rejected and therefore
+never accumulates suspicion — the ``quarantine_soundness`` audit kind
+asserts exactly this, and the ``unquarantined-attacker`` mutant patches
+:meth:`SuspicionLedger.record_rejections` to a no-op to prove the audit
+notices when the ledger stops doing its job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import telemetry
+
+#: Rejections before an origin is quarantined.  Two, not one: a single
+#: rejection could in principle be a transient (e.g. a corrupted wire
+#: frame that fails verification); a repeat offender is demoted.
+DEFAULT_THRESHOLD = 2
+
+
+@dataclass
+class SuspicionLedger:
+    """Counts proof rejections per origin and quarantines repeat offenders.
+
+    The ledger is deliberately monotone: suspicion only accumulates and
+    quarantine is never lifted within a ledger's lifetime.  Parole would
+    reopen the verification-burn attack the quarantine exists to stop;
+    operators reset by constructing a fresh ledger.
+    """
+
+    threshold: int = DEFAULT_THRESHOLD
+    suspicion: dict[int, int] = field(default_factory=dict)
+    _quarantined: set[int] = field(default_factory=set)
+
+    def record_rejections(self, rejected) -> tuple[int, ...]:
+        """Charge one suspicion point per rejected origin; returns the
+        origins newly quarantined by this call (sorted)."""
+        newly = []
+        for origin in rejected:
+            if origin in self._quarantined:
+                continue
+            count = self.suspicion.get(origin, 0) + 1
+            self.suspicion[origin] = count
+            telemetry.count("adversary.suspicion.total")
+            if count >= self.threshold:
+                self._quarantined.add(origin)
+                newly.append(origin)
+                telemetry.count("adversary.quarantined.total")
+        return tuple(sorted(newly))
+
+    def is_quarantined(self, origin: int) -> bool:
+        return origin in self._quarantined
+
+    @property
+    def quarantined(self) -> tuple[int, ...]:
+        """All currently quarantined origins (sorted)."""
+        return tuple(sorted(self._quarantined))
+
+    def snapshot(self) -> dict:
+        """JSON-friendly state: suspicion counts plus the quarantine set."""
+        return {
+            "threshold": self.threshold,
+            "suspicion": dict(sorted(self.suspicion.items())),
+            "quarantined": list(self.quarantined),
+        }

@@ -16,6 +16,7 @@ from repro.workloads.graphgen import ContactGraph
 TRIAL_KINDS = (
     "equivalence", "budget", "sensitivity", "shamir", "mixnet", "crash",
     "robust", "flagging", "shard_equivalence", "offline_equivalence",
+    "byzantine_survival", "quarantine_soundness",
 )
 
 

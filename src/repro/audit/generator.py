@@ -123,6 +123,10 @@ def _kind_for_index(index: int) -> str:
         return "shard_equivalence"
     if index % 12 == 4:
         return "offline_equivalence"
+    if index % 24 == 8:
+        return "byzantine_survival"
+    if index % 24 == 20:
+        return "quarantine_soundness"
     if index % 4 == 1:
         return "budget"
     if index % 4 == 3:
@@ -130,11 +134,17 @@ def _kind_for_index(index: int) -> str:
     return "equivalence"
 
 
-def generate_case(master_seed: int, index: int) -> TrialCase:
+def generate_case(
+    master_seed: int, index: int, kind: str | None = None
+) -> TrialCase:
     """Deterministically draw trial ``index`` of a run seeded with
-    ``master_seed``."""
+    ``master_seed``.
+
+    ``kind`` overrides the index schedule (used by ``--kinds`` filtered
+    runs); the case data still derives purely from the two integers.
+    """
     rng = derive_rng(master_seed, "case", index)
-    kind = _kind_for_index(index)
+    kind = kind if kind is not None else _kind_for_index(index)
     seed = rng.getrandbits(48)
 
     if kind == "budget":
@@ -211,6 +221,47 @@ def generate_case(master_seed: int, index: int) -> TrialCase:
             kill_before=rng.random() < 0.5,
             num_queries=num_queries,
             rotate_every=rng.choice([0, 1]),
+        )
+
+    if kind in ("byzantine_survival", "quarantine_soundness"):
+        schema = audit_schema()
+        graph = random_graph(rng, schema)
+        n = len(graph.vertices)
+        # byzantine_survival pins honest bit-identity against an
+        # attackers-offline baseline, which only forged-proof attackers
+        # guarantee (they are both leaf-breaking and origin-rejecting);
+        # quarantine_soundness only needs origin rejection, so it also
+        # draws bad-aggregation claim tamperers.
+        pool = (
+            ("forged-proof",)
+            if kind == "byzantine_survival"
+            else ("forged-proof", "bad-aggregation")
+        )
+        num_attackers = rng.randint(1, max(1, min(2, n - 1)))
+        attackers = sorted(rng.sample(range(n), num_attackers))
+        behaviors = {device: rng.choice(pool) for device in attackers}
+        honest = [v for v in range(n) if v not in behaviors]
+        # Honest churn rides along, but at least one honest origin stays
+        # online so the aggregate is non-empty.
+        offline = tuple(
+            v for v in honest[:-1] if rng.random() < 0.15
+        )
+        query = rng.choice(
+            (
+                "SELECT HISTO(COUNT(*)) FROM neigh(1)",
+                "SELECT HISTO(COUNT(*)) FROM neigh(1) WHERE dest.inf",
+            )
+        )
+        return TrialCase(
+            kind=kind,
+            seed=seed,
+            index=index,
+            query=query,
+            graph=graph,
+            offline=offline,
+            behaviors=behaviors,
+            backend=rng.choice(_backends()) if _backends() else "pure",
+            num_queries=rng.randint(2, 3),
         )
 
     params = audit_params()

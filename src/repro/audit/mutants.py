@@ -132,6 +132,20 @@ def _offline_equivalence_case(seed: int, pool_entries: int = 2) -> TrialCase:
     )
 
 
+def _quarantine_case(seed: int) -> TrialCase:
+    # One persistent forged-proof attacker and one claim tamperer over
+    # three queries: both must be quarantined by query 2, so a ledger
+    # that never records rejections fails the completeness check.
+    return TrialCase(
+        kind="quarantine_soundness",
+        seed=seed,
+        query="SELECT HISTO(COUNT(*)) FROM neigh(1)",
+        graph=_k4_graph(),
+        behaviors={0: "forged-proof", 2: "bad-aggregation"},
+        num_queries=3,
+    )
+
+
 def _crash_case(seed: int) -> TrialCase:
     # Kill right after the release record of query 0 so the resume path
     # restores (rather than re-runs) the charge record — the exact path
@@ -302,6 +316,19 @@ def _mutant_colluding_shard():
     return _patched(shard_aggregate_mod, "shard_claimed_partial", bad)
 
 
+def _mutant_unquarantined_attacker():
+    from repro.adversary import quarantine as quarantine_mod
+
+    def bad(self, rejected):
+        # the bug: rejections are observed but never tallied, so no
+        # origin ever crosses the quarantine threshold
+        return ()
+
+    return _patched(
+        quarantine_mod.SuspicionLedger, "record_rejections", bad
+    )
+
+
 def _mutant_aggregator_accepts_everything():
     def bad(self, submission):
         return True, 0.0, 0
@@ -393,6 +420,12 @@ MUTANTS: tuple[Mutant, ...] = (
         description="precomputed pool entries derive from a shifted seed",
         patch=_mutant_stale_pool,
         cases=(_offline_equivalence_case(1301),),
+    ),
+    Mutant(
+        name="unquarantined-attacker",
+        description="the suspicion ledger never quarantines rejected origins",
+        patch=_mutant_unquarantined_attacker,
+        cases=(_quarantine_case(1401),),
     ),
     Mutant(
         name="journal-double-apply",

@@ -109,15 +109,32 @@ def run_audit(
     shrink: bool = False,
     bundle_dir: str | Path | None = None,
     log=None,
+    kinds: tuple[str, ...] | None = None,
 ) -> AuditReport:
-    """Run ``num_trials`` seeded trials; shrink and bundle any failure."""
+    """Run ``num_trials`` seeded trials; shrink and bundle any failure.
+
+    ``kinds`` restricts the run to the given trial families, assigned
+    round-robin over the indices (the default ``None`` keeps the full
+    index schedule).  Case data still derives purely from
+    ``(master_seed, index)``, so filtered runs replay the same way.
+    """
+    from repro.audit.cases import TRIAL_KINDS
+
+    if kinds is not None:
+        unknown = [k for k in kinds if k not in TRIAL_KINDS]
+        if unknown:
+            raise ValueError(f"unknown trial kinds {unknown}")
     bench = get_bench()
     report = AuditReport(master_seed=master_seed, num_trials=num_trials)
     with telemetry.span(
         "audit.run", seed=master_seed, trials=num_trials
     ):
         for index in range(num_trials):
-            case = generate_case(master_seed, index)
+            case = generate_case(
+                master_seed,
+                index,
+                kind=kinds[index % len(kinds)] if kinds else None,
+            )
             with telemetry.span(
                 "audit.trial", kind=case.kind, index=index
             ):

@@ -24,6 +24,14 @@ Each trial family targets one slice of the protocol:
   chain, including when small pools exhaust and refill mid-run.  Only
   a serialization comparison can catch a stale pool — wrong-seed
   entries still produce valid encryptions, proofs, and decryptions.
+* ``byzantine_survival`` — a multi-query run under forged-proof
+  attackers feeding the suspicion ledger: every answer must match the
+  degraded oracle, and the honest devices' answer must be bit-identical
+  to a baseline run with the attackers simply offline.
+* ``quarantine_soundness`` — the quarantine ledger under forged-proof
+  and claim-tampering attackers: honest origins are never suspected,
+  quarantined origins are always real attackers, and every persistent
+  attacker is quarantined once its rejections reach the threshold.
 
 Deliberate style point: cross-module entry points the mutant self-test
 patches (``threshold_decrypt``, ``composed_epsilon``, ``analyze``, …)
@@ -88,6 +96,10 @@ def run_trial(case: TrialCase, bench: AuditBench) -> list[CheckResult]:
         return _run_shard_equivalence(case, bench)
     if case.kind == "offline_equivalence":
         return _run_offline_equivalence(case, bench)
+    if case.kind == "byzantine_survival":
+        return _run_byzantine_survival(case, bench)
+    if case.kind == "quarantine_soundness":
+        return _run_quarantine_soundness(case, bench)
     raise ValueError(f"unknown trial kind {case.kind!r}")
 
 
@@ -463,6 +475,206 @@ def _run_offline_equivalence(
             prepared.ciphertext.serialize() == flat.ciphertext.serialize(),
             "prepared relinearization diverges from the sequential fold",
         )
+    )
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Byzantine survival / quarantine soundness: the suspicion ledger under
+# seeded attackers, checked against the degraded oracle every query
+# ---------------------------------------------------------------------------
+
+
+def _encrypted_round(
+    case: TrialCase,
+    bench: AuditBench,
+    plan: ExecutionPlan,
+    graph,
+    behaviors: dict[int, Behavior],
+    offline: frozenset[int],
+    tag: str,
+    query_index: int,
+):
+    """One encrypted submit→aggregate→decrypt pass; returns the
+    aggregation plus the decoded coefficient tuple (zeros when the
+    aggregate is empty, so callers compare uniformly)."""
+    with backends.use_backend(case.backend), TaskFabric(
+        workers=1, chunk_size=2
+    ) as fabric:
+        executor = EncryptedExecutor(
+            plan,
+            bench.public,
+            bench.zk,
+            random.Random(
+                derive_rng(case.seed, tag, query_index).getrandbits(48)
+            ),
+            fabric=fabric,
+        )
+        submissions = executor.run(
+            graph, behaviors=behaviors, offline=set(offline)
+        )
+        aggregation = QueryAggregator(
+            zk=bench.zk, relin_keys=bench.relin_keys, fabric=fabric
+        ).aggregate(submissions)
+    total = plan.layout.total_coefficients
+    if aggregation.ciphertext is None:
+        return aggregation, (0,) * total
+    plain = committee_mod.threshold_decrypt(
+        bench.committee,
+        aggregation.ciphertext,
+        derive_rng(case.seed, tag, "decrypt", query_index),
+    )
+    return aggregation, tuple(plain.coeffs[i] for i in range(total))
+
+
+def _run_byzantine_survival(
+    case: TrialCase, bench: AuditBench
+) -> list[CheckResult]:
+    from repro.adversary import quarantine as quarantine_mod
+
+    results: list[CheckResult] = []
+    plan = compile_case_plan(case)
+    graph = case.graph.build()
+    behaviors = {d: Behavior(v) for d, v in case.behaviors.items()}
+    attackers = frozenset(behaviors)
+    ledger = quarantine_mod.SuspicionLedger()
+
+    for q in range(case.num_queries):
+        quarantined = frozenset(ledger.quarantined)
+        offline = frozenset(case.offline) | quarantined
+        active = {d: b for d, b in behaviors.items() if d not in offline}
+        oracle = plaintext_mod.expected_under_faults(
+            plan, graph, offline=offline, behaviors=active
+        )
+        aggregation, decoded = _encrypted_round(
+            case, bench, plan, graph, active, offline, "byz", q
+        )
+        results.append(
+            check_equal(
+                f"byzantine.rejected-matches-oracle[{q}]",
+                frozenset(aggregation.rejected),
+                oracle.rejected_origins,
+            )
+        )
+        results.append(
+            check_equal(
+                f"byzantine.coefficients[{q}]",
+                decoded,
+                oracle.coefficients,
+            )
+        )
+        # Honest-only bit-identity: forged-proof attackers are both
+        # origin-rejecting and leaf-breaking, so the attacked answer
+        # must equal a run where the attackers were simply offline —
+        # the attack's blast radius never reaches honest answers.
+        _, baseline = _encrypted_round(
+            case,
+            bench,
+            plan,
+            graph,
+            {},
+            frozenset(case.offline) | attackers,
+            "byz",
+            q,
+        )
+        results.append(
+            check_equal(
+                f"byzantine.honest-bit-identical[{q}]",
+                decoded,
+                baseline,
+            )
+        )
+        ledger.record_rejections(aggregation.rejected)
+
+    final = frozenset(ledger.quarantined)
+    results.append(
+        check(
+            "byzantine.quarantine-subset-of-attackers",
+            final <= attackers,
+            f"quarantined {sorted(final)} vs attackers {sorted(attackers)}",
+        )
+    )
+    # Every case runs >= threshold queries, and a forged proof is
+    # rejected every round its origin stays online, so persistence
+    # must land every attacker in quarantine by the end.
+    results.append(
+        check_equal(
+            "byzantine.attackers-quarantined", final, attackers
+        )
+    )
+    return results
+
+
+def _run_quarantine_soundness(
+    case: TrialCase, bench: AuditBench
+) -> list[CheckResult]:
+    from repro.adversary import quarantine as quarantine_mod
+
+    results: list[CheckResult] = []
+    plan = compile_case_plan(case)
+    graph = case.graph.build()
+    behaviors = {d: Behavior(v) for d, v in case.behaviors.items()}
+    attackers = frozenset(behaviors)
+    ledger = quarantine_mod.SuspicionLedger()
+
+    for q in range(case.num_queries):
+        quarantined = frozenset(ledger.quarantined)
+        offline = frozenset(case.offline) | quarantined
+        active = {d: b for d, b in behaviors.items() if d not in offline}
+        oracle = plaintext_mod.expected_under_faults(
+            plan, graph, offline=offline, behaviors=active
+        )
+        aggregation, decoded = _encrypted_round(
+            case, bench, plan, graph, active, offline, "quar", q
+        )
+        results.append(
+            check_equal(
+                f"quarantine.rejected-matches-oracle[{q}]",
+                frozenset(aggregation.rejected),
+                oracle.rejected_origins,
+            )
+        )
+        results.append(
+            check_equal(
+                f"quarantine.coefficients[{q}]",
+                decoded,
+                oracle.coefficients,
+            )
+        )
+        # A quarantined origin defaults to Enc(x^0) server-side — it
+        # must never reach the aggregator again, accepted or rejected.
+        results.append(
+            check(
+                f"quarantine.quarantined-never-resubmit[{q}]",
+                not quarantined
+                & (set(aggregation.accepted) | set(aggregation.rejected)),
+                f"quarantined {sorted(quarantined)} reappeared in round {q}",
+            )
+        )
+        ledger.record_rejections(aggregation.rejected)
+
+    suspected = frozenset(ledger.suspicion)
+    final = frozenset(ledger.quarantined)
+    results.append(
+        check(
+            "quarantine.honest-never-suspected",
+            suspected <= attackers,
+            f"suspected {sorted(suspected)} vs attackers {sorted(attackers)}",
+        )
+    )
+    results.append(
+        check(
+            "quarantine.soundness",
+            final <= attackers,
+            f"quarantined {sorted(final)} vs attackers {sorted(attackers)}",
+        )
+    )
+    # Completeness: every attacker misbehaves each round it is online,
+    # and the case runs at least ``threshold`` queries, so each must be
+    # quarantined by the end.  The unquarantined-attacker mutant (a
+    # ledger that never records rejections) fails exactly here.
+    results.append(
+        check_equal("quarantine.attackers-quarantined", final, attackers)
     )
     return results
 

@@ -8,6 +8,7 @@
     python -m repro demo
     python -m repro bench --quick
     python -m repro audit --seed 0 --trials 50 --shrink
+    python -m repro adversary --profile combined --intensities 0,1,1.5
     python -m repro campaign --dir /tmp/c --num-queries 3
     python -m repro campaign --dir /tmp/c --resume
     python -m repro precompute --dir /tmp/p --num-queries 3 --entries 8
@@ -20,7 +21,11 @@ query over the real mix network; ``bench`` times the ring-multiplication
 hot path across every available compute backend and a worker sweep (see
 ``docs/PERFORMANCE.md``); ``audit`` drives the seeded
 differential-testing and invariant-audit harness (see
-``docs/CORRECTNESS.md``); ``campaign`` runs a durable multi-query
+``docs/CORRECTNESS.md``); ``adversary`` sweeps a seeded Byzantine
+attack profile across intensities and prints the
+:class:`~repro.adversary.survivability.SurvivabilityReport` — goodput,
+quarantines, and exactness under attack (see ``docs/RESILIENCE.md``);
+``campaign`` runs a durable multi-query
 campaign through the write-ahead journal — killable at any phase
 boundary (exit code 42) and resumable bit-identically with ``--resume``
 (see ``docs/RESILIENCE.md``); ``precompute`` runs the journaled
@@ -561,6 +566,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_inflight=args.max_inflight,
         directory=args.dir,
         fsync=not args.no_fsync,
+        default_deadline_seconds=args.deadline_seconds,
     )
 
     async def main() -> int:
@@ -600,6 +606,43 @@ def cmd_serve(args: argparse.Namespace) -> int:
         return 0
 
 
+def cmd_adversary(args: argparse.Namespace) -> int:
+    from repro import telemetry
+    from repro.adversary import PROFILES, get_profile, run_survivability
+
+    if args.list:
+        for profile in PROFILES.values():
+            print(f"{profile.name:<24} {profile.description}")
+        return 0
+    profile = get_profile(args.profile)
+    intensities = tuple(
+        float(x) for x in args.intensities.split(",") if x.strip()
+    )
+    telemetry.enable()
+    try:
+        report = run_survivability(
+            profile,
+            seed=args.seed,
+            num_devices=args.people,
+            num_queries=args.queries,
+            intensities=intensities,
+            epsilon=args.epsilon,
+            log=lambda message: print(message, flush=True),
+        )
+    finally:
+        if args.trace:
+            telemetry.export_jsonl(args.trace)
+            print(f"telemetry trace written to {args.trace}")
+        telemetry.disable()
+    if args.json:
+        import json
+
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        print(report.summary())
+    return 0 if report.survived else 1
+
+
 def cmd_audit(args: argparse.Namespace) -> int:
     from repro.audit.runner import run_audit, run_self_test
 
@@ -625,12 +668,16 @@ def cmd_audit(args: argparse.Namespace) -> int:
         for check in outcome.checks:
             print(f"  {check}")
         return 0 if outcome.passed else 1
+    kinds = None
+    if args.kinds:
+        kinds = tuple(k.strip() for k in args.kinds.split(",") if k.strip())
     report = run_audit(
         args.seed,
         args.trials,
         shrink=args.shrink,
         bundle_dir=args.bundle_dir,
         log=log,
+        kinds=kinds,
     )
     print(report.summary())
     return 0 if report.passed else 1
@@ -889,6 +936,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-fsync", action="store_true",
         help="skip per-record journal fsync (benchmarking only)",
     )
+    serve.add_argument(
+        "--deadline-seconds", type=float, default=None,
+        help="default per-query deadline, enforced end to end; a "
+        "submission may override it (docs/SERVICE.md)",
+    )
     serve.add_argument("--backend", default=None)
     serve.add_argument("--workers", type=int, default=None)
     serve.add_argument(
@@ -923,7 +975,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="inject the known mutants and verify the harness catches "
         "every one",
     )
+    audit.add_argument(
+        "--kinds", default=None, metavar="KIND[,KIND...]",
+        help="restrict the run to these trial families, round-robin "
+        "(e.g. byzantine_survival,quarantine_soundness)",
+    )
     audit.set_defaults(fn=cmd_audit)
+
+    adversary = sub.add_parser(
+        "adversary",
+        help="sweep a seeded Byzantine attack profile across intensities "
+        "and report survivability: goodput vs the Figure 5c model, "
+        "quarantines, and answer exactness (docs/RESILIENCE.md)",
+    )
+    adversary.add_argument(
+        "--profile", default="combined",
+        help="attack profile name (see --list)",
+    )
+    adversary.add_argument(
+        "--list", action="store_true",
+        help="list the built-in attack profiles and exit",
+    )
+    adversary.add_argument(
+        "--intensities", default="0,0.5,1,1.5",
+        help="comma-separated intensity multipliers to sweep",
+    )
+    adversary.add_argument("--seed", type=int, default=7)
+    adversary.add_argument("--people", type=int, default=10)
+    adversary.add_argument(
+        "--queries", type=int, default=3,
+        help="queries per sweep point (the honest workload)",
+    )
+    adversary.add_argument("--epsilon", type=float, default=0.5)
+    adversary.add_argument(
+        "--json", action="store_true",
+        help="print the full report as JSON instead of the summary",
+    )
+    adversary.add_argument(
+        "--trace", help="write the telemetry JSONL trace to this path"
+    )
+    adversary.set_defaults(fn=cmd_adversary)
     return parser
 
 

@@ -27,6 +27,12 @@ class QueryMetadata:
     #: Fault/recovery bookkeeping for mixnet-transported queries; None
     #: for the in-process transport.
     recovery: RecoveryReport | None = None
+    #: Origins the suspicion ledger had quarantined before this query:
+    #: their contribution defaulted to Enc(x^0) (docs/RESILIENCE.md).
+    quarantined_origins: tuple[int, ...] = ()
+    #: Origins whose submission the aggregator rejected this query
+    #: (failed aggregation proof) — the suspicion ledger's input.
+    byzantine_origins: tuple[int, ...] = ()
 
 
 @dataclass(frozen=True)

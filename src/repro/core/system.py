@@ -171,6 +171,7 @@ class MyceliumSystem:
         runtime: RuntimeConfig | None = None,
         offline_store=None,
         submission_seed: int | None = None,
+        quarantined: set[int] | None = None,
     ) -> QueryResult:
         """Execute one query end to end and release the noisy answer.
 
@@ -191,6 +192,11 @@ class MyceliumSystem:
         :func:`repro.runtime.get_runtime_config`).  Results are
         bit-identical at any worker count and across backends; see
         docs/PERFORMANCE.md.
+
+        ``quarantined`` lists origins the suspicion ledger has demoted:
+        they are treated as offline (their contribution defaults to
+        ``Enc(x^0)``) and recorded in ``QueryMetadata`` so the analyst
+        can see which devices were shed (docs/RESILIENCE.md).
         """
         config = runtime if runtime is not None else get_runtime_config()
         with backends.use_backend(config.backend), TaskFabric.from_config(
@@ -200,6 +206,7 @@ class MyceliumSystem:
                 query, graph, epsilon, behaviors, offline, rotate,
                 noiseless, world, fabric, shards=config.shards,
                 offline_store=offline_store, submission_seed=submission_seed,
+                quarantined=quarantined,
             )
 
     def _run_query_with_fabric(
@@ -216,7 +223,9 @@ class MyceliumSystem:
         shards: int = 1,
         offline_store=None,
         submission_seed: int | None = None,
+        quarantined: set[int] | None = None,
     ) -> QueryResult:
+        quarantined = set(quarantined or ())
         with telemetry.span("query.run", epsilon=epsilon) as query_span:
             with telemetry.span("query.compile"):
                 plan = self.compile(query)
@@ -225,10 +234,11 @@ class MyceliumSystem:
             self.budget.charge(epsilon, label)
 
             if world is not None:
-                if offline is not None:
+                if offline is not None or quarantined:
                     raise QueryError(
-                        "offline= is the in-process transport's churn "
-                        "model; mark devices offline on the MixnetWorld"
+                        "offline=/quarantined= are the in-process "
+                        "transport's churn model; mark devices offline "
+                        "on the MixnetWorld"
                     )
                 from repro.core.transport import MixnetTransport
 
@@ -244,9 +254,11 @@ class MyceliumSystem:
                 with telemetry.span("query.execute"):
                     submissions = transport.run(behaviors)
             else:
+                effective_offline = set(offline or ()) | quarantined
                 submissions = self.submit_phase(
                     plan, graph, self.rng, fabric,
-                    behaviors=behaviors, offline=offline,
+                    behaviors=behaviors,
+                    offline=effective_offline if effective_offline else offline,
                     offline_store=offline_store,
                     submission_seed=submission_seed,
                 )
@@ -342,6 +354,8 @@ class MyceliumSystem:
                 verification_seconds=aggregation.verification_seconds,
                 complaints=num_complaints,
                 recovery=recovery,
+                quarantined_origins=tuple(sorted(quarantined)),
+                byzantine_origins=tuple(sorted(aggregation.rejected)),
             )
             with telemetry.span("query.release"):
                 result = self._release(plan, coefficients, scale, metadata)

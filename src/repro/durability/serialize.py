@@ -104,6 +104,8 @@ def metadata_to_json(md: QueryMetadata) -> dict:
         "committee_epoch": md.committee_epoch,
         "verification_seconds": md.verification_seconds,
         "complaints": md.complaints,
+        "quarantined_origins": list(md.quarantined_origins),
+        "byzantine_origins": list(md.byzantine_origins),
     }
 
 
@@ -118,6 +120,9 @@ def metadata_from_json(data: dict) -> QueryMetadata:
         committee_epoch=data["committee_epoch"],
         verification_seconds=data["verification_seconds"],
         complaints=data["complaints"],
+        # Absent in journals written before the quarantine layer.
+        quarantined_origins=tuple(data.get("quarantined_origins", ())),
+        byzantine_origins=tuple(data.get("byzantine_origins", ())),
     )
 
 

@@ -161,6 +161,20 @@ class FrameError(ServiceError):
     (oversized, truncated, or not a JSON object)."""
 
 
+class DeadlineExceeded(ServiceError):
+    """A per-query deadline expired somewhere along the
+    admission → campaign → decode path.  The submission is dropped; if
+    it never executed, its epsilon charge is refunded, and if it did
+    execute the charge stands (the query ran, only the answer was too
+    late to deliver)."""
+
+
+class ClientTimeout(ServiceError):
+    """A :class:`repro.service.client.ServiceClient` connect or read
+    exceeded its configured timeout.  Raised client-side instead of
+    hanging forever on a dead server socket."""
+
+
 class CoordinatorCrash(MyceliumError):
     """A simulated coordinator process kill (fault injection / --kill-at).
 

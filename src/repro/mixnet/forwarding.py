@@ -204,9 +204,13 @@ class ForwardingDriver:
 
         Runs :meth:`send_batch` waves until ``confirm(request)`` is true
         for every request or the attempt budget runs out.  Between
-        attempts the clock idles ``2**attempt`` C-rounds (exponential
-        backoff — a real deployment waits for churned devices to come
-        back, §3.4).  Each retry rotates to the next pre-established
+        attempts the clock idles ``2**attempt`` C-rounds plus a seeded
+        jitter of up to ``2**attempt - 1`` more (exponential backoff
+        with full jitter — a real deployment waits for churned devices
+        to come back, and jitter keeps retry waves from thundering in
+        phase, §3.4).  The jitter is drawn from the world RNG, so chaos
+        replays stay bit-identical.  Each retry rotates to the next
+        pre-established
         replica path for the same slot, and a request whose chosen
         replica was never established fails over immediately to any
         established sibling — the paper's telescoping circuits are cheap
@@ -263,7 +267,11 @@ class ForwardingDriver:
                 if not pending:
                     break
                 if attempt < max_attempts - 1:
-                    for _ in range(2**attempt):
+                    # Seeded jitter from the world RNG keeps replays
+                    # bit-identical; randrange(1) == 0 leaves the first
+                    # backoff untouched.
+                    backoff = 2**attempt + world.rng.randrange(2**attempt)
+                    for _ in range(backoff):
                         world.run_round()
             for count in attempts_used.values():
                 telemetry.observe("mixnet.send.attempts", count)

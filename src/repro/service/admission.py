@@ -113,3 +113,21 @@ class AdmissionController:
             epsilon,
         ), "rollback outside the admitting critical section"
         self.budget.history.pop()
+
+    def refund(self, label: str, epsilon: float) -> bool:
+        """Refund one admitted-but-never-executed charge.
+
+        Used by the scheduler when a submission's deadline expires
+        before its round launches: the query consumed no privacy, so its
+        epsilon goes back to the ledger.  Scans the history from the
+        newest entry (the expired submission is usually near the tail)
+        and removes the first exact ``(label, epsilon)`` match.
+        Synchronous and loop-safe: the event loop never yields inside,
+        and the ledger only shrinks, so a concurrent ``admit`` cannot be
+        tricked into over-admission.
+        """
+        for i in range(len(self.budget.history) - 1, -1, -1):
+            if self.budget.history[i] == (label, epsilon):
+                del self.budget.history[i]
+                return True
+        return False

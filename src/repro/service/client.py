@@ -30,18 +30,29 @@ from __future__ import annotations
 import asyncio
 import itertools
 
-from repro.errors import ServiceError
+from repro.errors import ClientTimeout, ServiceError
 from repro.service import protocol
 
 
 class ServiceClient:
-    """One multiplexed frame-protocol connection to a QueryService."""
+    """One multiplexed frame-protocol connection to a QueryService.
+
+    ``read_timeout`` bounds how long any one request waits for its
+    response frame; ``connect`` takes a separate ``connect_timeout``.
+    Both raise the typed :class:`~repro.errors.ClientTimeout` instead of
+    hanging forever on a dead or wedged server socket.  ``None`` (the
+    default) preserves the wait-forever behaviour for interactive use.
+    """
 
     def __init__(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        read_timeout: float | None = None,
     ):
         self._reader = reader
         self._writer = writer
+        self._read_timeout = read_timeout
         self._ids = itertools.count(1)
         self._pending: dict[int, asyncio.Future] = {}
         self._write_lock = asyncio.Lock()
@@ -49,10 +60,22 @@ class ServiceClient:
 
     @classmethod
     async def connect(
-        cls, host: str = "127.0.0.1", port: int = 7844
+        cls,
+        host: str = "127.0.0.1",
+        port: int = 7844,
+        connect_timeout: float | None = None,
+        read_timeout: float | None = None,
     ) -> "ServiceClient":
-        reader, writer = await asyncio.open_connection(host, port)
-        return cls(reader, writer)
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(host, port), connect_timeout
+            )
+        except asyncio.TimeoutError:
+            raise ClientTimeout(
+                f"connecting to {host}:{port} exceeded "
+                f"{connect_timeout}s"
+            ) from None
+        return cls(reader, writer, read_timeout=read_timeout)
 
     # -- request plumbing ----------------------------------------------------
 
@@ -94,12 +117,28 @@ class ServiceClient:
         self._pending[request_id] = future
         async with self._write_lock:
             await protocol.write_frame(self._writer, payload)
-        return await future
+        if self._read_timeout is None:
+            return await future
+        try:
+            return await asyncio.wait_for(future, self._read_timeout)
+        except asyncio.TimeoutError:
+            # The response may still arrive later; drop the slot so a
+            # late frame is discarded instead of resolving a future
+            # nobody awaits.
+            self._pending.pop(request_id, None)
+            raise ClientTimeout(
+                f"request {request_id} ({payload.get('type')}) got no "
+                f"response within {self._read_timeout}s"
+            ) from None
 
     # -- the client surface --------------------------------------------------
 
     async def submit(
-        self, query: str, epsilon: float, label: str | None = None
+        self,
+        query: str,
+        epsilon: float,
+        label: str | None = None,
+        deadline_seconds: float | None = None,
     ) -> dict:
         """Submit one query; returns the same outcome dict as
         :meth:`repro.service.service.QueryService.submit`, or raises the
@@ -107,6 +146,8 @@ class ServiceClient:
         payload = {"type": "submit", "query": query, "epsilon": epsilon}
         if label is not None:
             payload["label"] = label
+        if deadline_seconds is not None:
+            payload["deadline_seconds"] = deadline_seconds
         frame = await self._request(payload)
         return {
             "result": frame["result"],

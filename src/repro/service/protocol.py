@@ -12,6 +12,8 @@ vocabulary; this module is the reference implementation used by both
 Request frames (client → server)::
 
     {"type": "submit", "id": <any>, "query": "Q5", "epsilon": 0.5}
+    {"type": "submit", "id": <any>, "query": "Q5", "epsilon": 0.5,
+     "deadline_seconds": 30}
     {"type": "stats",  "id": <any>}
     {"type": "ping",   "id": <any>}
 
@@ -38,6 +40,7 @@ import struct
 from repro.errors import (
     AdmissionRejected,
     BudgetRejected,
+    DeadlineExceeded,
     FrameError,
     QueryError,
     QueueFullRejected,
@@ -59,6 +62,7 @@ ERROR_CODES: dict[str, type[Exception]] = {
     "budget_rejected": BudgetRejected,
     "queue_full": QueueFullRejected,
     "admission_rejected": AdmissionRejected,
+    "deadline_exceeded": DeadlineExceeded,
     "shutdown": ServiceShutdown,
     "bad_query": QueryError,
     "bad_request": FrameError,

@@ -51,6 +51,17 @@ class Submission:
     label: str
     future: asyncio.Future
     submitted_at: float = field(default_factory=clock.perf_counter)
+    #: Per-query deadline (seconds from submission, end to end through
+    #: admission → campaign → decode); ``None`` means no deadline.
+    deadline_seconds: float | None = None
+    #: Aborted-round re-queues consumed (at most ``max_retries``).
+    retries: int = 0
+
+    def expired(self, now: float | None = None) -> bool:
+        if self.deadline_seconds is None:
+            return False
+        now = clock.perf_counter() if now is None else now
+        return now - self.submitted_at >= self.deadline_seconds
 
     def resolve(self, round_index: int, payload: dict) -> CompletedQuery:
         latency = clock.perf_counter() - self.submitted_at
@@ -102,6 +113,8 @@ class Scheduler:
         runtime: RuntimeConfig | None = None,
         offline_store=None,
         pool_entries: int = 8,
+        admission=None,
+        max_retries: int = 1,
     ):
         self.queue = queue
         self.stream = stream
@@ -122,16 +135,40 @@ class Scheduler:
         #: n+1 while round n's results stream out.
         self.offline_store = offline_store
         self.pool_entries = max(1, pool_entries)
+        #: The service's AdmissionController, when attached: deadline
+        #: drops that never executed refund their epsilon through it.
+        self.admission = admission
+        #: How many aborted rounds a submission may ride out before its
+        #: round's exception is forwarded to the client.
+        self.max_retries = max(0, max_retries)
         self.rounds_run = 0
+        self.rounds_aborted = 0
         self.batch_log: list[list[str]] = []
+        #: Survivors of an aborted round, re-queued internally (the
+        #: shared asyncio queue may already hold the SHUTDOWN sentinel
+        #: behind them, so retries never travel through it).
+        self._retry: list[Submission] = []
 
     async def run(self) -> None:
-        """The scheduler loop: block for work, drain a batch, execute."""
+        """The scheduler loop: block for work, drain a batch, execute.
+
+        Re-queued survivors of an aborted round take priority over new
+        queue work and are drained even after SHUTDOWN is seen — a
+        poisoned round never wedges the service or strands a client
+        future (blast-radius isolation; docs/RESILIENCE.md).
+        """
         stopping = False
-        while not stopping:
+        while True:
+            if self._retry:
+                batch, self._retry = self._retry, []
+                await self._execute_round(batch)
+                continue
+            if stopping:
+                break
             head = await self.queue.get()
             if head is SHUTDOWN:
-                break
+                stopping = True
+                continue
             batch = [head]
             while len(batch) < self.max_batch:
                 try:
@@ -228,7 +265,41 @@ class Scheduler:
             finally:
                 self._retire_pools(config)
 
+    def _drop_expired_before_round(
+        self, batch: list[Submission]
+    ) -> list[Submission]:
+        """Shed submissions whose deadline passed before their round
+        launched.  These never executed, so their epsilon charge is
+        refunded to the ledger."""
+        from repro.errors import DeadlineExceeded
+
+        now = clock.perf_counter()
+        live: list[Submission] = []
+        for submission in batch:
+            if not submission.expired(now):
+                live.append(submission)
+                continue
+            telemetry.count("service.rejected.deadline")
+            if self.admission is not None:
+                self.admission.refund(submission.label, submission.epsilon)
+            self.stream.record(
+                submission.fail(
+                    self.rounds_run,
+                    DeadlineExceeded(
+                        f"query {submission.label!r} missed its "
+                        f"{submission.deadline_seconds}s deadline before "
+                        "its round launched; epsilon refunded"
+                    ),
+                )
+            )
+        return live
+
     async def _execute_round(self, batch: list[Submission]) -> None:
+        from repro.errors import DeadlineExceeded
+
+        batch = self._drop_expired_before_round(batch)
+        if not batch:
+            return
         round_index = self.rounds_run
         config = self._campaign_config(batch)
         directory = self.directory / f"round-{round_index:04d}"
@@ -241,13 +312,43 @@ class Scheduler:
                 None, self._run_campaign, config, directory
             )
         except Exception as exc:  # noqa: BLE001 - forwarded to clients
+            # Blast-radius isolation: the poisoned round is aborted and
+            # each survivor is re-queued once.  The retry round runs
+            # under a fresh seed and a fresh round-NNNN/ journal (the
+            # rounds_run bump below renumbers both), so a seed-dependent
+            # poison cannot strike the same queries twice.  The epsilon
+            # stays charged either way — the round *executed*; only its
+            # answer was lost (docs/SERVICE.md).
+            self.rounds_aborted += 1
+            telemetry.count("service.rounds.aborted")
             for submission in batch:
-                self.stream.record(submission.fail(round_index, exc))
+                if submission.retries < self.max_retries:
+                    submission.retries += 1
+                    telemetry.count("service.requeued.total")
+                    self._retry.append(submission)
+                else:
+                    self.stream.record(submission.fail(round_index, exc))
         else:
+            now = clock.perf_counter()
             for submission, payload in zip(batch, result.results):
-                self.stream.record(
-                    submission.resolve(round_index, payload)
-                )
+                if submission.expired(now):
+                    # The query ran — the charge stands — but the answer
+                    # came back past the deadline, so it is withheld.
+                    telemetry.count("service.rejected.deadline")
+                    self.stream.record(
+                        submission.fail(
+                            round_index,
+                            DeadlineExceeded(
+                                f"query {submission.label!r} completed "
+                                "after its "
+                                f"{submission.deadline_seconds}s deadline"
+                            ),
+                        )
+                    )
+                else:
+                    self.stream.record(
+                        submission.resolve(round_index, payload)
+                    )
         finally:
             self.rounds_run += 1
 
@@ -256,6 +357,7 @@ class Scheduler:
     def stats(self) -> dict[str, Any]:
         return {
             "rounds": self.rounds_run,
+            "rounds_aborted": self.rounds_aborted,
             "max_batch": self.max_batch,
             "batches": [list(b) for b in self.batch_log],
         }

@@ -87,6 +87,14 @@ class ServiceConfig:
     #: refill and retires consumed pools afterwards.
     offline_pools: bool = False
     pool_entries: int = 8
+    #: Default per-query deadline in seconds (``None`` = none); a
+    #: submission may override it per request.  Enforced end to end:
+    #: before the round launches (epsilon refunded) and after decode
+    #: (answer withheld, epsilon stands) — docs/SERVICE.md.
+    default_deadline_seconds: float | None = None
+    #: How many aborted rounds a submission survives by re-queueing
+    #: (blast-radius isolation; 1 = re-queue once with a fresh seed).
+    max_round_retries: int = 1
 
 
 class QueryService:
@@ -127,6 +135,8 @@ class QueryService:
                 OfflineStore() if self.config.offline_pools else None
             ),
             pool_entries=self.config.pool_entries,
+            admission=self.admission,
+            max_retries=self.config.max_round_retries,
         )
         self._params = SystemParameters(
             num_devices=self.config.people,
@@ -180,7 +190,11 @@ class QueryService:
         return text
 
     async def submit(
-        self, query: str, epsilon: float, label: str | None = None
+        self,
+        query: str,
+        epsilon: float,
+        label: str | None = None,
+        deadline_seconds: float | None = None,
     ) -> dict:
         """Submit one query; resolves when its round releases.
 
@@ -188,18 +202,37 @@ class QueryService:
         "round": <int>}``.  Raises a typed error on rejection:
         :class:`~repro.errors.QueryError` (invalid/unsupported query),
         :class:`~repro.errors.BudgetRejected`,
-        :class:`~repro.errors.QueueFullRejected`, or
+        :class:`~repro.errors.QueueFullRejected`,
+        :class:`~repro.errors.DeadlineExceeded` (per-query deadline
+        expired anywhere along admission → campaign → decode), or
         :class:`~repro.errors.ServiceShutdown`.
+
+        ``deadline_seconds`` overrides the config's default deadline for
+        this submission (``None`` inherits the default; pass a
+        non-positive value to fail immediately without charging).
         """
+        from repro.errors import DeadlineExceeded
+
         self.submissions_seen += 1
         telemetry.count("service.submissions.total")
         if not self._accepting:
             raise ServiceShutdown("service is not accepting submissions")
         text = self._validate(query)
         label = label or query
+        if deadline_seconds is None:
+            deadline_seconds = self.config.default_deadline_seconds
+        if deadline_seconds is not None and deadline_seconds <= 0:
+            # Already expired at the door: reject before the ledger is
+            # ever touched.
+            telemetry.count("service.rejected.deadline")
+            raise DeadlineExceeded(
+                f"query {label!r} arrived with a non-positive deadline "
+                f"({deadline_seconds}s)"
+            )
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         submission = Submission(
-            text=text, epsilon=epsilon, label=label, future=future
+            text=text, epsilon=epsilon, label=label, future=future,
+            deadline_seconds=deadline_seconds,
         )
 
         def enqueue() -> None:
@@ -268,10 +301,14 @@ class QueryService:
         async def handle_submit(request: dict) -> None:
             request_id = request.get("id")
             try:
+                deadline = request.get("deadline_seconds")
                 outcome = await self.submit(
                     str(request["query"]),
                     float(request["epsilon"]),
                     label=request.get("label"),
+                    deadline_seconds=(
+                        None if deadline is None else float(deadline)
+                    ),
                 )
             except Exception as exc:  # noqa: BLE001 - typed on the wire
                 await respond(protocol.error_frame(request_id, exc))

@@ -498,6 +498,37 @@ METRICS: dict[str, MetricSpec] = _specs(
         "service.inflight", GAUGE, "queries",
         "admitted submissions currently queued or executing",
     ),
+    MetricSpec(
+        "service.rejected.deadline", COUNTER, "queries",
+        "submissions dropped because their per-query deadline expired "
+        "(DeadlineExceeded); unexecuted drops refund the ledger",
+    ),
+    MetricSpec(
+        "service.rounds.aborted", COUNTER, "rounds",
+        "scheduled rounds aborted because the campaign raised "
+        "(blast-radius isolation; survivors are re-queued once)",
+    ),
+    MetricSpec(
+        "service.requeued.total", COUNTER, "queries",
+        "submissions re-queued with a fresh round seed after their "
+        "round aborted (at most once per submission)",
+    ),
+    # -- adversary engine (repro.adversary) ----------------------------------
+    MetricSpec(
+        "adversary.suspicion.total", COUNTER, "rejections",
+        "suspicion points charged to origins whose submission the "
+        "aggregator rejected (one per origin per query)",
+    ),
+    MetricSpec(
+        "adversary.quarantined.total", COUNTER, "origins",
+        "origins demoted to quarantine after reaching the suspicion "
+        "ledger's rejection threshold",
+    ),
+    MetricSpec(
+        "adversary.queries.failed", COUNTER, "queries",
+        "survivability-sweep queries that failed outright under attack "
+        "(a typed MyceliumError instead of a released answer)",
+    ),
     # -- offline precomputation (repro.offline) ------------------------------
     MetricSpec(
         "offline.pool.hits", COUNTER, "entries",
@@ -652,6 +683,12 @@ SPANS: dict[str, SpanSpec] = {
             "offline.precompute", None,
             "one journaled offline-precomputation pass (fresh, resumed, "
             "or a between-round pool refill); attributes: units",
+        ),
+        SpanSpec(
+            "adversary.sweep", None,
+            "one survivability sweep: a full attack profile driven "
+            "across its intensity range with quarantine active; "
+            "attributes: profile, seed",
         ),
     )
 }

@@ -1,0 +1,112 @@
+"""Attack profiles: seeded schedules, intensity scaling, safety caps."""
+
+import pytest
+
+from repro.adversary import PROFILES, AttackProfile, get_profile
+from repro.engine.malicious import Behavior
+from repro.errors import ParameterError
+from repro.faults.plan import FaultKind
+
+
+def test_get_profile_unknown_name():
+    with pytest.raises(ParameterError, match="unknown attack profile"):
+        get_profile("nope")
+
+
+def test_builtin_profiles_cover_issue_adversary_classes():
+    assert set(PROFILES) == {
+        "malformed-wave",
+        "equivocating-committee",
+        "claim-tamper",
+        "churn-burst",
+        "combined",
+    }
+
+
+def test_negative_intensity_rejected():
+    with pytest.raises(ParameterError, match="intensity"):
+        AttackProfile(name="x", description="", intensity=-0.5)
+
+
+def test_scaled_returns_new_profile():
+    base = get_profile("malformed-wave")
+    doubled = base.scaled(2.0)
+    assert doubled.intensity == 2.0
+    assert base.intensity == 1.0
+    assert doubled.name == base.name
+
+
+def test_num_attackers_bounds():
+    profile = get_profile("malformed-wave")  # fraction 0.25
+    # Zero intensity means no attackers at all.
+    assert profile.scaled(0.0).num_attackers(10) == 0
+    # A tiny positive fraction still fields at least one attacker.
+    assert profile.scaled(0.01).num_attackers(10) == 1
+    # Even at absurd intensity at least one honest device survives.
+    assert profile.scaled(100.0).num_attackers(10) == 9
+    assert profile.num_attackers(10) == 2  # round(0.25 * 10) == 2... round-half-even
+    assert profile.num_attackers(8) == 2
+
+
+def test_behaviors_for_is_seeded_and_pool_restricted():
+    profile = get_profile("combined")
+    first = profile.behaviors_for(seed=11, num_devices=12)
+    second = profile.behaviors_for(seed=11, num_devices=12)
+    other = profile.behaviors_for(seed=12, num_devices=12)
+    assert first == second
+    assert first != other  # overwhelmingly likely with 12 devices
+    assert first
+    assert all(b in profile.behaviors_pool for b in first.values())
+    assert all(0 <= d < 12 for d in first)
+
+
+def test_behaviors_for_empty_pool():
+    churn_only = get_profile("churn-burst")
+    assert churn_only.behaviors_for(seed=3, num_devices=10) == {}
+
+
+def test_churn_for_round_never_takes_everyone():
+    profile = get_profile("churn-burst").scaled(10.0)  # effective capped at 0.9
+    candidates = tuple(range(6))
+    churned = profile.churn_for_round(seed=5, round_index=0, candidates=candidates)
+    assert len(churned) < len(candidates)
+    replay = profile.churn_for_round(seed=5, round_index=0, candidates=candidates)
+    assert churned == replay
+    assert profile.churn_for_round(seed=5, round_index=1, candidates=()) == ()
+    assert (
+        get_profile("malformed-wave").churn_for_round(5, 0, candidates) == ()
+    )
+
+
+def test_corrupt_members_at_least_one_when_active():
+    profile = get_profile("equivocating-committee")
+    members = (4, 7, 9)
+    assert profile.corrupt_members(members) == (4,)
+    assert profile.scaled(0.1).corrupt_members(members) == (4,)
+    assert profile.scaled(0.0).corrupt_members(members) == ()
+    assert get_profile("malformed-wave").corrupt_members(members) == ()
+
+
+def test_fault_plan_windows_phase_locked_to_boundaries():
+    profile = get_profile("churn-burst")
+    plan = profile.fault_plan(
+        seed=2, num_devices=10, round_boundaries=(0, 8), committee_members=(1, 2)
+    )
+    assert plan.churn_windows  # fraction 0.3 over 20 draws: ~6 expected
+    for window in plan.churn_windows:
+        assert window.start_round in (0, 8)
+        assert window.end_round == window.start_round + profile.churn_burst_rounds
+        assert window.kind is FaultKind.CHURN
+    assert plan.corrupt_committee == ()
+    replay = profile.fault_plan(
+        seed=2, num_devices=10, round_boundaries=(0, 8), committee_members=(1, 2)
+    )
+    assert plan == replay
+
+
+def test_fault_plan_carries_committee_corruption():
+    plan = get_profile("combined").fault_plan(
+        seed=2, num_devices=6, committee_members=(3, 5, 6)
+    )
+    assert plan.corrupt_committee == (3,)
+    assert plan.churn_windows == ()  # no round boundaries given

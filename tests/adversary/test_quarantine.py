@@ -1,0 +1,49 @@
+"""The suspicion ledger: threshold crossing, soundness, monotonicity."""
+
+from repro.adversary import SuspicionLedger
+
+
+def test_quarantine_at_threshold():
+    ledger = SuspicionLedger(threshold=2)
+    assert ledger.record_rejections([3]) == ()
+    assert not ledger.is_quarantined(3)
+    assert ledger.record_rejections([3]) == (3,)
+    assert ledger.is_quarantined(3)
+    assert ledger.quarantined == (3,)
+
+
+def test_unrejected_origins_never_accumulate_suspicion():
+    ledger = SuspicionLedger()
+    ledger.record_rejections([1, 4])
+    ledger.record_rejections([4])
+    assert 0 not in ledger.suspicion
+    assert ledger.suspicion == {1: 1, 4: 2}
+    assert ledger.quarantined == (4,)
+
+
+def test_quarantine_is_monotone():
+    """Once quarantined, an origin stays quarantined and stops
+    accumulating suspicion (it no longer submits, so further mentions
+    are a caller bug the ledger must shrug off)."""
+    ledger = SuspicionLedger(threshold=1)
+    assert ledger.record_rejections([7]) == (7,)
+    assert ledger.record_rejections([7]) == ()
+    assert ledger.suspicion[7] == 1
+    assert ledger.quarantined == (7,)
+
+
+def test_newly_quarantined_sorted():
+    ledger = SuspicionLedger(threshold=1)
+    assert ledger.record_rejections([9, 2, 5]) == (2, 5, 9)
+
+
+def test_snapshot_round_trips_state():
+    ledger = SuspicionLedger(threshold=2)
+    ledger.record_rejections([1])
+    ledger.record_rejections([1, 2])
+    snap = ledger.snapshot()
+    assert snap == {
+        "threshold": 2,
+        "suspicion": {1: 2, 2: 1},
+        "quarantined": [1],
+    }

@@ -1,0 +1,103 @@
+"""End-to-end survivability sweeps: survival, soundness, determinism.
+
+These are the in-tree (fast) versions of the acceptance sweep that
+``python -m repro adversary`` and ``benchmarks/bench_adversary_goodput``
+run at full scale: small device counts, two intensities, one profile per
+test.
+"""
+
+from repro.adversary import get_profile, run_survivability
+
+
+def _sweep(profile_name, **kwargs):
+    defaults = dict(
+        seed=7, num_devices=8, num_queries=2, intensities=(0.0, 1.0)
+    )
+    defaults.update(kwargs)
+    return run_survivability(get_profile(profile_name), **defaults)
+
+
+def test_claim_tamper_survives_and_quarantines_attackers():
+    report = _sweep("claim-tamper")
+    assert report.survived
+    baseline, attacked = report.points
+    assert baseline.intensity == 0.0
+    assert not baseline.attackers
+    assert not baseline.quarantined
+    assert baseline.goodput == 1.0
+    # At intensity 1 the tamperers are rejected on query 0 and 1, so
+    # the threshold-2 ledger quarantines exactly the attacker set by
+    # the end of the sweep.
+    assert attacked.attackers
+    assert attacked.quarantined == attacked.attackers
+    assert attacked.queries_exact == attacked.queries_total
+
+
+def test_malformed_wave_rejects_without_hurting_honest_goodput():
+    report = _sweep("malformed-wave")
+    assert report.survived
+    attacked = report.points[1]
+    assert attacked.attackers
+    # No churn in this profile: every honest slot is delivered.
+    assert attacked.goodput == 1.0
+    assert attacked.churned_slots == 0
+    assert set(attacked.quarantined) <= set(attacked.attackers)
+
+
+def test_equivocating_committee_flagged_and_decoded_exactly():
+    report = _sweep("equivocating-committee")
+    assert report.survived
+    attacked = report.points[1]
+    assert attacked.committee_corrupt == 1
+    assert attacked.committee_flagged == 1
+    assert attacked.committee_exact
+    # Pure committee attack: no device-level attackers.
+    assert not attacked.attackers
+    baseline = report.points[0]
+    assert baseline.committee_corrupt == 0
+
+
+def test_churn_burst_goodput_tracks_figure5c_model():
+    report = _sweep("churn-burst")
+    assert report.survived
+    attacked = report.points[1]
+    # Goodput equals the model exactly: model is evaluated at the
+    # empirical loss, and in-process delivery loses only churned slots.
+    assert attacked.goodput == attacked.model_goodput
+    assert attacked.queries_completed == attacked.queries_total
+
+
+def test_sweep_replays_bit_identical():
+    first = _sweep("combined")
+    second = _sweep("combined")
+    assert first.to_json() == second.to_json()
+    assert first.survived
+
+
+def test_report_json_and_summary_shape():
+    report = _sweep("claim-tamper", intensities=(1.0,), num_queries=2)
+    blob = report.to_json()
+    assert blob["profile"] == "claim-tamper"
+    assert blob["survived"] is True
+    (point,) = blob["points"]
+    assert point["quarantined"] == point["attackers"]
+    text = report.summary()
+    assert "SURVIVED" in text
+    assert "claim-tamper" in text
+
+
+def test_past_radius_committee_corruption_refuses_and_survives():
+    # At intensity 1.5 the combined profile corrupts 2 of 5 committee
+    # members -- past the unique decoding radius (5-2)//2 = 1.  The
+    # specified behaviour there is a typed RobustDecodingError, never a
+    # silently wrong plaintext, so the probe scores the refusal as the
+    # defense holding and the sweep must not crash.
+    report = _sweep("combined", intensities=(1.0, 1.5))
+    within, past = report.points
+    assert within.committee_corrupt == 1
+    assert within.committee_flagged == 1
+    assert within.committee_exact
+    assert past.committee_corrupt == 2
+    assert past.committee_flagged == 0
+    assert past.committee_exact
+    assert report.survived

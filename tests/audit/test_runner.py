@@ -60,8 +60,8 @@ class TestFailurePath:
 
         original = runner_mod.generate_case
 
-        def broken(master_seed, index):
-            case = original(master_seed, index)
+        def broken(master_seed, index, kind=None):
+            case = original(master_seed, index, kind=kind)
             if index == 1:
                 case = TrialCase(
                     kind="equivalence",

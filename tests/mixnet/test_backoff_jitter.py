@@ -1,0 +1,94 @@
+"""Seeded backoff jitter in the reliable-send retry loop.
+
+``send_reliable`` idles ``2**attempt`` C-rounds between waves *plus* a
+full-jitter term of up to ``2**attempt - 1`` drawn from the world RNG —
+so retry waves desynchronize without breaking the repo-wide invariant
+that a seeded run replays bit-identically.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.mixnet.forwarding import ForwardingDriver, SendRequest
+from repro.mixnet.network import MixnetWorld
+from repro.mixnet.telescope import TelescopeDriver
+from repro.params import SystemParameters
+
+
+def make_world(seed):
+    params = SystemParameters(
+        num_devices=10,
+        hops=2,
+        replicas=1,
+        forwarder_fraction=0.45,
+        degree_bound=2,
+        pseudonyms_per_device=2,
+    )
+    world = MixnetWorld(
+        params,
+        num_devices=10,
+        rng=random.Random(seed),
+        rsa_bits=512,
+        pseudonyms_per_device=2,
+    )
+    dest = world.devices[9].identity.primary().handle
+    paths = TelescopeDriver(world).setup_paths([(0, 0, 0, dest)])
+    assert all(p.established for p in paths.values())
+    return world
+
+
+def exhaust_retries(world, max_attempts=3):
+    """Run a send whose confirm oracle never fires, so every attempt
+    (and every inter-attempt backoff) executes."""
+    start = world.current_round
+    result = ForwardingDriver(world).send_reliable(
+        [SendRequest(0, (0, 0), b"never-confirmed")],
+        payload_bytes=16,
+        confirm=lambda request: False,
+        max_attempts=max_attempts,
+    )
+    return result, world.current_round - start
+
+
+def test_backoff_rounds_stay_within_jitter_bounds():
+    """Three attempts at hops=2: each wave runs 4 rounds (k+1 to
+    deliver plus one to fetch), the first backoff is exactly 1 round
+    (2**0 + randrange(1) == 1), the second is 2 or 3 (2**1 plus jitter
+    in {0, 1}) — 15 or 16 total."""
+    result, rounds = exhaust_retries(make_world(seed=7))
+    assert result.undelivered != ()
+    assert rounds in (15, 16)
+
+
+def test_backoff_jitter_replays_bit_identically():
+    outcomes = []
+    for _ in range(2):
+        world = make_world(seed=31)
+        result, rounds = exhaust_retries(world)
+        outcomes.append(
+            (
+                rounds,
+                world.current_round,
+                result.delivered,
+                result.retransmissions,
+                result.undelivered,
+            )
+        )
+    assert outcomes[0] == outcomes[1]
+
+
+def test_no_backoff_when_first_wave_confirms():
+    """A confirm oracle that fires immediately skips the retry loop —
+    and with it the jitter draws: exactly one k+1 round wave."""
+    world = make_world(seed=7)
+    start = world.current_round
+    result = ForwardingDriver(world).send_reliable(
+        [SendRequest(0, (0, 0), b"instant")],
+        payload_bytes=16,
+        confirm=lambda request: True,
+        max_attempts=3,
+    )
+    assert result.undelivered == ()
+    assert result.retransmissions == 0
+    assert world.current_round - start == 4  # deliver + fetch, no idling

@@ -1,0 +1,88 @@
+"""ServiceClient timeouts: typed ClientTimeout instead of hanging on a
+dead or wedged server socket."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.errors import ClientTimeout
+from repro.service import QueryService, ServiceClient, ServiceConfig
+from tests.service.test_scheduler import stalled_rounds
+
+
+def test_connect_timeout(monkeypatch):
+    async def scenario():
+        async def never_connects(host, port):
+            await asyncio.sleep(30)
+
+        monkeypatch.setattr(asyncio, "open_connection", never_connects)
+        with pytest.raises(ClientTimeout, match="connecting to"):
+            await ServiceClient.connect(
+                "127.0.0.1", 1, connect_timeout=0.05
+            )
+
+    asyncio.run(scenario())
+
+
+def test_read_timeout_on_wedged_round(tmp_path):
+    """A stalled server round starves the submit's response frame; with
+    read_timeout set the client raises typed instead of waiting forever,
+    and the connection keeps working for later requests."""
+
+    async def scenario():
+        service = QueryService(
+            ServiceConfig(total_epsilon=5.0, directory=str(tmp_path))
+        )
+        release = stalled_rounds(service)
+        server = await service.serve(port=0)
+        port = server.sockets[0].getsockname()[1]
+        client = await ServiceClient.connect(port=port, read_timeout=0.1)
+        try:
+            with pytest.raises(ClientTimeout, match="no response"):
+                await client.submit("Q1", 0.5, label="wedged")
+            # The timeout dropped only that request's slot: the same
+            # connection still answers fast frames...
+            assert await client.ping()
+            release.set()
+            # ...and a fresh submit completes once the round unwedges.
+            outcome = await client.submit("Q1", 0.5, label="after")
+            assert outcome["round"] >= 0
+        finally:
+            await client.close()
+        await service.shutdown()
+        return service
+
+    service = asyncio.run(scenario())
+    # The timed-out submission still executed server-side (charge kept).
+    assert service.admission.spent == 1.0
+    assert service.admission.conserved()
+
+
+def test_no_timeout_by_default(tmp_path):
+    """read_timeout=None (the default) preserves wait-forever semantics
+    across a round slower than any would-be default."""
+
+    async def scenario():
+        service = QueryService(
+            ServiceConfig(total_epsilon=5.0, directory=str(tmp_path))
+        )
+        release = stalled_rounds(service)
+        server = await service.serve(port=0)
+        port = server.sockets[0].getsockname()[1]
+        client = await ServiceClient.connect(port=port)
+        try:
+            task = asyncio.ensure_future(
+                client.submit("Q1", 0.5, label="patient")
+            )
+            await asyncio.sleep(0.2)
+            assert not task.done()  # still waiting, no spurious timeout
+            release.set()
+            outcome = await task
+            assert outcome["round"] == 0
+        finally:
+            await client.close()
+        await service.shutdown()
+
+    asyncio.run(scenario())

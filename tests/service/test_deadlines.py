@@ -1,0 +1,132 @@
+"""Per-query deadlines, enforced end to end (docs/SERVICE.md).
+
+Three enforcement points, three tests: at the door (non-positive
+deadline, nothing charged), before the round launches (expired in the
+queue — epsilon refunded), and after decode (the answer came back late —
+the charge stands, conservative DP accounting).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import pytest
+
+from repro.errors import DeadlineExceeded
+from repro.service import QueryService, ServiceConfig
+from tests.service.test_scheduler import (
+    FakeCampaignResult,
+    instant_rounds,
+    stalled_rounds,
+)
+
+
+def test_non_positive_deadline_rejected_before_the_ledger(tmp_path):
+    async def scenario():
+        service = QueryService(
+            ServiceConfig(total_epsilon=5.0, directory=str(tmp_path))
+        )
+        instant_rounds(service)
+        await service.start()
+        with pytest.raises(DeadlineExceeded, match="non-positive deadline"):
+            await service.submit("Q1", 0.5, deadline_seconds=0.0)
+        await service.shutdown()
+        return service
+
+    service = asyncio.run(scenario())
+    assert service.admission.spent == 0.0
+    assert service.admission.ledger() == []
+    assert service.submissions_seen == 1
+
+
+def test_queue_expiry_refunds_epsilon(tmp_path):
+    """A submission whose deadline passes while it waits behind a
+    stalled round never executes — its round sheds it at launch and the
+    charge goes back to the ledger."""
+
+    async def scenario():
+        service = QueryService(
+            ServiceConfig(total_epsilon=5.0, directory=str(tmp_path))
+        )
+        release = stalled_rounds(service)
+        await service.start()
+        first = asyncio.ensure_future(service.submit("Q1", 0.5, label="slow"))
+        await asyncio.sleep(0.05)  # `slow` is now the stalled in-flight round
+        doomed = asyncio.ensure_future(
+            service.submit("Q1", 0.5, label="doomed", deadline_seconds=0.01)
+        )
+        await asyncio.sleep(0.05)  # deadline passes while queued
+        release.set()
+        outcome = await first
+        with pytest.raises(DeadlineExceeded, match="before its round launched"):
+            await doomed
+        await service.shutdown()
+        return service, outcome
+
+    service, outcome = asyncio.run(scenario())
+    assert outcome["round"] == 0
+    # Only the executed submission's epsilon remains charged.
+    assert service.admission.spent == 0.5
+    assert [label for label, _ in service.admission.ledger()] == ["slow"]
+    assert service.admission.conserved()
+    assert service.stream.failed_count == 1
+
+
+def test_post_round_expiry_withholds_answer_but_keeps_charge(tmp_path):
+    """The query *ran* — privacy was consumed — so a deadline missed
+    during execution withholds the answer without refunding epsilon."""
+
+    async def scenario():
+        service = QueryService(
+            ServiceConfig(total_epsilon=5.0, directory=str(tmp_path))
+        )
+
+        def slow(config, directory):
+            time.sleep(0.1)  # worker thread: past the 0.03s deadline
+            return FakeCampaignResult(len(config.queries))
+
+        service.scheduler._run_campaign = slow
+        await service.start()
+        with pytest.raises(DeadlineExceeded, match="completed after"):
+            await service.submit("Q1", 0.5, label="late", deadline_seconds=0.03)
+        await service.shutdown()
+        return service
+
+    service = asyncio.run(scenario())
+    assert service.admission.spent == 0.5
+    assert [label for label, _ in service.admission.ledger()] == ["late"]
+    assert service.stream.failed_count == 1
+    assert service.stream.ok_count == 0
+
+
+def test_config_default_deadline_and_per_query_override(tmp_path):
+    async def scenario():
+        service = QueryService(
+            ServiceConfig(
+                total_epsilon=5.0,
+                directory=str(tmp_path),
+                default_deadline_seconds=0.03,
+            )
+        )
+
+        def slow(config, directory):
+            time.sleep(0.1)
+            return FakeCampaignResult(len(config.queries))
+
+        service.scheduler._run_campaign = slow
+        await service.start()
+        # Inherits the config default (0.03s) and misses it...
+        with pytest.raises(DeadlineExceeded):
+            await service.submit("Q1", 0.5, label="default")
+        # ...while an explicit generous override rides the same slow round.
+        outcome = await service.submit(
+            "Q1", 0.5, label="generous", deadline_seconds=30.0
+        )
+        await service.shutdown()
+        return service, outcome
+
+    service, outcome = asyncio.run(scenario())
+    assert outcome["result"] == {"fake": 0}
+    assert service.stream.ok_count == 1
+    assert service.stream.failed_count == 1

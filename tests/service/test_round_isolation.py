@@ -1,0 +1,151 @@
+"""Blast-radius isolation: one poisoned round must not take down the
+service or strand its riders (docs/RESILIENCE.md).
+
+A round that dies is aborted; every rider is re-queued once and retried
+under a fresh seed in a fresh ``round-NNNN/`` journal.  The epsilon
+stays charged either way — the poisoned round *executed*; only its
+answer was lost.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import pytest
+
+from repro.service import QueryService, ServiceConfig
+from tests.service.test_scheduler import FakeCampaignResult
+
+
+def fail_first_round(service: QueryService) -> list:
+    """Swap in a campaign fake that explodes on its first call and
+    succeeds afterwards; returns the list of configs it saw."""
+    configs: list = []
+
+    def fake(config, directory):
+        configs.append(config)
+        if len(configs) == 1:
+            raise RuntimeError("poisoned round")
+        return FakeCampaignResult(len(config.queries))
+
+    service.scheduler._run_campaign = fake
+    return configs
+
+
+def test_aborted_round_requeues_riders_with_fresh_seed(tmp_path):
+    async def scenario():
+        service = QueryService(
+            ServiceConfig(
+                max_batch=4, total_epsilon=10.0, directory=str(tmp_path)
+            )
+        )
+        configs = fail_first_round(service)
+        await service.start()
+        outcomes = await asyncio.gather(
+            service.submit("Q1", 0.5, label="a"),
+            service.submit("Q2", 0.5, label="b"),
+        )
+        await service.shutdown()
+        return service, configs, outcomes
+
+    service, configs, outcomes = asyncio.run(scenario())
+    # Both riders resolved — on the retry round, not the poisoned one.
+    assert [o["round"] for o in outcomes] == [1, 1]
+    assert service.stream.ok_count == 2
+    assert service.stream.failed_count == 0
+    # The retry ran under a fresh derived seed (a seed-dependent poison
+    # cannot strike the same queries twice) with the same batch.
+    assert len(configs) == 2
+    assert configs[0].master_seed != configs[1].master_seed
+    assert configs[0].queries == configs[1].queries
+    assert service.scheduler.rounds_aborted == 1
+    assert service.scheduler.rounds_run == 2
+    assert service.scheduler.stats()["rounds_aborted"] == 1
+    # Conservative accounting: the aborted round's epsilon stays spent.
+    assert service.admission.spent == 1.0
+    assert service.admission.conserved()
+
+
+def test_retries_exhausted_forwards_the_round_error(tmp_path):
+    async def scenario():
+        service = QueryService(
+            ServiceConfig(
+                total_epsilon=10.0,
+                directory=str(tmp_path),
+                max_round_retries=0,
+            )
+        )
+
+        def exploding(config, directory):
+            raise RuntimeError("poisoned round")
+
+        service.scheduler._run_campaign = exploding
+        await service.start()
+        with pytest.raises(RuntimeError, match="poisoned round"):
+            await service.submit("Q1", 0.5, label="a")
+        await service.shutdown()
+        return service
+
+    service = asyncio.run(scenario())
+    assert service.scheduler.rounds_aborted == 1
+    assert service.stream.failed_count == 1
+    assert service.admission.spent == 0.5  # still charged
+
+
+def test_persistent_poison_fails_after_one_retry(tmp_path):
+    """Default max_round_retries=1: the second failure is forwarded, and
+    two abort counters (not an infinite retry loop) are the evidence."""
+
+    async def scenario():
+        service = QueryService(
+            ServiceConfig(total_epsilon=10.0, directory=str(tmp_path))
+        )
+        calls = []
+
+        def always_poisoned(config, directory):
+            calls.append(config.master_seed)
+            raise RuntimeError("still poisoned")
+
+        service.scheduler._run_campaign = always_poisoned
+        await service.start()
+        with pytest.raises(RuntimeError, match="still poisoned"):
+            await service.submit("Q1", 0.5, label="a")
+        await service.shutdown()
+        return service, calls
+
+    service, calls = asyncio.run(scenario())
+    assert len(calls) == 2  # original + exactly one retry
+    assert calls[0] != calls[1]
+    assert service.scheduler.rounds_aborted == 2
+
+
+def test_retry_drains_even_with_shutdown_already_queued(tmp_path):
+    """The SHUTDOWN sentinel may sit in the queue behind a round that is
+    about to abort; the retry must still run (it travels through the
+    scheduler's internal list, never the shared queue)."""
+
+    async def scenario():
+        service = QueryService(
+            ServiceConfig(total_epsilon=10.0, directory=str(tmp_path))
+        )
+        calls = []
+
+        def fake(config, directory):
+            calls.append(config)
+            if len(calls) == 1:
+                time.sleep(0.1)  # keep round 0 in flight past shutdown()
+                raise RuntimeError("poisoned round")
+            return FakeCampaignResult(len(config.queries))
+
+        service.scheduler._run_campaign = fake
+        await service.start()
+        task = asyncio.ensure_future(service.submit("Q1", 0.5, label="a"))
+        await asyncio.sleep(0.05)  # round 0 launched and stalling
+        await service.shutdown()  # sentinel now queued behind the abort
+        return service, await task
+
+    service, outcome = asyncio.run(scenario())
+    assert outcome["round"] == 1
+    assert service.stream.ok_count == 1
+    assert service.scheduler.rounds_aborted == 1
